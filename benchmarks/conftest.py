@@ -1,0 +1,36 @@
+"""Benchmark harness plumbing.
+
+Every figure bench runs its experiment once under pytest-benchmark (these
+are end-to-end reproductions, not microbenchmarks), prints the regenerated
+series, and archives the table under ``benchmarks/output/`` so
+EXPERIMENTS.md can be assembled from the artefacts.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture
+def record_figure(benchmark):
+    """Run a figure function once, archive and print its table."""
+
+    def run(figure_func, **kwargs):
+        result = benchmark.pedantic(
+            lambda: figure_func(**kwargs), rounds=1, iterations=1
+        )
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        slug = re.sub(r"[^a-z0-9]+", "_", result.figure_id.lower()).strip("_")
+        (OUTPUT_DIR / f"{slug}.txt").write_text(result.to_table() + "\n")
+        benchmark.extra_info["figure"] = result.figure_id
+        benchmark.extra_info["series"] = list(result.labels)
+        print()
+        print(result.to_table())
+        return result
+
+    return run

@@ -1,0 +1,43 @@
+"""Ablation: exact entropy ratio vs the paper's Eq. 19 Stirling closed form.
+
+Eq. 19 assumes n ≫ K and applies Stirling's approximation. This bench maps
+the approximation error across the evaluation envelope (n ∈ {12, 41, 100,
+1000}) — it must be negligible at the paper's scales and shrink with n.
+"""
+
+import numpy as np
+
+from repro.analysis.anonymity import (
+    expected_compromised_on_path,
+    path_anonymity_closed_form,
+    path_anonymity_exact,
+)
+
+
+def _max_error(n: int) -> float:
+    eta = 4
+    errors = []
+    for rate in np.linspace(0.0, 0.5, 26):
+        for group_size in (1, 3, 5, 10):
+            if group_size > n:
+                continue
+            c_o = expected_compromised_on_path(eta, rate)
+            exact = path_anonymity_exact(n, eta, group_size, c_o)
+            closed = path_anonymity_closed_form(n, eta, group_size, c_o)
+            errors.append(abs(exact - closed))
+    return float(max(errors))
+
+
+def test_ablation_anonymity_approximation(benchmark):
+    def run():
+        return {n: _max_error(n) for n in (12, 41, 100, 1000)}
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print("Eq. 19 Stirling approximation error (max |exact - closed| over sweep)")
+    for n, error in sorted(result.items()):
+        print(f"  n={n:>4}: max error = {error:.4f}")
+    # Error shrinks as n grows and is small at the paper's n=100 scale.
+    assert result[1000] < result[12]
+    assert result[100] < 0.08
+    assert result[1000] < 0.03

@@ -1,0 +1,42 @@
+"""Ablation: layered-encryption overhead of the onion substrate.
+
+The analyses are crypto-agnostic, but a deployment pays per-hop seal/peel
+work and per-layer byte overhead. This bench measures both for the paper's
+default route length (K = 3) and a 1 KiB payload.
+"""
+
+from repro.crypto.keys import GroupKeyring
+from repro.crypto.onion import build_onion, layer_overhead, pad_blob, peel_onion
+
+MASTER = b"bench-master"
+ROUTE = [0, 1, 2]
+PAYLOAD = b"x" * 1024
+
+
+def test_ablation_onion_build(benchmark):
+    keyring = GroupKeyring.for_groups(MASTER, ROUTE)
+    onion = benchmark(build_onion, ROUTE, 42, PAYLOAD, keyring)
+    overhead = len(onion.blob) - len(PAYLOAD)
+    print()
+    print(
+        f"Onion build: K={len(ROUTE)}, payload={len(PAYLOAD)}B, "
+        f"wire={len(onion.blob)}B (+{overhead}B, "
+        f"{layer_overhead()}B/layer)"
+    )
+    assert overhead == len(ROUTE) * layer_overhead()
+
+
+def test_ablation_onion_peel_chain(benchmark):
+    keyring = GroupKeyring.for_groups(MASTER, ROUTE)
+    onion = build_onion(ROUTE, 42, PAYLOAD, keyring)
+
+    def peel_all():
+        blob = onion.blob
+        for group_id in ROUTE:
+            layer = peel_onion(blob, keyring.key_for(group_id))
+            blob = pad_blob(layer.inner, onion.wire_size)
+        return layer
+
+    layer = benchmark(peel_all)
+    assert layer.is_final
+    assert layer.inner == PAYLOAD

@@ -1,0 +1,113 @@
+"""Ablation: the paper's models vs the refined variants.
+
+Quantifies the two systematic approximations the integration tests pin
+down: the Eq. 4 last-hop anycast optimism (delivery) and the Eq. 20
+source-hop double counting (multi-copy anonymity). The refined models must
+land closer to protocol-level simulation than the paper's originals.
+"""
+
+import numpy as np
+
+from repro.analysis.delivery import onion_path_rates
+from repro.analysis.anonymity import path_anonymity_multicopy
+from repro.analysis.hypoexponential import Hypoexponential
+from repro.contacts.events import ExponentialContactProcess
+from repro.contacts.random_graph import random_contact_graph
+from repro.core.multi_copy import MultiCopySession
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.core.single_copy import SingleCopySession
+from repro.extensions.refined_models import (
+    path_anonymity_multicopy_refined,
+    refined_onion_path_rates,
+)
+from repro.sim.engine import SimulationEngine
+from repro.sim.message import Message
+from repro.utils.rng import ensure_rng
+
+
+def _delivery_comparison(seed=300, trials=400, deadline=240.0):
+    rng = ensure_rng(seed)
+    graph = random_contact_graph(n=100, rng=rng)
+    directory = OnionGroupDirectory(100, 5, rng=rng)
+    route = directory.select_route(0, 99, 3, rng=rng)
+    delivered = 0
+    for _ in range(trials):
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=rng), horizon=deadline
+        )
+        session = SingleCopySession(Message(0, 99, 0.0, deadline), route)
+        engine.add_session(session)
+        engine.run()
+        delivered += session.outcome().delivered
+    simulated = delivered / trials
+    paper = float(
+        Hypoexponential(
+            onion_path_rates(graph, 0, route.groups, 99)
+        ).cdf(deadline)
+    )
+    refined = float(
+        Hypoexponential(
+            refined_onion_path_rates(graph, 0, route.groups, 99)
+        ).cdf(deadline)
+    )
+    return simulated, paper, refined
+
+
+def _anonymity_comparison(seed=301, trials=400, rate=0.2, copies=3):
+    from repro.adversary.compromise import CompromiseModel
+    from repro.adversary.observer import observed_path_anonymity
+
+    rng = ensure_rng(seed)
+    graph = random_contact_graph(n=100, rng=rng)
+    directory = OnionGroupDirectory(100, 5, rng=rng)
+    model = CompromiseModel(100, rate)
+    observed = []
+    for _ in range(trials):
+        route = directory.select_route(0, 99, 3, rng=rng)
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=rng), horizon=3000.0
+        )
+        session = MultiCopySession(
+            Message(0, 99, 0.0, 3000.0), route, copies=copies
+        )
+        engine.add_session(session)
+        engine.run()
+        outcome = session.outcome()
+        if not outcome.delivered:
+            continue
+        compromised = model.sample_bernoulli(rng=rng)
+        observed.append(
+            observed_path_anonymity(
+                outcome.paths, compromised, n=100, eta=4, group_size=5
+            )
+        )
+    simulated = float(np.mean(observed))
+    paper = path_anonymity_multicopy(100, 4, 5, rate, copies, form="exact")
+    refined = path_anonymity_multicopy_refined(100, 4, 5, rate, copies)
+    return simulated, paper, refined
+
+
+def test_ablation_refined_models(benchmark):
+    def run():
+        return {
+            "delivery": _delivery_comparison(),
+            "anonymity": _anonymity_comparison(),
+        }
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    for metric, (simulated, paper, refined) in result.items():
+        print(
+            f"{metric:>9}: simulated={simulated:.3f} paper-model={paper:.3f} "
+            f"refined={refined:.3f} "
+            f"(|paper-sim|={abs(paper - simulated):.3f}, "
+            f"|refined-sim|={abs(refined - simulated):.3f})"
+        )
+    for simulated, paper, refined in result.values():
+        # refined must be at least as close to the simulation as the paper's
+        assert abs(refined - simulated) <= abs(paper - simulated) + 0.01
+    # and the known directions hold
+    sim_d, paper_d, _ = result["delivery"]
+    assert paper_d >= sim_d - 0.02  # Eq. 4 optimistic
+    sim_a, paper_a, _ = result["anonymity"]
+    assert paper_a <= sim_a + 0.02  # Eq. 20 pessimistic

@@ -1,0 +1,19 @@
+"""Bench: extension figure E1 — Eq. 6 vs refined model vs simulation."""
+
+from repro.experiments.extension_figs import figure_e1
+
+
+def test_ext_e1_model_comparison(record_figure):
+    result = record_figure(figure_e1, sessions=120, seed=101)
+    paper = result.get("Paper model (Eq. 6)")
+    refined = result.get("Refined model")
+    simulation = result.get("Simulation")
+    for x, y in simulation.points:
+        # the paper model upper-bounds, the refined sits between
+        assert paper.y_at(x) >= refined.y_at(x) - 1e-9
+        assert refined.y_at(x) >= y - 0.12
+    # refined is at least as close to the simulation on average
+    gap = lambda series: sum(
+        abs(series.y_at(x) - y) for x, y in simulation.points
+    ) / len(simulation.points)
+    assert gap(refined) <= gap(paper) + 1e-9

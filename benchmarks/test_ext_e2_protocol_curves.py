@@ -1,0 +1,16 @@
+"""Bench: extension figure E2 — delivery curves across protocols."""
+
+from repro.experiments.extension_figs import figure_e2
+
+
+def test_ext_e2_protocol_curves(record_figure):
+    result = record_figure(figure_e2, sessions=100, seed=102)
+    final = {s.label: s.points[-1][1] for s in result.series}
+    # flooding dominates, onion multi-copy beats single-copy
+    assert final["Epidemic"] >= final["ALAR k=3"] - 0.02
+    assert final["ALAR k=3"] >= final["Onion L=1"] - 0.05
+    assert final["Onion L=3"] >= final["Onion L=1"]
+    # every curve is monotone in the deadline
+    for series in result.series:
+        ys = list(series.ys)
+        assert ys == sorted(ys)

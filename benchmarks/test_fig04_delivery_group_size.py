@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 4 — delivery rate w.r.t. deadline (group sizes).
+
+Larger onion groups bring more forwarding opportunities: the delivery
+rate must increase with g in both the model and the simulation.
+"""
+
+from repro.experiments import figure_04
+
+
+def test_fig04_delivery_group_size(record_figure):
+    result = record_figure(figure_04, graphs=3, sessions_per_graph=40, seed=4)
+    for kind in ("Analysis", "Simulation"):
+        small = result.get(f"{kind}: g=1").points[-1][1]
+        large = result.get(f"{kind}: g=10").points[-1][1]
+        assert large >= small

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 5 — delivery rate w.r.t. deadline (onion router counts).
+
+More onion routers mean longer paths and lower delivery rate at any
+deadline; analysis shows the same trend as simulation.
+"""
+
+from repro.experiments import figure_05
+
+
+def test_fig05_delivery_onion_count(record_figure):
+    result = record_figure(figure_05, graphs=3, sessions_per_graph=40, seed=5)
+    for kind in ("Analysis", "Simulation"):
+        short = result.get(f"{kind}: 3 onions").points[-1][1]
+        long = result.get(f"{kind}: 10 onions").points[-1][1]
+        assert short >= long

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 6 — traceable rate w.r.t. compromised rate.
+
+The traceable rate grows with the fraction of compromised nodes and
+shrinks with the number of onion relays; analysis tracks simulation
+within a few percent.
+"""
+
+from repro.experiments import figure_06
+
+
+def test_fig06_traceable_compromised(record_figure):
+    result = record_figure(figure_06, trials=3000, seed=6)
+    for k in (3, 5, 10):
+        analysis = result.get(f"Analysis: {k} onions")
+        simulation = result.get(f"Simulation: {k} onions")
+        for x, y in simulation.points:
+            assert abs(y - analysis.y_at(x)) < 0.05
+        assert list(analysis.ys) == sorted(analysis.ys)

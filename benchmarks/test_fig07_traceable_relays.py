@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 7 — traceable rate w.r.t. number of onion relays.
+
+Adding relays dilutes every disclosure: traceable rate decreases in K
+for every compromise level.
+"""
+
+from repro.experiments import figure_07
+
+
+def test_fig07_traceable_relays(record_figure):
+    result = record_figure(figure_07, trials=2000, seed=7)
+    for rate in ("10%", "20%", "30%"):
+        ys = result.get(f"Analysis: c/n={rate}").ys
+        assert list(ys) == sorted(ys, reverse=True)
+        sim = result.get(f"Simulation: c/n={rate}")
+        model = result.get(f"Analysis: c/n={rate}")
+        for x, y in sim.points:
+            assert abs(y - model.y_at(x)) < 0.06

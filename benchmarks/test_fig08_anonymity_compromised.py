@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 8 — path anonymity w.r.t. compromised rate.
+
+Path anonymity decreases as more nodes are compromised; larger onion
+groups preserve more anonymity at every compromise level.
+"""
+
+from repro.experiments import figure_08
+
+
+def test_fig08_anonymity_compromised(record_figure):
+    result = record_figure(figure_08, trials=3000, seed=8)
+    for g in (1, 5, 10):
+        ys = result.get(f"Analysis: g={g}").ys
+        assert list(ys) == sorted(ys, reverse=True)
+    final = [result.get(f"Simulation: g={g}").points[-1][1] for g in (1, 5, 10)]
+    assert final == sorted(final)

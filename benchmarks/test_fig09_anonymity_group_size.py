@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 9 — path anonymity w.r.t. group size.
+
+Anonymity increases with group size (the next onion router hides among
+g candidates), gradually for single-copy forwarding.
+"""
+
+from repro.experiments import figure_09
+
+
+def test_fig09_anonymity_group_size(record_figure):
+    result = record_figure(figure_09, trials=2000, seed=9)
+    for rate in ("10%", "20%", "30%"):
+        ys = result.get(f"Analysis: c/n={rate}").ys
+        assert list(ys) == sorted(ys)
+        sim_ys = result.get(f"Simulation: c/n={rate}").ys
+        assert sim_ys[-1] >= sim_ys[0]

@@ -1,0 +1,14 @@
+"""Bench: regenerate Fig. 10 — delivery rate w.r.t. deadline (copy counts, g=5).
+
+Multi-copy forwarding races L replicas through every hop: delivery
+rate increases with L in both the model (Eq. 7) and the simulation.
+"""
+
+from repro.experiments import figure_10
+
+
+def test_fig10_delivery_copies(record_figure):
+    result = record_figure(figure_10, graphs=3, sessions_per_graph=40, seed=10)
+    for kind in ("Analysis", "Simulation"):
+        ordered = [result.get(f"{kind}: L={c}").points[-1][1] for c in (1, 3, 5)]
+        assert ordered == sorted(ordered)

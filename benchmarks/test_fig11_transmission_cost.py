@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 11 — message transmission cost w.r.t. number of copies.
+
+The non-anonymous baseline (2L) is cheapest; measured onion routing
+cost stays below the analytical bound (K+2)L and grows with L and K.
+"""
+
+from repro.experiments import figure_11
+
+
+def test_fig11_transmission_cost(record_figure):
+    result = record_figure(figure_11, graphs=2, sessions_per_graph=25, seed=11)
+    for k in (3, 5):
+        analysis = result.get(f"Analysis: K={k}")
+        simulation = result.get(f"Simulation: K={k}")
+        non_anon = result.get("Non-anonymous")
+        for x, y in simulation.points:
+            assert y <= analysis.y_at(x)
+            assert y >= non_anon.y_at(x) - 1e-9
+        assert list(simulation.ys) == sorted(simulation.ys)

@@ -1,0 +1,18 @@
+"""Bench: regenerate Fig. 12 — path anonymity w.r.t. compromised rate (multi-copy, g=5).
+
+The delivery/anonymity trade-off: more copies expose more onion groups
+and anonymity drops with L at every compromise level.
+"""
+
+from repro.experiments import figure_12
+
+
+def test_fig12_anonymity_copies(record_figure):
+    result = record_figure(figure_12, trials=3000, seed=12)
+    for rate_point in result.get("Analysis: L=1").xs:
+        ordered = [
+            result.get(f"Analysis: L={c}").y_at(rate_point) for c in (1, 3, 5)
+        ]
+        assert ordered == sorted(ordered, reverse=True)
+    final = [result.get(f"Simulation: L={c}").points[-1][1] for c in (1, 3, 5)]
+    assert final == sorted(final, reverse=True)

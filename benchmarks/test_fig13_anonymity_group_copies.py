@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 13 — path anonymity w.r.t. group size (multi-copy, c/n=10%).
+
+At a fixed compromise rate, anonymity grows with group size for every
+copy count, and multi-copy stays below single-copy.
+"""
+
+from repro.experiments import figure_13
+
+
+def test_fig13_anonymity_group_copies(record_figure):
+    result = record_figure(figure_13, trials=2000, seed=13)
+    for copies in (1, 3, 5):
+        ys = result.get(f"Analysis: L={copies}").ys
+        assert list(ys) == sorted(ys)
+    at_ten = [result.get(f"Simulation: L={c}").y_at(10.0) for c in (1, 3, 5)]
+    assert at_ten == sorted(at_ten, reverse=True)

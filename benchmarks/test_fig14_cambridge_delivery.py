@@ -1,0 +1,17 @@
+"""Bench: regenerate Fig. 14 — delivery rate w.r.t. deadline (Cambridge-like trace).
+
+The dense Cambridge-like trace delivers essentially every message
+within 1800 seconds; the analysis follows the same trend.
+"""
+
+from repro.experiments import figure_14
+
+
+def test_fig14_cambridge_delivery(record_figure):
+    result = record_figure(figure_14, sessions=60, seed=14)
+    sim = result.get("Simulation: L=1")
+    assert list(sim.ys) == sorted(sim.ys)
+    assert sim.points[-1][1] >= 0.8
+    # analysis follows the same increasing trend
+    model = result.get("Analysis: L=1")
+    assert list(model.ys) == sorted(model.ys)

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 15 — traceable rate w.r.t. compromised rate (Cambridge-like trace).
+
+The traceable-rate model is contact-graph independent, so it stays
+accurate on the small dense trace topology (n=12).
+"""
+
+from repro.experiments import figure_15
+
+
+def test_fig15_cambridge_traceable(record_figure):
+    result = record_figure(figure_15, trials=3000, seed=15)
+    model = result.get("Analysis: 3 onions")
+    sim = result.get("Simulation: 3 onions")
+    for x, y in sim.points:
+        assert abs(y - model.y_at(x)) < 0.06

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 16 — path anonymity w.r.t. compromised rate (Cambridge-like trace).
+
+Path anonymity decreases roughly linearly in the compromised rate on
+the Cambridge-like configuration (n=12, g=10).
+"""
+
+from repro.experiments import figure_16
+
+
+def test_fig16_cambridge_anonymity(record_figure):
+    result = record_figure(figure_16, trials=3000, seed=16)
+    sim = result.get("Simulation: L=1")
+    assert list(sim.ys) == sorted(sim.ys, reverse=True)
+    model = result.get("Analysis: L=1")
+    for x, y in sim.points:
+        assert abs(y - model.y_at(x)) < 0.08

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 18 — traceable rate w.r.t. compromised rate (Infocom-2005-like trace).
+
+Analysis and simulation differ by at most a few percent on the
+Infocom-like configuration (n=41, K=3).
+"""
+
+from repro.experiments import figure_18
+
+
+def test_fig18_infocom_traceable(record_figure):
+    result = record_figure(figure_18, trials=3000, seed=18)
+    model = result.get("Analysis: 3 onions")
+    sim = result.get("Simulation: 3 onions")
+    for x, y in sim.points:
+        assert abs(y - model.y_at(x)) < 0.05

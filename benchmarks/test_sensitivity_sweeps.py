@@ -1,0 +1,21 @@
+"""Bench: sensitivity sweeps (network size, density)."""
+
+from repro.experiments.sensitivity import (
+    density_sensitivity,
+    network_size_sensitivity,
+)
+
+
+def test_sensitivity_network_size(record_figure):
+    result = record_figure(network_size_sensitivity, routes=20, seed=201)
+    entropy = result.get("Residual entropy H (bits)").ys
+    ratio = result.get("Path anonymity D").ys
+    assert list(entropy) == sorted(entropy)
+    assert list(ratio) == sorted(ratio, reverse=True)
+
+
+def test_sensitivity_density(record_figure):
+    result = record_figure(density_sensitivity, routes=20, seed=202)
+    ys = result.get("Delivery (Eq. 6)").ys
+    assert list(ys) == sorted(ys)
+    assert ys[0] < ys[-1]

@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Battlefield scenario: end-to-end anonymous messaging with real onions.
+
+The paper's motivating application (§I): "in a battlefield, one of the
+communicating end hosts is most likely to be a commander, and thus,
+disclosing the location of the end host will likely result in a mission
+failure." This example runs the *full* stack:
+
+* a squad-level contact graph (platoons meet often internally, rarely
+  across platoons; couriers bridge them),
+* group key initialisation and an actual layered onion (SHA-256-CTR +
+  HMAC), padded to a uniform wire size,
+* Algorithm 1 forwarding driven by sampled contact events, with the onion
+  peeled hop by hop exactly as each group's keys allow,
+* an adversary who compromises scouts and reports what it could trace.
+
+Run:  python examples/battlefield_messaging.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    ContactGraph,
+    Message,
+    OnionGroupDirectory,
+    PathTracer,
+    SimulationEngine,
+    SingleCopySession,
+)
+from repro.contacts.events import ExponentialContactProcess
+from repro.crypto.onion import build_onion, pad_blob, peel_onion
+
+SEED = 11
+PLATOONS = 6
+SOLDIERS_PER_PLATOON = 8
+N = PLATOONS * SOLDIERS_PER_PLATOON
+INTRA_RATE = 1 / 20.0  # platoon mates meet every ~20 minutes
+INTER_RATE = 1 / 600.0  # cross-platoon encounters are rare
+COURIERS_PER_PLATOON = 2
+COURIER_RATE = 1 / 90.0  # couriers circulate between platoons
+
+
+def battlefield_graph(rng: np.random.Generator) -> ContactGraph:
+    """Clustered contact graph: platoons plus inter-platoon couriers."""
+    rates = np.zeros((N, N))
+    platoon_of = lambda v: v // SOLDIERS_PER_PLATOON
+    couriers = {
+        p * SOLDIERS_PER_PLATOON + c
+        for p in range(PLATOONS)
+        for c in range(COURIERS_PER_PLATOON)
+    }
+    for i in range(N):
+        for j in range(i + 1, N):
+            if platoon_of(i) == platoon_of(j):
+                rate = INTRA_RATE
+            elif i in couriers or j in couriers:
+                rate = COURIER_RATE
+            else:
+                rate = INTER_RATE
+            jitter = rng.uniform(0.7, 1.3)
+            rates[i, j] = rates[j, i] = rate * jitter
+    return ContactGraph(rates)
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    graph = battlefield_graph(rng)
+    print(f"battlefield network: {N} soldiers in {PLATOONS} platoons, "
+          f"density {graph.density():.2f}")
+
+    # Onion groups cut across platoons (random membership), so group
+    # affiliation reveals nothing about physical position.
+    directory = OnionGroupDirectory(N, group_size=6, rng=rng)
+    master = b"mission-lambda-master-secret"
+
+    commander, field_unit = 0, N - 1
+    route = directory.select_route(commander, field_unit, onion_routers=3, rng=rng)
+    print("route groups:", route.group_ids)
+
+    # --- the commander builds the onion ------------------------------------
+    routing_keyring = directory.build_keyring(master).restricted_to(route.group_ids)
+    order = b"hold position until 0400, then regroup at waypoint K"
+    onion = build_onion(list(route.group_ids), field_unit, order, routing_keyring)
+    print(f"onion: {len(onion.blob)} bytes on the wire "
+          f"({len(order)} byte payload, {route.onion_routers} layers)")
+
+    # --- forwarding with per-hop peeling ------------------------------------
+    message = Message(commander, field_unit, created_at=0.0, deadline=2880.0)
+    session = SingleCopySession(message, route)
+    engine = SimulationEngine(
+        ExponentialContactProcess(graph, rng=rng), horizon=2880.0
+    )
+    engine.add_session(session)
+    engine.run()
+    outcome = session.outcome()
+
+    if not outcome.delivered:
+        print("message expired — rerun with a longer deadline")
+        return
+
+    path = outcome.delivered_path
+    print(f"delivered in {outcome.delay:.0f} minutes via {path} "
+          f"({outcome.transmissions} transmissions)")
+
+    # Re-play the cryptographic peeling the relays performed: each hop's
+    # carrier holds only its own group's key.
+    blob = onion.blob
+    for hop, group_id in enumerate(route.group_ids, start=1):
+        carrier = path[hop] if hop < len(path) else field_unit
+        carrier_keys = directory.node_keyring(master, carrier)
+        # the carrier was chosen from group `group_id`, so it can peel:
+        layer = peel_onion(blob, carrier_keys.key_for(group_id))
+        blob = pad_blob(layer.inner, onion.wire_size)
+        where = f"next group R{layer.next_group}" if not layer.is_final else (
+            f"destination v{layer.destination}"
+        )
+        print(f"  hop {hop}: v{carrier} peeled layer {hop} -> {where}")
+    # the last peeled layer carries the payload itself
+    assert layer.is_final
+    print(f"field unit reads: {layer.inner.decode()!r}")
+
+    # --- the adversary's view ------------------------------------------------
+    scouts = set(rng.choice(N, size=N // 10, replace=False))
+    tracer = PathTracer(scouts)
+    print(f"adversary compromised {len(scouts)} scouts: traceable rate of "
+          f"this path = {tracer.traceable_rate(path):.3f} "
+          f"({tracer.disclosed_links(path)} of {len(path)} links disclosed)")
+
+
+if __name__ == "__main__":
+    main()

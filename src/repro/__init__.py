@@ -1,0 +1,113 @@
+"""repro — onion-based anonymous routing for delay tolerant networks.
+
+A full reproduction of Sakai et al., *An Analysis of Onion-Based Anonymous
+Routing for Delay Tolerant Networks* (ICDCS 2016): the abstract single- and
+multi-copy protocols, the delivery/cost/traceability/anonymity analytical
+models, a contact-graph discrete-event simulator, a layered-encryption
+substrate, non-anonymous baselines, and an experiment harness regenerating
+every figure of the paper's evaluation.
+
+Quick taste::
+
+    from repro import (
+        random_contact_graph, OnionGroupDirectory, delivery_rate,
+    )
+
+    graph = random_contact_graph(n=100, rng=7)
+    directory = OnionGroupDirectory(n=100, group_size=5, rng=7)
+    route = directory.select_route(source=0, destination=99, onion_routers=3, rng=7)
+    print(delivery_rate(graph, 0, route.groups, 99, deadline=360.0))
+"""
+
+from repro.analysis import (
+    Hypoexponential,
+    delivery_rate,
+    delivery_rate_multicopy,
+    max_entropy,
+    multi_copy_cost_bound,
+    non_anonymous_cost,
+    onion_path_rates,
+    path_anonymity,
+    path_anonymity_exact,
+    path_anonymity_multicopy,
+    single_copy_cost,
+    traceable_rate_empirical,
+    traceable_rate_model,
+)
+from repro.adversary import CompromiseModel, PathTracer, observed_path_anonymity
+from repro.contacts import (
+    ContactGraph,
+    ContactRecord,
+    ContactTrace,
+    ExponentialContactProcess,
+    TraceReplayProcess,
+    cambridge_like_trace,
+    estimate_rates_from_trace,
+    infocom05_like_trace,
+    random_contact_graph,
+)
+from repro.core import (
+    ArdenSingleCopySession,
+    MultiCopySession,
+    OnionGroupDirectory,
+    OnionRoute,
+    SingleCopySession,
+    SprayPolicy,
+)
+from repro.crypto import GroupKeyring, build_onion, peel_onion
+from repro.sim import (
+    DeliveryOutcome,
+    Message,
+    SimulationEngine,
+    summarize,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # contacts
+    "ContactGraph",
+    "ContactRecord",
+    "ContactTrace",
+    "ExponentialContactProcess",
+    "TraceReplayProcess",
+    "random_contact_graph",
+    "cambridge_like_trace",
+    "infocom05_like_trace",
+    "estimate_rates_from_trace",
+    # core protocols
+    "OnionGroupDirectory",
+    "OnionRoute",
+    "SingleCopySession",
+    "MultiCopySession",
+    "SprayPolicy",
+    "ArdenSingleCopySession",
+    # crypto
+    "GroupKeyring",
+    "build_onion",
+    "peel_onion",
+    # simulation
+    "SimulationEngine",
+    "Message",
+    "DeliveryOutcome",
+    "summarize",
+    # analysis
+    "Hypoexponential",
+    "onion_path_rates",
+    "delivery_rate",
+    "delivery_rate_multicopy",
+    "single_copy_cost",
+    "multi_copy_cost_bound",
+    "non_anonymous_cost",
+    "traceable_rate_empirical",
+    "traceable_rate_model",
+    "max_entropy",
+    "path_anonymity",
+    "path_anonymity_exact",
+    "path_anonymity_multicopy",
+    # adversary
+    "CompromiseModel",
+    "PathTracer",
+    "observed_path_anonymity",
+    "__version__",
+]

@@ -1,0 +1,36 @@
+"""Adversary model and security measurement (paper §IV-D / §IV-E).
+
+"An adversary is assumed to intrude on the node with a message at a
+contact. Thus, compromising a node causes it to disclose the next node in a
+routing path." This package draws compromised node sets, scores concrete
+paths with the traceable-rate metric of Eq. 1, and measures empirical path
+anonymity from the exposure the adversary actually obtained.
+"""
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.observer import (
+    observed_exposed_hops,
+    observed_path_anonymity,
+)
+from repro.adversary.tracer import PathTracer
+from repro.adversary.traffic_analysis import (
+    ChainLinkingAttack,
+    InferredFlow,
+    TrafficLog,
+    TrafficTruth,
+    endpoint_exposure,
+    linkability,
+)
+
+__all__ = [
+    "CompromiseModel",
+    "PathTracer",
+    "observed_exposed_hops",
+    "observed_path_anonymity",
+    "TrafficLog",
+    "TrafficTruth",
+    "ChainLinkingAttack",
+    "InferredFlow",
+    "linkability",
+    "endpoint_exposure",
+]

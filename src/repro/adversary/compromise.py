@@ -1,0 +1,86 @@
+"""Random node-compromise model.
+
+The paper's simulations select compromised nodes uniformly at random at a
+given compromise rate ``c/n``; the analytical models treat each node as
+independently compromised with probability ``c/n``. Both samplers are
+provided.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_fraction, check_positive_int
+
+
+class CompromiseModel:
+    """Draws compromised node sets over a population of ``n`` nodes.
+
+    Parameters
+    ----------
+    n:
+        Network size.
+    rate:
+        Compromise rate ``c/n`` in ``[0, 1)``.
+    protected:
+        Nodes that can never be compromised (e.g. exclude the source and
+        destination when studying relay exposure in isolation). The paper
+        compromises uniformly over all nodes; the default matches that.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        rate: float,
+        protected: Iterable[int] = (),
+    ):
+        check_positive_int(n, "n")
+        check_fraction(rate, "rate")
+        self._n = n
+        self._rate = rate
+        self._protected: FrozenSet[int] = frozenset(protected)
+        for node in self._protected:
+            if not (0 <= node < n):
+                raise ValueError(f"protected node {node} outside 0..{n - 1}")
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self._n
+
+    @property
+    def rate(self) -> float:
+        """Compromise rate ``c/n``."""
+        return self._rate
+
+    @property
+    def expected_count(self) -> float:
+        """Expected number of compromised nodes ``c = rate · n``."""
+        return self._rate * self._n
+
+    def sample_fixed_count(self, rng: RandomSource = None) -> Set[int]:
+        """Exactly ``round(c)`` compromised nodes, uniformly without replacement.
+
+        This is the simulation-style sampler ("nodes are randomly selected
+        as compromised nodes with a given compromised rate").
+        """
+        generator = ensure_rng(rng)
+        count = round(self._rate * self._n)
+        eligible = [v for v in range(self._n) if v not in self._protected]
+        count = min(count, len(eligible))
+        if count == 0:
+            return set()
+        chosen = generator.choice(len(eligible), size=count, replace=False)
+        return {eligible[idx] for idx in chosen}
+
+    def sample_bernoulli(self, rng: RandomSource = None) -> Set[int]:
+        """Each node independently compromised with probability ``c/n``.
+
+        Matches the independence assumption of the analytical models.
+        """
+        generator = ensure_rng(rng)
+        draws = generator.random(self._n) < self._rate
+        return {
+            v for v in range(self._n) if draws[v] and v not in self._protected
+        }

@@ -1,0 +1,47 @@
+"""Message-forwarding cost bounds (paper §IV-C).
+
+Costs count message transmissions between node pairs, ignoring delay:
+
+* single-copy onion routing forwards exactly once per hop: ``K + 1``;
+* multi-copy: the first hop costs at most ``1 + 2(L − 1)`` (one direct
+  handover into ``R_1`` plus two transmissions for each of the other
+  ``L − 1`` sprayed copies), and the remaining hops cost at most ``K·L``
+  (each of the ``L`` copies relays single-copy style), for a total of at
+  most ``(K + 2)·L``;
+* a non-anonymous baseline needs at most ``2L`` transmissions (each copy is
+  either handed straight to the destination or relayed once).
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive_int
+
+
+def single_copy_cost(onion_routers: int) -> int:
+    """Transmissions used by single-copy forwarding: ``K + 1``."""
+    check_positive_int(onion_routers, "onion_routers")
+    return onion_routers + 1
+
+
+def multi_copy_cost_bound(onion_routers: int, copies: int) -> int:
+    """Upper bound on multi-copy transmissions: ``(K + 2)·L`` (paper §IV-C).
+
+    ``copies=1`` intentionally does *not* collapse to
+    :func:`single_copy_cost`: the bound is loose by construction and the
+    paper keeps both expressions.
+    """
+    check_positive_int(onion_routers, "onion_routers")
+    check_positive_int(copies, "copies")
+    return (onion_routers + 2) * copies
+
+
+def multi_copy_first_hop_bound(copies: int) -> int:
+    """First-hop transmission bound ``1 + 2(L − 1)`` for multi-copy."""
+    check_positive_int(copies, "copies")
+    return 1 + 2 * (copies - 1)
+
+
+def non_anonymous_cost(copies: int) -> int:
+    """Transmissions of a non-anonymous multi-copy baseline: ``2L``."""
+    check_positive_int(copies, "copies")
+    return 2 * copies

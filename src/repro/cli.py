@@ -1,0 +1,323 @@
+"""Command-line entry point.
+
+Subcommands::
+
+    onion-dtn list                          # available paper figures
+    onion-dtn figure 6 [--chart]            # regenerate one figure
+    onion-dtn model --n 100 -g 5 -K 3 ...   # evaluate the analytical models
+    onion-dtn plan --target 0.95 ...        # invert the models for planning
+    onion-dtn simulate --protocol multi ... # quick protocol simulation
+    onion-dtn trace stats FILE              # inspect a haggle-format trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    figure_04,
+    figure_05,
+    figure_06,
+    figure_07,
+    figure_08,
+    figure_09,
+    figure_10,
+    figure_11,
+    figure_12,
+    figure_13,
+    figure_14,
+    figure_15,
+    figure_16,
+    figure_17,
+    figure_18,
+    figure_19,
+)
+from repro.experiments.result import FigureResult
+
+_FIGURES: Dict[int, Callable[..., FigureResult]] = {
+    4: figure_04,
+    5: figure_05,
+    6: figure_06,
+    7: figure_07,
+    8: figure_08,
+    9: figure_09,
+    10: figure_10,
+    11: figure_11,
+    12: figure_12,
+    13: figure_13,
+    14: figure_14,
+    15: figure_15,
+    16: figure_16,
+    17: figure_17,
+    18: figure_18,
+    19: figure_19,
+}
+
+_SIM_FIGS = {4, 5, 10, 11, 14, 17}
+_MC_FIGS = {6, 7, 8, 9, 12, 13, 15, 16, 18, 19}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="onion-dtn",
+        description=(
+            "Reproduce 'An Analysis of Onion-Based Anonymous Routing for "
+            "Delay Tolerant Networks' (ICDCS 2016)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available figures")
+
+    figure = subparsers.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument("--seed", type=int, default=None)
+    figure.add_argument(
+        "--trials", type=int, default=None,
+        help="Monte Carlo trials (security figures)",
+    )
+    figure.add_argument(
+        "--sessions", type=int, default=None,
+        help="simulated sessions (delivery/cost figures)",
+    )
+    figure.add_argument("--markdown", action="store_true")
+    figure.add_argument(
+        "--chart", action="store_true", help="render an ASCII chart too"
+    )
+    figure.add_argument(
+        "--save", metavar="PATH", default=None,
+        help="also save the figure as JSON",
+    )
+
+    model = subparsers.add_parser(
+        "model", help="evaluate the analytical models for one configuration"
+    )
+    _add_config_args(model)
+    model.add_argument(
+        "--deadline", type=float, default=720.0, help="deadline T (minutes)"
+    )
+    model.add_argument(
+        "--compromise", type=float, default=0.10, help="compromise rate c/n"
+    )
+    model.add_argument("--seed", type=int, default=0)
+
+    plan = subparsers.add_parser(
+        "plan", help="invert the models: deadline or copies for a target"
+    )
+    _add_config_args(plan)
+    plan.add_argument("--target", type=float, required=True,
+                      help="delivery target, e.g. 0.95")
+    plan.add_argument("--deadline", type=float, default=None,
+                      help="fix the deadline and solve for copies L")
+    plan.add_argument("--seed", type=int, default=0)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one protocol configuration"
+    )
+    _add_config_args(simulate)
+    simulate.add_argument(
+        "--protocol",
+        choices=("single", "multi", "arden", "epidemic", "spray", "direct"),
+        default="single",
+    )
+    simulate.add_argument("--deadline", type=float, default=720.0)
+    simulate.add_argument("--trials", type=int, default=100)
+    simulate.add_argument("--seed", type=int, default=0)
+
+    trace = subparsers.add_parser("trace", help="trace-file utilities")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    stats = trace_sub.add_parser("stats", help="summarise a haggle-format file")
+    stats.add_argument("path")
+
+    return parser
+
+
+def _add_config_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--n", type=int, default=100, help="network size")
+    parser.add_argument("-g", "--group-size", type=int, default=5)
+    parser.add_argument("-K", "--onion-routers", type=int, default=3)
+    parser.add_argument("-L", "--copies", type=int, default=1)
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    func = _FIGURES[args.number]
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.trials is not None and args.number in _MC_FIGS:
+        kwargs["trials"] = args.trials
+    if args.sessions is not None and args.number in _SIM_FIGS:
+        if args.number in (4, 5, 10, 11):
+            kwargs["sessions_per_graph"] = args.sessions
+        else:
+            kwargs["sessions"] = args.sessions
+    result = func(**kwargs)
+    print(result.to_markdown() if args.markdown else result.to_table())
+    if args.chart:
+        from repro.experiments.ascii_chart import render_chart
+
+        print()
+        print(render_chart(result))
+    if args.save:
+        from repro.experiments.persistence import save_figure
+
+        save_figure(result, args.save)
+        print(f"saved JSON to {args.save}")
+    return 0
+
+
+def _sample_route(args, rng):
+    from repro.contacts.random_graph import random_contact_graph
+    from repro.core.onion_groups import OnionGroupDirectory
+
+    graph = random_contact_graph(n=args.n, rng=rng)
+    directory = OnionGroupDirectory(args.n, args.group_size, rng=rng)
+    route = directory.select_route(0, args.n - 1, args.onion_routers, rng=rng)
+    return graph, directory, route
+
+
+def _run_model(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        delivery_rate_multicopy,
+        multi_copy_cost_bound,
+        path_anonymity_multicopy,
+        traceable_rate_model,
+    )
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(args.seed)
+    graph, _, route = _sample_route(args, rng)
+    eta = args.onion_routers + 1
+    delivery = delivery_rate_multicopy(
+        graph, route.source, route.groups, route.destination,
+        args.deadline, copies=args.copies,
+    )
+    print(f"configuration: n={args.n} g={args.group_size} "
+          f"K={args.onion_routers} L={args.copies} "
+          f"T={args.deadline:g} c/n={args.compromise:.0%}")
+    print(f"delivery rate (Eq. 7, one sampled route): {delivery:.4f}")
+    print(f"traceable rate (Eq. 12):                  "
+          f"{traceable_rate_model(eta, args.compromise):.4f}")
+    print(f"path anonymity (Eq. 19/20):               "
+          f"{path_anonymity_multicopy(args.n, eta, args.group_size, args.compromise, args.copies):.4f}")
+    print(f"transmission bound ((K+2)L):              "
+          f"{multi_copy_cost_bound(args.onion_routers, args.copies)}")
+    return 0
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    from repro.analysis.delay import copies_for_deadline, deadline_for_target
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(args.seed)
+    graph, _, route = _sample_route(args, rng)
+    if args.deadline is None:
+        deadline = deadline_for_target(
+            graph, route.source, route.groups, route.destination,
+            args.target, copies=args.copies,
+        )
+        print(f"deadline for {args.target:.0%} delivery at L={args.copies}: "
+              f"{deadline:.1f} time units")
+    else:
+        copies = copies_for_deadline(
+            graph, route.source, route.groups, route.destination,
+            args.deadline, args.target,
+        )
+        print(f"copies for {args.target:.0%} delivery within "
+              f"T={args.deadline:g}: L={copies}")
+    return 0
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.contacts.events import ExponentialContactProcess
+    from repro.core.arden import ArdenSingleCopySession
+    from repro.core.multi_copy import MultiCopySession
+    from repro.core.single_copy import SingleCopySession
+    from repro.routing.direct import DirectDeliverySession
+    from repro.routing.epidemic import EpidemicSession
+    from repro.routing.spray_and_wait import SprayAndWaitSession
+    from repro.sim.engine import SimulationEngine
+    from repro.sim.message import Message
+    from repro.sim.metrics import summarize
+    from repro.utils.rng import ensure_rng
+
+    rng = ensure_rng(args.seed)
+    graph, directory, _ = _sample_route(args, rng)
+    outcomes = []
+    for _ in range(args.trials):
+        message = Message(0, args.n - 1, 0.0, args.deadline)
+        if args.protocol in ("single", "multi", "arden"):
+            route = directory.select_route(
+                0, args.n - 1, args.onion_routers, rng=rng
+            )
+        if args.protocol == "single":
+            session = SingleCopySession(message, route)
+        elif args.protocol == "multi":
+            session = MultiCopySession(message, route, copies=args.copies)
+        elif args.protocol == "arden":
+            dest_group = directory.members(directory.group_of(args.n - 1))
+            session = ArdenSingleCopySession(message, route, dest_group)
+        elif args.protocol == "epidemic":
+            session = EpidemicSession(message)
+        elif args.protocol == "spray":
+            session = SprayAndWaitSession(message, copies=args.copies)
+        else:
+            session = DirectDeliverySession(message)
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=rng), horizon=args.deadline
+        )
+        engine.add_session(session)
+        engine.run()
+        outcomes.append(session.outcome())
+    print(f"protocol={args.protocol} trials={args.trials} "
+          f"T={args.deadline:g}")
+    print(summarize(outcomes))
+    return 0
+
+
+def _run_trace(args: argparse.Namespace) -> int:
+    from repro.contacts.traces import ContactTrace
+
+    trace = ContactTrace.load(args.path).normalized()
+    counts = trace.contact_counts()
+    pairs_possible = trace.n * (trace.n - 1) / 2
+    print(f"trace: {args.path}")
+    print(f"  nodes:     {trace.n}")
+    print(f"  contacts:  {len(trace)}")
+    print(f"  span:      {trace.duration:g} time units")
+    print(f"  pairs met: {len(counts)} / {pairs_possible:.0f} "
+          f"({len(counts) / pairs_possible:.0%})")
+    if counts:
+        import numpy as np
+
+        values = list(counts.values())
+        print(f"  contacts/pair: mean={np.mean(values):.1f} "
+              f"median={np.median(values):.0f} max={max(values)}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for number, func in sorted(_FIGURES.items()):
+            doc = (func.__doc__ or "").strip().splitlines()[0]
+            print(f"figure {number:>2}  {doc}")
+        return 0
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "model":
+        return _run_model(args)
+    if args.command == "plan":
+        return _run_plan(args)
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "trace":
+        return _run_trace(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""Synthetic stand-ins for the CRAWDAD ``cambridge/haggle`` traces.
+
+The paper evaluates on Experiment 2 ("Cambridge", 12 mobile iMotes, small
+and dense) and Experiment 3 ("Infocom 2005", 41 mobile iMotes, medium and
+sparser) of the haggle dataset. The dataset itself cannot be shipped here,
+so these generators produce traces with the structural properties the
+paper's discussion relies on:
+
+* second-granularity contact records over several days,
+* activity confined to business hours — "most likely there is no contact in
+  off-business hours", which produces the delivery-rate plateaus the paper
+  observes on Infocom 2005 (§V-E),
+* Cambridge: dense, frequent contacts (analysis tracks simulation closely),
+* Infocom 2005: heterogeneous, sparser contacts with incomplete pair
+  coverage (analysis overestimates during off-hours).
+
+Both return plain :class:`~repro.contacts.traces.ContactTrace` objects, so
+everything downstream (rate estimation, replay, protocols) treats them
+exactly like a real trace file.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.contacts.traces import ContactRecord, ContactTrace
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_DAY = 24 * _SECONDS_PER_HOUR
+
+
+def _diurnal_trace(
+    n: int,
+    days: int,
+    business_hours: Tuple[float, float],
+    pair_rates: np.ndarray,
+    mean_contact_duration: float,
+    rng: np.random.Generator,
+) -> ContactTrace:
+    """Sample per-pair Poisson contacts confined to daily business windows.
+
+    ``pair_rates[i, j]`` is the contact rate (per second) *during business
+    hours*; outside the window no contacts occur at all.
+    """
+    open_hour, close_hour = business_hours
+    window = (close_hour - open_hour) * _SECONDS_PER_HOUR
+    records = []
+    for day in range(days):
+        day_origin = day * _SECONDS_PER_DAY + open_hour * _SECONDS_PER_HOUR
+        for i in range(n):
+            for j in range(i + 1, n):
+                rate = pair_rates[i, j]
+                if rate <= 0:
+                    continue
+                count = rng.poisson(rate * window)
+                if count == 0:
+                    continue
+                starts = np.sort(rng.uniform(0.0, window, size=count))
+                durations = rng.exponential(mean_contact_duration, size=count)
+                for start, duration in zip(starts, durations):
+                    begin = day_origin + start
+                    end = min(begin + max(duration, 1.0), day_origin + window)
+                    records.append(ContactRecord(a=i, b=j, start=begin, end=end))
+    if not records:
+        raise RuntimeError(
+            "synthetic trace came out empty; rates or window too small"
+        )
+    return ContactTrace(records)
+
+
+def cambridge_like_trace(
+    n: int = 12,
+    days: int = 5,
+    mean_intercontact_range: Tuple[float, float] = (180.0, 900.0),
+    business_hours: Tuple[float, float] = (9.0, 17.0),
+    rng: RandomSource = None,
+) -> ContactTrace:
+    """A dense, small-scale trace shaped like haggle Experiment 2.
+
+    Twelve mobile nodes meeting every pair frequently during business hours
+    (the real Cambridge experiment tracked students sharing labs — contacts
+    every few minutes). Mean inter-contact times (within business hours)
+    are drawn uniformly from ``mean_intercontact_range`` seconds — frequent
+    enough that a three-hop onion path completes within tens of minutes,
+    matching the paper's observation that delivery approaches 100% within
+    1800 s.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(days, "days")
+    generator = ensure_rng(rng)
+    lo, hi = mean_intercontact_range
+    means = generator.uniform(lo, hi, size=(n, n))
+    rates = 1.0 / means
+    rates = np.triu(rates, k=1)
+    rates = rates + rates.T
+    return _diurnal_trace(
+        n=n,
+        days=days,
+        business_hours=business_hours,
+        pair_rates=rates,
+        mean_contact_duration=120.0,
+        rng=generator,
+    )
+
+
+def infocom05_like_trace(
+    n: int = 41,
+    days: int = 3,
+    mean_intercontact_range: Tuple[float, float] = (3000.0, 30000.0),
+    density: float = 0.7,
+    business_hours: Tuple[float, float] = (9.0, 18.0),
+    rng: RandomSource = None,
+) -> ContactTrace:
+    """A medium-scale conference trace shaped like haggle Experiment 3.
+
+    Forty-one attendees with heterogeneous, sparser contacts: a fraction
+    ``1 - density`` of pairs never meet at all, and the rest meet rarely
+    (mean inter-contact 50 min – 8 h within business hours). The long
+    off-hour gaps reproduce the paper's Fig. 17 plateau where the delivery
+    rate stalls until the next day's contacts resume.
+    """
+    check_positive_int(n, "n")
+    check_positive_int(days, "days")
+    if not (0.0 < density <= 1.0):
+        raise ValueError(f"density must lie in (0, 1], got {density}")
+    generator = ensure_rng(rng)
+    lo, hi = mean_intercontact_range
+    means = generator.uniform(lo, hi, size=(n, n))
+    rates = 1.0 / means
+    keep = generator.random(size=(n, n)) < density
+    rates = np.where(keep, rates, 0.0)
+    rates = np.triu(rates, k=1)
+    rates = rates + rates.T
+    return _diurnal_trace(
+        n=n,
+        days=days,
+        business_hours=business_hours,
+        pair_rates=rates,
+        mean_contact_duration=180.0,
+        rng=generator,
+    )

@@ -1,0 +1,250 @@
+"""Contact traces in the CRAWDAD haggle style.
+
+The `cambridge/haggle` dataset distributes contacts as rows of
+``node_a node_b start_seconds end_seconds``; this module reads, writes, and
+summarises that format, and converts traces into contact graphs by
+estimating pairwise contact rates.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+
+@dataclass(frozen=True)
+class ContactRecord:
+    """One recorded contact: nodes ``a`` and ``b`` in range [start, end]."""
+
+    a: int
+    b: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError(f"self-contact for node {self.a}")
+        if self.end < self.start:
+            raise ValueError(
+                f"contact end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Contact duration in trace time units."""
+        return self.end - self.start
+
+    def pair(self) -> tuple[int, int]:
+        """Canonical (min, max) node pair."""
+        return (self.a, self.b) if self.a < self.b else (self.b, self.a)
+
+
+class ContactTrace:
+    """An ordered collection of :class:`ContactRecord` items.
+
+    Node identifiers are remapped to a dense ``0..n-1`` range on request via
+    :meth:`normalized`, mirroring the paper's pre-processing (stationary
+    nodes and external devices are simply absent from the records fed in).
+    """
+
+    def __init__(self, records: Iterable[ContactRecord]):
+        self._records: List[ContactRecord] = sorted(records, key=lambda r: r.start)
+        if not self._records:
+            raise ValueError("a trace needs at least one contact record")
+        nodes = set()
+        for record in self._records:
+            nodes.add(record.a)
+            nodes.add(record.b)
+        self._nodes = sorted(nodes)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def records(self) -> Sequence[ContactRecord]:
+        """Chronologically sorted records."""
+        return tuple(self._records)
+
+    @property
+    def nodes(self) -> Sequence[int]:
+        """Sorted distinct node identifiers appearing in the trace."""
+        return tuple(self._nodes)
+
+    @property
+    def n(self) -> int:
+        """Number of distinct nodes."""
+        return len(self._nodes)
+
+    @property
+    def start(self) -> float:
+        """Time of the first contact."""
+        return self._records[0].start
+
+    @property
+    def end(self) -> float:
+        """Latest contact end time."""
+        return max(record.end for record in self._records)
+
+    @property
+    def duration(self) -> float:
+        """Observation span covered by the trace."""
+        return self.end - self.start
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+
+    def normalized(self) -> "ContactTrace":
+        """Remap node ids to a dense ``0..n-1`` range, shift start to 0."""
+        index = {node: rank for rank, node in enumerate(self._nodes)}
+        origin = self.start
+        return ContactTrace(
+            ContactRecord(
+                a=index[r.a], b=index[r.b], start=r.start - origin, end=r.end - origin
+            )
+            for r in self._records
+        )
+
+    def restricted_to(self, nodes: Iterable[int]) -> "ContactTrace":
+        """Keep only contacts where both parties are in ``nodes``.
+
+        This is how the paper excludes stationary nodes and external devices
+        ("we only consider the contacts between mobile devices, i.e. iMotes").
+        """
+        keep = set(nodes)
+        return ContactTrace(
+            r for r in self._records if r.a in keep and r.b in keep
+        )
+
+    def contact_counts(self) -> dict[tuple[int, int], int]:
+        """Number of contacts per canonical node pair."""
+        counts: dict[tuple[int, int], int] = {}
+        for record in self._records:
+            pair = record.pair()
+            counts[pair] = counts.get(pair, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # serialisation (haggle-style whitespace rows)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, rows: Iterable[Sequence[float]]
+    ) -> "ContactTrace":
+        """Build from ``(a, b, start, end)`` tuples."""
+        return cls(
+            ContactRecord(a=int(a), b=int(b), start=float(s), end=float(e))
+            for a, b, s, e in rows
+        )
+
+    @classmethod
+    def from_one_report(cls, text: str) -> "ContactTrace":
+        """Parse ONE-simulator connectivity reports.
+
+        The ONE simulator's ``ConnectivityONEReport`` emits rows of
+        ``time CONN a b up|down``; a contact spans from its ``up`` to the
+        matching ``down`` (contacts still up at the end of the report are
+        closed at the last event time). Node ids may carry non-numeric
+        prefixes (``p12``) — trailing digits are used.
+        """
+        import re
+
+        def node_id(token: str) -> int:
+            match = re.search(r"(\d+)$", token)
+            if not match:
+                raise ValueError(f"cannot parse node id from {token!r}")
+            return int(match.group(1))
+
+        open_since: dict[tuple[int, int], float] = {}
+        records: list[ContactRecord] = []
+        last_time = 0.0
+        for line_no, line in enumerate(io.StringIO(text), start=1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            fields = stripped.split()
+            if len(fields) != 5 or fields[1].upper() != "CONN":
+                raise ValueError(
+                    f"line {line_no}: expected 'time CONN a b up|down', "
+                    f"got {stripped!r}"
+                )
+            time = float(fields[0])
+            last_time = max(last_time, time)
+            a, b = node_id(fields[2]), node_id(fields[3])
+            pair = (a, b) if a < b else (b, a)
+            state = fields[4].lower()
+            if state == "up":
+                open_since.setdefault(pair, time)
+            elif state == "down":
+                start = open_since.pop(pair, None)
+                if start is not None:
+                    records.append(
+                        ContactRecord(a=pair[0], b=pair[1], start=start, end=time)
+                    )
+            else:
+                raise ValueError(
+                    f"line {line_no}: unknown connection state {state!r}"
+                )
+        for pair, start in open_since.items():
+            records.append(
+                ContactRecord(
+                    a=pair[0], b=pair[1], start=start, end=max(last_time, start)
+                )
+            )
+        if not records:
+            raise ValueError("ONE report contains no completed contacts")
+        return cls(records)
+
+    @classmethod
+    def loads(cls, text: str) -> "ContactTrace":
+        """Parse haggle-style text: one ``a b start end`` row per line.
+
+        Blank lines and ``#`` comments are ignored.
+        """
+        rows = []
+        for line_no, line in enumerate(io.StringIO(text), start=1):
+            stripped = line.split("#", 1)[0].strip()
+            if not stripped:
+                continue
+            fields = stripped.split()
+            if len(fields) != 4:
+                raise ValueError(
+                    f"line {line_no}: expected 4 fields 'a b start end', "
+                    f"got {len(fields)}: {stripped!r}"
+                )
+            rows.append(tuple(float(f) for f in fields))
+        if not rows:
+            raise ValueError("trace text contains no contact rows")
+        return cls.from_rows(rows)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ContactTrace":
+        """Read a trace file in haggle format."""
+        return cls.loads(Path(path).read_text())
+
+    def dumps(self) -> str:
+        """Serialise to haggle-style text."""
+        lines = [
+            f"{r.a} {r.b} {r.start:g} {r.end:g}" for r in self._records
+        ]
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the trace to ``path`` in haggle format."""
+        Path(path).write_text(self.dumps())
+
+    def __repr__(self) -> str:
+        return (
+            f"ContactTrace(n={self.n}, contacts={len(self)}, "
+            f"span={self.duration:g})"
+        )

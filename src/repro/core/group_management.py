@@ -1,0 +1,161 @@
+"""Dynamic onion-group membership with epoch-based rekeying.
+
+The paper assumes a one-shot setup phase ("the nodes in a network are
+divided into n/g groups … The work [25] is used for the onion groups and
+public/private key initialization"). Deployments need the part ARDEN
+delegates to its ABE layer: *membership churn*. A node that leaves a group
+must lose the ability to peel future onions (forward secrecy for the
+group), and a joining node must not be able to peel onions built before it
+joined (backward secrecy).
+
+This module provides that lifecycle with epoch counters: every membership
+change in a group bumps its epoch and derives a fresh group key
+``KDF(master, group, epoch)``. Onion builders always use current-epoch
+keys; members hold exactly the keys of the epochs they were present for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.crypto.keys import GroupKeyring, derive_key
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class GroupEpoch:
+    """A group's state at one epoch: members and the epoch key label."""
+
+    group_id: int
+    epoch: int
+    members: Tuple[int, ...]
+
+
+class MembershipError(Exception):
+    """Raised on invalid join/leave operations."""
+
+
+class ManagedGroupDirectory:
+    """Onion groups with dynamic membership and epoch rekeying.
+
+    Unlike :class:`~repro.core.onion_groups.OnionGroupDirectory` (a frozen
+    partition), groups here evolve: nodes join and leave, every change
+    bumps the group's epoch, and key material is scoped per epoch. The
+    trusted authority role (the paper's setup phase) is played by the
+    directory itself holding the master secret; node-side views only ever
+    receive the epoch keys they are entitled to.
+    """
+
+    def __init__(self, master: bytes, group_count: int):
+        if not master:
+            raise ValueError("master secret must be non-empty")
+        check_positive_int(group_count, "group_count")
+        self._master = master
+        self._members: List[Set[int]] = [set() for _ in range(group_count)]
+        self._epochs: List[int] = [0] * group_count
+        self._history: List[GroupEpoch] = []
+        # node -> {group_id -> set of epochs the node was a member for}
+        self._entitlements: Dict[int, Dict[int, Set[int]]] = {}
+        self._group_of: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # membership lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups managed."""
+        return len(self._members)
+
+    def epoch(self, group_id: int) -> int:
+        """Current epoch of a group (0 before any membership change)."""
+        return self._epochs[group_id]
+
+    def members(self, group_id: int) -> Tuple[int, ...]:
+        """Current members of a group."""
+        return tuple(sorted(self._members[group_id]))
+
+    def group_of(self, node: int) -> Optional[int]:
+        """The group a node currently belongs to, or ``None``."""
+        return self._group_of.get(node)
+
+    def join(self, node: int, group_id: int) -> int:
+        """Add ``node`` to a group; returns the new epoch.
+
+        Joining bumps the epoch *before* entitling the newcomer, so keys of
+        earlier epochs stay out of its reach (backward secrecy).
+        """
+        if node in self._group_of:
+            raise MembershipError(
+                f"node {node} already belongs to group {self._group_of[node]}"
+            )
+        self._bump(group_id)
+        self._members[group_id].add(node)
+        self._group_of[node] = group_id
+        self._entitle_current_members(group_id)
+        return self._epochs[group_id]
+
+    def leave(self, node: int, group_id: int) -> int:
+        """Remove ``node``; remaining members are rekeyed (forward secrecy)."""
+        if node not in self._members[group_id]:
+            raise MembershipError(f"node {node} is not in group {group_id}")
+        self._members[group_id].discard(node)
+        del self._group_of[node]
+        self._bump(group_id)
+        self._entitle_current_members(group_id)
+        return self._epochs[group_id]
+
+    def _bump(self, group_id: int) -> None:
+        self._epochs[group_id] += 1
+        self._history.append(
+            GroupEpoch(
+                group_id=group_id,
+                epoch=self._epochs[group_id],
+                members=tuple(sorted(self._members[group_id])),
+            )
+        )
+
+    def _entitle_current_members(self, group_id: int) -> None:
+        epoch = self._epochs[group_id]
+        for member in self._members[group_id]:
+            groups = self._entitlements.setdefault(member, {})
+            groups.setdefault(group_id, set()).add(epoch)
+
+    # ------------------------------------------------------------------
+    # key material
+    # ------------------------------------------------------------------
+
+    def _epoch_key(self, group_id: int, epoch: int) -> bytes:
+        return derive_key(self._master, f"group-{group_id}-epoch-{epoch}")
+
+    def current_key(self, group_id: int) -> bytes:
+        """The group's key at its current epoch (authority view)."""
+        return self._epoch_key(group_id, self._epochs[group_id])
+
+    def node_can_peel(self, node: int, group_id: int, epoch: int) -> bool:
+        """Whether ``node`` is entitled to the key of (group, epoch)."""
+        return epoch in self._entitlements.get(node, {}).get(group_id, set())
+
+    def node_key(self, node: int, group_id: int, epoch: int) -> bytes:
+        """The epoch key, if the node is entitled; raises otherwise."""
+        if not self.node_can_peel(node, group_id, epoch):
+            raise MembershipError(
+                f"node {node} is not entitled to group {group_id} epoch {epoch}"
+            )
+        return self._epoch_key(group_id, epoch)
+
+    def routing_keyring(self, group_ids: Tuple[int, ...]) -> GroupKeyring:
+        """Current-epoch keys for a route (the onion builder's view).
+
+        The keyring maps the plain group ids — the epoch is implicit in the
+        key value, so a stale keyring simply fails to peel after a rekey.
+        """
+        keyring = GroupKeyring()
+        for group_id in group_ids:
+            keyring.add(group_id, self.current_key(group_id))
+        return keyring
+
+    def history(self) -> Tuple[GroupEpoch, ...]:
+        """All membership-change events, in order."""
+        return tuple(self._history)

@@ -1,0 +1,203 @@
+"""Multi-copy forwarding — the paper's Algorithm 2.
+
+Up to ``L`` copies of the message circulate, regulated by tickets. The
+source sprays copies into the first onion group (one per qualifying
+contact, to members that do not already hold the message — the paper's
+``Forward()`` predicate); each sprayed copy then relays single-copy style
+through the remaining groups. The first copy to reach the destination
+delivers the message; remaining copies keep consuming transmissions until
+they terminate, which is what the paper's cost figure measures.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.contacts.events import ContactEvent
+from repro.core.route import OnionRoute
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+from repro.utils.validation import check_positive_int
+
+
+class SprayPolicy(str, enum.Enum):
+    """How tickets split on a transfer.
+
+    ``SOURCE`` is the paper's scheme ("we augment ARDEN with the source
+    spray-and-wait"): the source hands single-ticket copies out one contact
+    at a time. ``BINARY`` halves the ticket pool on every transfer (the
+    classic binary spray-and-wait), kept as an ablation.
+    """
+
+    SOURCE = "source"
+    BINARY = "binary"
+
+
+@dataclass
+class _Copy:
+    """One circulating replica of the message."""
+
+    copy_id: int
+    holder: int
+    next_hop: int
+    tickets: int
+    senders: List[int] = field(default_factory=list)
+    terminated: bool = False
+
+
+class MultiCopySession(ProtocolSession):
+    """One message routed with Algorithm 2 over a contact-event stream."""
+
+    def __init__(
+        self,
+        message: Message,
+        route: OnionRoute,
+        copies: int,
+        spray_policy: SprayPolicy = SprayPolicy.SOURCE,
+    ):
+        if (message.source, message.destination) != (route.source, route.destination):
+            raise ValueError("message endpoints do not match the route")
+        check_positive_int(copies, "copies")
+        self._message = message
+        self._route = route
+        self._max_copies = copies
+        self._policy = SprayPolicy(spray_policy)
+        self._copy_ids = itertools.count(1)
+
+        seed = _Copy(
+            copy_id=next(self._copy_ids),
+            holder=message.source,
+            next_hop=1,
+            tickets=copies,
+            senders=[message.source],
+        )
+        self._copies: List[_Copy] = [seed]
+        self._holding: Set[int] = {message.source}
+        self._outcome = DeliveryOutcome(
+            paths=[seed.senders], created_at=message.created_at
+        )
+        self._expired = False
+
+    # ------------------------------------------------------------------
+    # session interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        if self._expired:
+            return True
+        return all(copy.terminated for copy in self._copies)
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def route(self) -> OnionRoute:
+        """The route this session is executing."""
+        return self._route
+
+    @property
+    def live_copies(self) -> int:
+        """Number of replicas still circulating."""
+        return sum(1 for copy in self._copies if not copy.terminated)
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            self._expire()
+            return
+        if event.a not in self._holding and event.b not in self._holding:
+            return  # fast path: neither side carries a copy
+        # A contact may trigger at most one transfer per copy; iterate over a
+        # snapshot because spraying appends new copies.
+        for copy in list(self._copies):
+            if copy.terminated:
+                continue
+            if not event.involves(copy.holder):
+                continue
+            peer = event.peer_of(copy.holder)
+            self._try_forward(copy, peer, event.time)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _expire(self) -> None:
+        self._expired = True
+        self._outcome.expired_copies = sum(
+            1 for copy in self._copies if not copy.terminated
+        )
+        for copy in self._copies:
+            copy.terminated = True
+
+    def _targets_for(self, copy: _Copy) -> tuple[int, ...]:
+        return self._route.next_group_members(copy.next_hop)
+
+    def _try_forward(self, copy: _Copy, peer: int, time: float) -> None:
+        if peer not in self._targets_for(copy):
+            return
+        if copy.next_hop == self._route.eta:
+            # Final hop: destination reached.
+            self._outcome.record_transfer(time, copy.holder, peer)
+            if not self._outcome.delivered:
+                self._outcome.delivered = True
+                self._outcome.delivery_time = time
+                # Surface the winning path first for delivered_path
+                # (identity lookup: distinct copies may hold equal chains).
+                index = next(
+                    i
+                    for i, path in enumerate(self._outcome.paths)
+                    if path is copy.senders
+                )
+                self._outcome.paths.insert(0, self._outcome.paths.pop(index))
+            self._terminate(copy)
+            return
+        if peer in self._holding:
+            # Forward() is false: the peer already has the message.
+            return
+        if copy.tickets > 1:
+            self._spray(copy, peer, time)
+        else:
+            self._relay(copy, peer, time)
+
+    def _spray(self, copy: _Copy, peer: int, time: float) -> None:
+        """Hand some tickets to ``peer`` as a new replica."""
+        if self._policy is SprayPolicy.SOURCE:
+            handed = 1
+        else:  # BINARY: peer takes half, rounded down, at least one
+            handed = max(copy.tickets // 2, 1)
+        spawned = _Copy(
+            copy_id=next(self._copy_ids),
+            holder=peer,
+            next_hop=copy.next_hop + 1,
+            tickets=handed,
+            senders=copy.senders + [peer],
+        )
+        self._copies.append(spawned)
+        self._outcome.paths.append(spawned.senders)
+        self._holding.add(peer)
+        self._outcome.record_transfer(time, copy.holder, peer)
+        copy.tickets -= handed
+        if copy.tickets == 0:
+            # "if L = 0 then v_i deletes m from its buffer."
+            self._terminate(copy)
+
+    def _relay(self, copy: _Copy, peer: int, time: float) -> None:
+        """Single-ticket forwarding: the copy moves, the old holder deletes."""
+        self._outcome.record_transfer(time, copy.holder, peer)
+        self._holding.discard(copy.holder)
+        self._holding.add(peer)
+        copy.holder = peer
+        copy.senders.append(peer)
+        copy.next_hop += 1
+
+    def _terminate(self, copy: _Copy) -> None:
+        copy.terminated = True
+        self._holding.discard(copy.holder)

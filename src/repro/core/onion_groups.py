@@ -1,0 +1,147 @@
+"""Onion-group formation and route selection (§III-A).
+
+"To initialize onion groups, the nodes in a network are divided into n/g
+groups, where g is the group size. Any node in the same onion group can
+encrypt/decrypt the corresponding layer of an onion." When ``n`` is not
+divisible by ``g`` the final group is smaller — the paper's analyses ignore
+this, its simulations (and ours) keep it.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.core.route import OnionRoute
+from repro.crypto.keys import GroupKeyring, derive_key
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+class OnionGroupDirectory:
+    """A partition of nodes ``0..n-1`` into onion groups of size ``g``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    group_size:
+        Target group size ``g``; the last group holds ``n mod g`` nodes when
+        the division is uneven.
+    rng:
+        When given, membership is a random permutation (the realistic case);
+        when ``None``, groups are consecutive id ranges (deterministic, handy
+        in tests).
+    """
+
+    def __init__(self, n: int, group_size: int, rng: RandomSource = None):
+        check_positive_int(n, "n")
+        check_positive_int(group_size, "group_size")
+        if group_size > n:
+            raise ValueError(f"group_size={group_size} cannot exceed n={n}")
+        self._n = n
+        self._group_size = group_size
+
+        ordering = list(range(n))
+        if rng is not None:
+            ensure_rng(rng).shuffle(ordering)
+        self._groups: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(sorted(ordering[start : start + group_size]))
+            for start in range(0, n, group_size)
+        )
+        self._group_of = {}
+        for gid, members in enumerate(self._groups):
+            for member in members:
+                self._group_of[member] = gid
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of nodes partitioned."""
+        return self._n
+
+    @property
+    def group_size(self) -> int:
+        """The nominal group size ``g``."""
+        return self._group_size
+
+    @property
+    def group_count(self) -> int:
+        """Number of groups, ``⌈n/g⌉``."""
+        return len(self._groups)
+
+    @property
+    def groups(self) -> Tuple[Tuple[int, ...], ...]:
+        """All groups as tuples of member ids."""
+        return self._groups
+
+    def members(self, group_id: int) -> Tuple[int, ...]:
+        """Member ids of one group."""
+        return self._groups[group_id]
+
+    def group_of(self, node: int) -> int:
+        """The group id a node belongs to."""
+        return self._group_of[node]
+
+    # ------------------------------------------------------------------
+    # route selection
+    # ------------------------------------------------------------------
+
+    def select_route(
+        self,
+        source: int,
+        destination: int,
+        onion_routers: int,
+        rng: RandomSource = None,
+        avoid_endpoint_groups: bool = True,
+    ) -> OnionRoute:
+        """Randomly select ``K`` distinct onion groups for a route.
+
+        By default the groups containing the source and destination are
+        excluded — routing through the sender's own group would let group
+        peers decrypt a layer the sender created, weakening the first hop.
+        (The paper's abstract protocol simply "selects K onion groups"; the
+        flag restores that behaviour.)
+        """
+        check_positive_int(onion_routers, "onion_routers")
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        generator = ensure_rng(rng)
+
+        candidates = list(range(self.group_count))
+        if avoid_endpoint_groups:
+            excluded = {self.group_of(source), self.group_of(destination)}
+            candidates = [gid for gid in candidates if gid not in excluded]
+        if onion_routers > len(candidates):
+            raise ValueError(
+                f"cannot pick K={onion_routers} distinct groups from "
+                f"{len(candidates)} candidates (n={self._n}, g={self._group_size})"
+            )
+        chosen = generator.choice(len(candidates), size=onion_routers, replace=False)
+        group_ids = tuple(candidates[idx] for idx in chosen)
+        return OnionRoute(
+            source=source,
+            destination=destination,
+            group_ids=group_ids,
+            groups=tuple(self._groups[gid] for gid in group_ids),
+        )
+
+    # ------------------------------------------------------------------
+    # key material
+    # ------------------------------------------------------------------
+
+    def build_keyring(self, master: bytes) -> GroupKeyring:
+        """Derive the full keyring (one key per group) from a master secret.
+
+        In deployment each node would receive only its own group's key plus
+        route keys at setup; :meth:`node_keyring` models the member view.
+        """
+        return GroupKeyring.for_groups(master, range(self.group_count))
+
+    def node_keyring(self, master: bytes, node: int) -> GroupKeyring:
+        """The keyring a single node legitimately holds (its own group)."""
+        gid = self.group_of(node)
+        return GroupKeyring({gid: derive_key(master, f"group-{gid}")})

@@ -1,0 +1,64 @@
+"""The onion route value object."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.contacts.graph import ContactGraph
+
+
+@dataclass(frozen=True)
+class OnionRoute:
+    """A selected route ``v_s → R_1 → … → R_K → v_d``.
+
+    ``group_ids`` are directory-level ids (used for onion layers and key
+    lookup); ``groups`` are the corresponding member tuples (used by the
+    forwarding logic and the analytical models).
+    """
+
+    source: int
+    destination: int
+    group_ids: Tuple[int, ...]
+    groups: Tuple[Tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+        if not self.groups:
+            raise ValueError("a route needs at least one onion group")
+        if len(self.group_ids) != len(self.groups):
+            raise ValueError("group_ids and groups must align")
+        if len(set(self.group_ids)) != len(self.group_ids):
+            raise ValueError("route groups must be distinct")
+        for members in self.groups:
+            if not members:
+                raise ValueError("onion groups must be non-empty")
+
+    @property
+    def onion_routers(self) -> int:
+        """``K`` — the number of onion groups the message traverses."""
+        return len(self.groups)
+
+    @property
+    def eta(self) -> int:
+        """``η = K + 1`` — the number of hops source → destination."""
+        return len(self.groups) + 1
+
+    def hop_rates(self, graph: ContactGraph) -> list[float]:
+        """Per-hop anycast rates ``λ_1 … λ_η`` on ``graph`` (paper Eq. 4)."""
+        from repro.analysis.delivery import onion_path_rates
+
+        return onion_path_rates(graph, self.source, self.groups, self.destination)
+
+    def next_group_members(self, hop: int) -> Tuple[int, ...]:
+        """Members eligible to receive the message on 1-based ``hop``.
+
+        For hops ``1..K`` these are the members of ``R_hop``; hop ``K+1``
+        targets the destination alone.
+        """
+        if not (1 <= hop <= self.eta):
+            raise ValueError(f"hop must be in 1..{self.eta}, got {hop}")
+        if hop <= self.onion_routers:
+            return self.groups[hop - 1]
+        return (self.destination,)

@@ -1,0 +1,123 @@
+"""Single-copy forwarding — the paper's Algorithm 1.
+
+One copy of the message travels ``v_s → R_1 → … → R_K → v_d``. At each
+contact the holder checks whether the peer belongs to the next onion group
+(anycast within the group) and, if so, hands the message over and deletes
+its own copy. Expired messages are discarded at forwarding time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.contacts.events import ContactEvent
+from repro.core.route import OnionRoute
+from repro.crypto.keys import GroupKeyring
+from repro.crypto.onion import Onion, build_onion
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+
+
+class SingleCopySession(ProtocolSession):
+    """One message routed with Algorithm 1 over a contact-event stream.
+
+    Parameters
+    ----------
+    message:
+        The bundle (its ``source``/``destination`` must match the route).
+    route:
+        The onion route selected by the source.
+    keyring:
+        Optional routing keyring; when provided, a real layered onion is
+        built and carried as the payload, exercising the crypto path
+        end-to-end (each forward peels nothing — peeling happens on
+        reception in :meth:`_receive_checks` to honour the layer contract).
+    """
+
+    def __init__(
+        self,
+        message: Message,
+        route: OnionRoute,
+        keyring: Optional[GroupKeyring] = None,
+    ):
+        if (message.source, message.destination) != (route.source, route.destination):
+            raise ValueError("message endpoints do not match the route")
+        self._message = message
+        self._route = route
+        self._holder = message.source
+        self._next_hop = 1  # 1-based index of the hop about to happen
+        self._targets: Set[int] = set(route.next_group_members(1))
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+        self._onion: Optional[Onion] = None
+        if keyring is not None:
+            self._onion = build_onion(
+                route_group_ids=list(route.group_ids),
+                destination=message.destination,
+                payload=message.payload if isinstance(message.payload, bytes) else b"",
+                keyring=keyring,
+            )
+
+    # ------------------------------------------------------------------
+    # session interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def route(self) -> OnionRoute:
+        """The route this session is executing."""
+        return self._route
+
+    @property
+    def holder(self) -> int:
+        """The node currently carrying the message."""
+        return self._holder
+
+    @property
+    def onion(self) -> Optional[Onion]:
+        """The layered onion carried with the message, when crypto is on."""
+        return self._onion
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            # "If node v_i holding m detects that the deadline of m is past,
+            #  m is discarded during a forwarding process."
+            self._expired = True
+            self._outcome.expired_copies = 1
+            return
+        if not event.involves(self._holder):
+            return
+        peer = event.peer_of(self._holder)
+        if peer not in self._targets:
+            return
+        self._forward_to(peer, event.time)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _forward_to(self, peer: int, time: float) -> None:
+        self._outcome.record_transfer(time, self._holder, peer)
+        if self._next_hop == self._route.eta:
+            # Final hop: the carrier met the destination.
+            self._outcome.delivered = True
+            self._outcome.delivery_time = time
+            return
+        self._holder = peer
+        self._outcome.paths[0].append(peer)
+        self._next_hop += 1
+        self._targets = set(self._route.next_group_members(self._next_hop))

@@ -1,0 +1,37 @@
+"""Layered-encryption substrate for group onion routing.
+
+The paper's protocols assume that "any node in the same onion group can
+encrypt/decrypt the corresponding layer of an onion by sharing secret or
+public/private keys" (§III-A, after ARDEN/EnPassant). This package supplies
+that substrate with stdlib-only primitives:
+
+* :mod:`~repro.crypto.cipher` — an authenticated stream cipher
+  (SHA-256 in counter mode for the keystream, HMAC-SHA-256 for integrity,
+  encrypt-then-MAC),
+* :mod:`~repro.crypto.keys` — group/node key derivation and storage,
+* :mod:`~repro.crypto.onion` — building and peeling layered onions whose
+  layers carry the next-group routing information.
+
+The analyses never depend on the cipher's strength — only on the access
+contract (*only* holders of group ``R_k``'s key can peel layer ``k``), which
+the tests enforce.
+"""
+
+from repro.crypto.cipher import AuthenticationError, SealedBox, open_box, seal
+from repro.crypto.keys import GroupKeyring, derive_key, generate_key
+from repro.crypto.onion import Onion, OnionLayer, build_onion, pad_blob, peel_onion
+
+__all__ = [
+    "seal",
+    "open_box",
+    "SealedBox",
+    "AuthenticationError",
+    "generate_key",
+    "derive_key",
+    "GroupKeyring",
+    "Onion",
+    "OnionLayer",
+    "build_onion",
+    "pad_blob",
+    "peel_onion",
+]

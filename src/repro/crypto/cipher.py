@@ -1,0 +1,141 @@
+"""Authenticated symmetric encryption from stdlib primitives.
+
+Construction (research-grade, dependency-free):
+
+* keystream: ``SHA-256(key ‖ nonce ‖ counter)`` blocks, XORed with the
+  plaintext (a textbook CTR-mode stream cipher);
+* integrity: HMAC-SHA-256 over ``nonce ‖ length ‖ ciphertext`` with an
+  independently derived MAC key (encrypt-then-MAC).
+
+The sealed box layout is
+``nonce (16) ‖ ct_len (4) ‖ ciphertext ‖ tag (32) ‖ trailing padding``.
+The explicit length makes boxes *self-delimiting*: any bytes after the tag
+are ignored, which lets onion relays re-pad peeled blobs back to a uniform
+wire size (Tor-cell style) so an observer cannot infer the remaining hop
+count from the message length.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+_NONCE_SIZE = 16
+_LEN_SIZE = 4
+_TAG_SIZE = 32
+_BLOCK_SIZE = hashlib.sha256().digest_size
+KEY_SIZE = 32
+
+#: Bytes that seal() adds on top of the plaintext.
+SEAL_OVERHEAD = _NONCE_SIZE + _LEN_SIZE + _TAG_SIZE
+
+
+class AuthenticationError(Exception):
+    """Raised when a sealed box fails its integrity check."""
+
+
+@dataclass(frozen=True)
+class SealedBox:
+    """Parsed view of a sealed box: nonce, ciphertext, and MAC tag.
+
+    Trailing bytes beyond the tag (relay re-padding) are ignored by
+    :meth:`parse` — the explicit length field makes the box self-delimiting.
+    """
+
+    nonce: bytes
+    ciphertext: bytes
+    tag: bytes
+
+    @classmethod
+    def parse(cls, blob: bytes) -> "SealedBox":
+        """Split a raw sealed blob into its fields, ignoring trailing padding."""
+        header = _NONCE_SIZE + _LEN_SIZE
+        if len(blob) < header + _TAG_SIZE:
+            raise ValueError(
+                f"sealed box too short: {len(blob)} bytes "
+                f"(minimum {header + _TAG_SIZE})"
+            )
+        ct_len = int.from_bytes(blob[_NONCE_SIZE:header], "big")
+        end = header + ct_len + _TAG_SIZE
+        if len(blob) < end:
+            raise ValueError(
+                f"sealed box truncated: declares {ct_len} ciphertext bytes "
+                f"but only {len(blob)} total bytes present"
+            )
+        return cls(
+            nonce=blob[:_NONCE_SIZE],
+            ciphertext=blob[header : header + ct_len],
+            tag=blob[header + ct_len : end],
+        )
+
+    def encode(self) -> bytes:
+        """Re-serialise to the wire layout (without trailing padding)."""
+        return (
+            self.nonce
+            + len(self.ciphertext).to_bytes(_LEN_SIZE, "big")
+            + self.ciphertext
+            + self.tag
+        )
+
+
+def _check_key(key: bytes) -> None:
+    if not isinstance(key, (bytes, bytearray)):
+        raise TypeError(f"key must be bytes, got {type(key).__name__}")
+    if len(key) != KEY_SIZE:
+        raise ValueError(f"key must be {KEY_SIZE} bytes, got {len(key)}")
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    """CTR-mode keystream of ``length`` bytes."""
+    blocks = []
+    for counter in range((length + _BLOCK_SIZE - 1) // _BLOCK_SIZE):
+        block_input = key + nonce + counter.to_bytes(8, "big")
+        blocks.append(hashlib.sha256(block_input).digest())
+    return b"".join(blocks)[:length]
+
+
+def _mac_key(key: bytes) -> bytes:
+    """Derive an independent MAC key so keystream and MAC never share keys."""
+    return hmac.new(key, b"repro-onion-mac-key", hashlib.sha256).digest()
+
+
+def _xor(data: bytes, stream: bytes) -> bytes:
+    return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def seal(key: bytes, plaintext: bytes, nonce: bytes | None = None) -> bytes:
+    """Encrypt and authenticate ``plaintext`` under ``key``.
+
+    A random nonce is drawn unless one is supplied (deterministic nonces are
+    for tests only — reusing a nonce with the same key leaks the keystream).
+    """
+    _check_key(key)
+    if nonce is None:
+        nonce = os.urandom(_NONCE_SIZE)
+    elif len(nonce) != _NONCE_SIZE:
+        raise ValueError(f"nonce must be {_NONCE_SIZE} bytes, got {len(nonce)}")
+    ciphertext = _xor(plaintext, _keystream(key, nonce, len(plaintext)))
+    length = len(ciphertext).to_bytes(_LEN_SIZE, "big")
+    tag = hmac.new(
+        _mac_key(key), nonce + length + ciphertext, hashlib.sha256
+    ).digest()
+    return SealedBox(nonce=nonce, ciphertext=ciphertext, tag=tag).encode()
+
+
+def open_box(key: bytes, blob: bytes) -> bytes:
+    """Verify and decrypt a sealed box; raises :class:`AuthenticationError`.
+
+    Verification happens before any decryption (encrypt-then-MAC), so a
+    wrong key or a tampered box never yields plaintext bytes.
+    """
+    _check_key(key)
+    box = SealedBox.parse(blob)
+    length = len(box.ciphertext).to_bytes(_LEN_SIZE, "big")
+    expected = hmac.new(
+        _mac_key(key), box.nonce + length + box.ciphertext, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(expected, box.tag):
+        raise AuthenticationError("sealed box failed authentication")
+    return _xor(box.ciphertext, _keystream(key, box.nonce, len(box.ciphertext)))

@@ -1,0 +1,89 @@
+"""Key generation and group keyrings.
+
+The paper initialises onion groups so that every member of group ``R_k``
+shares the key for layer ``k`` (via ABE or identity-based crypto in ARDEN;
+here a trusted setup derives per-group symmetric keys from a master secret,
+which preserves the access contract the analyses rely on).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from typing import Dict, Iterable, Mapping, Sequence
+
+from repro.crypto.cipher import KEY_SIZE
+
+
+def generate_key() -> bytes:
+    """A fresh uniformly random symmetric key."""
+    return os.urandom(KEY_SIZE)
+
+
+def derive_key(master: bytes, label: str) -> bytes:
+    """Derive a labelled subkey from a master secret (HMAC-based KDF)."""
+    if not isinstance(master, (bytes, bytearray)) or not master:
+        raise ValueError("master secret must be non-empty bytes")
+    if not label:
+        raise ValueError("label must be non-empty")
+    return hmac.new(master, label.encode("utf-8"), hashlib.sha256).digest()
+
+
+class GroupKeyring:
+    """Maps onion-group ids to their shared layer keys.
+
+    A node's keyring contains exactly the keys of the groups it belongs to;
+    the source building an onion holds a *routing* keyring with the keys of
+    every group on its chosen route (the paper's setup phase distributes
+    these; we model the end state).
+    """
+
+    def __init__(self, keys: Mapping[int, bytes] | None = None):
+        self._keys: Dict[int, bytes] = {}
+        if keys:
+            for group_id, key in keys.items():
+                self.add(group_id, key)
+
+    @classmethod
+    def for_groups(cls, master: bytes, group_ids: Iterable[int]) -> "GroupKeyring":
+        """Derive one key per group id from a master secret."""
+        keyring = cls()
+        for group_id in group_ids:
+            keyring.add(group_id, derive_key(master, f"group-{group_id}"))
+        return keyring
+
+    def add(self, group_id: int, key: bytes) -> None:
+        """Register a group key; rejects malformed keys and duplicates."""
+        if not isinstance(group_id, int) or group_id < 0:
+            raise ValueError(f"group_id must be a non-negative int, got {group_id!r}")
+        if len(key) != KEY_SIZE:
+            raise ValueError(f"group key must be {KEY_SIZE} bytes, got {len(key)}")
+        if group_id in self._keys and self._keys[group_id] != key:
+            raise ValueError(f"conflicting key already registered for group {group_id}")
+        self._keys[group_id] = bytes(key)
+
+    def key_for(self, group_id: int) -> bytes:
+        """The shared key of ``group_id``; raises ``KeyError`` if absent."""
+        return self._keys[group_id]
+
+    def knows(self, group_id: int) -> bool:
+        """Whether this keyring can peel layers of ``group_id``."""
+        return group_id in self._keys
+
+    def restricted_to(self, group_ids: Iterable[int]) -> "GroupKeyring":
+        """A sub-keyring with only the named groups (a member node's view)."""
+        return GroupKeyring(
+            {gid: self._keys[gid] for gid in group_ids if gid in self._keys}
+        )
+
+    @property
+    def group_ids(self) -> Sequence[int]:
+        """Sorted ids of the groups this keyring covers."""
+        return tuple(sorted(self._keys))
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    def __contains__(self, group_id: int) -> bool:
+        return group_id in self._keys

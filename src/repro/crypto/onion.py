@@ -1,0 +1,156 @@
+"""Building and peeling layered onions (paper §II-A / §II-B).
+
+The source selects groups ``R_1 … R_K`` and wraps the payload in ``K``
+layers, outermost first: layer ``k`` is sealed under group ``R_k``'s shared
+key and, once peeled by any member of ``R_k``, reveals only
+
+* the id of the *next* onion group (or the destination on the final layer),
+* the next, still-encrypted, inner blob.
+
+This gives exactly the visibility contract of onion routing: a relay learns
+its predecessor (physical contact) and successor group — nothing else.
+
+Wire layout of a decrypted layer::
+
+    flag(1) ‖ next_group(i32) ‖ destination(i32) ‖ inner_len(u32) ‖ inner
+
+**Size hiding.** Ciphertexts necessarily shrink as layers peel, which would
+let an observer count remaining hops from the blob length. As in Tor's
+fixed-size cells, relays therefore *re-pad* the peeled blob back to the
+onion's wire size with random trailing bytes before forwarding —
+:func:`pad_blob` — which is safe because sealed boxes are self-delimiting
+(their header carries the true ciphertext length and trailing bytes are
+ignored). :attr:`Onion.wire_size` records the uniform size.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.crypto.cipher import SEAL_OVERHEAD, open_box, seal
+from repro.crypto.keys import GroupKeyring
+
+_HEADER = struct.Struct("!BiiI")
+_FINAL_FLAG = 1
+_RELAY_FLAG = 0
+_NO_ID = -1
+
+
+@dataclass(frozen=True)
+class OnionLayer:
+    """One peeled layer: where the message goes next, and the inner blob."""
+
+    is_final: bool
+    next_group: Optional[int]
+    destination: Optional[int]
+    inner: bytes
+
+
+@dataclass(frozen=True)
+class Onion:
+    """A fully built onion: the outermost group id and the sealed blob.
+
+    ``entry_group`` is public routing metadata — the source must know which
+    group can open the first layer to hand the onion off; everything else is
+    inside the encryption. ``wire_size`` is the uniform transmission size
+    relays restore with :func:`pad_blob` after peeling.
+    """
+
+    entry_group: int
+    blob: bytes
+
+    @property
+    def wire_size(self) -> int:
+        """The size every transmitted blob of this onion should have."""
+        return len(self.blob)
+
+    def __len__(self) -> int:
+        return len(self.blob)
+
+
+def pad_blob(blob: bytes, wire_size: int) -> bytes:
+    """Re-pad a peeled blob to the onion's wire size with random bytes.
+
+    Sealed boxes ignore trailing bytes, so padding never disturbs the next
+    peel; it only normalises what an eavesdropper sees on the air.
+    """
+    if len(blob) > wire_size:
+        raise ValueError(
+            f"blob of {len(blob)} bytes exceeds wire size {wire_size}"
+        )
+    return blob + os.urandom(wire_size - len(blob))
+
+
+def layer_overhead() -> int:
+    """Bytes each onion layer adds: header plus seal overhead."""
+    return _HEADER.size + SEAL_OVERHEAD
+
+
+def _encode_layer(flag: int, next_group: int, destination: int, inner: bytes) -> bytes:
+    return _HEADER.pack(flag, next_group, destination, len(inner)) + inner
+
+
+def _decode_layer(plaintext: bytes) -> OnionLayer:
+    if len(plaintext) < _HEADER.size:
+        raise ValueError("layer plaintext shorter than header")
+    flag, next_group, destination, inner_len = _HEADER.unpack_from(plaintext)
+    if flag not in (_FINAL_FLAG, _RELAY_FLAG):
+        raise ValueError(f"corrupt layer flag {flag}")
+    inner_start = _HEADER.size
+    inner_end = inner_start + inner_len
+    if inner_end > len(plaintext):
+        raise ValueError("layer inner length exceeds plaintext")
+    inner = plaintext[inner_start:inner_end]
+    if flag == _FINAL_FLAG:
+        return OnionLayer(
+            is_final=True, next_group=None, destination=destination, inner=inner
+        )
+    return OnionLayer(
+        is_final=False, next_group=next_group, destination=None, inner=inner
+    )
+
+
+def build_onion(
+    route_group_ids: Sequence[int],
+    destination: int,
+    payload: bytes,
+    keyring: GroupKeyring,
+) -> Onion:
+    """Wrap ``payload`` for delivery via ``route_group_ids`` to ``destination``.
+
+    Layers are applied innermost-out: the final layer (for the last group)
+    names the destination; each earlier layer names the following group.
+
+    Raises ``KeyError`` if the keyring is missing any route group's key.
+    """
+    if not route_group_ids:
+        raise ValueError("an onion route needs at least one group")
+    if destination < 0:
+        raise ValueError(f"destination id must be non-negative, got {destination}")
+    for group_id in route_group_ids:
+        if not keyring.knows(group_id):
+            raise KeyError(f"keyring lacks the key for group {group_id}")
+
+    blob = payload
+    for depth, group_id in enumerate(reversed(route_group_ids)):
+        if depth == 0:
+            plaintext = _encode_layer(_FINAL_FLAG, _NO_ID, destination, blob)
+        else:
+            next_group = route_group_ids[len(route_group_ids) - depth]
+            plaintext = _encode_layer(_RELAY_FLAG, next_group, _NO_ID, blob)
+        blob = seal(keyring.key_for(group_id), plaintext)
+
+    return Onion(entry_group=route_group_ids[0], blob=blob)
+
+
+def peel_onion(blob: bytes, key: bytes) -> OnionLayer:
+    """Peel one layer with a group key.
+
+    Raises :class:`~repro.crypto.cipher.AuthenticationError` when ``key`` is
+    not the key the layer was sealed under — a non-member learns nothing.
+    Trailing re-padding from a previous relay is ignored transparently.
+    """
+    return _decode_layer(open_box(key, blob))

@@ -1,0 +1,105 @@
+"""Terminal rendering of figure results as ASCII charts.
+
+The harness is plot-library-free; for eyeballing trends in a terminal this
+renders a :class:`~repro.experiments.result.FigureResult` as a character
+grid — one marker per series, linear interpolation between points, a left
+y-axis and a bottom x-axis. Good enough to see orderings and crossovers at
+a glance (the quantitative record stays in the tables).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.experiments.result import FigureResult, Series
+
+_MARKERS = "ox+*#@%&"
+
+
+def _interpolate(series: Series, x: float) -> Optional[float]:
+    """Linear interpolation inside the series' x range; None outside."""
+    points = series.points
+    if x < points[0][0] or x > points[-1][0]:
+        return None
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if x0 <= x <= x1:
+            if x1 == x0:
+                return y0
+            return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+    return points[-1][1]
+
+
+def render_chart(
+    figure: FigureResult,
+    width: int = 72,
+    height: int = 18,
+    y_min: Optional[float] = None,
+    y_max: Optional[float] = None,
+) -> str:
+    """Render the figure as an ASCII chart with a legend.
+
+    ``y_min``/``y_max`` default to the data range padded by 5%; pass 0 and
+    1 for rate-valued figures to keep a stable frame.
+    """
+    if width < 16 or height < 4:
+        raise ValueError("chart needs width >= 16 and height >= 4")
+    if len(figure.series) > len(_MARKERS):
+        raise ValueError(
+            f"at most {len(_MARKERS)} series renderable, "
+            f"got {len(figure.series)}"
+        )
+
+    xs = sorted({x for s in figure.series for x in s.xs})
+    x_lo, x_hi = xs[0], xs[-1]
+    ys = [y for s in figure.series for y in s.ys]
+    lo = min(ys) if y_min is None else y_min
+    hi = max(ys) if y_max is None else y_max
+    if hi <= lo:
+        hi = lo + 1.0
+    if y_min is None and y_max is None:
+        pad = (hi - lo) * 0.05
+        lo, hi = lo - pad, hi + pad
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for series_index, series in enumerate(figure.series):
+        marker = _MARKERS[series_index]
+        for column in range(width):
+            if x_hi == x_lo:
+                x = x_lo
+            else:
+                x = x_lo + (x_hi - x_lo) * column / (width - 1)
+            value = _interpolate(series, x)
+            if value is None or not math.isfinite(value):
+                continue
+            ratio = (value - lo) / (hi - lo)
+            ratio = min(max(ratio, 0.0), 1.0)
+            row = height - 1 - int(round(ratio * (height - 1)))
+            grid[row][column] = marker
+
+    label_width = max(len(f"{hi:.2f}"), len(f"{lo:.2f}"))
+    lines = [f"{figure.figure_id}: {figure.title}"]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = f"{hi:.2f}"
+        elif row_index == height - 1:
+            label = f"{lo:.2f}"
+        else:
+            label = ""
+        lines.append(f"{label:>{label_width}} |" + "".join(row))
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis_label = f"{x_lo:g}"
+    x_axis_right = f"{x_hi:g} ({figure.x_label})"
+    gap = width - len(x_axis_label) - len(x_axis_right)
+    lines.append(
+        " " * (label_width + 2)
+        + x_axis_label
+        + " " * max(gap, 1)
+        + x_axis_right
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i]} {series.label}"
+        for i, series in enumerate(figure.series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Simulation parameters (the paper's Table II)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class PaperConfig:
+    """Table II defaults for the random-contact-graph experiments.
+
+    Times are minutes (the trace experiments use seconds and carry their own
+    parameters).
+    """
+
+    n: int = 100
+    mean_intercontact_range: Tuple[float, float] = (10.0, 360.0)
+    group_size: int = 3
+    onion_routers: int = 3
+    copies: int = 1
+    deadlines: Tuple[float, ...] = tuple(float(t) for t in range(60, 1081, 60))
+    compromise_rates: Tuple[float, ...] = tuple(c / 100 for c in range(2, 51, 4))
+    default_compromise_rate: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.n < 2:
+            raise ValueError(f"n must be at least 2, got {self.n}")
+        if self.group_size < 1 or self.group_size > self.n:
+            raise ValueError(f"group_size {self.group_size} out of range")
+        if self.onion_routers < 1:
+            raise ValueError(f"onion_routers must be positive, got {self.onion_routers}")
+        if self.copies < 1:
+            raise ValueError(f"copies must be positive, got {self.copies}")
+        if not self.deadlines or any(t <= 0 for t in self.deadlines):
+            raise ValueError("deadlines must be positive")
+        if not (0.0 <= self.default_compromise_rate < 1.0):
+            raise ValueError("default_compromise_rate must lie in [0, 1)")
+
+    @property
+    def eta(self) -> int:
+        """Hops per path, ``η = K + 1``."""
+        return self.onion_routers + 1
+
+    @property
+    def max_deadline(self) -> float:
+        """The largest deadline in the sweep (the simulation horizon)."""
+        return max(self.deadlines)
+
+    def with_(self, **overrides) -> "PaperConfig":
+        """A modified copy, e.g. ``config.with_(group_size=5)``."""
+        return replace(self, **overrides)
+
+
+DEFAULT_CONFIG = PaperConfig()

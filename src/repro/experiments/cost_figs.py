@@ -1,0 +1,100 @@
+"""Message transmission cost figure (Fig. 11)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.analysis.cost import multi_copy_cost_bound, non_anonymous_cost
+from repro.contacts.random_graph import random_contact_graph
+from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
+from repro.experiments.result import FigureResult, Series
+from repro.experiments.runners import run_random_graph_batch
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
+
+
+def measured_transmissions(
+    config: PaperConfig,
+    onion_routers: int,
+    copies: int,
+    graphs: int,
+    sessions_per_graph: int,
+    rng: RandomSource,
+) -> float:
+    """Mean transmissions per message for a (K, L) variant.
+
+    Sessions run to the full deadline so undelivered copies also account
+    for their spray/relay cost, like the paper's cost measurements.
+    """
+    generator = ensure_rng(rng)
+    counts: List[int] = []
+    for graph_rng in spawn_rng(generator, graphs):
+        graph = random_contact_graph(
+            config.n, config.mean_intercontact_range, rng=graph_rng
+        )
+        batch = run_random_graph_batch(
+            graph,
+            group_size=config.group_size,
+            onion_routers=onion_routers,
+            copies=copies,
+            horizon=config.max_deadline,
+            sessions=sessions_per_graph,
+            rng=graph_rng,
+        )
+        counts.extend(outcome.transmissions for _, outcome in batch)
+    return float(np.mean(counts))
+
+
+def figure_11(
+    copy_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    onion_router_counts: Sequence[int] = (3, 5),
+    config: PaperConfig = DEFAULT_CONFIG,
+    graphs: int = 3,
+    sessions_per_graph: int = 30,
+    seed: RandomSource = 11,
+) -> FigureResult:
+    """Fig. 11 — number of transmissions vs number of copies L.
+
+    Series: the non-anonymous ``2L`` baseline, the analytical bound
+    ``(K + 2)·L`` for each K, and the measured simulation cost for each K
+    (g = 5 so that L ≤ g holds across the sweep).
+    """
+    generator = ensure_rng(seed)
+    cost_config = config.with_(group_size=5)
+    series: List[Series] = [
+        Series(
+            label="Non-anonymous",
+            points=tuple((float(L), float(non_anonymous_cost(L))) for L in copy_counts),
+        )
+    ]
+    for onion_routers in onion_router_counts:
+        series.append(
+            Series(
+                label=f"Analysis: K={onion_routers}",
+                points=tuple(
+                    (float(L), float(multi_copy_cost_bound(onion_routers, L)))
+                    for L in copy_counts
+                ),
+            )
+        )
+    for onion_routers in onion_router_counts:
+        points = []
+        for copies in copy_counts:
+            mean_cost = measured_transmissions(
+                cost_config,
+                onion_routers=onion_routers,
+                copies=copies,
+                graphs=graphs,
+                sessions_per_graph=sessions_per_graph,
+                rng=generator,
+            )
+            points.append((float(copies), mean_cost))
+        series.append(Series(label=f"Simulation: K={onion_routers}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 11",
+        title="Message transmission cost w.r.t. number of copies",
+        x_label="Number of copies",
+        y_label="Number of transmissions",
+        series=tuple(series),
+    )

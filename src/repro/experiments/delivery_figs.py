@@ -1,0 +1,159 @@
+"""Delivery-rate figures on random contact graphs (Figs. 4, 5, 10)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.contacts.random_graph import random_contact_graph
+from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
+from repro.experiments.result import FigureResult, Series
+from repro.experiments.runners import (
+    analysis_delivery_curve,
+    run_random_graph_batch,
+    simulated_delivery_curve,
+)
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
+
+
+def delivery_variant_series(
+    config: PaperConfig,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    graphs: int,
+    sessions_per_graph: int,
+    rng: RandomSource,
+    label: str,
+) -> Tuple[Series, Series]:
+    """One (Analysis, Simulation) series pair for a parameter variant."""
+    generator = ensure_rng(rng)
+    deadlines = config.deadlines
+    analysis_total = np.zeros(len(deadlines))
+    outcomes = []
+    for graph_rng in spawn_rng(generator, graphs):
+        graph = random_contact_graph(
+            config.n, config.mean_intercontact_range, rng=graph_rng
+        )
+        batch = run_random_graph_batch(
+            graph,
+            group_size=group_size,
+            onion_routers=onion_routers,
+            copies=copies,
+            horizon=config.max_deadline,
+            sessions=sessions_per_graph,
+            rng=graph_rng,
+        )
+        routes = [route for route, _ in batch]
+        outcomes.extend(outcome for _, outcome in batch)
+        curve = analysis_delivery_curve(graph, routes, deadlines, copies=copies)
+        analysis_total += np.array([y for _, y in curve])
+    analysis_points = tuple(zip(deadlines, analysis_total / graphs))
+    sim_points = tuple(simulated_delivery_curve(outcomes, deadlines))
+    return (
+        Series(label=f"Analysis: {label}", points=analysis_points),
+        Series(label=f"Simulation: {label}", points=sim_points),
+    )
+
+
+def figure_04(
+    group_sizes: Sequence[int] = (1, 5, 10),
+    config: PaperConfig = DEFAULT_CONFIG,
+    graphs: int = 5,
+    sessions_per_graph: int = 40,
+    seed: RandomSource = 4,
+) -> FigureResult:
+    """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}."""
+    generator = ensure_rng(seed)
+    series: List[Series] = []
+    analysis, simulation = [], []
+    for group_size in group_sizes:
+        a, s = delivery_variant_series(
+            config,
+            group_size=group_size,
+            onion_routers=config.onion_routers,
+            copies=1,
+            graphs=graphs,
+            sessions_per_graph=sessions_per_graph,
+            rng=generator,
+            label=f"g={group_size}",
+        )
+        analysis.append(a)
+        simulation.append(s)
+    series = analysis + simulation
+    return FigureResult(
+        figure_id="Fig. 4",
+        title="Delivery rate w.r.t. deadline (group sizes)",
+        x_label="Deadline (minutes)",
+        y_label="Delivery rate",
+        series=tuple(series),
+    )
+
+
+def figure_05(
+    onion_router_counts: Sequence[int] = (3, 5, 10),
+    config: PaperConfig = DEFAULT_CONFIG,
+    graphs: int = 5,
+    sessions_per_graph: int = 40,
+    seed: RandomSource = 5,
+) -> FigureResult:
+    """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers."""
+    generator = ensure_rng(seed)
+    analysis, simulation = [], []
+    for onion_routers in onion_router_counts:
+        a, s = delivery_variant_series(
+            config,
+            group_size=config.group_size,
+            onion_routers=onion_routers,
+            copies=1,
+            graphs=graphs,
+            sessions_per_graph=sessions_per_graph,
+            rng=generator,
+            label=f"{onion_routers} onions",
+        )
+        analysis.append(a)
+        simulation.append(s)
+    return FigureResult(
+        figure_id="Fig. 5",
+        title="Delivery rate w.r.t. deadline (onion router counts)",
+        x_label="Deadline (minutes)",
+        y_label="Delivery rate",
+        series=tuple(analysis + simulation),
+    )
+
+
+def figure_10(
+    copy_counts: Sequence[int] = (1, 3, 5),
+    config: PaperConfig = DEFAULT_CONFIG,
+    graphs: int = 5,
+    sessions_per_graph: int = 40,
+    seed: RandomSource = 10,
+) -> FigureResult:
+    """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
+
+    The paper pins g = 5 here "to make sure that L ≤ g holds".
+    """
+    generator = ensure_rng(seed)
+    multicopy_config = config.with_(group_size=5)
+    analysis, simulation = [], []
+    for copies in copy_counts:
+        a, s = delivery_variant_series(
+            multicopy_config,
+            group_size=multicopy_config.group_size,
+            onion_routers=multicopy_config.onion_routers,
+            copies=copies,
+            graphs=graphs,
+            sessions_per_graph=sessions_per_graph,
+            rng=generator,
+            label=f"L={copies}",
+        )
+        analysis.append(a)
+        simulation.append(s)
+    return FigureResult(
+        figure_id="Fig. 10",
+        title="Delivery rate w.r.t. deadline (copy counts, g=5)",
+        x_label="Deadline (minutes)",
+        y_label="Delivery rate",
+        series=tuple(analysis + simulation),
+    )

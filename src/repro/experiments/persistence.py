@@ -1,0 +1,70 @@
+"""JSON serialisation of figure results.
+
+Benchmarks archive plain-text tables for humans; downstream tooling
+(plotters, regression trackers) wants structured data. Round-trippable
+JSON for :class:`~repro.experiments.result.FigureResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.result import FigureResult, Series
+
+_SCHEMA_VERSION = 1
+
+
+def figure_to_dict(figure: FigureResult) -> dict:
+    """A JSON-safe dictionary representation."""
+    return {
+        "schema_version": _SCHEMA_VERSION,
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "series": [
+            {"label": series.label, "points": [list(p) for p in series.points]}
+            for series in figure.series
+        ],
+    }
+
+
+def figure_from_dict(payload: dict) -> FigureResult:
+    """Inverse of :func:`figure_to_dict`; validates the schema version."""
+    version = payload.get("schema_version")
+    if version != _SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported figure schema version {version!r} "
+            f"(expected {_SCHEMA_VERSION})"
+        )
+    try:
+        series = tuple(
+            Series(
+                label=entry["label"],
+                points=tuple((x, y) for x, y in entry["points"]),
+            )
+            for entry in payload["series"]
+        )
+        return FigureResult(
+            figure_id=payload["figure_id"],
+            title=payload["title"],
+            x_label=payload["x_label"],
+            y_label=payload["y_label"],
+            series=series,
+        )
+    except KeyError as missing:
+        raise ValueError(f"figure payload missing field {missing}") from None
+
+
+def save_figure(figure: FigureResult, path: Union[str, Path]) -> None:
+    """Write a figure result as pretty-printed JSON."""
+    Path(path).write_text(
+        json.dumps(figure_to_dict(figure), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def load_figure(path: Union[str, Path]) -> FigureResult:
+    """Read a figure result saved by :func:`save_figure`."""
+    return figure_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,122 @@
+"""Figure results: labelled series plus textual rendering.
+
+The harness never plots — it prints the same rows/series the paper's
+figures report, so a reviewer can diff trends directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Series:
+    """One labelled curve: ``[(x, y), …]`` in x order."""
+
+    label: str
+    points: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", tuple((float(x), float(y)) for x, y in self.points))
+        if not self.points:
+            raise ValueError(f"series {self.label!r} has no points")
+
+    @property
+    def xs(self) -> Tuple[float, ...]:
+        """The x coordinates."""
+        return tuple(x for x, _ in self.points)
+
+    @property
+    def ys(self) -> Tuple[float, ...]:
+        """The y coordinates."""
+        return tuple(y for _, y in self.points)
+
+    def y_at(self, x: float) -> float:
+        """The y value at an exact x; raises ``KeyError`` if absent."""
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series of one reproduced figure."""
+
+    figure_id: str
+    title: str
+    x_label: str
+    y_label: str
+    series: Tuple[Series, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "series", tuple(self.series))
+        if not self.series:
+            raise ValueError("a figure needs at least one series")
+        labels = [s.label for s in self.series]
+        if len(set(labels)) != len(labels):
+            raise ValueError(f"duplicate series labels: {labels}")
+
+    def get(self, label: str) -> Series:
+        """Fetch a series by its exact label."""
+        for candidate in self.series:
+            if candidate.label == label:
+                return candidate
+        raise KeyError(f"no series labelled {label!r} in {self.figure_id}")
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """All series labels, plot order."""
+        return tuple(s.label for s in self.series)
+
+    def to_table(self) -> str:
+        """Render as an aligned text table (x column + one column per series).
+
+        Series may have different x grids; missing cells render as ``-``.
+        """
+        xs = sorted({x for s in self.series for x in s.xs})
+        headers = [self.x_label] + list(self.labels)
+        rows: List[List[str]] = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                try:
+                    row.append(f"{s.y_at(x):.4f}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        widths = [
+            max(len(headers[col]), *(len(r[col]) for r in rows))
+            for col in range(len(headers))
+        ]
+        def fmt(cells: Sequence[str]) -> str:
+            return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+        lines = [
+            f"{self.figure_id}: {self.title}",
+            fmt(headers),
+            fmt(["-" * w for w in widths]),
+        ]
+        lines.extend(fmt(row) for row in rows)
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        """Render as a GitHub-flavoured markdown table."""
+        xs = sorted({x for s in self.series for x in s.xs})
+        headers = [self.x_label] + list(self.labels)
+        lines = [
+            f"### {self.figure_id}: {self.title}",
+            "",
+            "| " + " | ".join(headers) + " |",
+            "|" + "|".join("---" for _ in headers) + "|",
+        ]
+        for x in xs:
+            cells = [f"{x:g}"]
+            for s in self.series:
+                try:
+                    cells.append(f"{s.y_at(x):.4f}")
+                except KeyError:
+                    cells.append("-")
+            lines.append("| " + " | ".join(cells) + " |")
+        return "\n".join(lines)

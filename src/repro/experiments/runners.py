@@ -1,0 +1,329 @@
+"""Shared experiment machinery: batched simulations and model curves.
+
+The paper's methodology (§V-A): generate a contact graph, pick random
+source/destination pairs plus onion routes, simulate the protocol, and
+compare the averaged simulation metrics with the numerical models evaluated
+on the same realisations. Batching many sessions over one event stream
+keeps the discrete-event cost amortised.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.delivery import onion_path_rates
+from repro.analysis.hypoexponential import Hypoexponential
+from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
+from repro.contacts.graph import ContactGraph
+from repro.contacts.intercontact import estimate_rates_from_trace
+from repro.contacts.traces import ContactTrace
+from repro.core.multi_copy import MultiCopySession, SprayPolicy
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.core.route import OnionRoute
+from repro.core.single_copy import SingleCopySession
+from repro.sim.engine import SimulationEngine
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome, delivery_rate_curve
+from repro.sim.protocol import ProtocolSession
+from repro.utils.rng import RandomSource, ensure_rng
+
+RouteOutcome = Tuple[OnionRoute, DeliveryOutcome]
+
+
+def sample_endpoints(
+    n: int, rng: np.random.Generator
+) -> Tuple[int, int]:
+    """A uniformly random ordered (source, destination) pair."""
+    source, destination = rng.choice(n, size=2, replace=False)
+    return int(source), int(destination)
+
+
+def select_overlapping_route(
+    n: int,
+    source: int,
+    destination: int,
+    onion_routers: int,
+    group_size: int,
+    rng: np.random.Generator,
+) -> OnionRoute:
+    """Per-hop random onion groups that may share members across hops.
+
+    Needed when ``K · g`` approaches ``n`` (the paper's Cambridge setup:
+    n = 12, g = 10, K = 3 cannot use disjoint groups). Each hop draws a
+    fresh ``g``-subset of the nodes other than the endpoints. Virtual group
+    ids ``0 … K−1`` are route-local.
+    """
+    eligible = [v for v in range(n) if v not in (source, destination)]
+    if group_size > len(eligible):
+        raise ValueError(
+            f"group_size={group_size} exceeds the {len(eligible)} eligible nodes"
+        )
+    groups = []
+    for _ in range(onion_routers):
+        chosen = rng.choice(len(eligible), size=group_size, replace=False)
+        groups.append(tuple(sorted(eligible[i] for i in chosen)))
+    return OnionRoute(
+        source=source,
+        destination=destination,
+        group_ids=tuple(range(onion_routers)),
+        groups=tuple(groups),
+    )
+
+
+def _make_session(
+    message: Message,
+    route: OnionRoute,
+    copies: int,
+    spray_policy: SprayPolicy,
+) -> ProtocolSession:
+    if copies == 1:
+        return SingleCopySession(message, route)
+    return MultiCopySession(message, route, copies=copies, spray_policy=spray_policy)
+
+
+def run_random_graph_batch(
+    graph: ContactGraph,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    horizon: float,
+    sessions: int,
+    rng: RandomSource = None,
+    spray_policy: SprayPolicy = SprayPolicy.SOURCE,
+) -> List[RouteOutcome]:
+    """Simulate ``sessions`` onion-routing sessions over one event stream.
+
+    Each session gets its own random endpoints and route over a fresh
+    random-membership group directory; all sessions share the same sampled
+    contact process (they are read-only observers of it, so this is
+    statistically equivalent to independent runs and much cheaper).
+    """
+    generator = ensure_rng(rng)
+    directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+    engine = SimulationEngine(
+        ExponentialContactProcess(graph, rng=generator), horizon=horizon
+    )
+    pairs: List[RouteOutcome] = []
+    live: List[ProtocolSession] = []
+    for _ in range(sessions):
+        source, destination = sample_endpoints(graph.n, generator)
+        route = directory.select_route(
+            source, destination, onion_routers, rng=generator
+        )
+        message = Message(
+            source=source, destination=destination, created_at=0.0, deadline=horizon
+        )
+        session = _make_session(message, route, copies, spray_policy)
+        engine.add_session(session)
+        live.append(session)
+        pairs.append((route, session.outcome()))
+    engine.run()
+    return pairs
+
+
+def analysis_delivery_curve(
+    graph: ContactGraph,
+    routes: Sequence[OnionRoute],
+    deadlines: Sequence[float],
+    copies: int = 1,
+) -> List[Tuple[float, float]]:
+    """Average the Eq. 6/7 model over concrete route realisations.
+
+    Routes containing an unreachable hop (zero aggregate rate — possible on
+    sparse trace-estimated graphs) contribute zero delivery probability,
+    matching what the protocol would experience.
+    """
+    deadline_arr = np.asarray(list(deadlines), dtype=float)
+    total = np.zeros_like(deadline_arr)
+    for route in routes:
+        try:
+            rates = onion_path_rates(
+                graph, route.source, route.groups, route.destination
+            )
+        except ValueError:
+            continue  # unreachable hop: contributes zeros
+        boosted = [rate * copies for rate in rates]
+        total += np.asarray(Hypoexponential(boosted).cdf(deadline_arr))
+    mean = total / max(len(routes), 1)
+    return [(float(t), float(p)) for t, p in zip(deadline_arr, mean)]
+
+
+def simulated_delivery_curve(
+    outcomes: Sequence[DeliveryOutcome], deadlines: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Delivery rate vs deadline measured from simulated outcomes."""
+    return delivery_rate_curve(outcomes, deadlines)
+
+
+# ----------------------------------------------------------------------
+# security Monte Carlo (contact-graph independent, §V-A)
+# ----------------------------------------------------------------------
+
+
+def sample_copy_paths(
+    route: OnionRoute, copies: int, rng: np.random.Generator
+) -> List[List[int]]:
+    """Sample the member each copy traverses in every onion group.
+
+    Copies occupy *distinct* members of a group while enough members exist
+    (the protocol's ``Forward()`` predicate never places two live copies on
+    one node); beyond that the assignment wraps around.
+    """
+    paths = [[route.source] for _ in range(copies)]
+    for members in route.groups:
+        order = rng.permutation(len(members))
+        for copy_index in range(copies):
+            member = members[order[copy_index % len(members)]]
+            paths[copy_index].append(int(member))
+    return paths
+
+
+def security_montecarlo(
+    n: int,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    compromise_rate: float,
+    trials: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+) -> Tuple[float, float]:
+    """Monte Carlo estimates of (traceable rate, path anonymity).
+
+    Mirrors the paper's security simulations: random group membership,
+    random route, random fixed-count compromised set; the traceable rate
+    scores the first copy's path with Eq. 1, the anonymity evaluates the
+    entropy ratio at the adversary's observed exposure across all copies.
+    """
+    from repro.adversary.compromise import CompromiseModel
+    from repro.adversary.observer import observed_path_anonymity
+    from repro.adversary.tracer import PathTracer
+
+    generator = ensure_rng(rng)
+    directory = None if overlapping else OnionGroupDirectory(n, group_size, rng=generator)
+    model = CompromiseModel(n, compromise_rate)
+    eta = onion_routers + 1
+
+    traceable_sum = 0.0
+    anonymity_sum = 0.0
+    for _ in range(trials):
+        source, destination = sample_endpoints(n, generator)
+        if overlapping:
+            route = select_overlapping_route(
+                n, source, destination, onion_routers, group_size, generator
+            )
+        else:
+            route = directory.select_route(
+                source, destination, onion_routers, rng=generator
+            )
+        compromised = model.sample_fixed_count(rng=generator)
+        paths = sample_copy_paths(route, copies, generator)
+        tracer = PathTracer(compromised)
+        traceable_sum += tracer.traceable_rate(paths[0])
+        anonymity_sum += observed_path_anonymity(
+            paths, compromised, n=n, eta=eta, group_size=group_size
+        )
+    return traceable_sum / trials, anonymity_sum / trials
+
+
+# ----------------------------------------------------------------------
+# trace-driven batches (§V-D / §V-E)
+# ----------------------------------------------------------------------
+
+
+def run_trace_batch(
+    trace: ContactTrace,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    deadline: float,
+    sessions: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+) -> List[RouteOutcome]:
+    """Simulate onion routing sessions over a replayed trace.
+
+    "A source node initiates a message transmission at any time after it has
+    a contact with any node" — each session's creation time is the start of
+    a uniformly chosen contact involving its source, drawn from the first
+    half of the trace so the deadline window fits inside the recording.
+    """
+    generator = ensure_rng(rng)
+    trace = trace.normalized()
+    n = trace.n
+    if n < 3:
+        raise ValueError("trace too small for onion routing")
+    directory = (
+        None if overlapping else OnionGroupDirectory(n, group_size, rng=generator)
+    )
+
+    midpoint = trace.start + trace.duration / 2
+    contacts_by_node: dict[int, list[float]] = {}
+    for record in trace.records:
+        if record.start <= midpoint:
+            contacts_by_node.setdefault(record.a, []).append(record.start)
+            contacts_by_node.setdefault(record.b, []).append(record.start)
+
+    engine = SimulationEngine(
+        TraceReplayProcess(trace), horizon=trace.end + 1.0
+    )
+    pairs: List[RouteOutcome] = []
+    attempts = 0
+    while len(pairs) < sessions:
+        attempts += 1
+        if attempts > sessions * 50:
+            raise RuntimeError("could not place sessions; trace too sparse")
+        source, destination = sample_endpoints(n, generator)
+        if source not in contacts_by_node:
+            continue
+        starts = contacts_by_node[source]
+        created_at = float(starts[generator.integers(len(starts))])
+        if overlapping:
+            route = select_overlapping_route(
+                n, source, destination, onion_routers, group_size, generator
+            )
+        else:
+            try:
+                route = directory.select_route(
+                    source, destination, onion_routers, rng=generator
+                )
+            except ValueError:
+                route = select_overlapping_route(
+                    n, source, destination, onion_routers, group_size, generator
+                )
+        message = Message(
+            source=source,
+            destination=destination,
+            created_at=created_at,
+            deadline=deadline,
+        )
+        session = _make_session(message, route, copies, SprayPolicy.SOURCE)
+        engine.add_session(session)
+        pairs.append((route, session.outcome()))
+    engine.run()
+    return pairs
+
+
+def trace_contact_graph(
+    trace: ContactTrace, observation_span: Optional[float] = None
+) -> ContactGraph:
+    """Rate-estimated contact graph for the analytical models.
+
+    ``observation_span`` lets callers "train" the estimate on active hours
+    only (the paper notes model accuracy improves with trained traces).
+    """
+    return estimate_rates_from_trace(trace.normalized(), observation_span)
+
+
+def estimate_active_span(trace: ContactTrace) -> float:
+    """Total span of hours that saw at least one contact.
+
+    Traces recorded over several days have long idle nights; estimating
+    contact rates over the *active* hours only ("training" the trace, §V-A)
+    makes the exponential model describe the in-business-hours dynamics the
+    delivery experiments actually exercise.
+    """
+    active_hours = {int(record.start // 3600) for record in trace.records}
+    return max(len(active_hours), 1) * 3600.0

@@ -1,0 +1,294 @@
+"""Security figures: traceable rate and path anonymity (Figs. 6–9, 12, 13).
+
+These metrics are independent of the contact-graph realisation (§V-A), so
+the "Simulation" series are Monte Carlo draws of routes and compromised
+sets, and the "Analysis" series are the closed-form models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
+from repro.analysis.traceable import traceable_rate_model
+from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
+from repro.experiments.result import FigureResult, Series
+from repro.experiments.runners import security_montecarlo
+from repro.utils.rng import RandomSource, ensure_rng
+
+
+def figure_06(
+    onion_router_counts: Sequence[int] = (3, 5, 10),
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 6,
+) -> FigureResult:
+    """Fig. 6 — traceable rate vs compromised rate for K ∈ {3, 5, 10}."""
+    generator = ensure_rng(seed)
+    rates = config.compromise_rates
+    series: List[Series] = []
+    for onion_routers in onion_router_counts:
+        eta = onion_routers + 1
+        series.append(
+            Series(
+                label=f"Analysis: {onion_routers} onions",
+                points=tuple(
+                    (rate, traceable_rate_model(eta, rate)) for rate in rates
+                ),
+            )
+        )
+    for onion_routers in onion_router_counts:
+        points = []
+        for rate in rates:
+            traceable, _ = security_montecarlo(
+                config.n,
+                config.group_size,
+                onion_routers,
+                copies=1,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((rate, traceable))
+        series.append(
+            Series(label=f"Simulation: {onion_routers} onions", points=tuple(points))
+        )
+    return FigureResult(
+        figure_id="Fig. 6",
+        title="Traceable rate w.r.t. compromised rate",
+        x_label="Compromised rate (c/n)",
+        y_label="Traceable rate",
+        series=tuple(series),
+    )
+
+
+def figure_07(
+    compromise_rates: Sequence[float] = (0.10, 0.20, 0.30),
+    onion_router_counts: Sequence[int] = tuple(range(1, 11)),
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 7,
+) -> FigureResult:
+    """Fig. 7 — traceable rate vs number of onion relays for c/n ∈ {10, 20, 30}%."""
+    generator = ensure_rng(seed)
+    series: List[Series] = []
+    for rate in compromise_rates:
+        series.append(
+            Series(
+                label=f"Analysis: c/n={rate:.0%}",
+                points=tuple(
+                    (float(k), traceable_rate_model(k + 1, rate))
+                    for k in onion_router_counts
+                ),
+            )
+        )
+    for rate in compromise_rates:
+        points = []
+        for onion_routers in onion_router_counts:
+            traceable, _ = security_montecarlo(
+                config.n,
+                config.group_size,
+                onion_routers,
+                copies=1,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((float(onion_routers), traceable))
+        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 7",
+        title="Traceable rate w.r.t. number of onion relays",
+        x_label="Number of onion relays",
+        y_label="Traceable rate",
+        series=tuple(series),
+    )
+
+
+def figure_08(
+    group_sizes: Sequence[int] = (1, 5, 10),
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 8,
+) -> FigureResult:
+    """Fig. 8 — path anonymity vs compromised rate for g ∈ {1, 5, 10}."""
+    generator = ensure_rng(seed)
+    rates = config.compromise_rates
+    eta = config.eta
+    series: List[Series] = []
+    for group_size in group_sizes:
+        series.append(
+            Series(
+                label=f"Analysis: g={group_size}",
+                points=tuple(
+                    (rate, path_anonymity(config.n, eta, group_size, rate))
+                    for rate in rates
+                ),
+            )
+        )
+    for group_size in group_sizes:
+        points = []
+        for rate in rates:
+            _, anonymity = security_montecarlo(
+                config.n,
+                group_size,
+                config.onion_routers,
+                copies=1,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((rate, anonymity))
+        series.append(Series(label=f"Simulation: g={group_size}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 8",
+        title="Path anonymity w.r.t. compromised rate",
+        x_label="Compromised rate (c/n)",
+        y_label="Path anonymity",
+        series=tuple(series),
+    )
+
+
+def figure_09(
+    compromise_rates: Sequence[float] = (0.10, 0.20, 0.30),
+    group_sizes: Sequence[int] = tuple(range(1, 11)),
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 9,
+) -> FigureResult:
+    """Fig. 9 — path anonymity vs group size for c/n ∈ {10, 20, 30}%."""
+    generator = ensure_rng(seed)
+    eta = config.eta
+    series: List[Series] = []
+    for rate in compromise_rates:
+        series.append(
+            Series(
+                label=f"Analysis: c/n={rate:.0%}",
+                points=tuple(
+                    (float(g), path_anonymity(config.n, eta, g, rate))
+                    for g in group_sizes
+                ),
+            )
+        )
+    for rate in compromise_rates:
+        points = []
+        for group_size in group_sizes:
+            _, anonymity = security_montecarlo(
+                config.n,
+                group_size,
+                config.onion_routers,
+                copies=1,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((float(group_size), anonymity))
+        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 9",
+        title="Path anonymity w.r.t. group size",
+        x_label="Group size",
+        y_label="Path anonymity",
+        series=tuple(series),
+    )
+
+
+def figure_12(
+    copy_counts: Sequence[int] = (1, 3, 5),
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 12,
+) -> FigureResult:
+    """Fig. 12 — path anonymity vs compromised rate for L ∈ {1, 3, 5} (g = 5)."""
+    generator = ensure_rng(seed)
+    multicopy_config = config.with_(group_size=5)
+    rates = multicopy_config.compromise_rates
+    eta = multicopy_config.eta
+    g = multicopy_config.group_size
+    series: List[Series] = []
+    for copies in copy_counts:
+        series.append(
+            Series(
+                label=f"Analysis: L={copies}",
+                points=tuple(
+                    (
+                        rate,
+                        path_anonymity_multicopy(
+                            multicopy_config.n, eta, g, rate, copies
+                        ),
+                    )
+                    for rate in rates
+                ),
+            )
+        )
+    for copies in copy_counts:
+        points = []
+        for rate in rates:
+            _, anonymity = security_montecarlo(
+                multicopy_config.n,
+                g,
+                multicopy_config.onion_routers,
+                copies=copies,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((rate, anonymity))
+        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 12",
+        title="Path anonymity w.r.t. compromised rate (multi-copy, g=5)",
+        x_label="Compromised rate (c/n)",
+        y_label="Path anonymity",
+        series=tuple(series),
+    )
+
+
+def figure_13(
+    copy_counts: Sequence[int] = (1, 3, 5),
+    group_sizes: Sequence[int] = tuple(range(1, 11)),
+    compromise_rate: float = 0.10,
+    config: PaperConfig = DEFAULT_CONFIG,
+    trials: int = 2000,
+    seed: RandomSource = 13,
+) -> FigureResult:
+    """Fig. 13 — path anonymity vs group size for L ∈ {1, 3, 5} (c/n = 10%)."""
+    generator = ensure_rng(seed)
+    eta = config.eta
+    series: List[Series] = []
+    for copies in copy_counts:
+        series.append(
+            Series(
+                label=f"Analysis: L={copies}",
+                points=tuple(
+                    (
+                        float(g),
+                        path_anonymity_multicopy(
+                            config.n, eta, g, compromise_rate, copies
+                        ),
+                    )
+                    for g in group_sizes
+                ),
+            )
+        )
+    for copies in copy_counts:
+        points = []
+        for group_size in group_sizes:
+            _, anonymity = security_montecarlo(
+                config.n,
+                group_size,
+                config.onion_routers,
+                copies=copies,
+                compromise_rate=compromise_rate,
+                trials=trials,
+                rng=generator,
+            )
+            points.append((float(group_size), anonymity))
+        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+    return FigureResult(
+        figure_id="Fig. 13",
+        title="Path anonymity w.r.t. group size (multi-copy, c/n=10%)",
+        x_label="Group size",
+        y_label="Path anonymity",
+        series=tuple(series),
+    )

@@ -1,0 +1,307 @@
+"""Trace-driven figures (Figs. 14–19).
+
+The paper evaluates on CRAWDAD ``cambridge/haggle`` Experiments 2 and 3;
+this repo substitutes statistically matched synthetic traces (see
+DESIGN.md §3). Cambridge: 12 nodes, dense, K = 3, g = 10, L = 1 with
+overlapping onion groups (disjoint groups are impossible at that scale).
+Infocom 2005: 41 nodes, sparse with off-hours, K = 3, g = 5, L ∈ {1, 3, 5}.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
+from repro.analysis.traceable import traceable_rate_model
+from repro.contacts.synthetic import cambridge_like_trace, infocom05_like_trace
+from repro.contacts.traces import ContactTrace
+from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
+from repro.experiments.result import FigureResult, Series
+from repro.experiments.runners import (
+    analysis_delivery_curve,
+    estimate_active_span,
+    run_trace_batch,
+    security_montecarlo,
+    simulated_delivery_curve,
+    trace_contact_graph,
+)
+from repro.utils.rng import RandomSource, ensure_rng
+
+CAMBRIDGE_GROUP_SIZE = 10
+CAMBRIDGE_ONIONS = 3
+INFOCOM_GROUP_SIZE = 5
+INFOCOM_ONIONS = 3
+
+
+def _trace_delivery_series(
+    trace: ContactTrace,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    deadlines: Sequence[float],
+    sessions: int,
+    rng: RandomSource,
+    overlapping: bool,
+    label: str,
+) -> List[Series]:
+    """(Analysis, Simulation) delivery series on one trace for one L."""
+    generator = ensure_rng(rng)
+    normalized = trace.normalized()
+    batch = run_trace_batch(
+        normalized,
+        group_size=group_size,
+        onion_routers=onion_routers,
+        copies=copies,
+        deadline=max(deadlines),
+        sessions=sessions,
+        rng=generator,
+        overlapping=overlapping,
+    )
+    routes = [route for route, _ in batch]
+    outcomes = [outcome for _, outcome in batch]
+    graph = trace_contact_graph(normalized, estimate_active_span(normalized))
+    analysis = analysis_delivery_curve(graph, routes, deadlines, copies=copies)
+    simulation = simulated_delivery_curve(outcomes, deadlines)
+    return [
+        Series(label=f"Analysis: {label}", points=tuple(analysis)),
+        Series(label=f"Simulation: {label}", points=tuple(simulation)),
+    ]
+
+
+def _trace_security_figure(
+    figure_id: str,
+    title: str,
+    n: int,
+    group_size: int,
+    onion_routers: int,
+    copy_counts: Sequence[int],
+    compromise_rates: Sequence[float],
+    trials: int,
+    seed: RandomSource,
+    metric: str,
+    overlapping: bool,
+) -> FigureResult:
+    """Shared body of the trace security figures (15, 16, 18, 19)."""
+    generator = ensure_rng(seed)
+    eta = onion_routers + 1
+    series: List[Series] = []
+    for copies in copy_counts:
+        if metric == "traceable":
+            label = f"Analysis: {onion_routers} onions"
+            points = tuple(
+                (rate, traceable_rate_model(eta, rate)) for rate in compromise_rates
+            )
+        elif copies == 1:
+            label = "Analysis: L=1"
+            points = tuple(
+                (rate, path_anonymity(n, eta, group_size, rate))
+                for rate in compromise_rates
+            )
+        else:
+            label = f"Analysis: L={copies}"
+            points = tuple(
+                (rate, path_anonymity_multicopy(n, eta, group_size, rate, copies))
+                for rate in compromise_rates
+            )
+        series.append(Series(label=label, points=points))
+        if metric == "traceable":
+            break  # the traceable rate is copy-count independent (§IV-D)
+    for copies in copy_counts:
+        points = []
+        for rate in compromise_rates:
+            traceable, anonymity = security_montecarlo(
+                n,
+                group_size,
+                onion_routers,
+                copies=copies,
+                compromise_rate=rate,
+                trials=trials,
+                rng=generator,
+                overlapping=overlapping,
+            )
+            points.append((rate, traceable if metric == "traceable" else anonymity))
+        if metric == "traceable":
+            series.append(
+                Series(
+                    label=f"Simulation: {onion_routers} onions", points=tuple(points)
+                )
+            )
+            break
+        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label="Compromised rate (c/n)",
+        y_label="Traceable rate" if metric == "traceable" else "Path anonymity",
+        series=tuple(series),
+    )
+
+
+# ----------------------------------------------------------------------
+# Cambridge (Figs. 14–16)
+# ----------------------------------------------------------------------
+
+
+def figure_14(
+    trace: Optional[ContactTrace] = None,
+    deadlines: Sequence[float] = tuple(float(t) for t in range(120, 1801, 120)),
+    sessions: int = 50,
+    seed: RandomSource = 14,
+) -> FigureResult:
+    """Fig. 14 — delivery rate vs deadline (s) on the Cambridge-like trace."""
+    generator = ensure_rng(seed)
+    if trace is None:
+        trace = cambridge_like_trace(rng=generator)
+    series = _trace_delivery_series(
+        trace,
+        group_size=CAMBRIDGE_GROUP_SIZE,
+        onion_routers=CAMBRIDGE_ONIONS,
+        copies=1,
+        deadlines=deadlines,
+        sessions=sessions,
+        rng=generator,
+        overlapping=True,
+        label="L=1",
+    )
+    return FigureResult(
+        figure_id="Fig. 14",
+        title="Delivery rate w.r.t. deadline (Cambridge-like trace)",
+        x_label="Deadline (seconds)",
+        y_label="Delivery rate",
+        series=tuple(series),
+    )
+
+
+def figure_15(
+    n: int = 12,
+    compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
+    trials: int = 2000,
+    seed: RandomSource = 15,
+) -> FigureResult:
+    """Fig. 15 — traceable rate vs compromised rate (Cambridge-like trace)."""
+    return _trace_security_figure(
+        figure_id="Fig. 15",
+        title="Traceable rate w.r.t. compromised rate (Cambridge-like trace)",
+        n=n,
+        group_size=CAMBRIDGE_GROUP_SIZE,
+        onion_routers=CAMBRIDGE_ONIONS,
+        copy_counts=(1,),
+        compromise_rates=compromise_rates,
+        trials=trials,
+        seed=seed,
+        metric="traceable",
+        overlapping=True,
+    )
+
+
+def figure_16(
+    n: int = 12,
+    compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
+    trials: int = 2000,
+    seed: RandomSource = 16,
+) -> FigureResult:
+    """Fig. 16 — path anonymity vs compromised rate (Cambridge-like trace)."""
+    return _trace_security_figure(
+        figure_id="Fig. 16",
+        title="Path anonymity w.r.t. compromised rate (Cambridge-like trace)",
+        n=n,
+        group_size=CAMBRIDGE_GROUP_SIZE,
+        onion_routers=CAMBRIDGE_ONIONS,
+        copy_counts=(1,),
+        compromise_rates=compromise_rates,
+        trials=trials,
+        seed=seed,
+        metric="anonymity",
+        overlapping=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# Infocom 2005 (Figs. 17–19)
+# ----------------------------------------------------------------------
+
+
+def figure_17(
+    trace: Optional[ContactTrace] = None,
+    copy_counts: Sequence[int] = (1, 3, 5),
+    deadlines: Sequence[float] = tuple(float(2**k) for k in range(4, 18)),
+    sessions: int = 50,
+    seed: RandomSource = 17,
+) -> FigureResult:
+    """Fig. 17 — delivery rate vs deadline (log s) on the Infocom-like trace.
+
+    The off-hours plateau appears between deadlines that fall inside the
+    first night: delivery stalls until contacts resume the next day.
+    """
+    generator = ensure_rng(seed)
+    if trace is None:
+        trace = infocom05_like_trace(rng=generator)
+    series: List[Series] = []
+    analysis_half, simulation_half = [], []
+    for copies in copy_counts:
+        pair = _trace_delivery_series(
+            trace,
+            group_size=INFOCOM_GROUP_SIZE,
+            onion_routers=INFOCOM_ONIONS,
+            copies=copies,
+            deadlines=deadlines,
+            sessions=sessions,
+            rng=generator,
+            overlapping=False,
+            label=f"L={copies}",
+        )
+        analysis_half.append(pair[0])
+        simulation_half.append(pair[1])
+    series = analysis_half + simulation_half
+    return FigureResult(
+        figure_id="Fig. 17",
+        title="Delivery rate w.r.t. deadline (Infocom-2005-like trace)",
+        x_label="Deadline (seconds)",
+        y_label="Delivery rate",
+        series=tuple(series),
+    )
+
+
+def figure_18(
+    n: int = 41,
+    compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
+    trials: int = 2000,
+    seed: RandomSource = 18,
+) -> FigureResult:
+    """Fig. 18 — traceable rate vs compromised rate (Infocom-like trace)."""
+    return _trace_security_figure(
+        figure_id="Fig. 18",
+        title="Traceable rate w.r.t. compromised rate (Infocom-2005-like trace)",
+        n=n,
+        group_size=INFOCOM_GROUP_SIZE,
+        onion_routers=INFOCOM_ONIONS,
+        copy_counts=(1,),
+        compromise_rates=compromise_rates,
+        trials=trials,
+        seed=seed,
+        metric="traceable",
+        overlapping=False,
+    )
+
+
+def figure_19(
+    n: int = 41,
+    copy_counts: Sequence[int] = (1, 3, 5),
+    compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
+    trials: int = 2000,
+    seed: RandomSource = 19,
+) -> FigureResult:
+    """Fig. 19 — path anonymity vs compromised rate (Infocom-like trace)."""
+    return _trace_security_figure(
+        figure_id="Fig. 19",
+        title="Path anonymity w.r.t. compromised rate (Infocom-2005-like trace)",
+        n=n,
+        group_size=INFOCOM_GROUP_SIZE,
+        onion_routers=INFOCOM_ONIONS,
+        copy_counts=copy_counts,
+        compromise_rates=compromise_rates,
+        trials=trials,
+        seed=seed,
+        metric="anonymity",
+        overlapping=False,
+    )

@@ -1,0 +1,40 @@
+"""Extensions beyond the paper's core contribution.
+
+The paper's related work (§VI-C) surveys the other anonymous-routing
+designs for DTNs; this package implements the two it discusses in most
+detail so they can be compared head-to-head with group onion routing on
+the same substrate:
+
+* :mod:`~repro.extensions.tps` — the Threshold Pivot Scheme (Jansen &
+  Beverly, MILCOM 2010): threshold secret sharing across relays with a
+  pivot that reconstructs and forwards. Built on
+  :mod:`~repro.extensions.shamir`, a full Shamir secret-sharing
+  implementation over GF(2⁸).
+* :mod:`~repro.extensions.alar` — ALAR (Lu et al., Computer Networks
+  2010): anti-localization routing that splits a message into segments and
+  epidemically disseminates each through different first receivers.
+
+Plus :mod:`~repro.extensions.refined_models` — tightened versions of the
+paper's models whose corrections our integration tests identified (the
+last-hop delivery rate and the multi-copy source-hop exposure).
+"""
+
+from repro.extensions.alar import AlarSession
+from repro.extensions.refined_models import (
+    arden_hop_rates,
+    path_anonymity_multicopy_refined,
+    refined_onion_path_rates,
+)
+from repro.extensions.shamir import combine_shares, split_secret
+from repro.extensions.tps import TpsSession, tps_delivery_model
+
+__all__ = [
+    "split_secret",
+    "combine_shares",
+    "TpsSession",
+    "tps_delivery_model",
+    "AlarSession",
+    "refined_onion_path_rates",
+    "arden_hop_rates",
+    "path_anonymity_multicopy_refined",
+]

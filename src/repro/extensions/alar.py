@@ -1,0 +1,174 @@
+"""ALAR: Anti-Localization Anonymous Routing (Lu et al., 2010).
+
+The paper's §VI-C: "ALAR is an Epidemic-like protocol that hides the
+source location by dividing a message into several segments and then sends
+them to different receivers; meanwhile the sender's identifier is not
+protected."
+
+Abstract protocol implemented here:
+
+1. the source splits the message into ``k`` segments;
+2. each segment is handed to a *different* first receiver (the source
+   transmits each segment exactly once — that is the anti-localization
+   property: no single neighbour observes the source transmitting more
+   than one segment, so signal-strength localisation degrades);
+3. each segment then spreads epidemically (optionally capped per segment);
+4. the destination must collect **all** ``k`` segments.
+
+Trade-offs vs onion routing, visible in the comparison bench: near-epidemic
+delivery and delay, much higher transmission cost, source *location*
+obfuscation but no relationship anonymity (the destination id rides in
+every segment header).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.contacts.events import ContactEvent
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+from repro.utils.validation import check_positive_int
+
+
+class AlarSession(ProtocolSession):
+    """One message routed with ALAR-style segment dissemination.
+
+    Parameters
+    ----------
+    segments:
+        The number of segments ``k`` the message splits into.
+    copies_per_segment:
+        Optional cap on how many nodes may hold a given segment
+        (``None`` = pure epidemic). The cap includes the first receiver.
+    """
+
+    def __init__(
+        self,
+        message: Message,
+        segments: int,
+        copies_per_segment: Optional[int] = None,
+    ):
+        check_positive_int(segments, "segments")
+        if copies_per_segment is not None and copies_per_segment < 1:
+            raise ValueError(
+                f"copies_per_segment must be positive, got {copies_per_segment}"
+            )
+        self._message = message
+        self._segments = segments
+        self._cap = copies_per_segment
+        # segment -> nodes currently holding it (source handled separately)
+        self._holders: List[Set[int]] = [set() for _ in range(segments)]
+        self._first_receivers: List[Optional[int]] = [None] * segments
+        self._collected: Set[int] = set()  # segments the destination has
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+    # ------------------------------------------------------------------
+    # session interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def segments(self) -> int:
+        """The number of segments ``k``."""
+        return self._segments
+
+    @property
+    def segments_collected(self) -> int:
+        """How many segments the destination holds so far."""
+        return len(self._collected)
+
+    @property
+    def first_receivers(self) -> tuple:
+        """The distinct nodes that received a segment from the source."""
+        return tuple(r for r in self._first_receivers if r is not None)
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = sum(
+                1 for holders in self._holders if holders
+            )
+            return
+
+        source = self._message.source
+        destination = self._message.destination
+
+        # 1. the source hands each segment to a distinct first receiver
+        if event.involves(source):
+            peer = event.peer_of(source)
+            if peer != destination and peer not in self._first_receivers:
+                for segment, receiver in enumerate(self._first_receivers):
+                    if receiver is None:
+                        self._first_receivers[segment] = peer
+                        self._holders[segment].add(peer)
+                        self._outcome.record_transfer(event.time, source, peer)
+                        break
+
+        # 2. epidemic spread per segment (source itself never re-transmits)
+        for segment in range(self._segments):
+            holders = self._holders[segment]
+            if not holders:
+                continue
+            a_has = event.a in holders
+            b_has = event.b in holders
+            if a_has == b_has:
+                continue
+            receiver = event.b if a_has else event.a
+            if receiver == source:
+                continue  # nothing to gain, and the source stays quiet
+            if receiver == destination:
+                if segment not in self._collected:
+                    self._collected.add(segment)
+                    sender = event.a if a_has else event.b
+                    self._outcome.record_transfer(event.time, sender, receiver)
+                continue
+            if self._cap is not None and len(holders) >= self._cap:
+                continue
+            sender = event.a if a_has else event.b
+            holders.add(receiver)
+            self._outcome.record_transfer(event.time, sender, receiver)
+
+        if len(self._collected) == self._segments and not self._outcome.delivered:
+            self._outcome.delivered = True
+            self._outcome.delivery_time = event.time
+
+    # ------------------------------------------------------------------
+    # security accessors
+    # ------------------------------------------------------------------
+
+    def source_transmissions_observed_by(self, compromised: Set[int]) -> int:
+        """Segments whose *first receiver* is compromised.
+
+        ALAR's goal is bounding what any observer learns about the source's
+        radio activity: each compromised first receiver pins one source
+        transmission. Localisation quality grows with this count (the ALAR
+        paper models it as triangulation accuracy).
+        """
+        return sum(
+            1
+            for receiver in self._first_receivers
+            if receiver is not None and receiver in compromised
+        )
+
+    def segments_exposed_to(self, compromised: Set[int]) -> int:
+        """Segments at least one of whose holders is compromised."""
+        return sum(
+            1
+            for holders in self._holders
+            if holders & compromised
+        )

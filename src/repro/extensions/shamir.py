@@ -1,0 +1,147 @@
+"""Shamir secret sharing over GF(2⁸) (Shamir, CACM 1979).
+
+The substrate for the Threshold Pivot Scheme: a secret is split into ``s``
+shares such that any ``τ`` reconstruct it and fewer than ``τ`` reveal
+nothing. Each byte of the secret is shared independently with a random
+polynomial of degree ``τ − 1`` over GF(2⁸) (the AES field, reduction
+polynomial ``x⁸ + x⁴ + x³ + x + 1``); share ``i`` is the polynomial
+evaluated at ``x = i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.utils.rng import RandomSource, ensure_rng
+
+_FIELD_SIZE = 256
+_REDUCER = 0x11B
+_GENERATOR = 3
+
+# Precomputed discrete log / exponential tables for fast GF(2^8) arithmetic
+# (the exp table is doubled so products of logs never need a modulo).
+_EXP = [0] * (_FIELD_SIZE * 2)
+_LOG = [0] * _FIELD_SIZE
+_value = 1
+for _power in range(_FIELD_SIZE - 1):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    # multiply _value by the generator (3): v*3 = v*2 ^ v
+    doubled = _value << 1
+    if doubled & 0x100:
+        doubled ^= _REDUCER
+    _value = doubled ^ _value
+for _power in range(_FIELD_SIZE - 1, _FIELD_SIZE * 2):
+    _EXP[_power] = _EXP[_power - (_FIELD_SIZE - 1)]
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiply in GF(2⁸)."""
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Divide in GF(2⁸); division by zero raises."""
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(2^8)")
+    if a == 0:
+        return 0
+    return _EXP[(_LOG[a] - _LOG[b]) % (_FIELD_SIZE - 1)]
+
+
+def _eval_poly(coefficients: Sequence[int], x: int) -> int:
+    """Horner evaluation of a polynomial with GF(2⁸) coefficients."""
+    result = 0
+    for coefficient in reversed(coefficients):
+        result = gf_mul(result, x) ^ coefficient
+    return result
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point ``index`` (1-based) and the bytes."""
+
+    index: int
+    data: bytes
+
+    def __post_init__(self) -> None:
+        if not (1 <= self.index <= 255):
+            raise ValueError(f"share index must be in 1..255, got {self.index}")
+
+
+def split_secret(
+    secret: bytes,
+    shares: int,
+    threshold: int,
+    rng: RandomSource = None,
+) -> List[Share]:
+    """Split ``secret`` into ``shares`` shares with reconstruction threshold.
+
+    Any ``threshold`` shares recover the secret via
+    :func:`combine_shares`; fewer are information-theoretically useless
+    (every byte is masked by a uniform polynomial).
+    """
+    if not isinstance(secret, (bytes, bytearray)):
+        raise TypeError("secret must be bytes")
+    if not (1 <= threshold <= shares):
+        raise ValueError(
+            f"need 1 <= threshold <= shares, got threshold={threshold}, "
+            f"shares={shares}"
+        )
+    if shares > 255:
+        raise ValueError(f"at most 255 shares, got {shares}")
+    generator = ensure_rng(rng)
+
+    share_bytes = [bytearray() for _ in range(shares)]
+    for secret_byte in secret:
+        coefficients = [secret_byte] + [
+            int(c) for c in generator.integers(0, 256, size=threshold - 1)
+        ]
+        for share_index in range(1, shares + 1):
+            share_bytes[share_index - 1].append(
+                _eval_poly(coefficients, share_index)
+            )
+    return [
+        Share(index=i + 1, data=bytes(data))
+        for i, data in enumerate(share_bytes)
+    ]
+
+
+def combine_shares(shares: Iterable[Share]) -> bytes:
+    """Reconstruct the secret from at least ``threshold`` distinct shares.
+
+    Lagrange interpolation at ``x = 0``, per byte. Supplying fewer shares
+    than the original threshold yields garbage (not an error — the scheme
+    cannot detect it), so callers carry the threshold out of band.
+    """
+    share_list = list(shares)
+    if not share_list:
+        raise ValueError("need at least one share")
+    indices = [share.index for share in share_list]
+    if len(set(indices)) != len(indices):
+        raise ValueError(f"duplicate share indices: {indices}")
+    lengths = {len(share.data) for share in share_list}
+    if len(lengths) != 1:
+        raise ValueError(f"shares have mismatched lengths: {sorted(lengths)}")
+
+    length = lengths.pop()
+    secret = bytearray()
+    # Lagrange basis at x=0: L_i(0) = Π_{j≠i} x_j / (x_j ^ x_i)
+    basis = []
+    for i, x_i in enumerate(indices):
+        numerator, denominator = 1, 1
+        for j, x_j in enumerate(indices):
+            if i == j:
+                continue
+            numerator = gf_mul(numerator, x_j)
+            denominator = gf_mul(denominator, x_j ^ x_i)
+        basis.append(gf_div(numerator, denominator))
+    for position in range(length):
+        value = 0
+        for share, coefficient in zip(share_list, basis):
+            value ^= gf_mul(share.data[position], coefficient)
+        secret.append(value)
+    return bytes(secret)

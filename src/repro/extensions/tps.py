@@ -1,0 +1,283 @@
+"""The Threshold Pivot Scheme (Jansen & Beverly, MILCOM 2010).
+
+The paper's §VI-C: "In TPS, a message must travel for at least τ groups out
+of s groups, based on the threshold secret sharing, and then a pivot
+forwards the message to its destination. While this threshold scheme
+alleviates the longer delay due to the use of onions, the final destination
+of a message is revealed to the pivot."
+
+Abstract protocol implemented here:
+
+1. the source splits the message into ``s`` Shamir shares with threshold
+   ``τ`` and picks ``s`` relay nodes plus one *pivot*;
+2. each share is handed to its designated relay at a contact; a relay
+   carries its share until it meets the pivot;
+3. once the pivot holds ``τ`` shares it reconstructs the message, learning
+   the destination — the scheme's anonymity cost;
+4. the pivot delivers on its next contact with the destination.
+
+Compared to onion routing: shares race in parallel (shorter delay than a
+serial onion path), fewer than ``τ`` compromised relays learn nothing, but
+one compromised *pivot* breaks destination anonymity entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.contacts.events import ContactEvent
+from repro.contacts.graph import ContactGraph
+from repro.extensions.shamir import Share, combine_shares, split_secret
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+@dataclass(frozen=True)
+class TpsRoute:
+    """A TPS dissemination plan: relays, pivot, and the threshold."""
+
+    source: int
+    destination: int
+    relays: Tuple[int, ...]
+    pivot: int
+    threshold: int
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+        if len(set(self.relays)) != len(self.relays):
+            raise ValueError("relays must be distinct")
+        if not self.relays:
+            raise ValueError("TPS needs at least one relay")
+        if not (1 <= self.threshold <= len(self.relays)):
+            raise ValueError(
+                f"threshold must be in 1..{len(self.relays)}, "
+                f"got {self.threshold}"
+            )
+        forbidden = {self.source, self.destination, self.pivot}
+        if forbidden & set(self.relays):
+            raise ValueError("relays must exclude source, destination, and pivot")
+        if self.pivot in (self.source, self.destination):
+            raise ValueError("pivot must differ from the endpoints")
+
+    @property
+    def shares(self) -> int:
+        """Number of shares ``s`` (one per relay)."""
+        return len(self.relays)
+
+
+def select_tps_route(
+    n: int,
+    source: int,
+    destination: int,
+    shares: int,
+    threshold: int,
+    rng: RandomSource = None,
+) -> TpsRoute:
+    """Pick a random pivot and ``shares`` distinct relays."""
+    check_positive_int(shares, "shares")
+    generator = ensure_rng(rng)
+    eligible = [v for v in range(n) if v not in (source, destination)]
+    if shares + 1 > len(eligible):
+        raise ValueError(
+            f"need {shares + 1} distinct intermediaries, only "
+            f"{len(eligible)} eligible nodes"
+        )
+    chosen = generator.choice(len(eligible), size=shares + 1, replace=False)
+    nodes = [eligible[i] for i in chosen]
+    return TpsRoute(
+        source=source,
+        destination=destination,
+        relays=tuple(nodes[:-1]),
+        pivot=nodes[-1],
+        threshold=threshold,
+    )
+
+
+class TpsSession(ProtocolSession):
+    """One message routed with the Threshold Pivot Scheme.
+
+    When the message carries a ``bytes`` payload, real Shamir shares are
+    split at start and recombined at the pivot — the reconstruction is
+    checked against the original, so the secret-sharing substrate is
+    exercised end to end.
+    """
+
+    def __init__(self, message: Message, route: TpsRoute, rng: RandomSource = None):
+        if (message.source, message.destination) != (route.source, route.destination):
+            raise ValueError("message endpoints do not match the route")
+        self._message = message
+        self._route = route
+        # share index -> location state: "source", "relay", "pivot"
+        self._share_at: Dict[int, str] = {
+            i: "source" for i in range(route.shares)
+        }
+        self._relay_of = {i: relay for i, relay in enumerate(route.relays)}
+        self._shares_at_pivot: Set[int] = set()
+        self._reconstructed_at: Optional[float] = None
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+        self._real_shares: Optional[list[Share]] = None
+        self.reconstructed_payload: Optional[bytes] = None
+        if isinstance(message.payload, (bytes, bytearray)) and message.payload:
+            self._real_shares = split_secret(
+                bytes(message.payload), route.shares, route.threshold, rng=rng
+            )
+
+    # ------------------------------------------------------------------
+    # session interface
+    # ------------------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def route(self) -> TpsRoute:
+        """The dissemination plan this session executes."""
+        return self._route
+
+    @property
+    def reconstructed(self) -> bool:
+        """Whether the pivot already holds ``τ`` shares."""
+        return self._reconstructed_at is not None
+
+    @property
+    def reconstruction_time(self) -> Optional[float]:
+        """When the pivot reached the threshold (None if it never did)."""
+        return self._reconstructed_at
+
+    @property
+    def shares_at_pivot(self) -> int:
+        """Shares the pivot currently holds."""
+        return len(self._shares_at_pivot)
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = self._route.shares - len(
+                self._shares_at_pivot
+            )
+            return
+
+        source = self._route.source
+        pivot = self._route.pivot
+
+        # 1. source hands shares to their designated relays
+        if event.involves(source):
+            peer = event.peer_of(source)
+            for index, location in self._share_at.items():
+                if location == "source" and self._relay_of[index] == peer:
+                    self._share_at[index] = "relay"
+                    self._outcome.record_transfer(event.time, source, peer)
+
+        # 2. relays hand shares to the pivot
+        if event.involves(pivot):
+            peer = event.peer_of(pivot)
+            for index, location in self._share_at.items():
+                if location == "relay" and self._relay_of[index] == peer:
+                    self._share_at[index] = "pivot"
+                    self._shares_at_pivot.add(index)
+                    self._outcome.record_transfer(event.time, peer, pivot)
+            if (
+                self._reconstructed_at is None
+                and len(self._shares_at_pivot) >= self._route.threshold
+            ):
+                self._reconstructed_at = event.time
+                if self._real_shares is not None:
+                    held = [
+                        self._real_shares[i]
+                        for i in sorted(self._shares_at_pivot)[: self._route.threshold]
+                    ]
+                    self.reconstructed_payload = combine_shares(held)
+
+        # 3. the pivot delivers the reconstructed message
+        if (
+            self._reconstructed_at is not None
+            and event.involves(pivot)
+            and event.peer_of(pivot) == self._route.destination
+        ):
+            self._outcome.record_transfer(
+                event.time, pivot, self._route.destination
+            )
+            self._outcome.delivered = True
+            self._outcome.delivery_time = event.time
+
+    # ------------------------------------------------------------------
+    # security accessors
+    # ------------------------------------------------------------------
+
+    def destination_exposed_to(self, compromised: Set[int]) -> bool:
+        """TPS's weakness: a compromised pivot learns the destination."""
+        return self._route.pivot in compromised
+
+    def shares_exposed_to(self, compromised: Set[int]) -> int:
+        """Number of shares whose carrying relay is compromised."""
+        return sum(1 for relay in self._route.relays if relay in compromised)
+
+    def payload_exposed_to(self, compromised: Set[int]) -> bool:
+        """Whether the adversary can reconstruct the payload.
+
+        True when at least ``τ`` relays are compromised, or the pivot is
+        compromised after reconstruction.
+        """
+        if self.shares_exposed_to(compromised) >= self._route.threshold:
+            return True
+        return self.reconstructed and self._route.pivot in compromised
+
+
+def tps_delivery_model(
+    graph: ContactGraph,
+    route: TpsRoute,
+    deadline: float,
+    samples: int = 20000,
+    rng: RandomSource = None,
+) -> float:
+    """Monte Carlo delivery model for TPS.
+
+    Share ``i`` reaches the pivot after ``Exp(λ_{s,r_i}) + Exp(λ_{r_i,p})``;
+    the message is reconstructible at the ``τ``-th order statistic of those
+    arrival sums; delivery adds the pivot→destination exponential. There is
+    no closed form for the order statistic of non-identical hypoexponential
+    sums, so the model integrates by sampling — it is still a *model* (no
+    event simulation, no contention effects).
+    """
+    check_non_negative(deadline, "deadline")
+    check_positive_int(samples, "samples")
+    generator = ensure_rng(rng)
+
+    to_relay = np.array(
+        [graph.rate(route.source, relay) for relay in route.relays]
+    )
+    to_pivot = np.array(
+        [graph.rate(relay, route.pivot) for relay in route.relays]
+    )
+    pivot_to_dest = graph.rate(route.pivot, route.destination)
+    if np.any(to_relay <= 0) or np.any(to_pivot <= 0) or pivot_to_dest <= 0:
+        return 0.0
+
+    arrivals = generator.exponential(
+        1.0 / to_relay, size=(samples, route.shares)
+    ) + generator.exponential(1.0 / to_pivot, size=(samples, route.shares))
+    arrivals.sort(axis=1)
+    reconstruction = arrivals[:, route.threshold - 1]
+    delivery = reconstruction + generator.exponential(
+        1.0 / pivot_to_dest, size=samples
+    )
+    return float(np.mean(delivery <= deadline))

@@ -1,0 +1,49 @@
+"""Direct delivery: the source waits until it meets the destination.
+
+The cheapest possible scheme (one transmission) and the slowest; its delay
+is a single exponential with rate ``λ_{s,d}``, which makes it a sharp unit
+test for the simulation engine.
+"""
+
+from __future__ import annotations
+
+from repro.contacts.events import ContactEvent
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+
+
+class DirectDeliverySession(ProtocolSession):
+    """Hold the message at the source until a source-destination contact."""
+
+    def __init__(self, message: Message):
+        self._message = message
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = 1
+            return
+        if not event.involves(self._message.source):
+            return
+        if event.peer_of(self._message.source) == self._message.destination:
+            self._outcome.delivered = True
+            self._outcome.delivery_time = event.time
+            self._outcome.record_transfer(
+                event.time, self._message.source, self._message.destination
+            )

@@ -1,0 +1,65 @@
+"""Epidemic routing (Vahdat & Becker 2000).
+
+Flooding: every contact where exactly one side holds the message copies it
+to the other. Maximal delivery rate and delay performance, maximal cost —
+the canonical upper/lower bounds for DTN routing comparisons.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.contacts.events import ContactEvent
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+
+
+class EpidemicSession(ProtocolSession):
+    """Flood the message at every contact until the destination has it."""
+
+    def __init__(self, message: Message, count_cost_after_delivery: bool = False):
+        self._message = message
+        self._holders: Set[int] = {message.source}
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+        # By default the session stops at first delivery (delivery-rate
+        # experiments); enabling this keeps flooding to measure total cost.
+        self._count_after = count_cost_after_delivery
+
+    @property
+    def done(self) -> bool:
+        if self._expired:
+            return True
+        return self._outcome.delivered and not self._count_after
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def infected(self) -> int:
+        """Number of nodes currently holding a copy."""
+        return len(self._holders)
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = len(self._holders)
+            return
+        a_has = event.a in self._holders
+        b_has = event.b in self._holders
+        if a_has == b_has:
+            return
+        sender = event.a if a_has else event.b
+        receiver = event.b if a_has else event.a
+        self._holders.add(receiver)
+        self._outcome.record_transfer(event.time, sender, receiver)
+        if receiver == self._message.destination and not self._outcome.delivered:
+            self._outcome.delivered = True
+            self._outcome.delivery_time = event.time

@@ -1,0 +1,63 @@
+"""First-contact routing (Jain, Fall & Patra, SIGCOMM 2004 taxonomy).
+
+A single copy forwarded to the *first* node contacted, whoever it is — a
+random walk over the contact process. Cheap per hop, oblivious to where the
+destination is; useful as a knowledge-free single-copy baseline.
+"""
+
+from __future__ import annotations
+
+from repro.contacts.events import ContactEvent
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+
+
+class FirstContactSession(ProtocolSession):
+    """Single copy, forwarded at every contact of its current holder."""
+
+    def __init__(self, message: Message, max_hops: int = 0):
+        if max_hops < 0:
+            raise ValueError(f"max_hops must be non-negative, got {max_hops}")
+        self._message = message
+        self._holder = message.source
+        self._max_hops = max_hops  # 0 means unlimited
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def holder(self) -> int:
+        """The node currently carrying the message."""
+        return self._holder
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = 1
+            return
+        if not event.involves(self._holder):
+            return
+        peer = event.peer_of(self._holder)
+        if peer == self._message.destination:
+            self._outcome.record_transfer(event.time, self._holder, peer)
+            self._outcome.delivered = True
+            self._outcome.delivery_time = event.time
+            return
+        if self._max_hops and self._outcome.transmissions >= self._max_hops:
+            return  # park the copy; only direct delivery remains possible
+        self._outcome.record_transfer(event.time, self._holder, peer)
+        self._holder = peer
+        self._outcome.paths[0].append(peer)

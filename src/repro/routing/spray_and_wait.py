@@ -1,0 +1,79 @@
+"""Spray and Wait (Spyropoulos et al., WDTN 2005).
+
+The non-anonymous multi-copy baseline of the paper's Fig. 11: the source
+*sprays* ``L`` copies (source mode hands one ticket per new relay; binary
+mode halves the ticket pool), then every carrier *waits* and delivers only
+on a direct contact with the destination. Cost is at most ``2L``
+transmissions — each copy is sprayed once and delivered at most once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.contacts.events import ContactEvent
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+from repro.utils.validation import check_positive_int
+
+
+@dataclass
+class _Carrier:
+    tickets: int
+
+
+class SprayAndWaitSession(ProtocolSession):
+    """Classic spray-and-wait with source or binary spraying."""
+
+    def __init__(self, message: Message, copies: int, binary: bool = False):
+        check_positive_int(copies, "copies")
+        self._message = message
+        self._binary = binary
+        self._carriers: Dict[int, _Carrier] = {
+            message.source: _Carrier(tickets=copies)
+        }
+        self._outcome = DeliveryOutcome(
+            paths=[[message.source]], created_at=message.created_at
+        )
+        self._expired = False
+
+    @property
+    def done(self) -> bool:
+        return self._outcome.delivered or self._expired
+
+    def outcome(self) -> DeliveryOutcome:
+        return self._outcome
+
+    @property
+    def carriers(self) -> int:
+        """Number of nodes currently holding a copy."""
+        return len(self._carriers)
+
+    def on_contact(self, event: ContactEvent) -> None:
+        if self.done:
+            return
+        if event.time < self._message.created_at:
+            return  # the bundle does not exist yet
+        if self._message.expired(event.time):
+            self._expired = True
+            self._outcome.expired_copies = len(self._carriers)
+            return
+
+        for holder in (event.a, event.b):
+            carrier = self._carriers.get(holder)
+            if carrier is None:
+                continue
+            peer = event.peer_of(holder)
+            if peer == self._message.destination:
+                self._outcome.record_transfer(event.time, holder, peer)
+                self._outcome.delivered = True
+                self._outcome.delivery_time = event.time
+                return
+            if carrier.tickets > 1 and peer not in self._carriers:
+                handed = carrier.tickets // 2 if self._binary else 1
+                handed = max(handed, 1)
+                self._carriers[peer] = _Carrier(tickets=handed)
+                carrier.tickets -= handed
+                self._outcome.record_transfer(event.time, holder, peer)

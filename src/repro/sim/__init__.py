@@ -1,0 +1,33 @@
+"""Discrete-event DTN simulation.
+
+The engine replays a chronological stream of contact events — sampled from
+exponential pairwise clocks or replayed from a trace — and hands each event
+to the registered protocol sessions. The paper's modelling assumptions are
+baked in: every contact is a full-transfer opportunity in both directions,
+and message deadlines are enforced at forwarding time.
+"""
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome, SummaryStats, summarize
+from repro.sim.node import Buffer, Node
+from repro.sim.protocol import ProtocolSession
+from repro.sim.workload import (
+    PoissonWorkload,
+    WorkloadResult,
+    onion_session_factory,
+)
+
+__all__ = [
+    "SimulationEngine",
+    "Message",
+    "Node",
+    "Buffer",
+    "ProtocolSession",
+    "DeliveryOutcome",
+    "SummaryStats",
+    "summarize",
+    "PoissonWorkload",
+    "WorkloadResult",
+    "onion_session_factory",
+]

@@ -1,0 +1,61 @@
+"""The discrete-event simulation loop."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Protocol as TypingProtocol
+
+from repro.contacts.events import ContactEvent
+from repro.sim.protocol import ProtocolSession
+from repro.utils.validation import check_positive
+
+
+class EventSource(TypingProtocol):
+    """Anything that yields chronological contact events up to a horizon."""
+
+    def events_until(self, horizon: float) -> Iterable[ContactEvent]:  # pragma: no cover
+        ...
+
+
+class SimulationEngine:
+    """Drives protocol sessions with a contact-event stream.
+
+    The engine is deliberately thin: all routing logic lives in the
+    sessions, all stochastic structure in the event source. It stops at the
+    horizon or as soon as every session reports ``done``.
+    """
+
+    def __init__(self, events: EventSource, horizon: float):
+        check_positive(horizon, "horizon")
+        self._events = events
+        self._horizon = horizon
+        self._sessions: List[ProtocolSession] = []
+        self._events_processed = 0
+
+    @property
+    def horizon(self) -> float:
+        """Latest event time the engine will process."""
+        return self._horizon
+
+    @property
+    def events_processed(self) -> int:
+        """Number of contact events dispatched so far."""
+        return self._events_processed
+
+    def add_session(self, session: ProtocolSession) -> ProtocolSession:
+        """Register a session; returns it for chaining."""
+        self._sessions.append(session)
+        return session
+
+    def run(self) -> None:
+        """Process events until the horizon or until all sessions are done."""
+        if not self._sessions:
+            raise RuntimeError("no protocol sessions registered")
+        for event in self._events.events_until(self._horizon):
+            self._events_processed += 1
+            all_done = True
+            for session in self._sessions:
+                if not session.done:
+                    session.on_contact(event)
+                    all_done = all_done and session.done
+            if all_done:
+                return

@@ -1,0 +1,63 @@
+"""The message (bundle) model.
+
+DTN routing lives in the Bundle layer; a :class:`Message` is one bundle with
+an end-to-end deadline ``T`` — "every message must be delivered to its
+destination within T" (§III-B) — measured from its creation time.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An immutable bundle descriptor.
+
+    Parameters
+    ----------
+    source, destination:
+        End-host node ids.
+    created_at:
+        Simulation time the bundle entered the network.
+    deadline:
+        Relative time-to-live ``T``; the bundle expires at
+        ``created_at + deadline``.
+    payload:
+        Opaque application data (bytes, an :class:`~repro.crypto.onion.Onion`,
+        or ``None`` for analyses that don't exercise the crypto path).
+    size:
+        Bundle size in abstract units; contacts always fit a full bundle per
+        the paper's link-duration assumption, but buffer policies may use it.
+    """
+
+    source: int
+    destination: int
+    created_at: float
+    deadline: float
+    payload: Any = None
+    size: int = 1
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.created_at < 0:
+            raise ValueError(f"created_at must be non-negative, got {self.created_at}")
+        if self.size <= 0:
+            raise ValueError(f"size must be positive, got {self.size}")
+
+    @property
+    def expires_at(self) -> float:
+        """Absolute expiry time ``created_at + deadline``."""
+        return self.created_at + self.deadline
+
+    def expired(self, now: float) -> bool:
+        """Whether the bundle's deadline has passed at time ``now``."""
+        return now > self.expires_at

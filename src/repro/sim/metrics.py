@@ -1,0 +1,107 @@
+"""Delivery outcomes and aggregate statistics."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class DeliveryOutcome:
+    """Result of routing one message through one simulated network.
+
+    ``paths`` lists, per delivered-or-attempted copy, the chain of *hop
+    senders*: ``[v_s, r_1, …]``. A complete delivered path of ``η`` hops has
+    ``η`` senders; partial paths (copy died en route) are shorter. Security
+    post-processing (traceable rate, anonymity) consumes these chains.
+    """
+
+    delivered: bool = False
+    delivery_time: Optional[float] = None
+    transmissions: int = 0
+    paths: List[List[int]] = field(default_factory=list)
+    expired_copies: int = 0
+    created_at: float = 0.0
+    #: every transfer as ``(time, sender, receiver)`` — the radio activity a
+    #: passive global observer could record (fed to traffic analysis).
+    transfers: List[Tuple[float, int, int]] = field(default_factory=list)
+
+    def record_transfer(self, time: float, sender: int, receiver: int) -> None:
+        """Count one transmission and log it for traffic analysis."""
+        self.transmissions += 1
+        self.transfers.append((time, sender, receiver))
+
+    @property
+    def delay(self) -> float:
+        """Delivery delay since creation; ``inf`` when never delivered."""
+        if self.delivery_time is None:
+            return math.inf
+        return self.delivery_time - self.created_at
+
+    @property
+    def delivered_path(self) -> Optional[List[int]]:
+        """Hop senders of the first copy that reached the destination."""
+        return self.paths[0] if self.delivered and self.paths else None
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Aggregates over a batch of outcomes."""
+
+    trials: int
+    delivery_rate: float
+    mean_delay: float
+    mean_transmissions: float
+    delay_p95: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"trials={self.trials} delivery_rate={self.delivery_rate:.3f} "
+            f"mean_delay={self.mean_delay:.1f} "
+            f"mean_transmissions={self.mean_transmissions:.2f}"
+        )
+
+
+def summarize(outcomes: Iterable[DeliveryOutcome]) -> SummaryStats:
+    """Aggregate delivery rate, delay, and transmission statistics.
+
+    Delay statistics are computed over delivered messages only (the paper's
+    delivery-rate plots implicitly do the same); they are ``nan`` when
+    nothing was delivered.
+    """
+    outcomes = list(outcomes)
+    if not outcomes:
+        raise ValueError("summarize() needs at least one outcome")
+    delivered = [o for o in outcomes if o.delivered]
+    delays = np.array([o.delay for o in delivered], dtype=float)
+    return SummaryStats(
+        trials=len(outcomes),
+        delivery_rate=len(delivered) / len(outcomes),
+        mean_delay=float(delays.mean()) if delays.size else math.nan,
+        mean_transmissions=float(
+            np.mean([o.transmissions for o in outcomes])
+        ),
+        delay_p95=float(np.percentile(delays, 95)) if delays.size else math.nan,
+    )
+
+
+def delivery_rate_curve(
+    outcomes: Sequence[DeliveryOutcome], deadlines: Sequence[float]
+) -> List[Tuple[float, float]]:
+    """Delivery rate as a function of deadline from one batch of outcomes.
+
+    Each outcome's ``delivery_time`` is compared against every candidate
+    deadline, so a single simulation batch (run to the largest horizon)
+    yields the whole deadline sweep — this mirrors how the paper's
+    delivery-vs-deadline figures are produced.
+    """
+    if not outcomes:
+        raise ValueError("need at least one outcome")
+    delays = np.array([o.delay for o in outcomes])
+    return [
+        (float(deadline), float(np.mean(delays <= deadline)))
+        for deadline in deadlines
+    ]

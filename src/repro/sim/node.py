@@ -1,0 +1,93 @@
+"""Node and buffer models.
+
+Protocols store per-node message state in a :class:`Buffer`. The paper's
+abstract protocols effectively assume ample buffers (each node carries at
+most a handful of onion bundles); the buffer still enforces an optional
+capacity with drop-oldest semantics so resource-constrained scenarios and
+the epidemic baseline behave sensibly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+from repro.sim.message import Message
+
+
+class Buffer:
+    """An ordered message store with optional capacity (drop-oldest)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._capacity = capacity
+        self._entries: "OrderedDict[int, Any]" = OrderedDict()
+        self.drops = 0
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum number of stored entries, or ``None`` for unbounded."""
+        return self._capacity
+
+    def put(self, message_id: int, state: Any = None) -> None:
+        """Store (or refresh) a message's per-node state.
+
+        When full, the oldest entry is evicted and counted in :attr:`drops`.
+        """
+        if message_id in self._entries:
+            self._entries[message_id] = state
+            return
+        if self._capacity is not None and len(self._entries) >= self._capacity:
+            self._entries.popitem(last=False)
+            self.drops += 1
+        self._entries[message_id] = state
+
+    def get(self, message_id: int) -> Any:
+        """State stored for ``message_id``; raises ``KeyError`` if absent."""
+        return self._entries[message_id]
+
+    def remove(self, message_id: int) -> None:
+        """Delete a message (no-op if absent)."""
+        self._entries.pop(message_id, None)
+
+    def __contains__(self, message_id: int) -> bool:
+        return message_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._entries)
+
+
+@dataclass
+class Node:
+    """A DTN node: identity plus a message buffer."""
+
+    node_id: int
+    buffer: Buffer = field(default_factory=Buffer)
+
+    def holds(self, message: Message) -> bool:
+        """Whether this node currently carries ``message``."""
+        return message.message_id in self.buffer
+
+
+class NodeRegistry:
+    """Lazily materialised nodes keyed by id, sharing a buffer capacity."""
+
+    def __init__(self, buffer_capacity: Optional[int] = None):
+        self._capacity = buffer_capacity
+        self._nodes: Dict[int, Node] = {}
+
+    def __getitem__(self, node_id: int) -> Node:
+        node = self._nodes.get(node_id)
+        if node is None:
+            node = Node(node_id=node_id, buffer=Buffer(self._capacity))
+            self._nodes[node_id] = node
+        return node
+
+    def known(self) -> Iterator[Node]:
+        """Nodes that have been touched so far."""
+        return iter(self._nodes.values())

@@ -1,0 +1,32 @@
+"""The protocol-session interface the engine drives."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.contacts.events import ContactEvent
+from repro.sim.metrics import DeliveryOutcome
+
+
+class ProtocolSession(abc.ABC):
+    """One message's journey under one routing protocol.
+
+    The engine calls :meth:`on_contact` for every contact event in time
+    order; the session mutates its internal carrier state and reports the
+    final :class:`~repro.sim.metrics.DeliveryOutcome`. Sessions should set
+    :attr:`done` as soon as no future contact can change the outcome so the
+    engine can stop early.
+    """
+
+    @abc.abstractmethod
+    def on_contact(self, event: ContactEvent) -> None:
+        """React to a contact between ``event.a`` and ``event.b``."""
+
+    @property
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """Whether the session's outcome can no longer change."""
+
+    @abc.abstractmethod
+    def outcome(self) -> DeliveryOutcome:
+        """The (possibly still-evolving) delivery outcome."""

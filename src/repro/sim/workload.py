@@ -1,0 +1,138 @@
+"""Multi-message workloads: Poisson traffic over one contact process.
+
+The per-figure experiments route one message per session; deployments care
+about sustained traffic. A :class:`PoissonWorkload` injects messages with
+exponential inter-arrival times between random endpoint pairs, runs every
+session over a single shared event stream, and aggregates the outcomes —
+the standard DTN evaluation loop (delivery ratio / delay / overhead under
+load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.contacts.graph import ContactGraph
+from repro.core.multi_copy import MultiCopySession
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.core.single_copy import SingleCopySession
+from repro.sim.engine import SimulationEngine
+from repro.sim.message import Message
+from repro.sim.metrics import DeliveryOutcome, SummaryStats, summarize
+from repro.sim.protocol import ProtocolSession
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive
+
+SessionFactory = Callable[[Message], ProtocolSession]
+
+
+@dataclass(frozen=True)
+class WorkloadResult:
+    """Outcomes plus their aggregate statistics."""
+
+    outcomes: tuple
+    stats: SummaryStats
+
+    @property
+    def messages(self) -> int:
+        """Number of messages injected."""
+        return len(self.outcomes)
+
+
+class PoissonWorkload:
+    """Poisson message arrivals between uniform random endpoint pairs.
+
+    Parameters
+    ----------
+    arrival_rate:
+        Messages per time unit (the same unit as the contact rates).
+    message_deadline:
+        Per-message TTL ``T``.
+    duration:
+        Injection window; the simulation runs to
+        ``duration + message_deadline`` so the last message gets its full
+        deadline.
+    """
+
+    def __init__(
+        self,
+        arrival_rate: float,
+        message_deadline: float,
+        duration: float,
+    ):
+        check_positive(arrival_rate, "arrival_rate")
+        check_positive(message_deadline, "message_deadline")
+        check_positive(duration, "duration")
+        self._arrival_rate = arrival_rate
+        self._deadline = message_deadline
+        self._duration = duration
+
+    def generate_messages(
+        self, n: int, rng: np.random.Generator
+    ) -> List[Message]:
+        """Sample the arrival times and endpoint pairs."""
+        messages = []
+        time = 0.0
+        while True:
+            time += rng.exponential(1.0 / self._arrival_rate)
+            if time > self._duration:
+                break
+            source, destination = rng.choice(n, size=2, replace=False)
+            messages.append(
+                Message(
+                    source=int(source),
+                    destination=int(destination),
+                    created_at=time,
+                    deadline=self._deadline,
+                )
+            )
+        return messages
+
+    def run(
+        self,
+        graph: ContactGraph,
+        session_factory: SessionFactory,
+        rng: RandomSource = None,
+    ) -> WorkloadResult:
+        """Inject the workload and run everything over one event stream."""
+        from repro.contacts.events import ExponentialContactProcess
+
+        generator = ensure_rng(rng)
+        messages = self.generate_messages(graph.n, generator)
+        if not messages:
+            raise RuntimeError(
+                "workload produced no messages; raise arrival_rate or duration"
+            )
+        horizon = self._duration + self._deadline
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=generator), horizon=horizon
+        )
+        sessions = [session_factory(message) for message in messages]
+        for session in sessions:
+            engine.add_session(session)
+        engine.run()
+        outcomes = tuple(session.outcome() for session in sessions)
+        return WorkloadResult(outcomes=outcomes, stats=summarize(outcomes))
+
+
+def onion_session_factory(
+    directory: OnionGroupDirectory,
+    onion_routers: int,
+    copies: int = 1,
+    rng: RandomSource = None,
+) -> SessionFactory:
+    """A factory producing onion-routing sessions with fresh random routes."""
+    generator = ensure_rng(rng)
+
+    def build(message: Message) -> ProtocolSession:
+        route = directory.select_route(
+            message.source, message.destination, onion_routers, rng=generator
+        )
+        if copies == 1:
+            return SingleCopySession(message, route)
+        return MultiCopySession(message, route, copies=copies)
+
+    return build

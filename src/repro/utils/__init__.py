@@ -1,0 +1,21 @@
+"""Shared helpers: RNG management, validation, and small numeric utilities."""
+
+from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+__all__ = [
+    "RandomSource",
+    "ensure_rng",
+    "spawn_rng",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+]

@@ -1,0 +1,55 @@
+"""Argument validation helpers.
+
+These raise early with a message naming the offending parameter, so model and
+protocol constructors fail at configuration time rather than mid-simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require a finite value strictly greater than zero."""
+    value = float(value)
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a finite positive number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require a finite value greater than or equal to zero."""
+    value = float(value)
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(f"{name} must be a finite non-negative number, got {value!r}")
+    return value
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Require an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int,)):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+    return int(value)
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require a probability in the closed interval [0, 1]."""
+    value = float(value)
+    if not (0.0 <= value <= 1.0):
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require a fraction in the half-open interval [0, 1).
+
+    Used for compromise rates, where 1.0 (every node compromised, including
+    source and destination) makes the anonymity formulas degenerate.
+    """
+    value = float(value)
+    if not (0.0 <= value < 1.0):
+        raise ValueError(f"{name} must lie in [0, 1), got {value!r}")
+    return value

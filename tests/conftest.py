@@ -1,0 +1,33 @@
+"""Shared fixtures: small deterministic graphs, directories, and routes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.contacts.graph import ContactGraph
+from repro.core.onion_groups import OnionGroupDirectory
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator; tests that need determinism reseed locally."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def equal_rate_graph():
+    """Complete 20-node contact graph, every pair at rate 0.01."""
+    return ContactGraph.complete(20, 0.01)
+
+
+@pytest.fixture
+def directory_20():
+    """Deterministic (unshuffled) directory: 4 consecutive groups of 5."""
+    return OnionGroupDirectory(20, 5)
+
+
+@pytest.fixture
+def route_20(directory_20):
+    """A fixed route 0 → R → R' → 19 over the deterministic directory."""
+    return directory_20.select_route(0, 19, 2, rng=1)

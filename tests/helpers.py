@@ -1,0 +1,32 @@
+"""Shared test helpers: scripted event sources."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.contacts.events import ContactEvent
+
+
+class ScriptedEvents:
+    """A deterministic contact-event source built from (time, a, b) tuples."""
+
+    def __init__(self, events: Iterable[Tuple[float, int, int]]):
+        self._events: List[ContactEvent] = sorted(
+            (ContactEvent(time=t, a=a, b=b) for t, a, b in events),
+            key=lambda e: e.time,
+        )
+        self._cursor = 0
+
+    def events_until(self, horizon: float):
+        while self._cursor < len(self._events):
+            event = self._events[self._cursor]
+            if event.time > horizon:
+                return
+            self._cursor += 1
+            yield event
+
+
+def feed(session, events: Sequence[Tuple[float, int, int]]) -> None:
+    """Push scripted contacts straight into a session, in time order."""
+    for t, a, b in sorted(events):
+        session.on_contact(ContactEvent(time=t, a=a, b=b))

@@ -1,0 +1,122 @@
+"""Tests for the adversary model: compromise, tracing, anonymity observation."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.observer import (
+    observed_exposed_hops,
+    observed_path_anonymity,
+)
+from repro.adversary.tracer import PathTracer
+from repro.analysis.anonymity import path_anonymity_exact
+
+
+class TestCompromiseModel:
+    def test_fixed_count(self):
+        model = CompromiseModel(100, 0.2)
+        compromised = model.sample_fixed_count(rng=0)
+        assert len(compromised) == 20
+        assert all(0 <= v < 100 for v in compromised)
+
+    def test_zero_rate(self):
+        assert CompromiseModel(50, 0.0).sample_fixed_count(rng=0) == set()
+
+    def test_protected_nodes_never_compromised(self):
+        model = CompromiseModel(20, 0.5, protected=[0, 19])
+        for seed in range(20):
+            compromised = model.sample_fixed_count(rng=seed)
+            assert 0 not in compromised
+            assert 19 not in compromised
+
+    def test_protected_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            CompromiseModel(10, 0.1, protected=[10])
+
+    def test_bernoulli_rate(self):
+        model = CompromiseModel(2000, 0.3)
+        compromised = model.sample_bernoulli(rng=0)
+        assert len(compromised) == pytest.approx(600, rel=0.15)
+
+    def test_expected_count(self):
+        assert CompromiseModel(100, 0.25).expected_count == 25.0
+
+    def test_rate_one_rejected(self):
+        with pytest.raises(ValueError):
+            CompromiseModel(10, 1.0)
+
+    def test_samples_vary_with_seed(self):
+        model = CompromiseModel(100, 0.1)
+        assert model.sample_fixed_count(rng=1) != model.sample_fixed_count(rng=2)
+
+
+class TestPathTracer:
+    def test_bits_and_rate(self):
+        tracer = PathTracer({1, 2, 4})
+        # path senders v1 v2 v3 v4 (hops 1-4): bits 1101
+        assert tracer.bits([1, 2, 3, 4]) == [1, 1, 0, 1]
+        assert tracer.traceable_rate([1, 2, 3, 4]) == pytest.approx(0.3125)
+
+    def test_disclosed_links(self):
+        tracer = PathTracer({1, 3})
+        assert tracer.disclosed_links([1, 2, 3, 4]) == 2
+
+    def test_no_compromise_zero(self):
+        tracer = PathTracer(set())
+        assert tracer.traceable_rate([1, 2, 3]) == 0.0
+
+    def test_mean_over_paths(self):
+        tracer = PathTracer({1})
+        mean = tracer.mean_traceable_rate([[1, 2], [3, 4]])
+        assert mean == pytest.approx((0.25 + 0.0) / 2)
+
+    def test_mean_requires_paths(self):
+        with pytest.raises(ValueError):
+            PathTracer(set()).mean_traceable_rate([])
+
+    def test_compromised_is_frozen_copy(self):
+        source = {1, 2}
+        tracer = PathTracer(source)
+        source.add(3)
+        assert 3 not in tracer.compromised
+
+
+class TestObserver:
+    def test_single_path_count(self):
+        exposed = observed_exposed_hops([[0, 5, 9]], {5}, eta=3)
+        assert exposed == 1
+
+    def test_union_over_copies(self):
+        paths = [[0, 5, 9], [0, 6, 9]]
+        # position 1 exposed via copy 1 (5), position 2 exposed via both (9)
+        assert observed_exposed_hops(paths, {5, 9}, eta=3) == 2
+
+    def test_position_counted_once_across_copies(self):
+        paths = [[0, 5, 9], [0, 6, 9]]
+        assert observed_exposed_hops(paths, {5, 6}, eta=3) == 1
+
+    def test_short_paths_contribute_prefix(self):
+        assert observed_exposed_hops([[0, 5]], {5}, eta=4) == 1
+
+    def test_empty_paths_rejected(self):
+        with pytest.raises(ValueError):
+            observed_exposed_hops([], {1}, eta=3)
+
+    def test_anonymity_matches_exact_formula(self):
+        paths = [[0, 5, 9]]
+        value = observed_path_anonymity(paths, {5}, n=50, eta=3, group_size=5)
+        assert value == pytest.approx(
+            path_anonymity_exact(50, 3, 5, 1.0)
+        )
+
+    def test_anonymity_full_when_untouched(self):
+        value = observed_path_anonymity([[0, 5, 9]], set(), n=50, eta=3, group_size=5)
+        assert value == pytest.approx(1.0)
+
+    def test_more_copies_cannot_raise_anonymity(self):
+        compromised = {5, 6}
+        one = observed_path_anonymity([[0, 5, 9]], compromised, 50, 3, 5)
+        two = observed_path_anonymity(
+            [[0, 5, 9], [0, 6, 9]], compromised, 50, 3, 5
+        )
+        assert two <= one

@@ -1,0 +1,186 @@
+"""Tests for the passive traffic-analysis adversary."""
+
+import pytest
+
+from repro.adversary.traffic_analysis import (
+    ChainLinkingAttack,
+    InferredFlow,
+    TrafficLog,
+    TrafficTruth,
+    endpoint_exposure,
+    linkability,
+)
+from repro.sim.metrics import DeliveryOutcome
+
+
+class TestTrafficLog:
+    def test_sorted_and_merged(self):
+        a = DeliveryOutcome(transfers=[(2.0, 0, 1)])
+        b = DeliveryOutcome(transfers=[(1.0, 5, 6)])
+        log = TrafficLog.from_outcomes([a, b])
+        assert log.transmissions == ((1.0, 5, 6), (2.0, 0, 1))
+        assert len(log) == 2
+
+
+class TestChainLinking:
+    def test_single_quiet_chain_fully_recovered(self):
+        """With no mixing traffic, chain linking is trivial — the threat
+        model the paper's anonymity mechanisms are built against."""
+        log = TrafficLog([(1.0, 0, 5), (2.0, 5, 8), (3.0, 8, 9)])
+        flows = ChainLinkingAttack(max_gap=10.0).infer_flows(log)
+        assert len(flows) == 1
+        assert flows[0].source == 0
+        assert flows[0].destination == 9
+        assert flows[0].hops == (0, 5, 8, 9)
+
+    def test_gap_splits_chains(self):
+        log = TrafficLog([(1.0, 0, 5), (100.0, 5, 9)])
+        flows = ChainLinkingAttack(max_gap=10.0).infer_flows(log)
+        pairs = {(f.source, f.destination) for f in flows}
+        assert (0, 9) not in pairs
+        assert (0, 5) in pairs
+
+    def test_two_disjoint_chains_separate(self):
+        log = TrafficLog(
+            [(1.0, 0, 5), (1.5, 10, 15), (2.0, 5, 9), (2.5, 15, 19)]
+        )
+        flows = ChainLinkingAttack(max_gap=10.0).infer_flows(log)
+        pairs = {(f.source, f.destination) for f in flows}
+        assert pairs == {(0, 9), (10, 19)}
+
+    def test_crossing_chains_confuse_the_attack(self):
+        """Two chains sharing a relay node can be mislinked — mixing works."""
+        log = TrafficLog(
+            [
+                (1.0, 0, 5),
+                (1.2, 10, 5),  # second message also lands on relay 5
+                (2.0, 5, 9),
+                (2.2, 5, 19),
+            ]
+        )
+        flows = ChainLinkingAttack(max_gap=10.0).infer_flows(log)
+        pairs = {(f.source, f.destination) for f in flows}
+        truths = {(0, 9), (10, 19)}
+        # at most one of the two true pairs survives the ambiguity
+        assert len(pairs & truths) <= 1
+
+    def test_bad_gap(self):
+        with pytest.raises(ValueError, match="max_gap"):
+            ChainLinkingAttack(max_gap=0.0)
+
+
+class TestMetrics:
+    def _flow(self, source, destination):
+        return InferredFlow(
+            source=source,
+            destination=destination,
+            hops=(source, destination),
+            start_time=0.0,
+            end_time=1.0,
+        )
+
+    def test_linkability_counts_exact_pairs(self):
+        flows = [self._flow(0, 9), self._flow(3, 4)]
+        truths = [TrafficTruth(0, 9), TrafficTruth(5, 6)]
+        assert linkability(flows, truths) == 0.5
+
+    def test_linkability_multiset(self):
+        flows = [self._flow(0, 9)]
+        truths = [TrafficTruth(0, 9), TrafficTruth(0, 9)]
+        assert linkability(flows, truths) == 0.5
+
+    def test_endpoint_exposure(self):
+        flows = [self._flow(0, 7)]
+        truths = [TrafficTruth(0, 9)]
+        exposure = endpoint_exposure(flows, truths)
+        assert exposure["source_exposure"] == 1.0
+        assert exposure["destination_exposure"] == 0.0
+
+    def test_empty_truths_rejected(self):
+        with pytest.raises(ValueError):
+            linkability([], [])
+
+
+class TestEndToEnd:
+    def test_quiet_onion_network_is_fully_linkable(self):
+        """One onion message alone: traffic analysis recovers everything —
+        anonymity needs cover traffic, not just encryption."""
+        from repro.contacts.graph import ContactGraph
+        from repro.contacts.events import ExponentialContactProcess
+        from repro.core.onion_groups import OnionGroupDirectory
+        from repro.core.single_copy import SingleCopySession
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.message import Message
+
+        graph = ContactGraph.complete(20, 0.05)
+        directory = OnionGroupDirectory(20, 5)
+        route = directory.select_route(0, 19, 2, rng=1)
+        message = Message(0, 19, 0.0, 5000.0)
+        session = SingleCopySession(message, route)
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=2), horizon=5000.0
+        )
+        engine.add_session(session)
+        engine.run()
+        outcome = session.outcome()
+        assert outcome.delivered
+
+        log = TrafficLog.from_outcomes([outcome])
+        flows = ChainLinkingAttack(max_gap=5000.0).infer_flows(log)
+        assert linkability(flows, [TrafficTruth(0, 19)]) == 1.0
+
+    def test_concurrent_traffic_reduces_linkability(self):
+        """Under a busy workload the same attack links far fewer flows."""
+        from repro.contacts.events import ExponentialContactProcess
+        from repro.contacts.graph import ContactGraph
+        from repro.core.onion_groups import OnionGroupDirectory
+        from repro.core.single_copy import SingleCopySession
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.workload import PoissonWorkload
+        from repro.utils.rng import ensure_rng
+
+        rng = ensure_rng(3)
+        graph = ContactGraph.complete(30, 0.05)
+        directory = OnionGroupDirectory(30, 5, rng=rng)
+        workload = PoissonWorkload(
+            arrival_rate=0.2, message_deadline=300.0, duration=300.0
+        )
+        messages = workload.generate_messages(30, rng)
+        engine = SimulationEngine(
+            ExponentialContactProcess(graph, rng=rng), horizon=600.0
+        )
+        sessions = []
+        for message in messages:
+            route = directory.select_route(
+                message.source, message.destination, 3, rng=rng
+            )
+            sessions.append(engine.add_session(SingleCopySession(message, route)))
+        engine.run()
+
+        outcomes = [session.outcome() for session in sessions]
+        delivered = [
+            (message, outcome)
+            for message, outcome in zip(messages, outcomes)
+            if outcome.delivered
+        ]
+        assert len(delivered) >= 10, "need enough traffic to measure mixing"
+        truths = [
+            TrafficTruth(message.source, message.destination)
+            for message, _ in delivered
+        ]
+        log = TrafficLog.from_outcomes([outcome for _, outcome in delivered])
+        flows = ChainLinkingAttack(max_gap=300.0).infer_flows(log)
+        mixed = linkability(flows, truths)
+
+        # baseline: each message observed alone is perfectly linkable
+        alone = sum(
+            linkability(
+                ChainLinkingAttack(max_gap=300.0).infer_flows(
+                    TrafficLog.from_outcomes([outcome])
+                ),
+                [TrafficTruth(message.source, message.destination)],
+            )
+            for message, outcome in delivered
+        ) / len(delivered)
+        assert alone == 1.0
+        assert mixed < alone

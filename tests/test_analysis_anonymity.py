@@ -1,0 +1,168 @@
+"""Tests for entropy-based path anonymity (paper Eq. 13–20)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.anonymity import (
+    expected_compromised_on_path,
+    expected_exposed_groups_multicopy,
+    max_entropy,
+    path_anonymity,
+    path_anonymity_closed_form,
+    path_anonymity_exact,
+    path_anonymity_multicopy,
+    path_entropy,
+)
+
+
+class TestMaxEntropy:
+    def test_log_of_permutations(self):
+        # n=5, η=2: 5·4 = 20 possible paths
+        assert max_entropy(5, 2) == pytest.approx(math.log2(20))
+
+    def test_increases_with_n(self):
+        assert max_entropy(200, 4) > max_entropy(100, 4)
+
+    def test_path_longer_than_network_rejected(self):
+        with pytest.raises(ValueError, match="smaller than"):
+            max_entropy(4, 4)
+
+
+class TestPathEntropy:
+    def test_no_compromise_equals_max(self):
+        assert path_entropy(100, 4, 5, 0.0) == pytest.approx(max_entropy(100, 4))
+
+    def test_compromise_reduces_entropy(self):
+        full = path_entropy(100, 4, 5, 0.0)
+        hit = path_entropy(100, 4, 5, 2.0)
+        assert hit < full
+
+    def test_fractional_compromise_supported(self):
+        value = path_entropy(100, 4, 5, 0.4)
+        assert path_entropy(100, 4, 5, 0.0) > value > path_entropy(100, 4, 5, 1.0)
+
+    def test_out_of_range_compromise_rejected(self):
+        with pytest.raises(ValueError, match="compromised_on_path"):
+            path_entropy(100, 4, 5, 5.0)
+
+
+class TestExactAnonymity:
+    def test_one_with_no_compromise(self):
+        assert path_anonymity_exact(100, 4, 5, 0.0) == pytest.approx(1.0)
+
+    def test_decreases_with_exposure(self):
+        values = [path_anonymity_exact(100, 4, 5, c) for c in (0, 1, 2, 3, 4)]
+        assert values == sorted(values, reverse=True)
+
+    def test_larger_groups_help(self):
+        small = path_anonymity_exact(100, 4, 2, 2.0)
+        large = path_anonymity_exact(100, 4, 10, 2.0)
+        assert large > small
+
+    def test_group_of_one_fully_reveals_hop(self):
+        """g = 1: a compromised hop contributes zero residual entropy."""
+        eta, n = 4, 100
+        one_hit = path_anonymity_exact(n, eta, 1, 1.0)
+        assert one_hit < 1.0
+
+
+class TestClosedForm:
+    def test_equation_19_hand_computed(self):
+        n, eta, g, c_o = 100, 4, 5, 1.0
+        ln_n = math.log(n)
+        expected = ((eta - c_o) * (ln_n - 1) + c_o * math.log(g)) / (eta * (ln_n - 1))
+        assert path_anonymity_closed_form(n, eta, g, c_o) == pytest.approx(expected)
+
+    def test_matches_exact_for_large_n(self):
+        """Stirling's approximation tightens as n grows (n ≫ K)."""
+        for c_o in (0.5, 1.0, 2.0):
+            exact = path_anonymity_exact(10000, 4, 5, c_o)
+            closed = path_anonymity_closed_form(10000, 4, 5, c_o)
+            assert closed == pytest.approx(exact, abs=0.02)
+
+    def test_needs_n_above_e(self):
+        with pytest.raises(ValueError, match="n > e"):
+            path_anonymity_closed_form(2, 1, 1, 0.0)
+
+
+class TestExpectedExposure:
+    def test_single_copy_binomial_mean(self):
+        assert expected_compromised_on_path(4, 0.25) == pytest.approx(1.0)
+
+    def test_multicopy_reduces_to_single_at_one(self):
+        single = expected_compromised_on_path(4, 0.2)
+        multi = expected_exposed_groups_multicopy(4, 0.2, 1)
+        assert multi == pytest.approx(single)
+
+    def test_equation_20_formula(self):
+        eta, p, copies = 4, 0.1, 3
+        expected = eta * (1 - (1 - p) ** copies)
+        assert expected_exposed_groups_multicopy(eta, p, copies) == pytest.approx(
+            expected
+        )
+
+    def test_more_copies_expose_more(self):
+        values = [
+            expected_exposed_groups_multicopy(4, 0.1, L) for L in (1, 2, 3, 5)
+        ]
+        assert values == sorted(values)
+
+
+class TestModelCurves:
+    def test_anonymity_decreases_with_compromise_rate(self):
+        values = [path_anonymity(100, 4, 5, c) for c in (0.0, 0.1, 0.3, 0.5)]
+        assert values == sorted(values, reverse=True)
+
+    def test_anonymity_increases_with_group_size(self):
+        values = [path_anonymity(100, 4, g, 0.2) for g in (1, 2, 5, 10)]
+        assert values == sorted(values)
+
+    def test_multicopy_lowers_anonymity(self):
+        """The Fig. 12 trade-off: more copies, less anonymity."""
+        values = [
+            path_anonymity_multicopy(100, 4, 5, 0.2, L) for L in (1, 3, 5)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_forms_agree_roughly_at_paper_scale(self):
+        closed = path_anonymity(100, 4, 5, 0.2, form="closed-form")
+        exact = path_anonymity(100, 4, 5, 0.2, form="exact")
+        assert closed == pytest.approx(exact, abs=0.06)
+
+    def test_unknown_form_rejected(self):
+        with pytest.raises(ValueError, match="unknown form"):
+            path_anonymity(100, 4, 5, 0.2, form="weird")
+
+
+class TestProperties:
+    @given(
+        n=st.integers(min_value=10, max_value=500),
+        eta=st.integers(min_value=1, max_value=8),
+        g=st.integers(min_value=1, max_value=10),
+        rate=st.floats(min_value=0.0, max_value=0.9),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_anonymity_in_unit_interval(self, n, eta, g, rate):
+        if eta >= n or g > n:
+            return
+        for form in ("exact", "closed-form"):
+            value = path_anonymity(n, eta, g, rate, form=form)
+            assert 0.0 <= value <= 1.0
+
+    @given(
+        n=st.integers(min_value=20, max_value=300),
+        eta=st.integers(min_value=2, max_value=6),
+        g=st.integers(min_value=2, max_value=10),
+        rate=st.floats(min_value=0.01, max_value=0.5),
+        copies=st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_multicopy_never_beats_single_copy(self, n, eta, g, rate, copies):
+        if eta >= n or g > n:
+            return
+        single = path_anonymity(n, eta, g, rate)
+        multi = path_anonymity_multicopy(n, eta, g, rate, copies)
+        assert multi <= single + 1e-9

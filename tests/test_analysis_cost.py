@@ -1,0 +1,54 @@
+"""Tests for the forwarding-cost bounds (paper §IV-C)."""
+
+import pytest
+
+from repro.analysis.cost import (
+    multi_copy_cost_bound,
+    multi_copy_first_hop_bound,
+    non_anonymous_cost,
+    single_copy_cost,
+)
+
+
+class TestSingleCopyCost:
+    def test_k_plus_one(self):
+        assert single_copy_cost(3) == 4
+        assert single_copy_cost(10) == 11
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            single_copy_cost(0)
+
+
+class TestMultiCopyBound:
+    def test_formula(self):
+        assert multi_copy_cost_bound(3, 5) == 25
+        assert multi_copy_cost_bound(5, 2) == 14
+
+    def test_monotone_in_copies(self):
+        costs = [multi_copy_cost_bound(3, L) for L in range(1, 6)]
+        assert costs == sorted(costs)
+
+    def test_monotone_in_onions(self):
+        costs = [multi_copy_cost_bound(k, 3) for k in range(1, 6)]
+        assert costs == sorted(costs)
+
+    def test_bound_dominates_exact_protocol_cost(self):
+        """The protocol uses at most L·(K+1) transmissions; bound is (K+2)L."""
+        for k in range(1, 8):
+            for copies in range(1, 8):
+                assert multi_copy_cost_bound(k, copies) >= copies * (k + 1)
+
+    def test_first_hop_bound(self):
+        assert multi_copy_first_hop_bound(1) == 1
+        assert multi_copy_first_hop_bound(4) == 7
+
+
+class TestNonAnonymousCost:
+    def test_two_l(self):
+        assert non_anonymous_cost(1) == 2
+        assert non_anonymous_cost(5) == 10
+
+    def test_always_cheapest(self):
+        for copies in range(1, 6):
+            assert non_anonymous_cost(copies) < multi_copy_cost_bound(1, copies)

@@ -1,0 +1,137 @@
+"""Tests for the delivery-rate models (paper Eq. 4–7)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.delivery import (
+    delivery_rate,
+    delivery_rate_from_rates,
+    delivery_rate_multicopy,
+    expected_path_delay,
+    onion_path_rates,
+)
+from repro.contacts.graph import ContactGraph
+
+
+@pytest.fixture
+def graph():
+    return ContactGraph.complete(20, 0.01)
+
+
+GROUPS = [(5, 6, 7, 8, 9), (10, 11, 12, 13, 14)]
+
+
+class TestOnionPathRates:
+    def test_equation_4_on_uniform_graph(self, graph):
+        rates = onion_path_rates(graph, 0, GROUPS, 19)
+        # hop 1: sum over 5 members; hop 2: (1/5)·25 pairs; hop 3: sum over 5.
+        assert rates == pytest.approx([0.05, 0.05, 0.05])
+
+    def test_hop_count_is_k_plus_one(self, graph):
+        rates = onion_path_rates(graph, 0, GROUPS, 19)
+        assert len(rates) == len(GROUPS) + 1
+
+    def test_first_hop_sums_source_rates(self):
+        rates_matrix = np.zeros((6, 6))
+        # source 0 only meets members 1 (rate .1) and 2 (rate .3)
+        rates_matrix[0, 1] = rates_matrix[1, 0] = 0.1
+        rates_matrix[0, 2] = rates_matrix[2, 0] = 0.3
+        rates_matrix[1, 5] = rates_matrix[5, 1] = 0.2
+        rates_matrix[2, 5] = rates_matrix[5, 2] = 0.2
+        graph = ContactGraph(rates_matrix)
+        rates = onion_path_rates(graph, 0, [(1, 2)], 5)
+        assert rates[0] == pytest.approx(0.4)
+        assert rates[1] == pytest.approx(0.4)
+
+    def test_middle_hop_averages_over_senders(self):
+        matrix = np.zeros((5, 5))
+        matrix[0, 1] = matrix[1, 0] = 0.5
+        matrix[0, 2] = matrix[2, 0] = 0.5
+        # group (1,2) -> group (3,): λ_{1,3}=0.2, λ_{2,3}=0.4
+        matrix[1, 3] = matrix[3, 1] = 0.2
+        matrix[2, 3] = matrix[3, 2] = 0.4
+        matrix[3, 4] = matrix[4, 3] = 0.1
+        graph = ContactGraph(matrix)
+        rates = onion_path_rates(graph, 0, [(1, 2), (3,)], 4)
+        assert rates[1] == pytest.approx((0.2 + 0.4) / 2)
+
+    def test_zero_rate_hop_raises(self):
+        matrix = np.zeros((4, 4))
+        matrix[0, 1] = matrix[1, 0] = 0.1  # source reaches group
+        # group member 1 never meets destination 3
+        graph = ContactGraph(matrix)
+        with pytest.raises(ValueError, match="zero contact rate"):
+            onion_path_rates(graph, 0, [(1,)], 3)
+
+    def test_same_endpoints_rejected(self, graph):
+        with pytest.raises(ValueError, match="differ"):
+            onion_path_rates(graph, 0, GROUPS, 0)
+
+    def test_empty_route_rejected(self, graph):
+        with pytest.raises(ValueError, match="at least one"):
+            onion_path_rates(graph, 0, [], 19)
+
+
+class TestDeliveryRate:
+    def test_monotone_in_deadline(self, graph):
+        p1 = delivery_rate(graph, 0, GROUPS, 19, 60.0)
+        p2 = delivery_rate(graph, 0, GROUPS, 19, 600.0)
+        assert p1 < p2 <= 1.0
+
+    def test_zero_deadline(self, graph):
+        assert delivery_rate(graph, 0, GROUPS, 19, 0.0) == 0.0
+
+    def test_known_erlang_value(self, graph):
+        """Uniform rates make the path Erlang(3, 0.05)."""
+        from scipy.stats import erlang
+
+        p = delivery_rate(graph, 0, GROUPS, 19, 100.0)
+        assert p == pytest.approx(erlang.cdf(100.0, a=3, scale=20.0), abs=1e-9)
+
+    def test_larger_groups_deliver_faster(self):
+        graph = ContactGraph.complete(30, 0.01)
+        small = delivery_rate(graph, 0, [(1, 2)], 29, 120.0)
+        large = delivery_rate(graph, 0, [(1, 2, 3, 4, 5, 6)], 29, 120.0)
+        assert large > small
+
+    def test_more_onions_deliver_slower(self):
+        graph = ContactGraph.complete(30, 0.01)
+        short = delivery_rate(graph, 0, [(1, 2, 3)], 29, 120.0)
+        long = delivery_rate(graph, 0, [(1, 2, 3), (4, 5, 6), (7, 8, 9)], 29, 120.0)
+        assert long < short
+
+
+class TestMulticopy:
+    def test_reduces_to_single_copy_at_one(self, graph):
+        single = delivery_rate(graph, 0, GROUPS, 19, 120.0)
+        multi = delivery_rate_multicopy(graph, 0, GROUPS, 19, 120.0, copies=1)
+        assert multi == pytest.approx(single)
+
+    def test_monotone_in_copies(self, graph):
+        values = [
+            delivery_rate_multicopy(graph, 0, GROUPS, 19, 120.0, copies=L)
+            for L in (1, 2, 3, 5)
+        ]
+        assert values == sorted(values)
+
+    def test_equation_7_rate_scaling(self, graph):
+        """L copies is exactly the single-copy model with rates × L."""
+        boosted = delivery_rate_from_rates([0.15, 0.15, 0.15], 120.0)
+        multi = delivery_rate_multicopy(graph, 0, GROUPS, 19, 120.0, copies=3)
+        assert multi == pytest.approx(boosted)
+
+    def test_invalid_copies(self, graph):
+        with pytest.raises(ValueError):
+            delivery_rate_multicopy(graph, 0, GROUPS, 19, 120.0, copies=0)
+
+
+class TestExpectedPathDelay:
+    def test_uniform_case(self, graph):
+        assert expected_path_delay(graph, 0, GROUPS, 19) == pytest.approx(60.0)
+
+    def test_copies_divide_delay(self, graph):
+        single = expected_path_delay(graph, 0, GROUPS, 19, copies=1)
+        triple = expected_path_delay(graph, 0, GROUPS, 19, copies=3)
+        assert triple == pytest.approx(single / 3)

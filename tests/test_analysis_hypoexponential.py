@@ -1,0 +1,180 @@
+"""Tests for the hypoexponential distribution (paper Eq. 5/6 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.hypoexponential import Hypoexponential
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one"):
+            Hypoexponential([])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, math.inf, math.nan])
+    def test_rejects_bad_rate(self, bad):
+        with pytest.raises(ValueError, match="positive"):
+            Hypoexponential([0.1, bad])
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            Hypoexponential([0.1], method="magic")
+
+    def test_properties(self):
+        dist = Hypoexponential([0.5, 0.25])
+        assert dist.stages == 2
+        assert dist.mean() == pytest.approx(2.0 + 4.0)
+        assert dist.var() == pytest.approx(4.0 + 16.0)
+
+
+class TestSingleStage:
+    """One stage must reduce exactly to the exponential distribution."""
+
+    def test_cdf_matches_exponential(self):
+        dist = Hypoexponential([0.2])
+        for t in (0.0, 1.0, 5.0, 20.0):
+            assert dist.cdf(t) == pytest.approx(1 - math.exp(-0.2 * t))
+
+    def test_pdf_matches_exponential(self):
+        dist = Hypoexponential([0.2])
+        assert dist.pdf(3.0) == pytest.approx(0.2 * math.exp(-0.6))
+
+
+class TestCoefficients:
+    def test_sum_to_one(self):
+        dist = Hypoexponential([0.1, 0.3, 0.7])
+        assert dist.coefficients().sum() == pytest.approx(1.0)
+
+    def test_two_stage_known_values(self):
+        # A_1 = λ2/(λ2-λ1), A_2 = λ1/(λ1-λ2)
+        dist = Hypoexponential([1.0, 2.0])
+        coeffs = dist.coefficients()
+        assert coeffs[0] == pytest.approx(2.0)
+        assert coeffs[1] == pytest.approx(-1.0)
+
+    def test_repeated_rates_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            Hypoexponential([0.5, 0.5]).coefficients()
+
+
+class TestCdf:
+    def test_zero_at_zero(self):
+        assert Hypoexponential([0.1, 0.2]).cdf(0.0) == 0.0
+
+    def test_approaches_one(self):
+        assert Hypoexponential([0.1, 0.2]).cdf(1e5) == pytest.approx(1.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Hypoexponential([0.1]).cdf(-1.0)
+
+    def test_array_input(self):
+        dist = Hypoexponential([0.1, 0.2])
+        values = dist.cdf([1.0, 10.0, 100.0])
+        assert values.shape == (3,)
+        assert (np.diff(values) >= 0).all()
+
+    def test_matrix_equals_closed_form_when_distinct(self):
+        rates = [0.05, 0.11, 0.3]
+        closed = Hypoexponential(rates, method="closed-form")
+        matrix = Hypoexponential(rates, method="matrix")
+        for t in (1.0, 10.0, 50.0, 200.0):
+            assert closed.cdf(t) == pytest.approx(matrix.cdf(t), abs=1e-9)
+
+    def test_equal_rates_use_matrix_and_match_erlang(self):
+        """All-equal rates give an Erlang distribution."""
+        from scipy.stats import erlang
+
+        dist = Hypoexponential([0.2, 0.2, 0.2])
+        for t in (1.0, 5.0, 20.0):
+            assert dist.cdf(t) == pytest.approx(
+                erlang.cdf(t, a=3, scale=5.0), abs=1e-9
+            )
+
+    def test_nearly_equal_rates_stable(self):
+        dist = Hypoexponential([0.2, 0.2 * (1 + 1e-9), 0.2 * (1 + 2e-9)])
+        value = dist.cdf(10.0)
+        assert 0.0 <= value <= 1.0
+
+    def test_sf_complements_cdf(self):
+        dist = Hypoexponential([0.1, 0.4])
+        assert dist.sf(7.0) == pytest.approx(1 - dist.cdf(7.0))
+
+
+class TestSampling:
+    def test_sample_mean_matches(self):
+        dist = Hypoexponential([0.1, 0.2])
+        draws = dist.sample(size=20000, rng=0)
+        assert draws.mean() == pytest.approx(dist.mean(), rel=0.05)
+
+    def test_sample_cdf_agreement(self):
+        dist = Hypoexponential([0.05, 0.2, 0.4])
+        draws = dist.sample(size=20000, rng=1)
+        t = 20.0
+        assert (draws <= t).mean() == pytest.approx(dist.cdf(t), abs=0.02)
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError, match="size"):
+            Hypoexponential([0.1]).sample(size=0)
+
+
+class TestPdf:
+    def test_integrates_to_cdf(self):
+        dist = Hypoexponential([0.1, 0.3])
+        grid = np.linspace(0, 60, 4000)
+        integral = np.trapezoid(dist.pdf(grid), grid)
+        assert integral == pytest.approx(dist.cdf(60.0), abs=1e-3)
+
+    def test_matrix_pdf_matches_closed_form(self):
+        rates = [0.1, 0.3]
+        closed = Hypoexponential(rates, method="closed-form")
+        matrix = Hypoexponential(rates, method="matrix")
+        assert closed.pdf(5.0) == pytest.approx(matrix.pdf(5.0), abs=1e-9)
+
+
+class TestProperties:
+    """Property-based invariants over random rate vectors."""
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e-3, max_value=10.0), min_size=1, max_size=6
+        ),
+        t=st.floats(min_value=0.0, max_value=1e3),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_cdf_in_unit_interval(self, rates, t):
+        value = Hypoexponential(rates).cdf(t)
+        assert 0.0 <= value <= 1.0
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e-3, max_value=10.0), min_size=1, max_size=5
+        ),
+        t1=st.floats(min_value=0.0, max_value=500.0),
+        t2=st.floats(min_value=0.0, max_value=500.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_cdf_monotone(self, rates, t1, t2):
+        lo, hi = sorted((t1, t2))
+        dist = Hypoexponential(rates)
+        assert dist.cdf(lo) <= dist.cdf(hi) + 1e-12
+
+    @given(
+        rates=st.lists(
+            st.floats(min_value=1e-2, max_value=5.0),
+            min_size=2,
+            max_size=5,
+            unique=True,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_adding_a_stage_slows_delivery(self, rates):
+        """More hops can only reduce P[delay <= t] (stochastic dominance)."""
+        shorter = Hypoexponential(rates[:-1])
+        longer = Hypoexponential(rates)
+        for t in (1.0, 10.0, 100.0):
+            assert longer.cdf(t) <= shorter.cdf(t) + 1e-9

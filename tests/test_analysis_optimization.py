@@ -1,0 +1,98 @@
+"""Tests for the model-driven configuration search."""
+
+import pytest
+
+from repro.analysis.optimization import (
+    ConfigurationScore,
+    best_configuration,
+    evaluate_configurations,
+)
+from repro.contacts.graph import ContactGraph
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return ContactGraph.complete(60, 0.02)
+
+
+class TestEvaluateConfigurations:
+    @pytest.fixture(scope="class")
+    def scores(self, request):
+        graph = ContactGraph.complete(60, 0.02)
+        return evaluate_configurations(
+            graph, deadline=300.0, compromise_rate=0.1,
+            routes_per_point=10, rng=0,
+        )
+
+    def test_grid_covered(self, scores):
+        combos = {(s.onion_routers, s.group_size, s.copies) for s in scores}
+        assert (3, 5, 1) in combos
+        assert (2, 10, 5) in combos
+
+    def test_l_gt_g_excluded(self, scores):
+        assert all(s.copies <= s.group_size for s in scores)
+
+    def test_infeasible_k_excluded(self, scores):
+        # g=10 on n=60 gives 6 groups; K=5 > 6-2 is infeasible
+        assert not any(
+            s.onion_routers == 5 and s.group_size == 10 for s in scores
+        )
+
+    def test_metrics_in_range(self, scores):
+        for s in scores:
+            assert 0.0 <= s.delivery <= 1.0
+            assert 0.0 <= s.anonymity <= 1.0
+            assert 0.0 <= s.traceable <= 1.0
+            assert s.cost_bound == (s.onion_routers + 2) * s.copies
+
+    def test_known_monotonicity(self, scores):
+        """More copies never reduce delivery at the same (K, g)."""
+        by_config = {
+            (s.onion_routers, s.group_size, s.copies): s.delivery
+            for s in scores
+        }
+        for (k, g, copies), delivery in by_config.items():
+            more = by_config.get((k, g, copies + 1))
+            if more is not None:
+                assert more >= delivery - 0.05
+
+
+class TestBestConfiguration:
+    def test_feasible_pick(self, graph):
+        best = best_configuration(
+            graph, deadline=600.0, compromise_rate=0.1,
+            delivery_target=0.9, routes_per_point=10, rng=1,
+        )
+        assert best.delivery >= 0.9
+
+    def test_cost_budget_respected(self, graph):
+        best = best_configuration(
+            graph, deadline=600.0, compromise_rate=0.1,
+            delivery_target=0.8, cost_budget=7, routes_per_point=10, rng=2,
+        )
+        assert best.cost_bound <= 7
+
+    def test_prefers_anonymity(self, graph):
+        """With a loose delivery constraint, larger groups should win."""
+        best = best_configuration(
+            graph, deadline=2000.0, compromise_rate=0.1,
+            delivery_target=0.5, routes_per_point=10, rng=3,
+        )
+        assert best.group_size == 10  # max anonymity in the default grid
+        assert best.copies == 1
+
+    def test_impossible_constraints_raise(self, graph):
+        with pytest.raises(ValueError, match="no configuration"):
+            best_configuration(
+                graph, deadline=0.1, compromise_rate=0.1,
+                delivery_target=0.99, routes_per_point=5, rng=4,
+            )
+
+    def test_meets_helper(self):
+        score = ConfigurationScore(
+            onion_routers=3, group_size=5, copies=1,
+            delivery=0.9, anonymity=0.9, traceable=0.05, cost_bound=5,
+        )
+        assert score.meets(0.85, 10)
+        assert not score.meets(0.95, 10)
+        assert not score.meets(0.85, 4)

@@ -1,0 +1,169 @@
+"""Tests for the traceable-rate metric and models (paper Eq. 1, 8–12)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.traceable import (
+    expected_run_length,
+    path_bits,
+    segment_lengths,
+    traceable_rate_empirical,
+    traceable_rate_model,
+    traceable_rate_paper_series,
+)
+
+
+class TestSegmentLengths:
+    @pytest.mark.parametrize(
+        "bits, expected",
+        [
+            ([0, 0, 0], []),
+            ([1, 1, 1], [3]),
+            ([1, 1, 0, 1], [2, 1]),
+            ([0, 1, 1, 1, 0], [3]),
+            ([1, 0, 1, 0, 1], [1, 1, 1]),
+        ],
+    )
+    def test_runs(self, bits, expected):
+        assert segment_lengths(bits) == expected
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="0/1"):
+            segment_lengths([0, 2, 1])
+
+
+class TestEmpiricalTraceableRate:
+    def test_paper_example_scattered(self):
+        """v1, v2, v4 compromised on a 4-hop path: bits 1101 → 5/16."""
+        assert traceable_rate_empirical([1, 1, 0, 1]) == pytest.approx(0.3125)
+
+    def test_paper_example_consecutive(self):
+        """v2, v3, v4 compromised: bits 0111 → 9/16 = 0.5625."""
+        assert traceable_rate_empirical([0, 1, 1, 1]) == pytest.approx(0.5625)
+
+    def test_consecutive_worse_than_scattered(self):
+        scattered = traceable_rate_empirical([1, 0, 1, 0, 1, 0])
+        consecutive = traceable_rate_empirical([1, 1, 1, 0, 0, 0])
+        assert consecutive > scattered
+
+    def test_bounds(self):
+        assert traceable_rate_empirical([0, 0, 0, 0]) == 0.0
+        assert traceable_rate_empirical([1, 1, 1, 1]) == 1.0
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            traceable_rate_empirical([])
+
+
+class TestPathBits:
+    def test_maps_compromised_senders(self):
+        bits = path_bits([10, 11, 12, 13], {11, 13})
+        assert bits == [0, 1, 0, 1]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            path_bits([], set())
+
+
+class TestModel:
+    def test_zero_compromise(self):
+        assert traceable_rate_model(4, 0.0) == 0.0
+
+    def test_full_compromise(self):
+        assert traceable_rate_model(4, 1.0) == pytest.approx(1.0)
+
+    def test_monotone_in_compromise_rate(self):
+        values = [traceable_rate_model(4, p) for p in (0.1, 0.2, 0.3, 0.5)]
+        assert values == sorted(values)
+
+    def test_decreasing_in_hops(self):
+        """More onion relays dilute each disclosure (paper Fig. 7)."""
+        values = [traceable_rate_model(eta, 0.2) for eta in (2, 4, 6, 11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_single_hop_closed_form(self):
+        # η=1: E[P] = p
+        assert traceable_rate_model(1, 0.3) == pytest.approx(0.3)
+
+    def test_two_hops_closed_form(self):
+        # η=2: E[Σℓ²] = 2p + 2p²; bits 11 has weight 4, 10/01 weight 1 each.
+        p = 0.3
+        expected = (2 * p + 2 * p * p) / 4
+        assert traceable_rate_model(2, p) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("eta", [2, 4, 6, 11])
+    @pytest.mark.parametrize("p", [0.05, 0.15, 0.35])
+    def test_model_matches_monte_carlo(self, eta, p):
+        """The exact expectation must match brute-force simulation."""
+        rng = np.random.default_rng(eta * 100 + int(p * 100))
+        trials = 40000
+        bits = rng.random((trials, eta)) < p
+        total = 0.0
+        for row in bits:
+            total += traceable_rate_empirical(row.astype(int).tolist())
+        empirical = total / trials
+        assert traceable_rate_model(eta, p) == pytest.approx(empirical, abs=0.006)
+
+
+class TestPaperSeries:
+    def test_close_to_exact_model_when_c_small(self):
+        """The paper's Eq. 8–12 approximation holds for c ≪ n."""
+        for eta in (4, 6, 11):
+            for p in (0.02, 0.05, 0.1):
+                exact = traceable_rate_model(eta, p)
+                approx = traceable_rate_paper_series(eta, p)
+                assert approx == pytest.approx(exact, rel=0.25, abs=0.01)
+
+    def test_zero_compromise(self):
+        assert traceable_rate_paper_series(4, 0.0) == 0.0
+
+    def test_clipped_to_one(self):
+        assert traceable_rate_paper_series(2, 0.99) <= 1.0
+
+
+class TestExpectedRunLength:
+    def test_small_p_approximates_geometric_mean(self):
+        # Untruncated geometric run: E[X] = p/(1-p)
+        p = 0.1
+        assert expected_run_length(p, 50) == pytest.approx(p / (1 - p), rel=1e-3)
+
+    def test_truncation_reduces(self):
+        assert expected_run_length(0.5, 2) < expected_run_length(0.5, 20)
+
+
+class TestProperties:
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_empirical_rate_in_unit_interval(self, bits):
+        assert 0.0 <= traceable_rate_empirical(bits) <= 1.0
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=1, max_size=40)
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_run_lengths_sum_to_popcount(self, bits):
+        assert sum(segment_lengths(bits)) == sum(bits)
+
+    @given(
+        eta=st.integers(min_value=1, max_value=20),
+        p=st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_model_in_unit_interval(self, eta, p):
+        assert 0.0 <= traceable_rate_model(eta, p) <= 1.0 + 1e-12
+
+    @given(
+        bits=st.lists(st.integers(min_value=0, max_value=1), min_size=2, max_size=30),
+        index=st.integers(min_value=0, max_value=29),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_compromising_one_more_node_never_decreases(self, bits, index):
+        if index >= len(bits):
+            index = index % len(bits)
+        more = list(bits)
+        more[index] = 1
+        assert traceable_rate_empirical(more) >= traceable_rate_empirical(bits)

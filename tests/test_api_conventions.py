@@ -1,0 +1,99 @@
+"""Repository-level API conventions.
+
+Meta-tests keeping the public surface disciplined: everything exported is
+importable and documented, `__all__` lists are accurate, and the figure
+registry stays in sync with the experiment modules.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.adversary",
+    "repro.contacts",
+    "repro.core",
+    "repro.crypto",
+    "repro.experiments",
+    "repro.extensions",
+    "repro.routing",
+    "repro.sim",
+    "repro.utils",
+]
+
+
+class TestAllLists:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_entries_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_callables_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+                continue  # typing aliases, constants
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, (
+            f"{package_name} exports without docstrings: {undocumented}"
+        )
+
+
+class TestClassDocumentation:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_public_methods_documented(self, package_name):
+        package = importlib.import_module(package_name)
+        undocumented = []
+        for name in getattr(package, "__all__", []):
+            obj = getattr(package, name)
+            if not inspect.isclass(obj):
+                continue
+            for method_name, method in inspect.getmembers(
+                obj, predicate=inspect.isfunction
+            ):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != obj.__name__:
+                    continue  # inherited
+                if (method.__doc__ or "").strip():
+                    continue
+                # overrides of documented interface methods inherit their
+                # contract from the base class docstring
+                inherited_doc = any(
+                    (getattr(base, method_name, None) is not None)
+                    and (getattr(base, method_name).__doc__ or "").strip()
+                    for base in obj.__mro__[1:]
+                )
+                if not inherited_doc:
+                    undocumented.append(f"{name}.{method_name}")
+        assert not undocumented, (
+            f"{package_name} public methods without docstrings: {undocumented}"
+        )
+
+
+class TestFigureRegistry:
+    def test_cli_registry_covers_all_paper_figures(self):
+        from repro.cli import _FIGURES
+
+        assert sorted(_FIGURES) == list(range(4, 20))
+
+    def test_every_registered_figure_has_seed_parameter(self):
+        from repro.cli import _FIGURES
+
+        for func in _FIGURES.values():
+            assert "seed" in inspect.signature(func).parameters
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)

@@ -1,0 +1,43 @@
+"""Tests for the onion-dtn command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for number in (4, 11, 19):
+            assert f"figure {number:>2}" in out
+
+
+class TestFigure:
+    def test_security_figure_prints_table(self, capsys):
+        assert main(["figure", "6", "--trials", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+        assert "Analysis: 3 onions" in out
+        assert "Simulation: 3 onions" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["figure", "8", "--trials", "50", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("### Fig. 8")
+        assert "|" in out
+
+    def test_seed_override_reproducible(self, capsys):
+        main(["figure", "6", "--trials", "50", "--seed", "123"])
+        first = capsys.readouterr().out
+        main(["figure", "6", "--trials", "50", "--seed", "123"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "99"])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,88 @@
+"""Tests for the model/plan/simulate/trace CLI subcommands."""
+
+import pytest
+
+from repro.cli import main
+from repro.contacts.traces import ContactTrace
+
+
+class TestModel:
+    def test_prints_all_four_models(self, capsys):
+        assert main(["model", "--n", "50", "-g", "5", "-K", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "delivery rate" in out
+        assert "traceable rate" in out
+        assert "path anonymity" in out
+        assert "transmission bound" in out
+
+    def test_copies_affect_bound(self, capsys):
+        main(["model", "-K", "3", "-L", "4"])
+        out = capsys.readouterr().out
+        assert "20" in out  # (3+2)*4
+
+
+class TestPlan:
+    def test_deadline_mode(self, capsys):
+        assert main(["plan", "--n", "50", "--target", "0.9"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline for 90% delivery" in out
+
+    def test_copies_mode(self, capsys):
+        assert main(
+            ["plan", "--n", "50", "--target", "0.9", "--deadline", "120"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "copies for 90% delivery" in out
+        assert "L=" in out
+
+
+class TestSimulate:
+    @pytest.mark.parametrize(
+        "protocol", ["single", "multi", "arden", "epidemic", "spray", "direct"]
+    )
+    def test_each_protocol_runs(self, capsys, protocol):
+        code = main(
+            [
+                "simulate",
+                "--protocol", protocol,
+                "--n", "30",
+                "--trials", "5",
+                "--deadline", "400",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"protocol={protocol}" in out
+        assert "delivery_rate=" in out
+
+
+class TestTraceStats:
+    def test_stats_output(self, capsys, tmp_path):
+        trace = ContactTrace.from_rows(
+            [(0, 1, 0, 10), (1, 2, 20, 30), (0, 1, 40, 50)]
+        )
+        path = tmp_path / "trace.txt"
+        trace.dump(path)
+        assert main(["trace", "stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "nodes:     3" in out
+        assert "contacts:  3" in out
+        assert "pairs met: 2" in out
+
+
+class TestFigureChart:
+    def test_chart_flag(self, capsys):
+        assert main(["figure", "6", "--trials", "30", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out
+
+
+class TestFigureSave:
+    def test_save_json(self, capsys, tmp_path):
+        from repro.experiments.persistence import load_figure
+
+        path = tmp_path / "fig6.json"
+        assert main(["figure", "6", "--trials", "30", "--save", str(path)]) == 0
+        figure = load_figure(path)
+        assert figure.figure_id == "Fig. 6"
+        assert any(label.startswith("Analysis") for label in figure.labels)

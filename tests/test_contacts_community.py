@@ -1,0 +1,114 @@
+"""Tests for the community contact-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.community import (
+    CommunityConfig,
+    CommunityGraph,
+    community_contact_graph,
+)
+
+SMALL = CommunityConfig(
+    communities=3,
+    community_size=10,
+    intra_rate=0.1,
+    inter_rate=0.001,
+    bridge_fraction=0.2,
+    bridge_rate=0.02,
+    rate_jitter=0.2,
+)
+
+
+class TestConfig:
+    def test_n(self):
+        assert SMALL.n == 30
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"communities": 0},
+            {"intra_rate": 0.0},
+            {"bridge_fraction": 1.5},
+            {"rate_jitter": 1.0},
+        ],
+    )
+    def test_invalid(self, overrides):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(SMALL, **overrides)
+
+
+class TestGeneration:
+    def test_structure_metadata(self):
+        result = community_contact_graph(SMALL, rng=0)
+        assert result.graph.n == 30
+        assert len(result.community_of) == 30
+        assert result.community_members(0) == tuple(range(10))
+        # 20% bridges per community of 10 -> 2 each
+        assert len(result.bridges) == 6
+
+    def test_intra_rates_dominate_inter(self):
+        result = community_contact_graph(SMALL, rng=1)
+        graph = result.graph
+        non_bridge = [v for v in range(30) if v not in result.bridges]
+        same = [
+            graph.rate(i, j)
+            for i in non_bridge
+            for j in non_bridge
+            if i < j and result.community_of[i] == result.community_of[j]
+        ]
+        cross = [
+            graph.rate(i, j)
+            for i in non_bridge
+            for j in non_bridge
+            if i < j and result.community_of[i] != result.community_of[j]
+        ]
+        assert min(same) > max(cross)
+
+    def test_bridges_meet_everyone_faster(self):
+        result = community_contact_graph(SMALL, rng=2)
+        graph = result.graph
+        bridge = result.bridges[0]
+        non_bridge_far = next(
+            v
+            for v in range(30)
+            if v not in result.bridges
+            and result.community_of[v] != result.community_of[bridge]
+        )
+        other_far = next(
+            v
+            for v in range(30)
+            if v not in result.bridges
+            and v != non_bridge_far
+            and result.community_of[v]
+            == result.community_of[non_bridge_far]
+        )
+        assert graph.rate(bridge, non_bridge_far) > graph.rate(
+            other_far, non_bridge_far
+        ) or result.community_of[other_far] == result.community_of[non_bridge_far]
+
+    def test_no_bridges_when_fraction_zero(self):
+        config = CommunityConfig(
+            communities=2, community_size=5, bridge_fraction=0.0
+        )
+        result = community_contact_graph(config, rng=3)
+        assert result.bridges == ()
+
+    def test_reproducible(self):
+        a = community_contact_graph(SMALL, rng=4)
+        b = community_contact_graph(SMALL, rng=4)
+        assert np.array_equal(a.graph.rates, b.graph.rates)
+        assert a.bridges == b.bridges
+
+    def test_feeds_onion_models(self):
+        """Community graphs plug straight into the paper's pipeline."""
+        from repro.analysis.delivery import delivery_rate
+        from repro.core.onion_groups import OnionGroupDirectory
+
+        result = community_contact_graph(SMALL, rng=5)
+        directory = OnionGroupDirectory(30, 5, rng=5)
+        route = directory.select_route(0, 29, 2, rng=5)
+        p = delivery_rate(result.graph, 0, route.groups, 29, 300.0)
+        assert 0.0 < p <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for contact event streams."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.events import (
+    ContactEvent,
+    ExponentialContactProcess,
+    TraceReplayProcess,
+)
+from repro.contacts.graph import ContactGraph
+from repro.contacts.traces import ContactRecord, ContactTrace
+
+
+class TestContactEvent:
+    def test_involves(self):
+        event = ContactEvent(time=1.0, a=3, b=5)
+        assert event.involves(3)
+        assert event.involves(5)
+        assert not event.involves(4)
+
+    def test_peer_of(self):
+        event = ContactEvent(time=1.0, a=3, b=5)
+        assert event.peer_of(3) == 5
+        assert event.peer_of(5) == 3
+
+    def test_peer_of_outsider_raises(self):
+        event = ContactEvent(time=1.0, a=3, b=5)
+        with pytest.raises(ValueError, match="not part of"):
+            event.peer_of(9)
+
+    def test_ordering_by_time(self):
+        early = ContactEvent(time=1.0, a=0, b=1)
+        late = ContactEvent(time=2.0, a=0, b=1)
+        assert early < late
+
+
+class TestExponentialContactProcess:
+    def test_events_in_chronological_order(self):
+        graph = ContactGraph.complete(10, 0.05)
+        process = ExponentialContactProcess(graph, rng=0)
+        times = [event.time for event in process.events_until(200.0)]
+        assert times == sorted(times)
+        assert times, "expected some events"
+
+    def test_horizon_respected(self):
+        graph = ContactGraph.complete(5, 0.1)
+        process = ExponentialContactProcess(graph, rng=1)
+        assert all(e.time <= 50.0 for e in process.events_until(50.0))
+
+    def test_resumable_across_calls(self):
+        graph = ContactGraph.complete(5, 0.1)
+        process = ExponentialContactProcess(graph, rng=2)
+        first = list(process.events_until(50.0))
+        second = list(process.events_until(100.0))
+        assert all(e.time > 50.0 for e in second) or not second
+        assert all(e.time <= 50.0 for e in first)
+
+    def test_zero_rate_pairs_never_meet(self):
+        rates = np.zeros((3, 3))
+        rates[0, 1] = rates[1, 0] = 0.5
+        graph = ContactGraph(rates)
+        process = ExponentialContactProcess(graph, rng=3)
+        for event in process.events_until(1000.0):
+            assert {event.a, event.b} == {0, 1}
+
+    def test_event_rate_statistics(self):
+        """Pair event count over T should be ≈ Poisson(λT)."""
+        graph = ContactGraph.complete(2, 0.2)
+        process = ExponentialContactProcess(graph, rng=4)
+        count = sum(1 for _ in process.events_until(5000.0))
+        assert count == pytest.approx(0.2 * 5000, rel=0.1)
+
+    def test_now_tracks_last_event(self):
+        graph = ContactGraph.complete(3, 0.1)
+        process = ExponentialContactProcess(graph, rng=5)
+        events = list(process.events_until(100.0))
+        assert process.now == events[-1].time
+
+    def test_seed_reproducible(self):
+        graph = ContactGraph.complete(4, 0.1)
+        a = [
+            (e.time, e.a, e.b)
+            for e in ExponentialContactProcess(graph, rng=6).events_until(100)
+        ]
+        b = [
+            (e.time, e.a, e.b)
+            for e in ExponentialContactProcess(graph, rng=6).events_until(100)
+        ]
+        assert a == b
+
+
+class TestTraceReplayProcess:
+    def _trace(self):
+        return ContactTrace(
+            [
+                ContactRecord(a=0, b=1, start=5.0, end=6.0),
+                ContactRecord(a=1, b=2, start=10.0, end=12.0),
+                ContactRecord(a=0, b=2, start=20.0, end=25.0),
+            ]
+        )
+
+    def test_replay_in_order(self):
+        process = TraceReplayProcess(self._trace())
+        times = [e.time for e in process.events_until(100.0)]
+        assert times == [5.0, 10.0, 20.0]
+
+    def test_horizon_cuts_stream(self):
+        process = TraceReplayProcess(self._trace())
+        assert len(list(process.events_until(10.0))) == 2
+
+    def test_resume_after_horizon(self):
+        process = TraceReplayProcess(self._trace())
+        list(process.events_until(10.0))
+        remaining = list(process.events_until(100.0))
+        assert [e.time for e in remaining] == [20.0]
+
+    def test_start_time_skips_earlier_records(self):
+        process = TraceReplayProcess(self._trace(), start_time=6.0)
+        times = [e.time for e in process.events_until(100.0)]
+        assert times == [10.0, 20.0]
+
+    def test_type_checked(self):
+        with pytest.raises(TypeError, match="ContactTrace"):
+            TraceReplayProcess([(0, 1, 0, 1)])

@@ -1,0 +1,115 @@
+"""Tests for contact-stream impairments."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.events import ExponentialContactProcess
+from repro.contacts.graph import ContactGraph
+from repro.contacts.impairments import (
+    JitteredContactProcess,
+    ThinnedContactProcess,
+    thinned_graph,
+)
+
+
+@pytest.fixture
+def graph():
+    return ContactGraph.complete(10, 0.05)
+
+
+class TestThinning:
+    def test_drop_rate_statistics(self, graph):
+        base = ExponentialContactProcess(graph, rng=0)
+        total = sum(1 for _ in base.events_until(2000.0))
+        thinned = ThinnedContactProcess(
+            ExponentialContactProcess(graph, rng=0), drop_prob=0.4, rng=1
+        )
+        kept = sum(1 for _ in thinned.events_until(2000.0))
+        assert kept == pytest.approx(total * 0.6, rel=0.05)
+
+    def test_zero_drop_is_identity(self, graph):
+        base = list(ExponentialContactProcess(graph, rng=2).events_until(500.0))
+        thinned = list(
+            ThinnedContactProcess(
+                ExponentialContactProcess(graph, rng=2), drop_prob=0.0, rng=3
+            ).events_until(500.0)
+        )
+        assert base == thinned
+
+    def test_full_drop_silences(self, graph):
+        thinned = ThinnedContactProcess(
+            ExponentialContactProcess(graph, rng=4), drop_prob=1.0, rng=5
+        )
+        assert list(thinned.events_until(500.0)) == []
+
+    def test_thinned_graph_scales_rates(self, graph):
+        scaled = thinned_graph(graph, 0.25)
+        assert scaled.rate(0, 1) == pytest.approx(0.0375)
+
+    def test_thinning_equivalence_with_model(self, graph):
+        """Protocol on thinned events == model on the thinned graph."""
+        from repro.core.onion_groups import OnionGroupDirectory
+        from repro.core.single_copy import SingleCopySession
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.message import Message
+        from repro.analysis.hypoexponential import Hypoexponential
+        from repro.extensions.refined_models import refined_onion_path_rates
+
+        drop = 0.5
+        directory = OnionGroupDirectory(10, 3)
+        route = directory.select_route(0, 9, 1, rng=0)
+        horizon = 300.0
+        rng = np.random.default_rng(6)
+        delivered = 0
+        trials = 800
+        for _ in range(trials):
+            process = ThinnedContactProcess(
+                ExponentialContactProcess(graph, rng=rng), drop, rng=rng
+            )
+            engine = SimulationEngine(process, horizon=horizon)
+            session = SingleCopySession(Message(0, 9, 0.0, horizon), route)
+            engine.add_session(session)
+            engine.run()
+            delivered += session.outcome().delivered
+        model = Hypoexponential(
+            refined_onion_path_rates(
+                thinned_graph(graph, drop), 0, route.groups, 9
+            )
+        ).cdf(horizon)
+        assert delivered / trials == pytest.approx(model, abs=0.05)
+
+
+class TestJitter:
+    def test_zero_jitter_is_identity(self, graph):
+        base = list(ExponentialContactProcess(graph, rng=7).events_until(500.0))
+        jittered = list(
+            JitteredContactProcess(
+                ExponentialContactProcess(graph, rng=7), max_jitter=0.0, rng=8
+            ).events_until(500.0)
+        )
+        assert base == jittered
+
+    def test_events_remain_chronological(self, graph):
+        jittered = JitteredContactProcess(
+            ExponentialContactProcess(graph, rng=9), max_jitter=5.0, rng=10
+        )
+        times = [event.time for event in jittered.events_until(500.0)]
+        assert times == sorted(times)
+
+    def test_jitter_is_non_negative(self, graph):
+        base_events = list(
+            ExponentialContactProcess(graph, rng=11).events_until(300.0)
+        )
+        jittered_events = list(
+            JitteredContactProcess(
+                ExponentialContactProcess(graph, rng=11), max_jitter=3.0, rng=12
+            ).events_until(400.0)
+        )
+        # same multiset of pairs; every jittered event at or after an original
+        assert len(jittered_events) >= len(base_events) - 5  # horizon spill
+
+    def test_horizon_respected(self, graph):
+        jittered = JitteredContactProcess(
+            ExponentialContactProcess(graph, rng=13), max_jitter=10.0, rng=14
+        )
+        assert all(e.time <= 200.0 for e in jittered.events_until(200.0))

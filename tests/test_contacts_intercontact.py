@@ -1,0 +1,87 @@
+"""Tests for inter-contact time sampling and rate estimation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.contacts.intercontact import (
+    empirical_mean_intercontact,
+    estimate_rates_from_trace,
+    sample_intercontact_times,
+)
+from repro.contacts.traces import ContactRecord, ContactTrace
+
+
+class TestSampleIntercontactTimes:
+    def test_mean_close_to_inverse_rate(self):
+        samples = sample_intercontact_times(0.1, 20000, rng=0)
+        assert samples.mean() == pytest.approx(10.0, rel=0.05)
+
+    def test_all_positive(self):
+        assert (sample_intercontact_times(2.0, 100, rng=1) > 0).all()
+
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            sample_intercontact_times(0.0, 10)
+
+
+class TestEstimateRatesFromTrace:
+    def _trace(self):
+        # Pair (0,1) meets 4 times over a 100-unit span, pair (1,2) once.
+        records = [
+            ContactRecord(a=0, b=1, start=t, end=t + 1) for t in (0, 25, 50, 75)
+        ]
+        records.append(ContactRecord(a=1, b=2, start=100, end=101))
+        return ContactTrace(records)
+
+    def test_frequency_estimator(self):
+        graph = estimate_rates_from_trace(self._trace(), observation_span=100.0)
+        assert graph.rate(0, 1) == pytest.approx(0.04)
+        assert graph.rate(1, 2) == pytest.approx(0.01)
+
+    def test_missing_pairs_get_zero(self):
+        graph = estimate_rates_from_trace(self._trace(), observation_span=100.0)
+        assert graph.rate(0, 2) == 0.0
+
+    def test_defaults_to_trace_duration(self):
+        trace = self._trace()
+        graph = estimate_rates_from_trace(trace)
+        assert graph.rate(0, 1) == pytest.approx(4 / trace.duration)
+
+    def test_requires_dense_ids(self):
+        trace = ContactTrace([ContactRecord(a=5, b=9, start=0, end=1)])
+        with pytest.raises(ValueError, match="dense"):
+            estimate_rates_from_trace(trace)
+
+    def test_estimator_consistency_on_synthetic_poisson(self):
+        """Estimated rate converges to the true rate of a Poisson pair."""
+        rng = np.random.default_rng(7)
+        true_rate, horizon = 0.05, 20000.0
+        t, records = 0.0, []
+        while True:
+            t += rng.exponential(1 / true_rate)
+            if t > horizon:
+                break
+            records.append(ContactRecord(a=0, b=1, start=t, end=t + 0.5))
+        trace = ContactTrace(records)
+        graph = estimate_rates_from_trace(trace.normalized(), observation_span=horizon)
+        assert graph.rate(0, 1) == pytest.approx(true_rate, rel=0.1)
+
+
+class TestEmpiricalMeanIntercontact:
+    def test_gap_mean(self):
+        trace = ContactTrace(
+            [ContactRecord(a=0, b=1, start=t, end=t + 1) for t in (0, 10, 30)]
+        )
+        assert empirical_mean_intercontact(trace, 0, 1) == pytest.approx(15.0)
+
+    def test_single_contact_gives_inf(self):
+        trace = ContactTrace([ContactRecord(a=0, b=1, start=0, end=1)])
+        assert empirical_mean_intercontact(trace, 0, 1) == math.inf
+
+    def test_order_insensitive(self):
+        trace = ContactTrace(
+            [ContactRecord(a=1, b=0, start=t, end=t + 1) for t in (0, 20)]
+        )
+        assert empirical_mean_intercontact(trace, 0, 1) == pytest.approx(20.0)

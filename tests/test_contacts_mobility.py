@@ -1,0 +1,117 @@
+"""Tests for the random-waypoint mobility substrate."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.intercontact import estimate_rates_from_trace
+from repro.contacts.mobility import (
+    RandomWaypointConfig,
+    RandomWaypointMobility,
+    random_waypoint_trace,
+)
+
+DENSE = RandomWaypointConfig(
+    width=100.0, height=100.0, radio_range=15.0, time_step=1.0,
+    min_speed=1.0, max_speed=3.0, pause_time=5.0,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        RandomWaypointConfig()
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"width": 0.0},
+            {"min_speed": 0.0},
+            {"max_speed": 0.1, "min_speed": 0.5},
+            {"pause_time": -1.0},
+            {"radio_range": 0.0},
+            {"time_step": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, overrides):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(RandomWaypointConfig(), **overrides)
+
+
+class TestMotion:
+    def test_positions_within_area(self):
+        mobility = RandomWaypointMobility(10, DENSE, rng=0)
+        for _ in range(200):
+            mobility.step()
+        positions = mobility.positions
+        assert (positions >= 0).all()
+        assert (positions[:, 0] <= DENSE.width).all()
+        assert (positions[:, 1] <= DENSE.height).all()
+
+    def test_nodes_actually_move(self):
+        mobility = RandomWaypointMobility(5, DENSE, rng=1)
+        before = mobility.positions
+        for _ in range(50):
+            mobility.step()
+        after = mobility.positions
+        assert np.linalg.norm(after - before, axis=1).max() > 1.0
+
+    def test_speed_bounded(self):
+        mobility = RandomWaypointMobility(5, DENSE, rng=2)
+        previous = mobility.positions
+        for _ in range(100):
+            mobility.step()
+            current = mobility.positions
+            step_distance = np.linalg.norm(current - previous, axis=1)
+            assert (step_distance <= DENSE.max_speed * DENSE.time_step + 1e-9).all()
+            previous = current
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(ValueError, match="two nodes"):
+            RandomWaypointMobility(1, DENSE)
+
+    def test_in_contact_symmetric_pairs(self):
+        mobility = RandomWaypointMobility(8, DENSE, rng=3)
+        for i, j in mobility.in_contact():
+            assert i < j
+
+
+class TestTraceGeneration:
+    def test_trace_shape(self):
+        trace = random_waypoint_trace(12, duration=2000.0, config=DENSE, rng=4)
+        assert trace.n <= 12
+        assert len(trace) > 0
+        assert trace.end <= 2000.0 + DENSE.time_step
+
+    def test_records_have_positive_duration_windows(self):
+        trace = random_waypoint_trace(12, duration=1500.0, config=DENSE, rng=5)
+        for record in trace.records:
+            assert record.end >= record.start
+
+    def test_seed_reproducible(self):
+        a = random_waypoint_trace(8, duration=1000.0, config=DENSE, rng=6)
+        b = random_waypoint_trace(8, duration=1000.0, config=DENSE, rng=6)
+        assert len(a) == len(b)
+        assert a.records[0] == b.records[0]
+
+    def test_sparse_world_raises_when_empty(self):
+        lonely = RandomWaypointConfig(
+            width=100000.0, height=100000.0, radio_range=1.0,
+        )
+        with pytest.raises(RuntimeError, match="no contacts"):
+            random_waypoint_trace(2, duration=10.0, config=lonely, rng=7)
+
+    def test_trace_feeds_rate_estimation(self):
+        """The mobility substrate plugs into the standard pipeline."""
+        trace = random_waypoint_trace(12, duration=4000.0, config=DENSE, rng=8)
+        graph = estimate_rates_from_trace(trace.normalized())
+        assert graph.mean_rate() > 0
+
+    def test_denser_radio_means_more_contacts(self):
+        import dataclasses
+
+        short = dataclasses.replace(DENSE, radio_range=5.0)
+        wide = dataclasses.replace(DENSE, radio_range=30.0)
+        few = random_waypoint_trace(10, duration=1500.0, config=short, rng=9)
+        many = random_waypoint_trace(10, duration=1500.0, config=wide, rng=9)
+        assert len(many) > len(few)

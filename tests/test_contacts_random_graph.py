@@ -1,0 +1,58 @@
+"""Tests for the Table II random contact-graph generator."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.random_graph import random_contact_graph
+
+
+class TestRandomContactGraph:
+    def test_default_matches_table_ii(self):
+        graph = random_contact_graph(rng=0)
+        assert graph.n == 100
+        assert graph.density() == 1.0
+
+    def test_rates_within_configured_band(self):
+        graph = random_contact_graph(n=50, mean_intercontact_range=(10, 360), rng=1)
+        upper = graph.rates[np.triu_indices(50, k=1)]
+        means = 1.0 / upper
+        assert means.min() >= 10.0
+        assert means.max() <= 360.0
+
+    def test_symmetric_zero_diagonal(self):
+        graph = random_contact_graph(n=20, rng=2)
+        assert np.allclose(graph.rates, graph.rates.T)
+        assert np.all(np.diag(graph.rates) == 0)
+
+    def test_seed_reproducible(self):
+        a = random_contact_graph(n=30, rng=3)
+        b = random_contact_graph(n=30, rng=3)
+        assert np.array_equal(a.rates, b.rates)
+
+    def test_different_seeds_differ(self):
+        a = random_contact_graph(n=30, rng=3)
+        b = random_contact_graph(n=30, rng=4)
+        assert not np.array_equal(a.rates, b.rates)
+
+    def test_density_below_one(self):
+        graph = random_contact_graph(n=60, density=0.5, rng=5)
+        assert 0.35 < graph.density() < 0.65
+
+    def test_density_zero_rejected(self):
+        with pytest.raises(ValueError, match="density"):
+            random_contact_graph(n=10, density=0.0)
+
+    def test_bad_range_order_rejected(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            random_contact_graph(n=10, mean_intercontact_range=(100, 10))
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ValueError):
+            random_contact_graph(n=10, mean_intercontact_range=(0, 10))
+
+    def test_mean_intercontact_distribution_is_uniformish(self):
+        graph = random_contact_graph(n=80, mean_intercontact_range=(10, 360), rng=6)
+        upper = graph.rates[np.triu_indices(80, k=1)]
+        means = 1.0 / upper
+        # Uniform(10, 360) has mean 185; loose statistical check.
+        assert abs(means.mean() - 185.0) < 10.0

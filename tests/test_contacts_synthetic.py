@@ -1,0 +1,81 @@
+"""Tests for the synthetic Cambridge / Infocom 2005 trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.synthetic import (
+    _SECONDS_PER_DAY,
+    cambridge_like_trace,
+    infocom05_like_trace,
+)
+
+
+def _hour_of_day(t: float) -> float:
+    return (t % _SECONDS_PER_DAY) / 3600.0
+
+
+class TestCambridgeLikeTrace:
+    def test_node_count(self):
+        trace = cambridge_like_trace(rng=0)
+        assert trace.n == 12
+
+    def test_contacts_confined_to_business_hours(self):
+        trace = cambridge_like_trace(rng=1, business_hours=(9.0, 17.0))
+        for record in trace.records:
+            assert 9.0 <= _hour_of_day(record.start) <= 17.0
+
+    def test_dense_pair_coverage(self):
+        """Cambridge is dense: nearly every pair meets at least once."""
+        trace = cambridge_like_trace(rng=2)
+        pairs = set(trace.contact_counts())
+        assert len(pairs) >= 0.9 * (12 * 11 / 2)
+
+    def test_spans_requested_days(self):
+        trace = cambridge_like_trace(days=3, rng=3)
+        assert trace.end <= 3 * _SECONDS_PER_DAY
+        assert trace.end > 2 * _SECONDS_PER_DAY
+
+    def test_seed_reproducible(self):
+        a = cambridge_like_trace(rng=4)
+        b = cambridge_like_trace(rng=4)
+        assert len(a) == len(b)
+        assert a.records[0] == b.records[0]
+
+    def test_frequent_contacts(self):
+        """Mean per-pair contact count is high enough for 3-hop onions."""
+        trace = cambridge_like_trace(rng=5)
+        counts = list(trace.contact_counts().values())
+        assert np.mean(counts) > 20
+
+
+class TestInfocomLikeTrace:
+    def test_node_count(self):
+        trace = infocom05_like_trace(rng=0)
+        assert trace.n == 41
+
+    def test_sparser_than_cambridge(self):
+        infocom = infocom05_like_trace(rng=1)
+        pairs_met = len(infocom.contact_counts())
+        possible = 41 * 40 / 2
+        assert pairs_met < 0.95 * possible  # some pairs never meet
+
+    def test_off_hours_are_silent(self):
+        trace = infocom05_like_trace(rng=2, business_hours=(9.0, 18.0))
+        for record in trace.records:
+            assert 9.0 <= _hour_of_day(record.start) <= 18.0
+
+    def test_overnight_gap_exists(self):
+        """There must be a contact gap of several hours (the Fig. 17 plateau)."""
+        trace = infocom05_like_trace(rng=3)
+        starts = sorted(r.start for r in trace.records)
+        max_gap = max(b - a for a, b in zip(starts, starts[1:]))
+        assert max_gap > 10 * 3600
+
+    def test_density_parameter_respected(self):
+        dense = infocom05_like_trace(density=1.0, rng=4)
+        sparse = infocom05_like_trace(density=0.4, rng=4)
+        assert len(sparse.contact_counts()) < len(dense.contact_counts())
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError, match="density"):
+            infocom05_like_trace(density=0.0)

@@ -1,0 +1,158 @@
+"""Tests for trace records, parsing, and serialisation."""
+
+import pytest
+
+from repro.contacts.traces import ContactRecord, ContactTrace
+
+
+class TestContactRecord:
+    def test_duration(self):
+        assert ContactRecord(a=0, b=1, start=5.0, end=8.0).duration == 3.0
+
+    def test_pair_canonical(self):
+        assert ContactRecord(a=4, b=1, start=0, end=1).pair() == (1, 4)
+
+    def test_self_contact_rejected(self):
+        with pytest.raises(ValueError, match="self-contact"):
+            ContactRecord(a=2, b=2, start=0, end=1)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError, match="precedes"):
+            ContactRecord(a=0, b=1, start=5, end=4)
+
+
+class TestContactTrace:
+    def _records(self):
+        return [
+            ContactRecord(a=10, b=20, start=100.0, end=110.0),
+            ContactRecord(a=20, b=30, start=50.0, end=55.0),
+            ContactRecord(a=10, b=30, start=200.0, end=210.0),
+        ]
+
+    def test_sorted_on_construction(self):
+        trace = ContactTrace(self._records())
+        starts = [r.start for r in trace.records]
+        assert starts == sorted(starts)
+
+    def test_nodes_and_n(self):
+        trace = ContactTrace(self._records())
+        assert trace.nodes == (10, 20, 30)
+        assert trace.n == 3
+
+    def test_span(self):
+        trace = ContactTrace(self._records())
+        assert trace.start == 50.0
+        assert trace.end == 210.0
+        assert trace.duration == 160.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ContactTrace([])
+
+    def test_len_and_iter(self):
+        trace = ContactTrace(self._records())
+        assert len(trace) == 3
+        assert len(list(trace)) == 3
+
+    def test_normalized_dense_ids_and_zero_origin(self):
+        trace = ContactTrace(self._records()).normalized()
+        assert trace.nodes == (0, 1, 2)
+        assert trace.start == 0.0
+
+    def test_normalized_preserves_structure(self):
+        original = ContactTrace(self._records())
+        normalized = original.normalized()
+        assert len(normalized) == len(original)
+        assert normalized.duration == original.duration
+
+    def test_restricted_to(self):
+        trace = ContactTrace(self._records()).restricted_to([10, 20])
+        assert len(trace) == 1
+        assert trace.records[0].pair() == (10, 20)
+
+    def test_contact_counts(self):
+        records = self._records() + [ContactRecord(a=20, b=10, start=300, end=301)]
+        counts = ContactTrace(records).contact_counts()
+        assert counts[(10, 20)] == 2
+        assert counts[(20, 30)] == 1
+
+
+class TestSerialisation:
+    def test_loads_basic(self):
+        text = "0 1 5 6\n1 2 10 12\n"
+        trace = ContactTrace.loads(text)
+        assert len(trace) == 2
+        assert trace.records[0].pair() == (0, 1)
+
+    def test_loads_skips_comments_and_blanks(self):
+        text = "# header\n\n0 1 5 6  # trailing comment\n"
+        assert len(ContactTrace.loads(text)) == 1
+
+    def test_loads_bad_field_count(self):
+        with pytest.raises(ValueError, match="expected 4 fields"):
+            ContactTrace.loads("0 1 5\n")
+
+    def test_loads_empty_rejected(self):
+        with pytest.raises(ValueError, match="no contact rows"):
+            ContactTrace.loads("# only a comment\n")
+
+    def test_roundtrip_dumps_loads(self):
+        trace = ContactTrace.from_rows([(0, 1, 5, 6), (1, 2, 10, 12)])
+        again = ContactTrace.loads(trace.dumps())
+        assert [r.pair() for r in again] == [r.pair() for r in trace]
+        assert [r.start for r in again] == [r.start for r in trace]
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = ContactTrace.from_rows([(0, 1, 5, 6), (1, 2, 10, 12)])
+        path = tmp_path / "trace.txt"
+        trace.dump(path)
+        assert len(ContactTrace.load(path)) == 2
+
+
+class TestOneReport:
+    REPORT = """\
+# ONE simulator connectivity report
+10.0 CONN p1 p2 up
+15.0 CONN p2 p3 up
+20.0 CONN p1 p2 down
+30.0 CONN p2 p3 down
+40.0 CONN p1 p3 up
+"""
+
+    def test_parses_up_down_pairs(self):
+        trace = ContactTrace.from_one_report(self.REPORT)
+        pairs = {r.pair(): (r.start, r.end) for r in trace.records}
+        assert pairs[(1, 2)] == (10.0, 20.0)
+        assert pairs[(2, 3)] == (15.0, 30.0)
+
+    def test_dangling_up_closed_at_report_end(self):
+        trace = ContactTrace.from_one_report(self.REPORT)
+        pairs = {r.pair(): (r.start, r.end) for r in trace.records}
+        assert pairs[(1, 3)] == (40.0, 40.0)
+
+    def test_numeric_node_ids(self):
+        trace = ContactTrace.from_one_report("5 CONN 0 1 up\n9 CONN 0 1 down\n")
+        assert trace.records[0].pair() == (0, 1)
+
+    def test_unmatched_down_ignored(self):
+        trace = ContactTrace.from_one_report(
+            "1 CONN 0 1 down\n2 CONN 0 1 up\n3 CONN 0 1 down\n"
+        )
+        assert len(trace) == 1
+        assert trace.records[0].start == 2.0
+
+    def test_bad_state_rejected(self):
+        with pytest.raises(ValueError, match="unknown connection state"):
+            ContactTrace.from_one_report("1 CONN 0 1 sideways\n")
+
+    def test_bad_row_rejected(self):
+        with pytest.raises(ValueError, match="expected 'time CONN"):
+            ContactTrace.from_one_report("1 LINK 0 1 up\n")
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(ValueError, match="no completed contacts"):
+            ContactTrace.from_one_report("# nothing\n")
+
+    def test_feeds_standard_pipeline(self):
+        trace = ContactTrace.from_one_report(self.REPORT).normalized()
+        assert trace.n == 3

@@ -1,0 +1,83 @@
+"""Tests for the ARDEN-style destination-group variant."""
+
+import pytest
+
+from repro.core.arden import ArdenSingleCopySession
+from repro.core.route import OnionRoute
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+ROUTE = OnionRoute(
+    source=0,
+    destination=19,
+    group_ids=(1,),
+    groups=((5, 6),),
+)
+DEST_GROUP = (17, 18, 19)
+
+
+def _session(deadline=100.0):
+    message = Message(source=0, destination=19, created_at=0.0, deadline=deadline)
+    return ArdenSingleCopySession(message, ROUTE, DEST_GROUP)
+
+
+class TestDelivery:
+    def test_direct_hit_on_destination(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.transmissions == 2
+
+    def test_delivery_via_group_member(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 17), (3.0, 17, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivery_time == 3.0
+        assert outcome.transmissions == 3
+        assert outcome.paths[0] == [0, 5, 17]
+
+    def test_group_member_holds_until_destination(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 18), (3.0, 18, 17)])
+        # in-group carrier only hands to the destination itself
+        assert not session.outcome().delivered
+        assert session.holder == 18
+
+    def test_extra_hop_compared_to_abstract_protocol(self):
+        """The destination-group detour may cost one extra transmission."""
+        session = _session()
+        feed(session, [(1.0, 0, 6), (2.0, 6, 18), (3.0, 18, 19)])
+        assert session.outcome().transmissions == 3  # abstract would need 2
+
+
+class TestRules:
+    def test_no_shortcut_from_source(self):
+        session = _session()
+        feed(session, [(1.0, 0, 19)])
+        assert not session.outcome().delivered
+
+    def test_onion_groups_respected_first(self):
+        session = _session()
+        feed(session, [(1.0, 0, 17)])  # dest-group member before R_1
+        assert session.holder == 0
+
+    def test_deadline_enforced(self):
+        session = _session(deadline=5.0)
+        feed(session, [(6.0, 0, 5)])
+        assert session.done
+        assert not session.outcome().delivered
+
+
+class TestValidation:
+    def test_destination_must_be_in_group(self):
+        message = Message(source=0, destination=19, created_at=0.0, deadline=10.0)
+        with pytest.raises(ValueError, match="must contain"):
+            ArdenSingleCopySession(message, ROUTE, (17, 18))
+
+    def test_endpoint_mismatch(self):
+        message = Message(source=2, destination=19, created_at=0.0, deadline=10.0)
+        with pytest.raises(ValueError, match="do not match"):
+            ArdenSingleCopySession(message, ROUTE, DEST_GROUP)

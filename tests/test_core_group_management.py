@@ -1,0 +1,123 @@
+"""Tests for dynamic group membership and epoch rekeying."""
+
+import pytest
+
+from repro.core.group_management import (
+    ManagedGroupDirectory,
+    MembershipError,
+)
+from repro.crypto.cipher import AuthenticationError
+from repro.crypto.onion import build_onion, peel_onion
+
+MASTER = b"managed-groups-master"
+
+
+@pytest.fixture
+def directory():
+    d = ManagedGroupDirectory(MASTER, group_count=3)
+    for node in (1, 2, 3):
+        d.join(node, 0)
+    for node in (4, 5):
+        d.join(node, 1)
+    return d
+
+
+class TestMembership:
+    def test_join_updates_members_and_epoch(self, directory):
+        assert directory.members(0) == (1, 2, 3)
+        assert directory.epoch(0) == 3  # one bump per join
+
+    def test_group_of(self, directory):
+        assert directory.group_of(4) == 1
+        assert directory.group_of(99) is None
+
+    def test_double_join_rejected(self, directory):
+        with pytest.raises(MembershipError, match="already belongs"):
+            directory.join(1, 2)
+
+    def test_leave_removes_and_rekeys(self, directory):
+        epoch_before = directory.epoch(0)
+        directory.leave(2, 0)
+        assert directory.members(0) == (1, 3)
+        assert directory.epoch(0) == epoch_before + 1
+
+    def test_leave_non_member_rejected(self, directory):
+        with pytest.raises(MembershipError, match="not in group"):
+            directory.leave(4, 0)
+
+    def test_history_records_every_change(self, directory):
+        directory.leave(1, 0)
+        history = directory.history()
+        assert len(history) == 6  # 5 joins + 1 leave
+        assert history[-1].members == (2, 3)
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ValueError, match="master"):
+            ManagedGroupDirectory(b"", group_count=2)
+
+
+class TestKeyEntitlements:
+    def test_member_holds_current_epoch_key(self, directory):
+        epoch = directory.epoch(0)
+        assert directory.node_can_peel(1, 0, epoch)
+        assert directory.node_key(1, 0, epoch) == directory.current_key(0)
+
+    def test_newcomer_lacks_old_epochs(self, directory):
+        """Backward secrecy: joining later gives no access to the past."""
+        old_epoch = directory.epoch(0)
+        directory.join(9, 0)
+        assert not directory.node_can_peel(9, 0, old_epoch)
+        assert directory.node_can_peel(9, 0, directory.epoch(0))
+
+    def test_leaver_loses_future_epochs(self, directory):
+        """Forward secrecy: the key rotates away from a departed member."""
+        directory.leave(2, 0)
+        new_epoch = directory.epoch(0)
+        assert not directory.node_can_peel(2, 0, new_epoch)
+        # remaining members were re-entitled
+        assert directory.node_can_peel(1, 0, new_epoch)
+
+    def test_unentitled_key_access_raises(self, directory):
+        with pytest.raises(MembershipError, match="not entitled"):
+            directory.node_key(4, 0, directory.epoch(0))
+
+    def test_keys_differ_across_epochs(self, directory):
+        key_now = directory.current_key(0)
+        directory.leave(3, 0)
+        assert directory.current_key(0) != key_now
+
+    def test_keys_differ_across_groups(self, directory):
+        assert directory.current_key(0) != directory.current_key(1)
+
+
+class TestOnionIntegration:
+    def test_onion_peelable_by_current_members_only(self, directory):
+        keyring = directory.routing_keyring((0, 1))
+        onion = build_onion([0, 1], destination=42, payload=b"m", keyring=keyring)
+        # a current member of group 0 peels layer 1
+        key = directory.node_key(1, 0, directory.epoch(0))
+        layer = peel_onion(onion.blob, key)
+        assert layer.next_group == 1
+
+    def test_departed_member_cannot_peel_new_onions(self, directory):
+        directory.leave(2, 0)  # group 0 rekeys
+        keyring = directory.routing_keyring((0,))
+        onion = build_onion([0], destination=42, payload=b"m", keyring=keyring)
+        # node 2 only holds keys up to the epoch it left before
+        stale_epochs = [
+            e for e in range(1, directory.epoch(0))
+            if directory.node_can_peel(2, 0, e)
+        ]
+        for epoch in stale_epochs:
+            with pytest.raises(AuthenticationError):
+                peel_onion(onion.blob, directory.node_key(2, 0, epoch))
+
+    def test_stale_routing_keyring_fails_after_rekey(self, directory):
+        stale = directory.routing_keyring((0,))
+        directory.join(7, 0)  # epoch bump
+        onion = build_onion(
+            [0], destination=1, payload=b"m",
+            keyring=directory.routing_keyring((0,)),
+        )
+        with pytest.raises(AuthenticationError):
+            peel_onion(onion.blob, stale.key_for(0))

@@ -1,0 +1,165 @@
+"""Tests for Algorithm 2 (ticket-based multi-copy forwarding)."""
+
+import pytest
+
+from repro.core.multi_copy import MultiCopySession, SprayPolicy
+from repro.core.route import OnionRoute
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+ROUTE = OnionRoute(
+    source=0,
+    destination=19,
+    group_ids=(1, 2),
+    groups=((5, 6, 7), (10, 11, 12)),
+)
+
+
+def _message(deadline=100.0):
+    return Message(source=0, destination=19, created_at=0.0, deadline=deadline)
+
+
+def _session(copies=3, policy=SprayPolicy.SOURCE):
+    return MultiCopySession(_message(), ROUTE, copies=copies, spray_policy=policy)
+
+
+class TestSourceSpray:
+    def test_source_sprays_one_ticket_per_contact(self):
+        session = _session(copies=3)
+        feed(session, [(1.0, 0, 5)])
+        assert session.live_copies == 2  # source (2 tickets) + sprayed copy
+        feed(session, [(2.0, 0, 6)])
+        assert session.live_copies == 3
+        feed(session, [(3.0, 0, 7)])
+        # source exhausted its tickets and deleted the message
+        assert session.live_copies == 3
+
+    def test_source_never_gives_two_copies_to_same_node(self):
+        session = _session(copies=3)
+        feed(session, [(1.0, 0, 5), (2.0, 0, 5)])
+        assert session.live_copies == 2  # second contact rejected by Forward()
+
+    def test_source_stops_after_l_copies(self):
+        session = _session(copies=2)
+        feed(session, [(1.0, 0, 5), (2.0, 0, 6), (3.0, 0, 7)])
+        # L=2 copies sprayed; the third contact finds no tickets left
+        assert session.outcome().transmissions == 2
+
+    def test_single_copy_case_matches_algorithm_one(self):
+        session = _session(copies=1)
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10), (3.0, 10, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.transmissions == 3
+        assert outcome.delivered_path == [0, 5, 10]
+
+
+class TestRelaying:
+    def test_sprayed_copies_relay_independently(self):
+        session = _session(copies=2)
+        feed(
+            session,
+            [
+                (1.0, 0, 5),
+                (2.0, 0, 6),
+                (3.0, 5, 10),
+                (4.0, 6, 11),
+                (5.0, 10, 19),
+            ],
+        )
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivery_time == 5.0
+        assert outcome.delivered_path == [0, 5, 10]
+
+    def test_relay_deletes_after_forwarding(self):
+        session = _session(copies=1)
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10)])
+        # node 5 deleted its copy; contact 5-11 does nothing
+        feed(session, [(3.0, 5, 11)])
+        assert session.outcome().transmissions == 2
+
+    def test_forward_blocked_when_peer_holds_copy(self):
+        session = _session(copies=2)
+        feed(session, [(1.0, 0, 5), (2.0, 0, 6), (3.0, 5, 10), (4.0, 6, 10)])
+        # node 10 already holds a copy; 6 keeps its copy
+        assert session.outcome().transmissions == 3
+
+    def test_all_copies_can_deliver_and_count_cost(self):
+        session = _session(copies=2)
+        feed(
+            session,
+            [
+                (1.0, 0, 5),
+                (2.0, 0, 6),
+                (3.0, 5, 10),
+                (4.0, 6, 11),
+                (5.0, 10, 19),
+                (6.0, 11, 19),
+            ],
+        )
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivery_time == 5.0  # first arrival wins
+        assert outcome.transmissions == 6  # both copies fully delivered
+        assert session.done
+
+    def test_cost_within_paper_bound(self):
+        from repro.analysis.cost import multi_copy_cost_bound
+
+        session = _session(copies=3)
+        feed(
+            session,
+            [
+                (1.0, 0, 5),
+                (2.0, 0, 6),
+                (3.0, 0, 7),
+                (4.0, 5, 10),
+                (5.0, 6, 11),
+                (6.0, 7, 12),
+                (7.0, 10, 19),
+                (8.0, 11, 19),
+                (9.0, 12, 19),
+            ],
+        )
+        bound = multi_copy_cost_bound(ROUTE.onion_routers, 3)
+        assert session.outcome().transmissions <= bound
+
+
+class TestBinarySpray:
+    def test_binary_policy_hands_half(self):
+        session = _session(copies=4, policy=SprayPolicy.BINARY)
+        feed(session, [(1.0, 0, 5)])
+        # peer took floor(4/2)=2 tickets; it can spray once more downstream
+        feed(session, [(2.0, 5, 10)])
+        feed(session, [(3.0, 5, 11)])
+        # node 5 held 2 tickets: sprayed one to 10, relayed last to 11
+        assert session.outcome().transmissions == 3
+
+
+class TestDeadline:
+    def test_expiry_kills_all_copies(self):
+        session = _session(copies=3)
+        feed(session, [(1.0, 0, 5), (2.0, 0, 6)])
+        feed(session, [(200.0, 5, 10)])
+        outcome = session.outcome()
+        assert session.done
+        assert not outcome.delivered
+        assert outcome.expired_copies == 3  # source + two sprayed copies
+
+    def test_no_shortcut_to_destination(self):
+        session = _session(copies=3)
+        feed(session, [(1.0, 0, 19)])
+        assert not session.outcome().delivered
+
+
+class TestValidation:
+    def test_endpoint_mismatch(self):
+        bad = Message(source=1, destination=19, created_at=0, deadline=10)
+        with pytest.raises(ValueError, match="do not match"):
+            MultiCopySession(bad, ROUTE, copies=2)
+
+    def test_zero_copies_rejected(self):
+        with pytest.raises(ValueError):
+            MultiCopySession(_message(), ROUTE, copies=0)

@@ -1,0 +1,114 @@
+"""Tests for onion-group formation and route selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.onion_groups import OnionGroupDirectory
+
+
+class TestPartition:
+    def test_even_partition(self):
+        directory = OnionGroupDirectory(20, 5)
+        assert directory.group_count == 4
+        assert all(len(members) == 5 for members in directory.groups)
+
+    def test_uneven_partition_last_group_smaller(self):
+        directory = OnionGroupDirectory(10, 3)
+        sizes = [len(members) for members in directory.groups]
+        assert sizes == [3, 3, 3, 1]
+
+    def test_partition_covers_all_nodes_once(self):
+        directory = OnionGroupDirectory(23, 4, rng=0)
+        seen = [node for members in directory.groups for node in members]
+        assert sorted(seen) == list(range(23))
+
+    def test_group_of_consistent(self):
+        directory = OnionGroupDirectory(20, 5, rng=1)
+        for gid, members in enumerate(directory.groups):
+            for node in members:
+                assert directory.group_of(node) == gid
+
+    def test_deterministic_without_rng(self):
+        directory = OnionGroupDirectory(10, 5)
+        assert directory.groups == ((0, 1, 2, 3, 4), (5, 6, 7, 8, 9))
+
+    def test_shuffled_with_rng(self):
+        shuffled = OnionGroupDirectory(30, 5, rng=2)
+        assert shuffled.groups != OnionGroupDirectory(30, 5).groups
+
+    def test_group_size_exceeding_n_rejected(self):
+        with pytest.raises(ValueError, match="cannot exceed"):
+            OnionGroupDirectory(5, 6)
+
+    def test_members_accessor(self):
+        directory = OnionGroupDirectory(10, 5)
+        assert directory.members(1) == (5, 6, 7, 8, 9)
+
+
+class TestRouteSelection:
+    def test_route_shape(self):
+        directory = OnionGroupDirectory(100, 5, rng=0)
+        route = directory.select_route(0, 99, 3, rng=0)
+        assert route.onion_routers == 3
+        assert route.eta == 4
+        assert len(set(route.group_ids)) == 3
+
+    def test_endpoint_groups_avoided_by_default(self):
+        directory = OnionGroupDirectory(100, 5, rng=1)
+        for seed in range(20):
+            route = directory.select_route(0, 99, 5, rng=seed)
+            for members in route.groups:
+                assert 0 not in members
+                assert 99 not in members
+
+    def test_endpoint_groups_allowed_when_disabled(self):
+        directory = OnionGroupDirectory(12, 4, rng=2)
+        # only 3 groups exist; K=3 is only feasible without avoidance
+        route = directory.select_route(
+            0, 11, 3, rng=0, avoid_endpoint_groups=False
+        )
+        assert route.onion_routers == 3
+
+    def test_infeasible_selection_raises(self):
+        directory = OnionGroupDirectory(12, 4, rng=3)
+        with pytest.raises(ValueError, match="cannot pick"):
+            directory.select_route(0, 11, 3, rng=0)
+
+    def test_same_endpoints_rejected(self):
+        directory = OnionGroupDirectory(20, 5)
+        with pytest.raises(ValueError, match="differ"):
+            directory.select_route(3, 3, 2)
+
+    def test_selection_is_random(self):
+        directory = OnionGroupDirectory(100, 5, rng=4)
+        ids = {directory.select_route(0, 99, 3, rng=s).group_ids for s in range(30)}
+        assert len(ids) > 1
+
+    def test_route_groups_match_directory_members(self):
+        directory = OnionGroupDirectory(100, 5, rng=5)
+        route = directory.select_route(0, 99, 3, rng=6)
+        for gid, members in zip(route.group_ids, route.groups):
+            assert members == directory.members(gid)
+
+
+class TestKeyMaterial:
+    MASTER = b"directory-master"
+
+    def test_full_keyring_covers_all_groups(self):
+        directory = OnionGroupDirectory(20, 5)
+        keyring = directory.build_keyring(self.MASTER)
+        assert len(keyring) == directory.group_count
+
+    def test_node_keyring_holds_only_own_group(self):
+        directory = OnionGroupDirectory(20, 5, rng=0)
+        node = 7
+        keyring = directory.node_keyring(self.MASTER, node)
+        assert keyring.group_ids == (directory.group_of(node),)
+
+    def test_node_key_matches_full_keyring(self):
+        directory = OnionGroupDirectory(20, 5, rng=1)
+        full = directory.build_keyring(self.MASTER)
+        node = 13
+        gid = directory.group_of(node)
+        member = directory.node_keyring(self.MASTER, node)
+        assert member.key_for(gid) == full.key_for(gid)

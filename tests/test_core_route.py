@@ -1,0 +1,60 @@
+"""Tests for the OnionRoute value object."""
+
+import pytest
+
+from repro.contacts.graph import ContactGraph
+from repro.core.route import OnionRoute
+
+
+def _route():
+    return OnionRoute(
+        source=0,
+        destination=19,
+        group_ids=(1, 2),
+        groups=((5, 6, 7, 8, 9), (10, 11, 12, 13, 14)),
+    )
+
+
+class TestOnionRoute:
+    def test_eta_and_k(self):
+        route = _route()
+        assert route.onion_routers == 2
+        assert route.eta == 3
+
+    def test_next_group_members(self):
+        route = _route()
+        assert route.next_group_members(1) == (5, 6, 7, 8, 9)
+        assert route.next_group_members(2) == (10, 11, 12, 13, 14)
+        assert route.next_group_members(3) == (19,)
+
+    def test_next_group_out_of_range(self):
+        with pytest.raises(ValueError, match="hop must be"):
+            _route().next_group_members(4)
+        with pytest.raises(ValueError, match="hop must be"):
+            _route().next_group_members(0)
+
+    def test_hop_rates_delegates_to_model(self):
+        graph = ContactGraph.complete(20, 0.01)
+        assert _route().hop_rates(graph) == pytest.approx([0.05, 0.05, 0.05])
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            OnionRoute(source=0, destination=0, group_ids=(1,), groups=((2,),))
+
+    def test_empty_groups_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            OnionRoute(source=0, destination=1, group_ids=(), groups=())
+
+    def test_misaligned_ids_rejected(self):
+        with pytest.raises(ValueError, match="align"):
+            OnionRoute(source=0, destination=1, group_ids=(1, 2), groups=((3,),))
+
+    def test_duplicate_group_ids_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            OnionRoute(
+                source=0, destination=1, group_ids=(1, 1), groups=((2,), (3,))
+            )
+
+    def test_empty_member_group_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            OnionRoute(source=0, destination=1, group_ids=(1,), groups=((),))

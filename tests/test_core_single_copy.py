@@ -1,0 +1,133 @@
+"""Tests for Algorithm 1 (single-copy forwarding)."""
+
+import pytest
+
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.core.route import OnionRoute
+from repro.core.single_copy import SingleCopySession
+from repro.crypto.onion import peel_onion
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+ROUTE = OnionRoute(
+    source=0,
+    destination=19,
+    group_ids=(1, 2),
+    groups=((5, 6), (10, 11)),
+)
+
+
+def _message(deadline=100.0, created_at=0.0):
+    return Message(source=0, destination=19, created_at=created_at, deadline=deadline)
+
+
+def _session(**kwargs):
+    return SingleCopySession(_message(**kwargs), ROUTE)
+
+
+class TestHappyPath:
+    def test_full_delivery(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10), (3.0, 10, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivery_time == 3.0
+        assert outcome.transmissions == 3
+        assert outcome.delivered_path == [0, 5, 10]
+
+    def test_anycast_any_member_accepts(self):
+        session = _session()
+        feed(session, [(1.0, 0, 6), (2.0, 6, 11), (3.0, 11, 19)])
+        assert session.outcome().delivered
+        assert session.outcome().delivered_path == [0, 6, 11]
+
+    def test_done_after_delivery(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10), (3.0, 10, 19)])
+        assert session.done
+        # further contacts change nothing
+        feed(session, [(4.0, 19, 5)])
+        assert session.outcome().transmissions == 3
+
+
+class TestForwardingRules:
+    def test_ignores_non_holder_contacts(self):
+        session = _session()
+        feed(session, [(1.0, 5, 10)])  # message still at source
+        assert session.holder == 0
+        assert session.outcome().transmissions == 0
+
+    def test_ignores_wrong_group(self):
+        session = _session()
+        feed(session, [(1.0, 0, 10)])  # R_2 member, but next hop is R_1
+        assert session.holder == 0
+
+    def test_no_shortcut_to_destination(self):
+        """Meeting the destination early must not deliver (onion order)."""
+        session = _session()
+        feed(session, [(1.0, 0, 19)])
+        assert not session.outcome().delivered
+
+    def test_holder_advances_hop_by_hop(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5)])
+        assert session.holder == 5
+        feed(session, [(2.0, 5, 11)])
+        assert session.holder == 11
+
+    def test_relay_cannot_skip_group(self):
+        session = _session()
+        feed(session, [(1.0, 0, 5), (2.0, 5, 19)])  # R_1 holder meets dest
+        assert not session.outcome().delivered
+        assert session.holder == 5
+
+
+class TestDeadline:
+    def test_expires_at_deadline(self):
+        session = _session(deadline=10.0)
+        feed(session, [(11.0, 0, 5)])
+        outcome = session.outcome()
+        assert session.done
+        assert not outcome.delivered
+        assert outcome.expired_copies == 1
+
+    def test_delivery_exactly_at_deadline_counts(self):
+        session = _session(deadline=3.0)
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10), (3.0, 10, 19)])
+        assert session.outcome().delivered
+
+    def test_pre_creation_events_ignored(self):
+        session = _session(created_at=10.0, deadline=100.0)
+        feed(session, [(5.0, 0, 5)])
+        assert session.holder == 0
+        feed(session, [(15.0, 0, 5)])
+        assert session.holder == 5
+
+
+class TestValidation:
+    def test_endpoint_mismatch_rejected(self):
+        bad = Message(source=1, destination=19, created_at=0, deadline=10)
+        with pytest.raises(ValueError, match="do not match"):
+            SingleCopySession(bad, ROUTE)
+
+
+class TestCryptoIntegration:
+    def test_onion_built_and_peelable_along_route(self):
+        from repro.core.onion_groups import OnionGroupDirectory
+
+        directory = OnionGroupDirectory(40, 5, rng=0)
+        route = directory.select_route(0, 39, 3, rng=1)
+        keyring = directory.build_keyring(b"master")
+        message = Message(
+            source=0, destination=39, created_at=0, deadline=10, payload=b"hello"
+        )
+        session = SingleCopySession(message, route, keyring=keyring)
+        blob = session.onion.blob
+        assert session.onion.entry_group == route.group_ids[0]
+        for hop, gid in enumerate(route.group_ids):
+            layer = peel_onion(blob, keyring.key_for(gid))
+            blob = layer.inner
+        assert layer.is_final
+        assert layer.destination == 39
+        assert blob == b"hello"

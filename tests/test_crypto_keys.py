@@ -1,0 +1,84 @@
+"""Tests for key derivation and group keyrings."""
+
+import pytest
+
+from repro.crypto.keys import GroupKeyring, derive_key, generate_key
+
+MASTER = b"test-master-secret"
+
+
+class TestKeyGeneration:
+    def test_generate_key_size(self):
+        assert len(generate_key()) == 32
+
+    def test_generate_keys_distinct(self):
+        assert generate_key() != generate_key()
+
+    def test_derive_deterministic(self):
+        assert derive_key(MASTER, "group-1") == derive_key(MASTER, "group-1")
+
+    def test_derive_labels_independent(self):
+        assert derive_key(MASTER, "group-1") != derive_key(MASTER, "group-2")
+
+    def test_derive_masters_independent(self):
+        assert derive_key(b"a-secret", "g") != derive_key(b"b-secret", "g")
+
+    def test_empty_master_rejected(self):
+        with pytest.raises(ValueError, match="master"):
+            derive_key(b"", "label")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            derive_key(MASTER, "")
+
+
+class TestGroupKeyring:
+    def test_for_groups(self):
+        keyring = GroupKeyring.for_groups(MASTER, [0, 1, 2])
+        assert len(keyring) == 3
+        assert keyring.knows(1)
+        assert not keyring.knows(9)
+
+    def test_key_lookup(self):
+        keyring = GroupKeyring.for_groups(MASTER, [5])
+        assert keyring.key_for(5) == derive_key(MASTER, "group-5")
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            GroupKeyring().key_for(3)
+
+    def test_add_rejects_wrong_size(self):
+        with pytest.raises(ValueError, match="32 bytes"):
+            GroupKeyring().add(0, b"short")
+
+    def test_add_rejects_negative_group(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            GroupKeyring().add(-1, generate_key())
+
+    def test_add_idempotent_for_same_key(self):
+        key = generate_key()
+        keyring = GroupKeyring()
+        keyring.add(0, key)
+        keyring.add(0, key)
+        assert len(keyring) == 1
+
+    def test_add_conflicting_key_rejected(self):
+        keyring = GroupKeyring()
+        keyring.add(0, generate_key())
+        with pytest.raises(ValueError, match="conflicting"):
+            keyring.add(0, generate_key())
+
+    def test_restricted_to(self):
+        keyring = GroupKeyring.for_groups(MASTER, range(5))
+        member_view = keyring.restricted_to([2])
+        assert member_view.group_ids == (2,)
+        assert member_view.key_for(2) == keyring.key_for(2)
+
+    def test_contains(self):
+        keyring = GroupKeyring.for_groups(MASTER, [4])
+        assert 4 in keyring
+        assert 5 not in keyring
+
+    def test_group_ids_sorted(self):
+        keyring = GroupKeyring.for_groups(MASTER, [3, 1, 2])
+        assert keyring.group_ids == (1, 2, 3)

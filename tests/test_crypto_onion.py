@@ -1,0 +1,135 @@
+"""Tests for onion construction and peeling (the layer-access contract)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.cipher import AuthenticationError
+from repro.crypto.keys import GroupKeyring
+from repro.crypto.onion import build_onion, layer_overhead, pad_blob, peel_onion
+
+MASTER = b"onion-test-master"
+ROUTE = [3, 7, 1]
+DESTINATION = 42
+PAYLOAD = b"the commander's orders"
+
+
+@pytest.fixture
+def keyring():
+    return GroupKeyring.for_groups(MASTER, range(10))
+
+
+class TestBuildOnion:
+    def test_entry_group_is_first_route_group(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        assert onion.entry_group == 3
+
+    def test_missing_key_raises(self, keyring):
+        with pytest.raises(KeyError, match="group 99"):
+            build_onion([99], DESTINATION, PAYLOAD, keyring)
+
+    def test_empty_route_rejected(self, keyring):
+        with pytest.raises(ValueError, match="at least one group"):
+            build_onion([], DESTINATION, PAYLOAD, keyring)
+
+    def test_negative_destination_rejected(self, keyring):
+        with pytest.raises(ValueError, match="destination"):
+            build_onion(ROUTE, -1, PAYLOAD, keyring)
+
+
+class TestPeelChain:
+    def test_full_peel_reveals_route_then_payload(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+
+        layer1 = peel_onion(onion.blob, keyring.key_for(3))
+        assert not layer1.is_final
+        assert layer1.next_group == 7
+
+        layer2 = peel_onion(layer1.inner, keyring.key_for(7))
+        assert not layer2.is_final
+        assert layer2.next_group == 1
+
+        layer3 = peel_onion(layer2.inner, keyring.key_for(1))
+        assert layer3.is_final
+        assert layer3.destination == DESTINATION
+        assert layer3.inner == PAYLOAD
+
+    def test_single_group_route(self, keyring):
+        onion = build_onion([5], DESTINATION, PAYLOAD, keyring)
+        layer = peel_onion(onion.blob, keyring.key_for(5))
+        assert layer.is_final
+        assert layer.destination == DESTINATION
+        assert layer.inner == PAYLOAD
+
+
+class TestAccessControl:
+    def test_wrong_group_key_learns_nothing(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        with pytest.raises(AuthenticationError):
+            peel_onion(onion.blob, keyring.key_for(9))
+
+    def test_cannot_skip_a_layer(self, keyring):
+        """The second group's key cannot open the outer layer."""
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        with pytest.raises(AuthenticationError):
+            peel_onion(onion.blob, keyring.key_for(7))
+
+    def test_payload_not_visible_in_blob(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        assert PAYLOAD not in onion.blob
+
+    def test_destination_not_visible_before_last_layer(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        layer1 = peel_onion(onion.blob, keyring.key_for(3))
+        assert layer1.destination is None
+
+
+class TestSizeHiding:
+    def test_layers_shrink_without_repadding(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        layer1 = peel_onion(onion.blob, keyring.key_for(3))
+        assert len(layer1.inner) == len(onion.blob) - layer_overhead()
+
+    def test_repad_restores_wire_size_and_stays_peelable(self, keyring):
+        """Tor-cell style: relays re-pad to the uniform wire size."""
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        blob = onion.blob
+        for group_id in ROUTE:
+            assert len(blob) == onion.wire_size  # constant on-the-air size
+            layer = peel_onion(blob, keyring.key_for(group_id))
+            blob = pad_blob(layer.inner, onion.wire_size)
+        assert layer.is_final
+        assert layer.inner == PAYLOAD
+
+    def test_pad_blob_rejects_oversized(self, keyring):
+        onion = build_onion(ROUTE, DESTINATION, PAYLOAD, keyring)
+        with pytest.raises(ValueError, match="exceeds wire size"):
+            pad_blob(onion.blob + b"x", onion.wire_size)
+
+    def test_padding_is_ignored_by_peel(self, keyring):
+        onion = build_onion([5], DESTINATION, PAYLOAD, keyring)
+        padded = pad_blob(onion.blob, onion.wire_size + 500)
+        layer = peel_onion(padded, keyring.key_for(5))
+        assert layer.inner == PAYLOAD
+
+
+class TestProperties:
+    @given(
+        route=st.lists(st.integers(0, 9), min_size=1, max_size=6, unique=True),
+        destination=st.integers(0, 1000),
+        payload=st.binary(max_size=512),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_peel_inverts_build(self, route, destination, payload):
+        keyring = GroupKeyring.for_groups(MASTER, range(10))
+        onion = build_onion(route, destination, payload, keyring)
+        blob = onion.blob
+        for hop, group_id in enumerate(route):
+            layer = peel_onion(blob, keyring.key_for(group_id))
+            blob = layer.inner
+            if hop < len(route) - 1:
+                assert not layer.is_final
+                assert layer.next_group == route[hop + 1]
+        assert layer.is_final
+        assert layer.destination == destination
+        assert blob == payload

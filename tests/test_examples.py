@@ -1,0 +1,65 @@
+"""Smoke tests: the fast example scripts must run end to end.
+
+The slower examples (trace_analysis, mobile_network_load,
+adaptive_deployment) are exercised by their own integration tests through
+the same code paths; here we run the quick ones as real subprocesses so a
+packaging or import regression cannot hide.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestQuickstart:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return _run("quickstart.py")
+
+    def test_prints_route_and_models(self, output):
+        assert "route:" in output
+        assert "model delivery rate" in output
+        assert "simulated delivery rate" in output
+        assert "model path anonymity" in output
+
+    def test_models_simulation_consistent(self, output):
+        # the documented model-vs-simulation caveat line is present
+        assert "optimistic on the last hop" in output
+
+
+class TestBattlefield:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return _run("battlefield_messaging.py")
+
+    def test_full_stack_ran(self, output):
+        assert "onion:" in output
+        assert "peeled layer" in output
+        assert "field unit reads:" in output
+        assert "traceable rate" in output
+
+
+class TestAnonymityTradeoff:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return _run("anonymity_tradeoff.py")
+
+    def test_design_table_and_recommendation(self, output):
+        assert "delivery anonymity traceable" in output
+        assert "recommended:" in output
+        assert "takeaways" in output

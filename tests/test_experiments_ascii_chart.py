@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.ascii_chart import render_chart
+from repro.experiments.result import FigureResult, Series
+
+
+def _figure(series_count=2):
+    series = []
+    for index in range(series_count):
+        offset = index * 0.2
+        series.append(
+            Series(
+                label=f"S{index}",
+                points=tuple(
+                    (float(x), min(offset + 0.1 * x, 1.0)) for x in range(6)
+                ),
+            )
+        )
+    return FigureResult(
+        figure_id="Fig. T",
+        title="Chart test",
+        x_label="x",
+        y_label="y",
+        series=tuple(series),
+    )
+
+
+class TestRenderChart:
+    def test_contains_title_axes_and_legend(self):
+        chart = render_chart(_figure())
+        assert "Fig. T" in chart
+        assert "legend:" in chart
+        assert "o S0" in chart
+        assert "x S1" in chart
+        assert "(x)" in chart
+
+    def test_dimensions(self):
+        height = 10
+        chart = render_chart(_figure(), width=40, height=height)
+        lines = chart.splitlines()
+        # title + height rows + axis + x labels + legend
+        assert len(lines) == height + 4
+
+    def test_markers_present_for_each_series(self):
+        chart = render_chart(_figure(3))
+        body = "\n".join(chart.splitlines()[1:-3])
+        for marker in "ox+":
+            assert marker in body
+
+    def test_fixed_y_range(self):
+        chart = render_chart(_figure(), y_min=0.0, y_max=1.0)
+        assert "1.00" in chart
+        assert "0.00" in chart
+
+    def test_increasing_series_rises(self):
+        """The marker's row index must decrease (visually rise) with x."""
+        figure = FigureResult(
+            figure_id="F",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                Series(label="up", points=((0.0, 0.0), (1.0, 1.0))),
+            ),
+        )
+        chart = render_chart(figure, width=20, height=8, y_min=0.0, y_max=1.0)
+        rows = chart.splitlines()[1:9]
+        first_column = min(row.index("o") for row in rows if "o" in row)
+        top_row = next(i for i, row in enumerate(rows) if "o" in row)
+        bottom_row = max(i for i, row in enumerate(rows) if "o" in row)
+        assert top_row < bottom_row  # occupies high and low rows
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            render_chart(_figure(), width=5, height=2)
+
+    def test_too_many_series_rejected(self):
+        with pytest.raises(ValueError, match="at most"):
+            render_chart(_figure(9))
+
+    def test_flat_series_renders(self):
+        figure = FigureResult(
+            figure_id="F",
+            title="flat",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="c", points=((0.0, 0.5), (1.0, 0.5))),),
+        )
+        chart = render_chart(figure)
+        assert "o" in chart

@@ -1,0 +1,49 @@
+"""Tests for the Table II configuration object."""
+
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
+
+
+class TestPaperConfig:
+    def test_table_ii_defaults(self):
+        config = DEFAULT_CONFIG
+        assert config.n == 100
+        assert config.mean_intercontact_range == (10.0, 360.0)
+        assert config.onion_routers == 3
+        assert config.copies == 1
+        assert min(config.deadlines) == 60.0
+        assert max(config.deadlines) == 1080.0
+
+    def test_eta(self):
+        assert DEFAULT_CONFIG.eta == 4
+
+    def test_max_deadline(self):
+        assert DEFAULT_CONFIG.max_deadline == 1080.0
+
+    def test_with_override(self):
+        changed = DEFAULT_CONFIG.with_(group_size=5)
+        assert changed.group_size == 5
+        assert changed.n == DEFAULT_CONFIG.n
+        assert DEFAULT_CONFIG.group_size == 3  # original untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_CONFIG.n = 5
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n": 1},
+            {"group_size": 0},
+            {"group_size": 101},
+            {"onion_routers": 0},
+            {"copies": 0},
+            {"deadlines": ()},
+            {"deadlines": (0.0,)},
+            {"default_compromise_rate": 1.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            DEFAULT_CONFIG.with_(**overrides)

@@ -1,0 +1,48 @@
+"""Smoke tests for the extension figures (E1/E2) at reduced scale."""
+
+import pytest
+
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.extension_figs import figure_e1, figure_e2
+
+SMALL = DEFAULT_CONFIG.with_(deadlines=(120.0, 480.0, 1080.0))
+
+
+class TestFigureE1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_e1(config=SMALL, sessions=40, seed=1)
+
+    def test_series(self, result):
+        assert set(result.labels) == {
+            "Paper model (Eq. 6)",
+            "Refined model",
+            "Simulation",
+        }
+
+    def test_ordering_paper_above_refined(self, result):
+        paper = result.get("Paper model (Eq. 6)")
+        refined = result.get("Refined model")
+        for x in paper.xs:
+            assert paper.y_at(x) >= refined.y_at(x) - 1e-9
+
+    def test_all_curves_monotone(self, result):
+        for series in result.series:
+            assert list(series.ys) == sorted(series.ys)
+
+
+class TestFigureE2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure_e2(config=SMALL, sessions=30, seed=2)
+
+    def test_five_protocols(self, result):
+        assert len(result.series) == 5
+
+    def test_epidemic_dominates(self, result):
+        final = {s.label: s.points[-1][1] for s in result.series}
+        assert final["Epidemic"] == max(final.values())
+
+    def test_multicopy_onion_at_least_single(self, result):
+        final = {s.label: s.points[-1][1] for s in result.series}
+        assert final["Onion L=3"] >= final["Onion L=1"] - 0.05

@@ -1,0 +1,66 @@
+"""Tests for figure JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.experiments.persistence import (
+    figure_from_dict,
+    figure_to_dict,
+    load_figure,
+    save_figure,
+)
+from repro.experiments.result import FigureResult, Series
+
+
+def _figure():
+    return FigureResult(
+        figure_id="Fig. P",
+        title="Persistence test",
+        x_label="x",
+        y_label="y",
+        series=(
+            Series(label="A", points=((1.0, 0.5), (2.0, 0.75))),
+            Series(label="B", points=((1.0, 0.25),)),
+        ),
+    )
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        figure = _figure()
+        again = figure_from_dict(figure_to_dict(figure))
+        assert again == figure
+
+    def test_file_roundtrip(self, tmp_path):
+        figure = _figure()
+        path = tmp_path / "figure.json"
+        save_figure(figure, path)
+        assert load_figure(path) == figure
+
+    def test_json_is_plain(self, tmp_path):
+        path = tmp_path / "figure.json"
+        save_figure(_figure(), path)
+        payload = json.loads(path.read_text())
+        assert payload["figure_id"] == "Fig. P"
+        assert payload["series"][0]["points"] == [[1.0, 0.5], [2.0, 0.75]]
+
+
+class TestValidation:
+    def test_wrong_schema_version(self):
+        payload = figure_to_dict(_figure())
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema version"):
+            figure_from_dict(payload)
+
+    def test_missing_field(self):
+        payload = figure_to_dict(_figure())
+        del payload["title"]
+        with pytest.raises(ValueError, match="missing field"):
+            figure_from_dict(payload)
+
+    def test_malformed_points(self):
+        payload = figure_to_dict(_figure())
+        payload["series"][0]["points"] = [[1.0]]
+        with pytest.raises(ValueError):
+            figure_from_dict(payload)

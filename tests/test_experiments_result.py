@@ -1,0 +1,97 @@
+"""Tests for figure results and rendering."""
+
+import pytest
+
+from repro.experiments.result import FigureResult, Series
+
+
+def _series(label="Analysis: g=5", points=((1.0, 0.5), (2.0, 0.7))):
+    return Series(label=label, points=points)
+
+
+def _figure():
+    return FigureResult(
+        figure_id="Fig. X",
+        title="Example",
+        x_label="Deadline",
+        y_label="Rate",
+        series=(
+            _series("Analysis", ((1.0, 0.5), (2.0, 0.7))),
+            _series("Simulation", ((1.0, 0.4), (2.0, 0.65))),
+        ),
+    )
+
+
+class TestSeries:
+    def test_points_coerced_to_float_tuples(self):
+        series = _series(points=[(1, 1), (2, 0)])
+        assert series.points == ((1.0, 1.0), (2.0, 0.0))
+
+    def test_xs_ys(self):
+        series = _series()
+        assert series.xs == (1.0, 2.0)
+        assert series.ys == (0.5, 0.7)
+
+    def test_y_at(self):
+        assert _series().y_at(2.0) == 0.7
+
+    def test_y_at_missing(self):
+        with pytest.raises(KeyError):
+            _series().y_at(9.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            Series(label="x", points=())
+
+
+class TestFigureResult:
+    def test_get_by_label(self):
+        figure = _figure()
+        assert figure.get("Analysis").y_at(1.0) == 0.5
+
+    def test_get_missing_label(self):
+        with pytest.raises(KeyError, match="no series"):
+            _figure().get("nope")
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            FigureResult(
+                figure_id="F",
+                title="t",
+                x_label="x",
+                y_label="y",
+                series=(_series("A"), _series("A")),
+            )
+
+    def test_no_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            FigureResult(
+                figure_id="F", title="t", x_label="x", y_label="y", series=()
+            )
+
+    def test_table_contains_all_values(self):
+        table = _figure().to_table()
+        assert "Fig. X" in table
+        assert "0.5000" in table
+        assert "0.6500" in table
+        assert "Analysis" in table
+
+    def test_table_handles_mismatched_grids(self):
+        figure = FigureResult(
+            figure_id="F",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(
+                _series("A", ((1.0, 0.1),)),
+                _series("B", ((2.0, 0.2),)),
+            ),
+        )
+        table = figure.to_table()
+        assert "-" in table  # missing cells rendered as dashes
+
+    def test_markdown_structure(self):
+        markdown = _figure().to_markdown()
+        assert markdown.startswith("### Fig. X")
+        assert "| Deadline | Analysis | Simulation |" in markdown
+        assert "| 1 | 0.5000 | 0.4000 |" in markdown

@@ -1,0 +1,56 @@
+"""Tests for the sensitivity sweeps."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    density_sensitivity,
+    network_size_sensitivity,
+)
+
+
+class TestNetworkSizeSensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return network_size_sensitivity(sizes=(30, 100, 300), routes=15, seed=1)
+
+    def test_series_present(self, result):
+        assert set(result.labels) == {
+            "Delivery (Eq. 6)",
+            "Path anonymity D",
+            "Residual entropy H (bits)",
+            "Traceable rate",
+        }
+
+    def test_absolute_entropy_grows_with_n(self, result):
+        ys = result.get("Residual entropy H (bits)").ys
+        assert list(ys) == sorted(ys)
+
+    def test_anonymity_ratio_slightly_falls_with_n(self, result):
+        """D = H/H_max: a compromised hop keeps log2(g) bits regardless of
+        n, an ever smaller share of a clean hop's log2(n) bits."""
+        ys = result.get("Path anonymity D").ys
+        assert list(ys) == sorted(ys, reverse=True)
+
+    def test_traceable_rate_independent_of_n(self, result):
+        ys = result.get("Traceable rate").ys
+        assert max(ys) - min(ys) < 1e-12
+
+    def test_delivery_roughly_flat(self, result):
+        ys = result.get("Delivery (Eq. 6)").ys
+        assert max(ys) - min(ys) < 0.25
+
+
+class TestDensitySensitivity:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return density_sensitivity(
+            densities=(0.1, 0.5, 1.0), routes=15, seed=2
+        )
+
+    def test_delivery_increases_with_density(self, result):
+        ys = result.get("Delivery (Eq. 6)").ys
+        assert list(ys) == sorted(ys)
+
+    def test_sparse_graphs_hurt(self, result):
+        series = result.get("Delivery (Eq. 6)")
+        assert series.y_at(0.1) < series.y_at(1.0)

@@ -1,0 +1,107 @@
+"""Tests for ALAR segment dissemination."""
+
+import pytest
+
+from repro.extensions.alar import AlarSession
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+
+def _message(deadline=100.0):
+    return Message(source=0, destination=9, created_at=0.0, deadline=deadline)
+
+
+class TestSegmentSpray:
+    def test_distinct_first_receivers(self):
+        session = AlarSession(_message(), segments=2)
+        feed(session, [(1.0, 0, 1), (2.0, 0, 1), (3.0, 0, 2)])
+        assert session.first_receivers == (1, 2)
+        assert session.outcome().transmissions == 2
+
+    def test_destination_never_a_first_receiver(self):
+        session = AlarSession(_message(), segments=1)
+        feed(session, [(1.0, 0, 9)])
+        assert session.first_receivers == ()
+
+    def test_source_transmits_each_segment_once(self):
+        session = AlarSession(_message(), segments=2)
+        feed(session, [(1.0, 0, 1), (2.0, 0, 2), (3.0, 0, 3)])
+        # both segments placed; node 3 gets nothing from the source
+        assert session.outcome().transmissions == 2
+
+
+class TestEpidemicSpread:
+    def test_segments_spread_epidemically(self):
+        session = AlarSession(_message(), segments=1)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 2), (3.0, 2, 3)])
+        # 1 spray + 2 epidemic copies
+        assert session.outcome().transmissions == 3
+
+    def test_source_does_not_retransmit(self):
+        session = AlarSession(_message(), segments=1)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 0), (3.0, 0, 2)])
+        # the holder meeting the source copies nothing back; the source
+        # stays quiet for the already-placed segment
+        assert session.outcome().transmissions == 1
+
+    def test_copies_cap_respected(self):
+        session = AlarSession(_message(), segments=1, copies_per_segment=2)
+        feed(
+            session,
+            [(1.0, 0, 1), (2.0, 1, 2), (3.0, 2, 3), (4.0, 1, 4)],
+        )
+        # cap of 2 holders: spray + one epidemic copy only
+        assert session.outcome().transmissions == 2
+
+
+class TestDelivery:
+    def test_needs_all_segments(self):
+        session = AlarSession(_message(), segments=2)
+        feed(session, [(1.0, 0, 1), (2.0, 0, 2), (3.0, 1, 9)])
+        assert session.segments_collected == 1
+        assert not session.outcome().delivered
+        feed(session, [(4.0, 2, 9)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivery_time == 4.0
+
+    def test_duplicate_segment_delivery_not_recounted(self):
+        session = AlarSession(_message(), segments=2)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 2), (3.0, 1, 9), (4.0, 2, 9)])
+        assert session.segments_collected == 1
+
+    def test_deadline(self):
+        session = AlarSession(_message(deadline=2.0), segments=1)
+        feed(session, [(1.0, 0, 1), (5.0, 1, 9)])
+        assert session.done
+        assert not session.outcome().delivered
+
+    def test_single_segment_behaves_like_epidemic_without_source(self):
+        session = AlarSession(_message(), segments=1)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 9)])
+        assert session.outcome().delivered
+
+
+class TestSecurityAccessors:
+    def test_source_transmissions_observed(self):
+        session = AlarSession(_message(), segments=3)
+        feed(session, [(1.0, 0, 1), (2.0, 0, 2), (3.0, 0, 3)])
+        assert session.source_transmissions_observed_by({1, 3}) == 2
+        assert session.source_transmissions_observed_by({7}) == 0
+
+    def test_segments_exposed(self):
+        session = AlarSession(_message(), segments=2)
+        feed(session, [(1.0, 0, 1), (2.0, 0, 2), (3.0, 1, 4)])
+        assert session.segments_exposed_to({4}) == 1
+        assert session.segments_exposed_to({1, 2}) == 2
+
+
+class TestValidation:
+    def test_bad_segments(self):
+        with pytest.raises(ValueError):
+            AlarSession(_message(), segments=0)
+
+    def test_bad_cap(self):
+        with pytest.raises(ValueError, match="copies_per_segment"):
+            AlarSession(_message(), segments=1, copies_per_segment=0)

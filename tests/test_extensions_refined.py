@@ -1,0 +1,136 @@
+"""Tests for the refined analytical models."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.anonymity import path_anonymity_multicopy
+from repro.analysis.delivery import onion_path_rates
+from repro.analysis.hypoexponential import Hypoexponential
+from repro.contacts.graph import ContactGraph
+from repro.extensions.refined_models import (
+    arden_hop_rates,
+    expected_exposed_hops_refined,
+    path_anonymity_multicopy_refined,
+    refined_onion_path_rates,
+)
+
+GROUPS = [(5, 6, 7, 8, 9), (10, 11, 12, 13, 14)]
+
+
+@pytest.fixture
+def graph():
+    return ContactGraph.complete(20, 0.01)
+
+
+class TestRefinedPathRates:
+    def test_last_hop_is_average_not_sum(self, graph):
+        paper = onion_path_rates(graph, 0, GROUPS, 19)
+        refined = refined_onion_path_rates(graph, 0, GROUPS, 19)
+        assert refined[:-1] == paper[:-1]
+        assert refined[-1] == pytest.approx(paper[-1] / 5)  # g = 5
+
+    def test_refined_model_matches_simulation(self, graph):
+        """The headline fix: the refined CDF matches the protocol."""
+        from repro.contacts.events import ExponentialContactProcess
+        from repro.core.route import OnionRoute
+        from repro.core.single_copy import SingleCopySession
+        from repro.sim.engine import SimulationEngine
+        from repro.sim.message import Message
+
+        route = OnionRoute(
+            source=0, destination=19, group_ids=(0, 1), groups=tuple(GROUPS)
+        )
+        horizon = 200.0
+        rng = np.random.default_rng(0)
+        delivered = 0
+        trials = 1000
+        for _ in range(trials):
+            engine = SimulationEngine(
+                ExponentialContactProcess(graph, rng=rng), horizon=horizon
+            )
+            session = SingleCopySession(
+                Message(0, 19, 0.0, horizon), route
+            )
+            engine.add_session(session)
+            engine.run()
+            delivered += session.outcome().delivered
+        sim = delivered / trials
+        refined = Hypoexponential(
+            refined_onion_path_rates(graph, 0, GROUPS, 19)
+        ).cdf(horizon)
+        paper = Hypoexponential(onion_path_rates(graph, 0, GROUPS, 19)).cdf(
+            horizon
+        )
+        assert sim == pytest.approx(refined, abs=0.05)
+        assert paper > sim  # and the paper's model stays optimistic
+
+    def test_destination_excluded_from_last_group(self, graph):
+        rates = refined_onion_path_rates(graph, 0, [(1, 2), (3, 19)], 19)
+        # only member 3 can carry toward the destination
+        assert rates[-1] == pytest.approx(graph.rate(3, 19))
+
+    def test_degenerate_last_group_rejected(self, graph):
+        with pytest.raises(ValueError, match="no member besides"):
+            refined_onion_path_rates(graph, 0, [(1, 2), (19,)], 19)
+
+
+class TestArdenRates:
+    def test_has_one_extra_hop(self, graph):
+        base = refined_onion_path_rates(graph, 0, GROUPS, 19)
+        arden = arden_hop_rates(graph, 0, GROUPS, (15, 16, 17, 19), 19)
+        assert len(arden) == len(base) + 1
+
+    def test_requires_destination_in_group(self, graph):
+        with pytest.raises(ValueError, match="must contain"):
+            arden_hop_rates(graph, 0, GROUPS, (15, 16), 19)
+
+    def test_group_needs_other_members(self, graph):
+        with pytest.raises(ValueError, match="other member"):
+            arden_hop_rates(graph, 0, GROUPS, (19,), 19)
+
+    def test_arden_slower_than_abstract(self, graph):
+        """The destination-group detour costs delivery probability."""
+        base = Hypoexponential(
+            refined_onion_path_rates(graph, 0, GROUPS, 19)
+        ).cdf(200.0)
+        arden = Hypoexponential(
+            arden_hop_rates(graph, 0, GROUPS, (15, 16, 17, 19), 19)
+        ).cdf(200.0)
+        assert arden < base
+
+
+class TestRefinedExposure:
+    def test_reduces_to_single_copy(self):
+        assert expected_exposed_hops_refined(4, 0.2, 1) == pytest.approx(
+            4 * 0.2
+        )
+
+    def test_source_hop_counted_once(self):
+        eta, p, copies = 4, 0.2, 3
+        value = expected_exposed_hops_refined(eta, p, copies)
+        assert value == pytest.approx(p + 3 * (1 - (1 - p) ** 3))
+
+    def test_below_paper_eq20(self):
+        from repro.analysis.anonymity import expected_exposed_groups_multicopy
+
+        for copies in (2, 3, 5):
+            refined = expected_exposed_hops_refined(4, 0.2, copies)
+            paper = expected_exposed_groups_multicopy(4, 0.2, copies)
+            assert refined < paper
+
+    def test_refined_anonymity_above_paper_model(self):
+        for copies in (2, 3, 5):
+            refined = path_anonymity_multicopy_refined(100, 4, 5, 0.2, copies)
+            paper = path_anonymity_multicopy(
+                100, 4, 5, 0.2, copies, form="exact"
+            )
+            assert refined > paper
+
+    def test_forms(self):
+        exact = path_anonymity_multicopy_refined(100, 4, 5, 0.2, 3, form="exact")
+        closed = path_anonymity_multicopy_refined(
+            100, 4, 5, 0.2, 3, form="closed-form"
+        )
+        assert exact == pytest.approx(closed, abs=0.06)
+        with pytest.raises(ValueError, match="unknown form"):
+            path_anonymity_multicopy_refined(100, 4, 5, 0.2, 3, form="x")

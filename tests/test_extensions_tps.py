@@ -1,0 +1,192 @@
+"""Tests for the Threshold Pivot Scheme."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.graph import ContactGraph
+from repro.extensions.tps import (
+    TpsRoute,
+    TpsSession,
+    select_tps_route,
+    tps_delivery_model,
+)
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+# topology: source 0, relays 1..3, pivot 8, destination 9
+ROUTE = TpsRoute(source=0, destination=9, relays=(1, 2, 3), pivot=8, threshold=2)
+
+
+def _message(deadline=100.0, payload=None):
+    return Message(
+        source=0, destination=9, created_at=0.0, deadline=deadline, payload=payload
+    )
+
+
+class TestTpsRoute:
+    def test_shares_count(self):
+        assert ROUTE.shares == 3
+
+    def test_relays_must_be_distinct(self):
+        with pytest.raises(ValueError, match="distinct"):
+            TpsRoute(source=0, destination=9, relays=(1, 1), pivot=8, threshold=1)
+
+    def test_relays_exclude_special_nodes(self):
+        with pytest.raises(ValueError, match="exclude"):
+            TpsRoute(source=0, destination=9, relays=(8,), pivot=8, threshold=1)
+
+    def test_threshold_range(self):
+        with pytest.raises(ValueError, match="threshold"):
+            TpsRoute(source=0, destination=9, relays=(1, 2), pivot=8, threshold=3)
+
+    def test_pivot_not_endpoint(self):
+        with pytest.raises(ValueError, match="pivot"):
+            TpsRoute(source=0, destination=9, relays=(1,), pivot=9, threshold=1)
+
+    def test_select_route_validity(self):
+        route = select_tps_route(20, 0, 19, shares=4, threshold=2, rng=0)
+        assert route.shares == 4
+        assert route.pivot not in route.relays
+        assert 0 not in route.relays and 19 not in route.relays
+
+    def test_select_route_too_small_network(self):
+        with pytest.raises(ValueError, match="eligible"):
+            select_tps_route(4, 0, 3, shares=3, threshold=2, rng=0)
+
+
+class TestForwarding:
+    def test_full_delivery(self):
+        session = TpsSession(_message(), ROUTE)
+        feed(
+            session,
+            [
+                (1.0, 0, 1),  # share 0 -> relay 1
+                (2.0, 0, 2),  # share 1 -> relay 2
+                (3.0, 1, 8),  # relay 1 -> pivot (1 of 2)
+                (4.0, 2, 8),  # relay 2 -> pivot (2 of 2): reconstruct
+                (5.0, 8, 9),  # pivot -> destination
+            ],
+        )
+        outcome = session.outcome()
+        assert session.reconstructed
+        assert session.reconstruction_time == 4.0
+        assert outcome.delivered
+        assert outcome.delivery_time == 5.0
+        assert outcome.transmissions == 5
+
+    def test_pivot_cannot_deliver_before_threshold(self):
+        session = TpsSession(_message(), ROUTE)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 8), (3.0, 8, 9)])
+        assert not session.reconstructed
+        assert not session.outcome().delivered
+
+    def test_share_goes_only_to_designated_relay(self):
+        session = TpsSession(_message(), ROUTE)
+        feed(session, [(1.0, 0, 5)])  # node 5 is not a relay
+        assert session.outcome().transmissions == 0
+
+    def test_relay_holds_until_pivot(self):
+        session = TpsSession(_message(), ROUTE)
+        feed(session, [(1.0, 0, 1), (2.0, 1, 2), (3.0, 1, 9)])
+        # relay 1 ignores everyone but the pivot
+        assert session.shares_at_pivot == 0
+
+    def test_deadline(self):
+        session = TpsSession(_message(deadline=2.0), ROUTE)
+        feed(session, [(1.0, 0, 1), (5.0, 1, 8)])
+        assert session.done
+        assert not session.outcome().delivered
+
+    def test_endpoint_mismatch(self):
+        bad = Message(source=1, destination=9, created_at=0, deadline=10)
+        with pytest.raises(ValueError, match="do not match"):
+            TpsSession(bad, ROUTE)
+
+
+class TestRealShares:
+    def test_payload_reconstructed_with_real_shamir_shares(self):
+        payload = b"rendezvous at dawn"
+        session = TpsSession(_message(payload=payload), ROUTE, rng=0)
+        feed(
+            session,
+            [
+                (1.0, 0, 1),
+                (2.0, 0, 3),
+                (3.0, 1, 8),
+                (4.0, 3, 8),
+                (5.0, 8, 9),
+            ],
+        )
+        assert session.outcome().delivered
+        assert session.reconstructed_payload == payload
+
+
+class TestSecurityAccessors:
+    def _delivered_session(self):
+        session = TpsSession(_message(), ROUTE)
+        feed(
+            session,
+            [(1.0, 0, 1), (2.0, 0, 2), (3.0, 1, 8), (4.0, 2, 8), (5.0, 8, 9)],
+        )
+        return session
+
+    def test_pivot_compromise_reveals_destination(self):
+        session = self._delivered_session()
+        assert session.destination_exposed_to({8})
+        assert not session.destination_exposed_to({1, 2, 3})
+
+    def test_share_exposure_counts_relays(self):
+        session = self._delivered_session()
+        assert session.shares_exposed_to({1, 3}) == 2
+
+    def test_payload_needs_threshold_relays(self):
+        session = self._delivered_session()
+        assert not session.payload_exposed_to({1})
+        assert session.payload_exposed_to({1, 2})  # threshold = 2
+
+    def test_compromised_pivot_after_reconstruction_exposes(self):
+        session = self._delivered_session()
+        assert session.payload_exposed_to({8})
+
+
+class TestDeliveryModel:
+    def test_model_matches_simulation(self):
+        """The Monte Carlo model must match event-driven simulation."""
+        graph = ContactGraph.complete(10, 0.05)
+        deadline = 120.0
+        model = tps_delivery_model(graph, ROUTE, deadline, samples=40000, rng=0)
+
+        from repro.contacts.events import ExponentialContactProcess
+        from repro.sim.engine import SimulationEngine
+
+        rng = np.random.default_rng(1)
+        delivered = 0
+        trials = 1200
+        for _ in range(trials):
+            engine = SimulationEngine(
+                ExponentialContactProcess(graph, rng=rng), horizon=deadline
+            )
+            session = TpsSession(_message(deadline=deadline), ROUTE)
+            engine.add_session(session)
+            engine.run()
+            delivered += session.outcome().delivered
+        assert delivered / trials == pytest.approx(model, abs=0.04)
+
+    def test_unreachable_component_gives_zero(self):
+        rates = np.zeros((10, 10))
+        rates[0, 1] = rates[1, 0] = 0.1
+        graph = ContactGraph(rates)
+        assert tps_delivery_model(graph, ROUTE, 100.0, samples=10, rng=0) == 0.0
+
+    def test_threshold_one_is_fastest(self):
+        graph = ContactGraph.complete(10, 0.02)
+        fast = tps_delivery_model(
+            graph, TpsRoute(0, 9, (1, 2, 3), 8, threshold=1), 100.0,
+            samples=20000, rng=0,
+        )
+        slow = tps_delivery_model(
+            graph, TpsRoute(0, 9, (1, 2, 3), 8, threshold=3), 100.0,
+            samples=20000, rng=0,
+        )
+        assert fast > slow

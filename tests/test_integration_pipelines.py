@@ -1,0 +1,177 @@
+"""Cross-subsystem integration: pipelines that span many packages."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.community import CommunityConfig, community_contact_graph
+from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
+from repro.contacts.impairments import ThinnedContactProcess, thinned_graph
+from repro.contacts.intercontact import estimate_rates_from_trace
+from repro.contacts.mobility import RandomWaypointConfig, random_waypoint_trace
+from repro.contacts.statistics import pooled_exponential_fit, summarize_trace
+from repro.core.group_management import ManagedGroupDirectory
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.core.route_selection import RateAwareSelector
+from repro.core.single_copy import SingleCopySession
+from repro.crypto.onion import build_onion, pad_blob, peel_onion
+from repro.sim.engine import SimulationEngine
+from repro.sim.message import Message
+from repro.sim.workload import PoissonWorkload, onion_session_factory
+
+
+class TestMobilityToModelPipeline:
+    """Motion → trace → rates → routing → models, end to end."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        config = RandomWaypointConfig(
+            width=150.0, height=150.0, radio_range=20.0,
+            min_speed=1.0, max_speed=3.0, pause_time=10.0,
+        )
+        return random_waypoint_trace(15, duration=4000.0, config=config, rng=0)
+
+    def test_trace_statistics_sane(self, trace):
+        summary = summarize_trace(trace)
+        assert summary.nodes <= 15
+        assert summary.density > 0.5
+
+    def test_replayed_protocol_delivers(self, trace):
+        normalized = trace.normalized()
+        n = normalized.n
+        directory = OnionGroupDirectory(n, 3, rng=1)
+        delivered = 0
+        trials = 15
+        for seed in range(trials):
+            rng = np.random.default_rng(seed)
+            source, destination = rng.choice(n, size=2, replace=False)
+            try:
+                route = directory.select_route(
+                    int(source), int(destination), 2, rng=rng
+                )
+            except ValueError:
+                continue
+            message = Message(
+                int(source), int(destination), created_at=0.0,
+                deadline=normalized.end,
+            )
+            session = SingleCopySession(message, route)
+            engine = SimulationEngine(
+                TraceReplayProcess(normalized), horizon=normalized.end + 1
+            )
+            engine.add_session(session)
+            engine.run()
+            delivered += session.outcome().delivered
+        assert delivered > 0
+
+    def test_estimated_graph_feeds_models(self, trace):
+        graph = estimate_rates_from_trace(trace.normalized())
+        from repro.analysis.delivery import delivery_rate
+
+        directory = OnionGroupDirectory(graph.n, 3, rng=2)
+        route = directory.select_route(0, graph.n - 1, 2, rng=2)
+        p = delivery_rate(graph, 0, route.groups, graph.n - 1, 2000.0)
+        assert 0.0 <= p <= 1.0
+
+
+class TestCommunityWorkloadPipeline:
+    def test_workload_on_community_graph(self):
+        config = CommunityConfig(
+            communities=3, community_size=10,
+            intra_rate=0.1, inter_rate=0.002,
+            bridge_fraction=0.2, bridge_rate=0.05,
+        )
+        community = community_contact_graph(config, rng=3)
+        directory = OnionGroupDirectory(community.graph.n, 5, rng=3)
+        workload = PoissonWorkload(
+            arrival_rate=0.05, message_deadline=500.0, duration=300.0
+        )
+        result = workload.run(
+            community.graph,
+            onion_session_factory(directory, onion_routers=2, rng=3),
+            rng=3,
+        )
+        assert result.stats.delivery_rate > 0.3
+
+    def test_rate_aware_selection_on_community_graph(self):
+        """Rate-aware routing exploits community structure (bridges)."""
+        config = CommunityConfig(
+            communities=3, community_size=10,
+            intra_rate=0.1, inter_rate=0.001,
+            bridge_fraction=0.2, bridge_rate=0.05,
+        )
+        community = community_contact_graph(config, rng=4)
+        directory = OnionGroupDirectory(30, 5, rng=4)
+        selector = RateAwareSelector(
+            directory, community.graph, reference_deadline=200.0,
+            candidates=8, rng=4,
+        )
+        route = selector.select(0, 29, 2)
+        assert route.onion_routers == 2
+
+
+class TestManagedGroupsWithProtocol:
+    def test_churned_groups_still_route_and_peel(self):
+        """Membership churn, then a fresh onion routes under current keys."""
+        directory = ManagedGroupDirectory(b"pipeline-master", group_count=4)
+        for node, group in [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)]:
+            directory.join(node, group)
+        directory.leave(2, 0)
+        directory.join(7, 0)
+
+        keyring = directory.routing_keyring((0, 1, 2))
+        onion = build_onion([0, 1, 2], destination=9, payload=b"m", keyring=keyring)
+        blob = onion.blob
+        carriers = {0: 7, 1: 3, 2: 5}  # a current member per group
+        for group_id in (0, 1, 2):
+            carrier = carriers[group_id]
+            key = directory.node_key(
+                carrier, group_id, directory.epoch(group_id)
+            )
+            layer = peel_onion(blob, key)
+            blob = pad_blob(layer.inner, onion.wire_size)
+        assert layer.is_final
+        assert layer.destination == 9
+
+
+class TestImpairedDeliveryPipeline:
+    def test_thinning_consistency_through_workload(self):
+        from repro.contacts.graph import ContactGraph
+
+        graph = ContactGraph.complete(20, 0.05)
+        directory = OnionGroupDirectory(20, 4, rng=5)
+        route = directory.select_route(0, 19, 2, rng=5)
+        horizon = 250.0
+        drop = 0.4
+        rng = np.random.default_rng(6)
+        delivered = 0
+        trials = 500
+        for _ in range(trials):
+            process = ThinnedContactProcess(
+                ExponentialContactProcess(graph, rng=rng), drop, rng=rng
+            )
+            engine = SimulationEngine(process, horizon=horizon)
+            session = SingleCopySession(Message(0, 19, 0.0, horizon), route)
+            engine.add_session(session)
+            engine.run()
+            delivered += session.outcome().delivered
+        from repro.analysis.hypoexponential import Hypoexponential
+        from repro.extensions.refined_models import refined_onion_path_rates
+
+        model = Hypoexponential(
+            refined_onion_path_rates(thinned_graph(graph, drop), 0,
+                                     route.groups, 19)
+        ).cdf(horizon)
+        assert delivered / trials == pytest.approx(model, abs=0.06)
+
+
+class TestSyntheticTraceDiagnostics:
+    def test_cambridge_like_business_hours_fit(self):
+        """Within a single business day, gaps are near-exponential."""
+        from repro.contacts.synthetic import cambridge_like_trace
+        from repro.contacts.traces import ContactTrace
+
+        trace = cambridge_like_trace(days=1, rng=7)
+        fit = pooled_exponential_fit(trace)
+        # one business window: no overnight outliers; the fit is plausible
+        assert fit.rate > 0
+        assert fit.sample_count > 100

@@ -1,0 +1,233 @@
+"""Additional property-based suites across the substrates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contacts.graph import ContactGraph
+from repro.contacts.traces import ContactRecord, ContactTrace
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.experiments.result import FigureResult, Series
+from repro.sim.workload import PoissonWorkload
+from repro.utils.rng import ensure_rng
+
+
+def _graph_from_upper(values, n):
+    rates = np.zeros((n, n))
+    index = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            rates[i, j] = rates[j, i] = values[index % len(values)]
+            index += 1
+    return ContactGraph(rates) if n >= 2 else None
+
+
+class TestContactGraphProperties:
+    @given(
+        n=st.integers(min_value=3, max_value=12),
+        values=st.lists(
+            st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=30
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_anycast_rate_is_additive(self, n, values):
+        graph = _graph_from_upper(values, n)
+        members = list(range(1, n))
+        whole = graph.anycast_rate(0, members)
+        split = graph.anycast_rate(0, members[: n // 2]) + graph.anycast_rate(
+            0, members[n // 2 :]
+        )
+        assert whole == pytest.approx(split)
+
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=20
+        ),
+        deadline=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_contact_probability_bounds(self, n, values, deadline):
+        graph = _graph_from_upper(values, n)
+        p = graph.contact_probability(0, 1, deadline)
+        assert 0.0 <= p <= 1.0
+
+    @given(
+        n=st.integers(min_value=3, max_value=10),
+        values=st.lists(
+            st.floats(min_value=0.01, max_value=1.0), min_size=1, max_size=20
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_group_to_group_symmetric_for_equal_groups(self, n, values):
+        graph = _graph_from_upper(values, n)
+        half = n // 2
+        a, b = list(range(half)), list(range(half, n))
+        forward = graph.group_to_group_rate(a, b) * len(a)
+        backward = graph.group_to_group_rate(b, a) * len(b)
+        # total pairwise mass is direction-independent
+        assert forward == pytest.approx(backward)
+
+
+class TestDirectoryProperties:
+    @given(
+        n=st.integers(min_value=6, max_value=60),
+        group_size=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_partition_is_exact(self, n, group_size, seed):
+        if group_size > n:
+            return
+        directory = OnionGroupDirectory(n, group_size, rng=seed)
+        seen = sorted(
+            node for members in directory.groups for node in members
+        )
+        assert seen == list(range(n))
+        sizes = [len(members) for members in directory.groups]
+        assert all(size == group_size for size in sizes[:-1])
+        assert 1 <= sizes[-1] <= group_size
+
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        onion_routers=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_routes_always_valid(self, seed, onion_routers):
+        directory = OnionGroupDirectory(60, 5, rng=seed)
+        route = directory.select_route(0, 59, onion_routers, rng=seed)
+        assert len(set(route.group_ids)) == onion_routers
+        for members in route.groups:
+            assert 0 not in members
+            assert 59 not in members
+
+
+class TestTraceProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 8),
+                st.integers(0, 8),
+                st.floats(min_value=0, max_value=1000),
+                st.floats(min_value=0, max_value=100),
+            ).filter(lambda r: r[0] != r[1]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_serialisation_roundtrip(self, rows):
+        trace = ContactTrace(
+            ContactRecord(a=a, b=b, start=s, end=s + d) for a, b, s, d in rows
+        )
+        again = ContactTrace.loads(trace.dumps())
+        assert len(again) == len(trace)
+        assert [r.pair() for r in again] == [r.pair() for r in trace]
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 8),
+                st.integers(0, 8),
+                st.floats(min_value=0, max_value=1000),
+            ).filter(lambda r: r[0] != r[1]),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_normalized_is_idempotent(self, rows):
+        trace = ContactTrace(
+            ContactRecord(a=a, b=b, start=s, end=s + 1) for a, b, s in rows
+        )
+        once = trace.normalized()
+        twice = once.normalized()
+        assert once.records == twice.records
+
+    @given(
+        rows=st.lists(
+            st.tuples(
+                st.integers(0, 6),
+                st.integers(0, 6),
+                st.floats(min_value=0, max_value=1000),
+            ).filter(lambda r: r[0] != r[1]),
+            min_size=2,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_contact_counts_sum_to_total(self, rows):
+        trace = ContactTrace(
+            ContactRecord(a=a, b=b, start=s, end=s + 1) for a, b, s in rows
+        )
+        assert sum(trace.contact_counts().values()) == len(trace)
+
+
+class TestWorkloadProperties:
+    @given(
+        rate=st.floats(min_value=0.01, max_value=1.0),
+        duration=st.floats(min_value=10.0, max_value=500.0),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_messages_sorted_distinct_endpoints(self, rate, duration, seed):
+        workload = PoissonWorkload(
+            arrival_rate=rate, message_deadline=10.0, duration=duration
+        )
+        messages = workload.generate_messages(20, ensure_rng(seed))
+        times = [m.created_at for m in messages]
+        assert times == sorted(times)
+        for message in messages:
+            assert message.source != message.destination
+            assert 0 <= message.created_at <= duration
+
+
+class TestFigureResultProperties:
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=1),
+            ),
+            min_size=1,
+            max_size=15,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_table_contains_every_point(self, points):
+        figure = FigureResult(
+            figure_id="F",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="S", points=tuple(points)),),
+        )
+        table = figure.to_table()
+        for _, y in points:
+            assert f"{y:.4f}" in table
+
+    @given(
+        points=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.floats(min_value=0, max_value=1),
+            ),
+            min_size=1,
+            max_size=15,
+            unique_by=lambda p: p[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_json_roundtrip_any_figure(self, points):
+        from repro.experiments.persistence import figure_from_dict, figure_to_dict
+
+        figure = FigureResult(
+            figure_id="F",
+            title="t",
+            x_label="x",
+            y_label="y",
+            series=(Series(label="S", points=tuple(points)),),
+        )
+        assert figure_from_dict(figure_to_dict(figure)) == figure

@@ -1,0 +1,185 @@
+"""Property-based protocol invariants under random contact sequences.
+
+Hypothesis generates arbitrary contact streams; every protocol session
+must maintain its invariants regardless of the order, density, or timing
+of contacts: bounded transmissions, valid paths, deadline discipline, and
+no delivery without traversing the required structure.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cost import multi_copy_cost_bound, single_copy_cost
+from repro.contacts.events import ContactEvent
+from repro.core.multi_copy import MultiCopySession, SprayPolicy
+from repro.core.route import OnionRoute
+from repro.core.single_copy import SingleCopySession
+from repro.extensions.alar import AlarSession
+from repro.extensions.tps import TpsRoute, TpsSession
+from repro.sim.message import Message
+
+N = 12
+SOURCE, DESTINATION = 0, 11
+ROUTE = OnionRoute(
+    source=SOURCE,
+    destination=DESTINATION,
+    group_ids=(0, 1),
+    groups=((2, 3, 4), (5, 6, 7)),
+)
+TPS_ROUTE = TpsRoute(
+    source=SOURCE, destination=DESTINATION, relays=(2, 3, 4), pivot=8,
+    threshold=2,
+)
+DEADLINE = 1000.0
+
+contact_streams = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2000.0, allow_nan=False),
+        st.integers(min_value=0, max_value=N - 1),
+        st.integers(min_value=0, max_value=N - 1),
+    ).filter(lambda triple: triple[1] != triple[2]),
+    max_size=120,
+)
+
+
+def _feed(session, stream):
+    for time, a, b in sorted(stream):
+        session.on_contact(ContactEvent(time=time, a=a, b=b))
+    return session.outcome()
+
+
+def _message():
+    return Message(SOURCE, DESTINATION, created_at=0.0, deadline=DEADLINE)
+
+
+class TestSingleCopyInvariants:
+    @given(stream=contact_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_transmissions_bounded_and_path_valid(self, stream):
+        session = SingleCopySession(_message(), ROUTE)
+        outcome = _feed(session, stream)
+        assert outcome.transmissions <= single_copy_cost(ROUTE.onion_routers)
+        path = outcome.paths[0]
+        assert path[0] == SOURCE
+        assert len(path) <= ROUTE.eta
+        # every relay on the path belongs to the group of its hop
+        for hop, relay in enumerate(path[1:], start=1):
+            assert relay in ROUTE.groups[hop - 1]
+
+    @given(stream=contact_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_delivery_requires_full_path(self, stream):
+        session = SingleCopySession(_message(), ROUTE)
+        outcome = _feed(session, stream)
+        if outcome.delivered:
+            assert len(outcome.paths[0]) == ROUTE.eta
+            assert outcome.transmissions == ROUTE.eta
+            assert outcome.delivery_time <= DEADLINE
+
+    @given(stream=contact_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_no_event_after_done_changes_outcome(self, stream):
+        session = SingleCopySession(_message(), ROUTE)
+        _feed(session, stream)
+        snapshot = (
+            session.outcome().delivered,
+            session.outcome().transmissions,
+        )
+        if session.done:
+            session.on_contact(ContactEvent(time=3000.0, a=SOURCE, b=2))
+            assert (
+                session.outcome().delivered,
+                session.outcome().transmissions,
+            ) == snapshot
+
+
+class TestMultiCopyInvariants:
+    @given(
+        stream=contact_streams,
+        copies=st.integers(min_value=1, max_value=3),
+        policy=st.sampled_from([SprayPolicy.SOURCE, SprayPolicy.BINARY]),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cost_bound_holds(self, stream, copies, policy):
+        session = MultiCopySession(
+            _message(), ROUTE, copies=copies, spray_policy=policy
+        )
+        outcome = _feed(session, stream)
+        assert outcome.transmissions <= multi_copy_cost_bound(
+            ROUTE.onion_routers, copies
+        )
+
+    @given(stream=contact_streams, copies=st.integers(min_value=1, max_value=3))
+    @settings(max_examples=150, deadline=None)
+    def test_copy_paths_are_group_consistent(self, stream, copies):
+        session = MultiCopySession(_message(), ROUTE, copies=copies)
+        outcome = _feed(session, stream)
+        assert 1 <= len(outcome.paths) <= copies
+        for path in outcome.paths:
+            assert path[0] == SOURCE
+            for hop, relay in enumerate(path[1:], start=1):
+                assert relay in ROUTE.groups[hop - 1]
+
+    @given(stream=contact_streams, copies=st.integers(min_value=2, max_value=3))
+    @settings(max_examples=100, deadline=None)
+    def test_no_node_holds_two_live_copies(self, stream, copies):
+        session = MultiCopySession(_message(), ROUTE, copies=copies)
+        for time, a, b in sorted(stream):
+            session.on_contact(ContactEvent(time=time, a=a, b=b))
+            holders = [
+                copy.holder
+                for copy in session._copies
+                if not copy.terminated
+            ]
+            assert len(holders) == len(set(holders))
+
+
+class TestTpsInvariants:
+    @given(stream=contact_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_transmission_bound(self, stream):
+        session = TpsSession(_message(), TPS_ROUTE)
+        outcome = _feed(session, stream)
+        # each share: source->relay + relay->pivot, plus one delivery
+        assert outcome.transmissions <= 2 * TPS_ROUTE.shares + 1
+
+    @given(stream=contact_streams)
+    @settings(max_examples=150, deadline=None)
+    def test_delivery_requires_reconstruction(self, stream):
+        session = TpsSession(_message(), TPS_ROUTE)
+        outcome = _feed(session, stream)
+        if outcome.delivered:
+            assert session.reconstructed
+            assert session.reconstruction_time <= outcome.delivery_time
+            assert session.shares_at_pivot >= TPS_ROUTE.threshold
+
+
+class TestAlarInvariants:
+    @given(
+        stream=contact_streams,
+        segments=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_first_receivers_distinct_and_capped(self, stream, segments):
+        session = AlarSession(_message(), segments=segments)
+        _feed(session, stream)
+        receivers = session.first_receivers
+        assert len(receivers) == len(set(receivers))
+        assert len(receivers) <= segments
+        assert DESTINATION not in receivers
+
+    @given(stream=contact_streams, cap=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_copies_cap_never_exceeded(self, stream, cap):
+        session = AlarSession(_message(), segments=2, copies_per_segment=cap)
+        _feed(session, stream)
+        for holders in session._holders:
+            assert len(holders) <= cap
+
+    @given(stream=contact_streams)
+    @settings(max_examples=100, deadline=None)
+    def test_delivery_needs_all_segments(self, stream):
+        session = AlarSession(_message(), segments=3)
+        outcome = _feed(session, stream)
+        if outcome.delivered:
+            assert session.segments_collected == 3

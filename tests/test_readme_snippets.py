@@ -1,0 +1,45 @@
+"""The README's Python snippets must actually run.
+
+Extracts every ```python fenced block from README.md and executes them in
+one shared namespace (later blocks may use names from earlier ones) — a
+cheap guard against documentation rot.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+def _python_blocks() -> list[str]:
+    text = README.read_text()
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+class TestReadmeSnippets:
+    def test_readme_has_python_blocks(self):
+        assert len(_python_blocks()) >= 2
+
+    def test_all_python_blocks_execute(self, capsys):
+        namespace: dict = {}
+        for block in _python_blocks():
+            exec(compile(block, str(README), "exec"), namespace)
+        out = capsys.readouterr().out
+        # the quickstart prints model values; all must be parseable floats
+        lines = [line for line in out.strip().splitlines() if line]
+        assert lines, "README snippets printed nothing"
+
+    def test_quickstart_values_sane(self, capsys):
+        namespace: dict = {}
+        for block in _python_blocks():
+            exec(compile(block, str(README), "exec"), namespace)
+        out = capsys.readouterr().out.strip().splitlines()
+        # first three prints are delivery, traceable, anonymity
+        delivery = float(out[0])
+        traceable = float(out[1])
+        anonymity = float(out[2])
+        assert 0.0 <= delivery <= 1.0
+        assert 0.0 <= traceable <= 1.0
+        assert 0.0 <= anonymity <= 1.0

@@ -1,0 +1,102 @@
+"""Tests for greedy utility forwarding."""
+
+import numpy as np
+import pytest
+
+from repro.contacts.graph import ContactGraph
+from repro.routing.utility import GreedyUtilitySession
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+
+def _graph():
+    # utilities toward destination 4: node0=0.01, node1=0.05, node2=0.2, node3=0
+    rates = np.zeros((5, 5))
+    rates[0, 4] = rates[4, 0] = 0.01
+    rates[1, 4] = rates[4, 1] = 0.05
+    rates[2, 4] = rates[4, 2] = 0.2
+    # connect everyone loosely so contacts are plausible
+    for i in range(4):
+        for j in range(i + 1, 4):
+            rates[i, j] = rates[j, i] = 0.02
+    return ContactGraph(rates)
+
+
+def _message(deadline=100.0):
+    return Message(source=0, destination=4, created_at=0.0, deadline=deadline)
+
+
+class TestGreedyUtility:
+    def test_forwards_uphill(self):
+        session = GreedyUtilitySession(_message(), _graph())
+        feed(session, [(1.0, 0, 1)])
+        assert session.holder == 1
+        feed(session, [(2.0, 1, 2)])
+        assert session.holder == 2
+
+    def test_refuses_downhill(self):
+        session = GreedyUtilitySession(_message(), _graph())
+        feed(session, [(1.0, 0, 1), (2.0, 1, 0)])  # back toward worse node
+        assert session.holder == 1
+
+    def test_refuses_zero_utility_node(self):
+        session = GreedyUtilitySession(_message(), _graph())
+        feed(session, [(1.0, 0, 3)])  # node 3 never meets the destination
+        assert session.holder == 0
+
+    def test_threshold_blocks_small_gains(self):
+        session = GreedyUtilitySession(_message(), _graph(), threshold=0.1)
+        feed(session, [(1.0, 0, 1)])  # gain 0.04 < 0.1
+        assert session.holder == 0
+        feed(session, [(2.0, 0, 2)])  # gain 0.19 > 0.1
+        assert session.holder == 2
+
+    def test_direct_delivery(self):
+        session = GreedyUtilitySession(_message(), _graph())
+        feed(session, [(1.0, 0, 4)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.transmissions == 1
+
+    def test_deadline(self):
+        session = GreedyUtilitySession(_message(deadline=1.0), _graph())
+        feed(session, [(2.0, 0, 4)])
+        assert session.done
+        assert not session.outcome().delivered
+
+    def test_transfers_recorded(self):
+        session = GreedyUtilitySession(_message(), _graph())
+        feed(session, [(1.0, 0, 1), (2.0, 1, 4)])
+        assert session.outcome().transfers == [(1.0, 0, 1), (2.0, 1, 4)]
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            GreedyUtilitySession(_message(), _graph(), threshold=-1.0)
+
+    def test_beats_direct_delivery_statistically(self):
+        """Utility forwarding should deliver faster than waiting at a
+        low-utility source."""
+        from repro.contacts.events import ExponentialContactProcess
+        from repro.routing.direct import DirectDeliverySession
+        from repro.sim.engine import SimulationEngine
+
+        graph = _graph()
+        rng = np.random.default_rng(0)
+        horizon = 120.0
+
+        def rate(factory):
+            delivered = 0
+            for _ in range(400):
+                engine = SimulationEngine(
+                    ExponentialContactProcess(graph, rng=rng), horizon=horizon
+                )
+                session = factory()
+                engine.add_session(session)
+                engine.run()
+                delivered += session.outcome().delivered
+            return delivered / 400
+
+        greedy = rate(lambda: GreedyUtilitySession(_message(horizon), graph))
+        direct = rate(lambda: DirectDeliverySession(_message(horizon)))
+        assert greedy > direct

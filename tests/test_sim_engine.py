@@ -1,0 +1,84 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.contacts.events import ContactEvent
+from repro.sim.engine import SimulationEngine
+from repro.sim.metrics import DeliveryOutcome
+from repro.sim.protocol import ProtocolSession
+
+
+class ScriptedEvents:
+    """A deterministic event source for unit tests."""
+
+    def __init__(self, events):
+        self._events = sorted(events, key=lambda e: e.time)
+        self._cursor = 0
+
+    def events_until(self, horizon):
+        while self._cursor < len(self._events):
+            event = self._events[self._cursor]
+            if event.time > horizon:
+                return
+            self._cursor += 1
+            yield event
+
+
+class RecordingSession(ProtocolSession):
+    """Counts contacts; optionally finishes after ``stop_after`` events."""
+
+    def __init__(self, stop_after=None):
+        self.seen = []
+        self._stop_after = stop_after
+
+    def on_contact(self, event):
+        self.seen.append(event)
+
+    @property
+    def done(self):
+        return self._stop_after is not None and len(self.seen) >= self._stop_after
+
+    def outcome(self):
+        return DeliveryOutcome()
+
+
+def _events(*times):
+    return [ContactEvent(time=t, a=0, b=1) for t in times]
+
+
+class TestSimulationEngine:
+    def test_dispatches_all_events(self):
+        engine = SimulationEngine(ScriptedEvents(_events(1, 2, 3)), horizon=10)
+        session = engine.add_session(RecordingSession())
+        engine.run()
+        assert len(session.seen) == 3
+        assert engine.events_processed == 3
+
+    def test_horizon_cuts_stream(self):
+        engine = SimulationEngine(ScriptedEvents(_events(1, 2, 30)), horizon=10)
+        session = engine.add_session(RecordingSession())
+        engine.run()
+        assert len(session.seen) == 2
+
+    def test_early_exit_when_all_done(self):
+        engine = SimulationEngine(ScriptedEvents(_events(1, 2, 3, 4)), horizon=10)
+        session = engine.add_session(RecordingSession(stop_after=2))
+        engine.run()
+        assert len(session.seen) == 2
+
+    def test_done_sessions_skip_events_but_others_continue(self):
+        engine = SimulationEngine(ScriptedEvents(_events(1, 2, 3)), horizon=10)
+        finished = engine.add_session(RecordingSession(stop_after=1))
+        ongoing = engine.add_session(RecordingSession())
+        engine.run()
+        assert len(finished.seen) == 1
+        assert len(ongoing.seen) == 3
+
+    def test_no_sessions_rejected(self):
+        engine = SimulationEngine(ScriptedEvents([]), horizon=10)
+        with pytest.raises(RuntimeError, match="no protocol sessions"):
+            engine.run()
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError, match="horizon"):
+            SimulationEngine(ScriptedEvents([]), horizon=0)

@@ -1,0 +1,45 @@
+"""Tests for the Message (bundle) model."""
+
+import pytest
+
+from repro.sim.message import Message
+
+
+class TestMessage:
+    def test_expiry(self):
+        message = Message(source=0, destination=1, created_at=10.0, deadline=50.0)
+        assert message.expires_at == 60.0
+        assert not message.expired(60.0)
+        assert message.expired(60.1)
+
+    def test_unique_ids(self):
+        a = Message(source=0, destination=1, created_at=0, deadline=1)
+        b = Message(source=0, destination=1, created_at=0, deadline=1)
+        assert a.message_id != b.message_id
+
+    def test_same_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            Message(source=3, destination=3, created_at=0, deadline=1)
+
+    def test_nonpositive_deadline_rejected(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Message(source=0, destination=1, created_at=0, deadline=0)
+
+    def test_negative_creation_rejected(self):
+        with pytest.raises(ValueError, match="created_at"):
+            Message(source=0, destination=1, created_at=-1, deadline=1)
+
+    def test_nonpositive_size_rejected(self):
+        with pytest.raises(ValueError, match="size"):
+            Message(source=0, destination=1, created_at=0, deadline=1, size=0)
+
+    def test_payload_carried(self):
+        message = Message(
+            source=0, destination=1, created_at=0, deadline=1, payload=b"data"
+        )
+        assert message.payload == b"data"
+
+    def test_frozen(self):
+        message = Message(source=0, destination=1, created_at=0, deadline=1)
+        with pytest.raises(AttributeError):
+            message.deadline = 99

@@ -1,0 +1,83 @@
+"""Tests for delivery outcomes and aggregation."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    DeliveryOutcome,
+    delivery_rate_curve,
+    summarize,
+)
+
+
+def _delivered(time, created_at=0.0, transmissions=3):
+    return DeliveryOutcome(
+        delivered=True,
+        delivery_time=time,
+        transmissions=transmissions,
+        paths=[[0, 1, 2]],
+        created_at=created_at,
+    )
+
+
+def _failed(transmissions=1):
+    return DeliveryOutcome(delivered=False, transmissions=transmissions)
+
+
+class TestDeliveryOutcome:
+    def test_delay_for_delivered(self):
+        assert _delivered(30.0).delay == 30.0
+
+    def test_delay_relative_to_creation(self):
+        assert _delivered(130.0, created_at=100.0).delay == 30.0
+
+    def test_delay_inf_for_failed(self):
+        assert _failed().delay == math.inf
+
+    def test_delivered_path(self):
+        assert _delivered(1.0).delivered_path == [0, 1, 2]
+        assert _failed().delivered_path is None
+
+
+class TestSummarize:
+    def test_basic_aggregation(self):
+        stats = summarize([_delivered(10.0), _delivered(30.0), _failed()])
+        assert stats.trials == 3
+        assert stats.delivery_rate == pytest.approx(2 / 3)
+        assert stats.mean_delay == pytest.approx(20.0)
+
+    def test_mean_transmissions_counts_failures(self):
+        stats = summarize([_delivered(10.0, transmissions=4), _failed(2)])
+        assert stats.mean_transmissions == pytest.approx(3.0)
+
+    def test_all_failed_gives_nan_delay(self):
+        stats = summarize([_failed(), _failed()])
+        assert math.isnan(stats.mean_delay)
+        assert stats.delivery_rate == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestDeliveryRateCurve:
+    def test_curve_counts_delays(self):
+        outcomes = [_delivered(10.0), _delivered(50.0), _failed()]
+        curve = delivery_rate_curve(outcomes, [20.0, 60.0])
+        assert curve == [(20.0, pytest.approx(1 / 3)), (60.0, pytest.approx(2 / 3))]
+
+    def test_curve_uses_relative_delay(self):
+        outcomes = [_delivered(150.0, created_at=100.0)]
+        curve = delivery_rate_curve(outcomes, [40.0, 60.0])
+        assert curve == [(40.0, 0.0), (60.0, 1.0)]
+
+    def test_monotone_in_deadline(self):
+        outcomes = [_delivered(float(t)) for t in (5, 15, 25, 35)]
+        curve = delivery_rate_curve(outcomes, [10.0, 20.0, 30.0, 40.0])
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            delivery_rate_curve([], [10.0])

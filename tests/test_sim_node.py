@@ -1,0 +1,91 @@
+"""Tests for node buffers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.message import Message
+from repro.sim.node import Buffer, Node, NodeRegistry
+
+
+class TestBuffer:
+    def test_put_get(self):
+        buffer = Buffer()
+        buffer.put(1, "state")
+        assert buffer.get(1) == "state"
+        assert 1 in buffer
+
+    def test_remove(self):
+        buffer = Buffer()
+        buffer.put(1)
+        buffer.remove(1)
+        assert 1 not in buffer
+
+    def test_remove_absent_is_noop(self):
+        Buffer().remove(99)
+
+    def test_missing_get_raises(self):
+        with pytest.raises(KeyError):
+            Buffer().get(1)
+
+    def test_capacity_evicts_oldest(self):
+        buffer = Buffer(capacity=2)
+        buffer.put(1)
+        buffer.put(2)
+        buffer.put(3)
+        assert 1 not in buffer
+        assert 2 in buffer and 3 in buffer
+        assert buffer.drops == 1
+
+    def test_refresh_does_not_evict(self):
+        buffer = Buffer(capacity=2)
+        buffer.put(1)
+        buffer.put(2)
+        buffer.put(1, "updated")
+        assert len(buffer) == 2
+        assert buffer.get(1) == "updated"
+        assert buffer.drops == 0
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            Buffer(capacity=0)
+
+    @given(
+        capacity=st.integers(min_value=1, max_value=10),
+        inserts=st.lists(st.integers(0, 30), max_size=60),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_never_exceeds_capacity(self, capacity, inserts):
+        buffer = Buffer(capacity=capacity)
+        for message_id in inserts:
+            buffer.put(message_id)
+            assert len(buffer) <= capacity
+
+
+class TestNode:
+    def test_holds(self):
+        node = Node(node_id=3)
+        message = Message(source=0, destination=1, created_at=0, deadline=1)
+        assert not node.holds(message)
+        node.buffer.put(message.message_id)
+        assert node.holds(message)
+
+
+class TestNodeRegistry:
+    def test_lazy_creation(self):
+        registry = NodeRegistry()
+        node = registry[7]
+        assert node.node_id == 7
+        assert registry[7] is node
+
+    def test_shared_capacity(self):
+        registry = NodeRegistry(buffer_capacity=1)
+        registry[0].buffer.put(1)
+        registry[0].buffer.put(2)
+        assert len(registry[0].buffer) == 1
+
+    def test_known_lists_touched_nodes(self):
+        registry = NodeRegistry()
+        registry[1]
+        registry[5]
+        assert sorted(n.node_id for n in registry.known()) == [1, 5]

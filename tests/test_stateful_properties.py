@@ -1,0 +1,136 @@
+"""Stateful property tests (hypothesis rule-based state machines).
+
+These drive long random operation sequences against the stateful
+components — the buffer and the managed group directory — checking
+invariants after every step.
+"""
+
+import hypothesis.strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.group_management import ManagedGroupDirectory, MembershipError
+from repro.sim.node import Buffer
+
+CAPACITY = 5
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """A bounded buffer must mirror an ordered-dict model with eviction."""
+
+    def __init__(self):
+        super().__init__()
+        self.buffer = Buffer(capacity=CAPACITY)
+        self.model: list[int] = []  # insertion-ordered message ids
+        self.expected_drops = 0
+
+    @rule(message_id=st.integers(min_value=0, max_value=20))
+    def put(self, message_id):
+        if message_id in self.model:
+            self.buffer.put(message_id)
+            return
+        if len(self.model) >= CAPACITY:
+            self.model.pop(0)
+            self.expected_drops += 1
+        self.model.append(message_id)
+        self.buffer.put(message_id)
+
+    @rule(message_id=st.integers(min_value=0, max_value=20))
+    def remove(self, message_id):
+        self.buffer.remove(message_id)
+        if message_id in self.model:
+            self.model.remove(message_id)
+
+    @invariant()
+    def contents_match_model(self):
+        assert len(self.buffer) == len(self.model)
+        for message_id in self.model:
+            assert message_id in self.buffer
+
+    @invariant()
+    def capacity_respected(self):
+        assert len(self.buffer) <= CAPACITY
+
+    @invariant()
+    def drops_counted(self):
+        assert self.buffer.drops == self.expected_drops
+
+
+class GroupMembershipMachine(RuleBasedStateMachine):
+    """Epoch rekeying must preserve forward/backward secrecy invariants."""
+
+    GROUPS = 3
+    NODES = list(range(8))
+
+    def __init__(self):
+        super().__init__()
+        self.directory = ManagedGroupDirectory(b"machine-master", self.GROUPS)
+        self.member_of: dict[int, int] = {}
+
+    @rule(
+        node=st.sampled_from(NODES),
+        group=st.integers(min_value=0, max_value=GROUPS - 1),
+    )
+    def join(self, node, group):
+        if node in self.member_of:
+            try:
+                self.directory.join(node, group)
+                raise AssertionError("double join must fail")
+            except MembershipError:
+                return
+        self.directory.join(node, group)
+        self.member_of[node] = group
+
+    @rule(node=st.sampled_from(NODES))
+    def leave(self, node):
+        group = self.member_of.get(node)
+        if group is None:
+            try:
+                self.directory.leave(node, 0)
+                raise AssertionError("leaving when absent must fail")
+            except MembershipError:
+                return
+        self.directory.leave(node, group)
+        del self.member_of[node]
+
+    @invariant()
+    def membership_matches_model(self):
+        for group in range(self.GROUPS):
+            expected = sorted(
+                node for node, g in self.member_of.items() if g == group
+            )
+            assert list(self.directory.members(group)) == expected
+
+    @invariant()
+    def current_members_hold_current_epoch(self):
+        for node, group in self.member_of.items():
+            epoch = self.directory.epoch(group)
+            assert self.directory.node_can_peel(node, group, epoch)
+
+    @invariant()
+    def outsiders_lack_current_epoch(self):
+        for group in range(self.GROUPS):
+            epoch = self.directory.epoch(group)
+            if epoch == 0:
+                continue
+            members = set(self.directory.members(group))
+            for node in self.NODES:
+                if node not in members:
+                    assert not self.directory.node_can_peel(node, group, epoch)
+
+    @invariant()
+    def epochs_never_regress(self):
+        history = self.directory.history()
+        per_group: dict[int, int] = {}
+        for entry in history:
+            last = per_group.get(entry.group_id, 0)
+            assert entry.epoch == last + 1
+            per_group[entry.group_id] = entry.epoch
+
+
+TestBufferMachine = BufferMachine.TestCase
+TestGroupMembershipMachine = GroupMembershipMachine.TestCase

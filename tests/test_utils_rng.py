@@ -1,0 +1,57 @@
+"""Tests for RNG coercion and spawning."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+    def test_generator_passes_through(self):
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+
+    def test_numpy_integer_seed_accepted(self):
+        assert isinstance(ensure_rng(np.int64(3)), np.random.Generator)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ensure_rng(-1)
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError, match="expected None"):
+            ensure_rng("seed")
+
+
+class TestSpawnRng:
+    def test_spawn_count(self):
+        children = spawn_rng(ensure_rng(0), 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rng(ensure_rng(0), 2)
+        assert not np.array_equal(children[0].random(10), children[1].random(10))
+
+    def test_spawn_deterministic_given_seed(self):
+        a = spawn_rng(ensure_rng(5), 3)
+        b = spawn_rng(ensure_rng(5), 3)
+        for child_a, child_b in zip(a, b):
+            assert np.array_equal(child_a.random(4), child_b.random(4))
+
+    def test_zero_children_allowed(self):
+        assert spawn_rng(ensure_rng(0), 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            spawn_rng(ensure_rng(0), -1)

@@ -1,0 +1,77 @@
+"""Tests for the validation helpers."""
+
+import math
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(2.5, "x") == 2.5
+
+    @pytest.mark.parametrize("bad", [0, -1, math.inf, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError, match="x must be"):
+            check_positive(bad, "x")
+
+    def test_error_names_parameter(self):
+        with pytest.raises(ValueError, match="deadline"):
+            check_positive(-3, "deadline")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "x") == 0.0
+
+    @pytest.mark.parametrize("bad", [-0.1, math.nan, -math.inf])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_non_negative(bad, "x")
+
+
+class TestCheckPositiveInt:
+    def test_accepts_int(self):
+        assert check_positive_int(3, "k") == 3
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_positive_int(0, "k")
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            check_positive_int(True, "k")
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            check_positive_int(3.0, "k")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0.0, 0.5, 1.0])
+    def test_accepts(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, math.nan])
+    def test_rejects(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_zero(self):
+        assert check_fraction(0.0, "c") == 0.0
+
+    def test_accepts_just_below_one(self):
+        assert check_fraction(0.999, "c") == 0.999
+
+    def test_rejects_one(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.0, "c")
