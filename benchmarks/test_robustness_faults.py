@@ -1,0 +1,44 @@
+"""Bench: robustness figures R1/R2 — delivery under churn and greyholes.
+
+R1 demonstrates the availability-scaling equivalence (churn simulation ≈
+fault-free simulation of the availability-scaled graph); R2 the
+survival-scaled Eq. 6 against greyhole simulation, plus what custody
+recovery buys back.
+"""
+
+from repro.experiments.robustness_figs import figure_r1, figure_r2
+
+
+def test_robustness_r1_churn(record_figure):
+    result = record_figure(figure_r1, sessions=150, seed=201)
+    model = result.get("Analysis: Eq. 6 on churned graph")
+    churn = result.get("Simulation: node churn")
+    scaled = result.get("Simulation: churned graph")
+    # The equivalence: the real churn process and the rate-scaled graph
+    # produce the same delivery, up to Monte Carlo noise.
+    for x, y in churn.points:
+        assert abs(scaled.y_at(x) - y) < 0.15
+    # Delivery under churn degrades as availability drops; Eq. 6 keeps its
+    # usual optimism (upper bound up to noise).
+    model_ys = [y for _, y in sorted(model.points)]
+    assert all(a <= b + 1e-9 for a, b in zip(model_ys, model_ys[1:]))
+    for x, y in churn.points:
+        assert model.y_at(x) >= y - 0.1
+
+
+def test_robustness_r2_greyhole(record_figure):
+    result = record_figure(figure_r2, sessions=150, seed=202)
+    model = result.get("Analysis: survival-scaled Eq. 6")
+    plain = result.get("Simulation: no recovery")
+    recovered = result.get("Simulation: custody recovery")
+    # The survival-scaled model tracks the no-recovery simulation.
+    for x, y in plain.points:
+        assert abs(model.y_at(x) - y) < 0.12
+    # Dropping only hurts: the model is monotone nonincreasing in p.
+    model_ys = model.ys
+    assert all(a >= b - 1e-9 for a, b in zip(model_ys, model_ys[1:]))
+    # Custody recovery buys delivery back wherever relays actually drop.
+    for x, y in plain.points:
+        if x >= 0.5:
+            assert recovered.y_at(x) >= y - 0.05
+    assert sum(recovered.ys[1:]) > sum(plain.ys[1:])

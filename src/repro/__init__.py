@@ -34,7 +34,12 @@ from repro.analysis import (
     traceable_rate_empirical,
     traceable_rate_model,
 )
-from repro.adversary import CompromiseModel, PathTracer, observed_path_anonymity
+from repro.adversary import (
+    CompromiseModel,
+    DroppingRelays,
+    PathTracer,
+    observed_path_anonymity,
+)
 from repro.contacts import (
     ContactGraph,
     ContactRecord,
@@ -55,6 +60,13 @@ from repro.core import (
     SprayPolicy,
 )
 from repro.crypto import GroupKeyring, build_onion, peel_onion
+from repro.faults import (
+    FailStopSchedule,
+    FaultPlan,
+    NodeChurnSchedule,
+    RecoveryPolicy,
+    churned_graph,
+)
 from repro.sim import (
     DeliveryOutcome,
     Message,
@@ -109,5 +121,12 @@ __all__ = [
     "CompromiseModel",
     "PathTracer",
     "observed_path_anonymity",
+    "DroppingRelays",
+    # faults
+    "NodeChurnSchedule",
+    "FailStopSchedule",
+    "FaultPlan",
+    "RecoveryPolicy",
+    "churned_graph",
     "__version__",
 ]

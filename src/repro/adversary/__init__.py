@@ -8,6 +8,7 @@ anonymity from the exposure the adversary actually obtained.
 """
 
 from repro.adversary.compromise import CompromiseModel
+from repro.adversary.dropping import DroppingRelays
 from repro.adversary.observer import (
     observed_exposed_hops,
     observed_path_anonymity,
@@ -24,6 +25,7 @@ from repro.adversary.traffic_analysis import (
 
 __all__ = [
     "CompromiseModel",
+    "DroppingRelays",
     "PathTracer",
     "observed_exposed_hops",
     "observed_path_anonymity",

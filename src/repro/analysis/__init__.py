@@ -9,6 +9,8 @@ Four model families:
   of the compromised-bit string (Eq. 1, 8–12).
 * :mod:`~repro.analysis.anonymity` — entropy-based path anonymity
   (Eq. 13–20).
+* :mod:`~repro.analysis.robustness` — degradation models under node churn
+  and dropping relays, matching the fault processes in :mod:`repro.faults`.
 """
 
 from repro.analysis.anonymity import (
@@ -42,6 +44,11 @@ from repro.analysis.delivery import (
     onion_path_rates,
 )
 from repro.analysis.hypoexponential import Hypoexponential
+from repro.analysis.robustness import (
+    churned_delivery_rate,
+    greyhole_delivery_rate,
+    greyhole_survival_probability,
+)
 from repro.analysis.traceable import (
     segment_lengths,
     traceable_rate_empirical,
@@ -54,6 +61,9 @@ __all__ = [
     "onion_path_rates",
     "delivery_rate",
     "delivery_rate_multicopy",
+    "churned_delivery_rate",
+    "greyhole_delivery_rate",
+    "greyhole_survival_probability",
     "single_copy_cost",
     "delay_moments",
     "delay_quantile",

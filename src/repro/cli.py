@@ -2,11 +2,13 @@
 
 Subcommands::
 
-    onion-dtn list                          # available paper figures
-    onion-dtn figure 6 [--chart]            # regenerate one figure
+    onion-dtn list                          # available figures
+    onion-dtn figure 6 [--chart]            # regenerate one paper figure
+    onion-dtn figure r1                     # extension/robustness figures
     onion-dtn model --n 100 -g 5 -K 3 ...   # evaluate the analytical models
     onion-dtn plan --target 0.95 ...        # invert the models for planning
     onion-dtn simulate --protocol multi ... # quick protocol simulation
+    onion-dtn simulate --availability 0.8 --drop-prob 0.5 ...  # with faults
     onion-dtn trace stats FILE              # inspect a haggle-format trace
 """
 
@@ -14,7 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Union
 
 from repro.experiments import (
     figure_04,
@@ -33,10 +35,16 @@ from repro.experiments import (
     figure_17,
     figure_18,
     figure_19,
+    figure_e1,
+    figure_e2,
+    figure_r1,
+    figure_r2,
 )
 from repro.experiments.result import FigureResult
 
-_FIGURES: Dict[int, Callable[..., FigureResult]] = {
+FigureKey = Union[int, str]
+
+_FIGURES: Dict[FigureKey, Callable[..., FigureResult]] = {
     4: figure_04,
     5: figure_05,
     6: figure_06,
@@ -53,10 +61,37 @@ _FIGURES: Dict[int, Callable[..., FigureResult]] = {
     17: figure_17,
     18: figure_18,
     19: figure_19,
+    "e1": figure_e1,
+    "e2": figure_e2,
+    "r1": figure_r1,
+    "r2": figure_r2,
 }
 
-_SIM_FIGS = {4, 5, 10, 11, 14, 17}
+_SIM_FIGS = {4, 5, 10, 11, 14, 17, "e1", "e2", "r1", "r2"}
 _MC_FIGS = {6, 7, 8, 9, 12, 13, 15, 16, 18, 19}
+
+
+def _figure_key(value: str) -> FigureKey:
+    """Parse a figure selector: a number (``6``) or an alias (``r1``)."""
+    text = value.lower().strip()
+    if text.startswith("fig"):  # tolerate "fig6" / "fig. r1"
+        text = text[3:].lstrip(". ")
+    try:
+        key: FigureKey = int(text)
+    except ValueError:
+        key = text
+    if key not in _FIGURES:
+        known = ", ".join(str(k) for k in _sorted_figure_keys())
+        raise argparse.ArgumentTypeError(
+            f"unknown figure {value!r} (choose from {known})"
+        )
+    return key
+
+
+def _sorted_figure_keys() -> list:
+    numbers = sorted(k for k in _FIGURES if isinstance(k, int))
+    names = sorted(k for k in _FIGURES if isinstance(k, str))
+    return numbers + names
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -72,7 +107,12 @@ def _build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("list", help="list the available figures")
 
     figure = subparsers.add_parser("figure", help="regenerate one figure")
-    figure.add_argument("number", type=int, choices=sorted(_FIGURES))
+    figure.add_argument(
+        "number",
+        type=_figure_key,
+        metavar="FIGURE",
+        help="paper figure number (4-19) or alias (e1, e2, r1, r2)",
+    )
     figure.add_argument("--seed", type=int, default=None)
     figure.add_argument(
         "--trials", type=int, default=None,
@@ -125,6 +165,40 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--deadline", type=float, default=720.0)
     simulate.add_argument("--trials", type=int, default=100)
     simulate.add_argument("--seed", type=int, default=0)
+    faults = simulate.add_argument_group(
+        "fault injection",
+        "node churn / fail-stop affect every protocol (suppressed "
+        "contacts); dropping relays and custody recovery require "
+        "--protocol single or multi",
+    )
+    faults.add_argument(
+        "--availability", type=float, default=None,
+        help="stationary node availability under churn, in (0, 1)",
+    )
+    faults.add_argument(
+        "--churn-cycle", type=float, default=20.0,
+        help="mean up+down churn cycle length (same units as --deadline)",
+    )
+    faults.add_argument(
+        "--death-rate", type=float, default=None,
+        help="per-node fail-stop death rate (permanent crashes)",
+    )
+    faults.add_argument(
+        "--drop-prob", type=float, default=None,
+        help="greyhole drop probability of compromised relays",
+    )
+    faults.add_argument(
+        "--drop-compromise", type=float, default=0.2,
+        help="compromised fraction acting as dropping relays",
+    )
+    faults.add_argument(
+        "--custody-timeout", type=float, default=None,
+        help="enable custody recovery with this re-anycast timeout",
+    )
+    faults.add_argument(
+        "--max-retries", type=int, default=3,
+        help="bounded recovery retries / ticket reclamations",
+    )
 
     trace = subparsers.add_parser("trace", help="trace-file utilities")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -231,31 +305,90 @@ def _run_plan(args: argparse.Namespace) -> int:
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
+    from repro.adversary.dropping import DroppingRelays
     from repro.contacts.events import ExponentialContactProcess
     from repro.core.arden import ArdenSingleCopySession
     from repro.core.multi_copy import MultiCopySession
     from repro.core.single_copy import SingleCopySession
+    from repro.faults.churn import NodeChurnProcess, NodeChurnSchedule
+    from repro.faults.failstop import FailStopContactProcess, FailStopSchedule
+    from repro.faults.recovery import FaultPlan, RecoveryPolicy
     from repro.routing.direct import DirectDeliverySession
     from repro.routing.epidemic import EpidemicSession
     from repro.routing.spray_and_wait import SprayAndWaitSession
     from repro.sim.engine import SimulationEngine
     from repro.sim.message import Message
-    from repro.sim.metrics import summarize
+    from repro.sim.metrics import status_counts, summarize
     from repro.utils.rng import ensure_rng
+
+    faulty = (
+        args.availability is not None
+        or args.death_rate is not None
+        or args.drop_prob is not None
+    )
+    if args.drop_prob is not None and args.protocol not in ("single", "multi"):
+        print(
+            "error: --drop-prob requires --protocol single or multi "
+            "(only the onion sessions model dropping relays)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.availability is not None and not (0.0 < args.availability < 1.0):
+        print(
+            "error: --availability must lie in (0, 1) "
+            f"(got {args.availability:g}); omit the flag for no churn",
+            file=sys.stderr,
+        )
+        return 2
+    if args.drop_prob is not None and not (0.0 <= args.drop_prob <= 1.0):
+        print(
+            f"error: --drop-prob must lie in [0, 1] (got {args.drop_prob:g})",
+            file=sys.stderr,
+        )
+        return 2
 
     rng = ensure_rng(args.seed)
     graph, directory, _ = _sample_route(args, rng)
+    relays = None
+    if args.drop_prob is not None:
+        relays = DroppingRelays.sample(
+            args.n, args.drop_compromise, args.drop_prob, rng=rng,
+            protected=(0, args.n - 1),
+        )
+    recovery = None
+    if args.custody_timeout is not None:
+        recovery = RecoveryPolicy(
+            custody_timeout=args.custody_timeout, max_retries=args.max_retries
+        )
     outcomes = []
     for _ in range(args.trials):
+        # Fresh schedules each trial: engines restart the clock at zero and
+        # the schedules are time-monotone.
+        failstop = None
+        if args.death_rate is not None:
+            failstop = FailStopSchedule(args.n, death_rate=args.death_rate, rng=rng)
+        churn = None
+        if args.availability is not None:
+            churn = NodeChurnSchedule.from_availability(
+                args.n, args.availability, args.churn_cycle, rng=rng
+            )
+        plan = None
+        if failstop is not None or relays is not None:
+            plan = FaultPlan(failstop=failstop, relays=relays)
         message = Message(0, args.n - 1, 0.0, args.deadline)
         if args.protocol in ("single", "multi", "arden"):
             route = directory.select_route(
                 0, args.n - 1, args.onion_routers, rng=rng
             )
         if args.protocol == "single":
-            session = SingleCopySession(message, route)
+            session = SingleCopySession(
+                message, route, faults=plan, recovery=recovery
+            )
         elif args.protocol == "multi":
-            session = MultiCopySession(message, route, copies=args.copies)
+            session = MultiCopySession(
+                message, route, copies=args.copies,
+                faults=plan, recovery=recovery,
+            )
         elif args.protocol == "arden":
             dest_group = directory.members(directory.group_of(args.n - 1))
             session = ArdenSingleCopySession(message, route, dest_group)
@@ -265,15 +398,23 @@ def _run_simulate(args: argparse.Namespace) -> int:
             session = SprayAndWaitSession(message, copies=args.copies)
         else:
             session = DirectDeliverySession(message)
-        engine = SimulationEngine(
-            ExponentialContactProcess(graph, rng=rng), horizon=args.deadline
-        )
+        events = ExponentialContactProcess(graph, rng=rng)
+        if failstop is not None:
+            events = FailStopContactProcess(events, failstop)
+        if churn is not None:
+            events = NodeChurnProcess(events, churn)
+        engine = SimulationEngine(events, horizon=args.deadline)
         engine.add_session(session)
         engine.run()
         outcomes.append(session.outcome())
     print(f"protocol={args.protocol} trials={args.trials} "
           f"T={args.deadline:g}")
     print(summarize(outcomes))
+    if faulty:
+        tally = status_counts(outcomes)
+        print("outcomes: " + " ".join(
+            f"{status}={count}" for status, count in sorted(tally.items())
+        ))
     return 0
 
 
@@ -302,9 +443,9 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     if args.command == "list":
-        for number, func in sorted(_FIGURES.items()):
-            doc = (func.__doc__ or "").strip().splitlines()[0]
-            print(f"figure {number:>2}  {doc}")
+        for key in _sorted_figure_keys():
+            doc = (_FIGURES[key].__doc__ or "").strip().splitlines()[0]
+            print(f"figure {key!s:>2}  {doc}")
         return 0
     if args.command == "figure":
         return _run_figure(args)

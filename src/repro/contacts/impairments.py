@@ -12,6 +12,7 @@ with rescaled rates, and the tests verify it.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterator
 
 from repro.contacts.events import ContactEvent
@@ -57,20 +58,28 @@ class JitteredContactProcess:
         self._rng = ensure_rng(rng)
 
     def events_until(self, horizon: float) -> Iterator[ContactEvent]:
-        """Yield jittered contacts, re-sorted to stay chronological."""
+        """Yield jittered contacts, re-sorted to stay chronological.
+
+        The reorder buffer is a heap (``ContactEvent`` orders by time):
+        each event costs ``O(log b)`` for a buffer of ``b`` in-flight
+        events instead of the ``O(b log b)`` of re-sorting a list per
+        arrival.
+        """
         pending: list[ContactEvent] = []
         for event in self._inner.events_until(horizon):
             jitter = self._rng.uniform(0.0, self._max_jitter)
-            pending.append(
-                ContactEvent(time=event.time + jitter, a=event.a, b=event.b)
+            heapq.heappush(
+                pending,
+                ContactEvent(time=event.time + jitter, a=event.a, b=event.b),
             )
-            # flush events that can no longer be displaced
-            pending.sort(key=lambda e: e.time)
+            # flush events that can no longer be displaced: the source is
+            # chronological, so nothing later can land before event.time
             while pending and pending[0].time <= event.time:
-                head = pending.pop(0)
+                head = heapq.heappop(pending)
                 if head.time <= horizon:
                     yield head
-        for event in sorted(pending, key=lambda e: e.time):
+        while pending:
+            event = heapq.heappop(pending)
             if event.time <= horizon:
                 yield event
 

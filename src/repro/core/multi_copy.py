@@ -7,6 +7,14 @@ contact, to members that do not already hold the message — the paper's
 through the remaining groups. The first copy to reach the destination
 delivers the message; remaining copies keep consuming transmissions until
 they terminate, which is what the paper's cost figure measures.
+
+Fault-aware operation (``faults`` / ``recovery``): greyhole relays destroy
+copies at receive time and fail-stop deaths destroy every copy the dead
+carrier held. With a :class:`~repro.faults.recovery.RecoveryPolicy` the
+tickets of a lost copy are *reclaimed* by the source copy (bounded by
+``max_retries`` reclamations) and re-sprayed at future contacts; without
+one the loss is final, and a session whose copies are all gone reports a
+``dropped`` outcome instead of hanging until the horizon.
 """
 
 from __future__ import annotations
@@ -14,7 +22,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import List, Optional, Set
 
 from repro.contacts.events import ContactEvent
 from repro.core.route import OnionRoute
@@ -58,6 +66,9 @@ class MultiCopySession(ProtocolSession):
         route: OnionRoute,
         copies: int,
         spray_policy: SprayPolicy = SprayPolicy.SOURCE,
+        *,
+        faults: Optional["FaultPlan"] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
     ):
         if (message.source, message.destination) != (route.source, route.destination):
             raise ValueError("message endpoints do not match the route")
@@ -67,6 +78,10 @@ class MultiCopySession(ProtocolSession):
         self._max_copies = copies
         self._policy = SprayPolicy(spray_policy)
         self._copy_ids = itertools.count(1)
+
+        self._faults = faults
+        self._recovery = recovery
+        self._reclaims_left = recovery.max_retries if recovery is not None else 0
 
         seed = _Copy(
             copy_id=next(self._copy_ids),
@@ -105,6 +120,11 @@ class MultiCopySession(ProtocolSession):
         """Number of replicas still circulating."""
         return sum(1 for copy in self._copies if not copy.terminated)
 
+    @property
+    def reclaims_left(self) -> int:
+        """Remaining ticket reclamations (0 without a recovery policy)."""
+        return self._reclaims_left
+
     def on_contact(self, event: ContactEvent) -> None:
         if self.done:
             return
@@ -113,6 +133,10 @@ class MultiCopySession(ProtocolSession):
         if self._message.expired(event.time):
             self._expire()
             return
+        if self._faults is not None and self._faults.failstop is not None:
+            self._collect_dead_carriers(event.time)
+            if self.done:
+                return
         if event.a not in self._holding and event.b not in self._holding:
             return  # fast path: neither side carries a copy
         # A contact may trigger at most one transfer per copy; iterate over a
@@ -136,6 +160,8 @@ class MultiCopySession(ProtocolSession):
         )
         for copy in self._copies:
             copy.terminated = True
+        if not self._outcome.delivered:
+            self._outcome.status = "expired"
 
     def _targets_for(self, copy: _Copy) -> tuple[int, ...]:
         return self._route.next_group_members(copy.next_hop)
@@ -144,11 +170,12 @@ class MultiCopySession(ProtocolSession):
         if peer not in self._targets_for(copy):
             return
         if copy.next_hop == self._route.eta:
-            # Final hop: destination reached.
+            # Final hop: destination reached (end hosts never drop).
             self._outcome.record_transfer(time, copy.holder, peer)
             if not self._outcome.delivered:
                 self._outcome.delivered = True
                 self._outcome.delivery_time = time
+                self._outcome.status = "delivered"
                 # Surface the winning path first for delivered_path
                 # (identity lookup: distinct copies may hold equal chains).
                 index = next(
@@ -173,18 +200,24 @@ class MultiCopySession(ProtocolSession):
             handed = 1
         else:  # BINARY: peer takes half, rounded down, at least one
             handed = max(copy.tickets // 2, 1)
-        spawned = _Copy(
-            copy_id=next(self._copy_ids),
-            holder=peer,
-            next_hop=copy.next_hop + 1,
-            tickets=handed,
-            senders=copy.senders + [peer],
-        )
-        self._copies.append(spawned)
-        self._outcome.paths.append(spawned.senders)
-        self._holding.add(peer)
         self._outcome.record_transfer(time, copy.holder, peer)
         copy.tickets -= handed
+        if self._faults is not None and self._faults.drops_on_receive(peer):
+            # Stillborn replica: the greyhole ate it on arrival. The peer
+            # never joins the holding set, so a later retry may target it
+            # again — matching the per-received-copy drop semantics.
+            self._copy_lost(handed, time)
+        else:
+            spawned = _Copy(
+                copy_id=next(self._copy_ids),
+                holder=peer,
+                next_hop=copy.next_hop + 1,
+                tickets=handed,
+                senders=copy.senders + [peer],
+            )
+            self._copies.append(spawned)
+            self._outcome.paths.append(spawned.senders)
+            self._holding.add(peer)
         if copy.tickets == 0:
             # "if L = 0 then v_i deletes m from its buffer."
             self._terminate(copy)
@@ -193,11 +226,67 @@ class MultiCopySession(ProtocolSession):
         """Single-ticket forwarding: the copy moves, the old holder deletes."""
         self._outcome.record_transfer(time, copy.holder, peer)
         self._holding.discard(copy.holder)
+        if self._faults is not None and self._faults.drops_on_receive(peer):
+            tickets = copy.tickets
+            copy.tickets = 0  # the reclaim must not double-count them
+            self._terminate(copy)
+            self._copy_lost(tickets, time)
+            return
         self._holding.add(peer)
         copy.holder = peer
         copy.senders.append(peer)
         copy.next_hop += 1
 
+    def _collect_dead_carriers(self, time: float) -> None:
+        """Fail-stop: a dead carrier loses every copy it held."""
+        for copy in self._copies:
+            if copy.terminated:
+                continue
+            if self._faults.carrier_lost(copy.holder, time):
+                tickets = copy.tickets
+                copy.tickets = 0  # the reclaim must not double-count them
+                self._terminate(copy)
+                self._copy_lost(tickets, time)
+
+    def _copy_lost(self, tickets: int, time: float) -> None:
+        """Account a destroyed copy; reclaim its tickets when possible."""
+        self._outcome.lost_copies += 1
+        if (
+            self._recovery is None
+            or self._reclaims_left <= 0
+            or self._outcome.delivered
+        ):
+            self._mark_dropped_if_dead()
+            return
+        seed = self._copies[0]
+        if self._faults is not None and self._faults.carrier_lost(
+            seed.holder, time
+        ):
+            # The reclamation target itself is gone.
+            self._mark_dropped_if_dead()
+            return
+        self._reclaims_left -= 1
+        seed.tickets += tickets
+        if seed.terminated:
+            # Revive an exhausted source copy so it can re-spray.
+            seed.terminated = False
+            self._holding.add(seed.holder)
+        if self._outcome.status == "dropped":
+            # A just-terminated copy marked the session dropped before the
+            # reclamation went through; the revived seed keeps it alive.
+            self._outcome.status = "pending"
+
     def _terminate(self, copy: _Copy) -> None:
         copy.terminated = True
         self._holding.discard(copy.holder)
+        self._mark_dropped_if_dead()
+
+    def _mark_dropped_if_dead(self) -> None:
+        """Every copy destroyed without delivery or expiry → ``dropped``."""
+        if (
+            not self._outcome.delivered
+            and not self._expired
+            and self._outcome.lost_copies > 0
+            and all(copy.terminated for copy in self._copies)
+        ):
+            self._outcome.status = "dropped"

@@ -4,10 +4,21 @@ One copy of the message travels ``v_s → R_1 → … → R_K → v_d``. At each
 contact the holder checks whether the peer belongs to the next onion group
 (anycast within the group) and, if so, hands the message over and deletes
 its own copy. Expired messages are discarded at forwarding time.
+
+Fault-aware operation (``faults`` / ``recovery``): a fail-stop carrier
+death loses the copy it holds, and a greyhole relay may destroy the copy
+at receive time. With a :class:`~repro.faults.recovery.RecoveryPolicy` the
+previous custodian retains a shadow copy for ``custody_timeout`` after
+each forward; once the copy is known lost and the timeout has elapsed it
+re-anycasts to a *different* member of the same onion group, at most
+``max_retries`` times. Without recovery the session reports a ``dropped``
+outcome immediately — no future contact can change it — so batches never
+hang on a faulted message.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Optional, Set
 
 from repro.contacts.events import ContactEvent
@@ -33,6 +44,12 @@ class SingleCopySession(ProtocolSession):
         built and carried as the payload, exercising the crypto path
         end-to-end (each forward peels nothing — peeling happens on
         reception in :meth:`_receive_checks` to honour the layer contract).
+    faults:
+        Optional :class:`~repro.faults.recovery.FaultPlan` — fail-stop
+        deaths and/or dropping relays this session is subject to.
+    recovery:
+        Optional :class:`~repro.faults.recovery.RecoveryPolicy` enabling
+        custody-timeout re-anycast after a loss.
     """
 
     def __init__(
@@ -40,6 +57,9 @@ class SingleCopySession(ProtocolSession):
         message: Message,
         route: OnionRoute,
         keyring: Optional[GroupKeyring] = None,
+        *,
+        faults: Optional["FaultPlan"] = None,
+        recovery: Optional["RecoveryPolicy"] = None,
     ):
         if (message.source, message.destination) != (route.source, route.destination):
             raise ValueError("message endpoints do not match the route")
@@ -52,6 +72,23 @@ class SingleCopySession(ProtocolSession):
             paths=[[message.source]], created_at=message.created_at
         )
         self._expired = False
+
+        self._faults = faults
+        self._recovery = recovery
+        self._dropped = False
+        # Custody state: the previous holder keeps a shadow copy until the
+        # timeout; ``_custody_hop`` is the hop its outstanding transfer
+        # belongs to and ``_tried`` the group members already attempted.
+        self._custodian: Optional[int] = None
+        self._custody_hop = 0
+        self._custody_deadline = math.inf
+        self._tried: Set[int] = set()
+        self._retries_left = recovery.max_retries if recovery is not None else 0
+        # Loss state: the copy is gone; ``_survivor`` may re-anycast once
+        # ``_recover_at`` passes.
+        self._lost = False
+        self._survivor: Optional[int] = None
+        self._recover_at = math.inf
 
         self._onion: Optional[Onion] = None
         if keyring is not None:
@@ -68,7 +105,7 @@ class SingleCopySession(ProtocolSession):
 
     @property
     def done(self) -> bool:
-        return self._outcome.delivered or self._expired
+        return self._outcome.delivered or self._expired or self._dropped
 
     def outcome(self) -> DeliveryOutcome:
         return self._outcome
@@ -88,6 +125,11 @@ class SingleCopySession(ProtocolSession):
         """The layered onion carried with the message, when crypto is on."""
         return self._onion
 
+    @property
+    def retries_left(self) -> int:
+        """Remaining custody-recovery retries (0 without a policy)."""
+        return self._retries_left
+
     def on_contact(self, event: ContactEvent) -> None:
         if self.done:
             return
@@ -97,8 +139,27 @@ class SingleCopySession(ProtocolSession):
             # "If node v_i holding m detects that the deadline of m is past,
             #  m is discarded during a forwarding process."
             self._expired = True
-            self._outcome.expired_copies = 1
+            self._outcome.expired_copies = 0 if self._lost else 1
+            self._outcome.status = "expired"
             return
+        if (
+            not self._lost
+            and self._faults is not None
+            and self._faults.carrier_lost(self._holder, event.time)
+        ):
+            # The carrier died holding the copy; only a distinct custodian
+            # with a shadow copy can bring the message back.
+            survivor = (
+                self._custodian
+                if self._custodian is not None and self._custodian != self._holder
+                else None
+            )
+            self._outcome.lost_copies += 1
+            self._lose_copy(event.time, survivor)
+        if self._lost:
+            self._attempt_recovery(event.time)
+            if self._lost or self.done:
+                return
         if not event.involves(self._holder):
             return
         peer = event.peer_of(self._holder)
@@ -113,11 +174,74 @@ class SingleCopySession(ProtocolSession):
     def _forward_to(self, peer: int, time: float) -> None:
         self._outcome.record_transfer(time, self._holder, peer)
         if self._next_hop == self._route.eta:
-            # Final hop: the carrier met the destination.
+            # Final hop: the carrier met the destination (end hosts never
+            # drop, so delivery always counts).
             self._outcome.delivered = True
             self._outcome.delivery_time = time
+            self._outcome.status = "delivered"
+            return
+        if self._recovery is not None:
+            if self._custody_hop != self._next_hop:
+                self._custody_hop = self._next_hop
+                self._tried = set()
+            self._tried.add(peer)
+            self._custodian = self._holder
+            self._custody_deadline = time + self._recovery.custody_timeout
+        if self._faults is not None and self._faults.drops_on_receive(peer):
+            # Greyhole relay: the transfer happened (and cost a
+            # transmission) but the copy is destroyed on arrival. The
+            # sender still holds its shadow copy and may retry.
+            self._outcome.lost_copies += 1
+            self._lose_copy(time, self._holder)
             return
         self._holder = peer
         self._outcome.paths[0].append(peer)
         self._next_hop += 1
         self._targets = set(self._route.next_group_members(self._next_hop))
+
+    def _lose_copy(self, time: float, survivor: Optional[int]) -> None:
+        """The copy is destroyed; arm recovery or report ``dropped``."""
+        if (
+            self._recovery is None
+            or survivor is None
+            or self._retries_left <= 0
+        ):
+            self._drop()
+            return
+        self._lost = True
+        self._survivor = survivor
+        self._recover_at = max(time, self._custody_deadline)
+
+    def _attempt_recovery(self, time: float) -> None:
+        """Re-anycast from the surviving custodian once the timeout passed."""
+        if time < self._recover_at:
+            return
+        if self._faults is not None and self._faults.carrier_lost(
+            self._survivor, time
+        ):
+            self._drop()
+            return
+        remaining = set(
+            self._route.next_group_members(self._custody_hop)
+        ) - self._tried
+        if not remaining:
+            self._drop()
+            return
+        self._retries_left -= 1
+        self._lost = False
+        self._holder = self._survivor
+        if self._next_hop != self._custody_hop:
+            # The relay received the copy and then died: rewind the hop it
+            # never completed (it never acted as a sender).
+            self._next_hop = self._custody_hop
+            path = self._outcome.paths[0]
+            if path and path[-1] != self._holder:
+                path.pop()
+        self._targets = remaining
+        self._custodian = self._holder
+        self._recover_at = math.inf
+        self._survivor = None
+
+    def _drop(self) -> None:
+        self._dropped = True
+        self._outcome.status = "dropped"

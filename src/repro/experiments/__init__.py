@@ -10,13 +10,19 @@ from repro.experiments.ascii_chart import render_chart
 from repro.experiments.config import PaperConfig, DEFAULT_CONFIG
 from repro.experiments.cost_figs import figure_11
 from repro.experiments.extension_figs import figure_e1, figure_e2
-from repro.experiments.persistence import load_figure, save_figure
+from repro.experiments.persistence import (
+    CheckpointStore,
+    load_figure,
+    run_checkpointed,
+    save_figure,
+)
 from repro.experiments.sensitivity import (
     density_sensitivity,
     network_size_sensitivity,
 )
 from repro.experiments.delivery_figs import figure_04, figure_05, figure_10
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.robustness_figs import figure_r1, figure_r2
 from repro.experiments.security_figs import (
     figure_06,
     figure_07,
@@ -57,9 +63,13 @@ __all__ = [
     "figure_19",
     "figure_e1",
     "figure_e2",
+    "figure_r1",
+    "figure_r2",
     "network_size_sensitivity",
     "density_sensitivity",
     "render_chart",
     "save_figure",
     "load_figure",
+    "CheckpointStore",
+    "run_checkpointed",
 ]

@@ -1,19 +1,47 @@
-"""JSON serialisation of figure results.
+"""JSON serialisation of figure results, written atomically.
 
 Benchmarks archive plain-text tables for humans; downstream tooling
 (plotters, regression trackers) wants structured data. Round-trippable
 JSON for :class:`~repro.experiments.result.FigureResult`.
+
+All writes go through :func:`_atomic_write_text` — a temporary file in the
+destination directory followed by :func:`os.replace` — so an interrupted
+run (Ctrl-C mid-batch, OOM kill) can never leave a truncated JSON behind:
+readers see either the old complete file or the new complete file.
+:class:`CheckpointStore` builds on the same primitive to let long Monte
+Carlo batches resume where they stopped.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Union
+from typing import Callable, Dict, Iterable, List, Union
 
 from repro.experiments.result import FigureResult, Series
 
 _SCHEMA_VERSION = 1
+_CHECKPOINT_SCHEMA_VERSION = 1
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp + rename)."""
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
 
 
 def figure_to_dict(figure: FigureResult) -> dict:
@@ -59,12 +87,94 @@ def figure_from_dict(payload: dict) -> FigureResult:
 
 
 def save_figure(figure: FigureResult, path: Union[str, Path]) -> None:
-    """Write a figure result as pretty-printed JSON."""
-    Path(path).write_text(
-        json.dumps(figure_to_dict(figure), indent=2, sort_keys=True) + "\n"
+    """Write a figure result as pretty-printed JSON, atomically."""
+    _atomic_write_text(
+        Path(path),
+        json.dumps(figure_to_dict(figure), indent=2, sort_keys=True) + "\n",
     )
 
 
 def load_figure(path: Union[str, Path]) -> FigureResult:
     """Read a figure result saved by :func:`save_figure`."""
     return figure_from_dict(json.loads(Path(path).read_text()))
+
+
+class CheckpointStore:
+    """Durable key → JSON-value map for resumable experiment batches.
+
+    Each :meth:`put` rewrites the whole store atomically, so a killed run
+    leaves the file with every *completed* unit of work intact and none
+    half-written. Values must be JSON-serialisable (figure points, summary
+    numbers — not arbitrary objects). Keys are strings.
+    """
+
+    def __init__(self, path: Union[str, Path]):
+        self._path = Path(path)
+        self._values: Dict[str, object] = {}
+        if self._path.exists():
+            payload = json.loads(self._path.read_text())
+            version = payload.get("schema_version")
+            if version != _CHECKPOINT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"unsupported checkpoint schema version {version!r} "
+                    f"(expected {_CHECKPOINT_SCHEMA_VERSION})"
+                )
+            self._values = dict(payload["values"])
+
+    @property
+    def path(self) -> Path:
+        """Where the checkpoint lives."""
+        return self._path
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def get(self, key: str):
+        """The stored value for ``key``; raises ``KeyError`` if absent."""
+        return self._values[key]
+
+    def put(self, key: str, value) -> None:
+        """Store one completed unit of work and persist immediately."""
+        self._values[str(key)] = value
+        self._flush()
+
+    def _flush(self) -> None:
+        _atomic_write_text(
+            self._path,
+            json.dumps(
+                {
+                    "schema_version": _CHECKPOINT_SCHEMA_VERSION,
+                    "values": self._values,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n",
+        )
+
+
+def run_checkpointed(
+    keys: Iterable[str],
+    compute: Callable[[str], object],
+    path: Union[str, Path],
+) -> List[object]:
+    """Evaluate ``compute(key)`` for every key, checkpointing each result.
+
+    Already-checkpointed keys are *not* recomputed — an interrupted sweep
+    resumes exactly where it stopped, and a completed sweep is a pure
+    cache read. ``compute`` must be deterministic per key (seed it from the
+    key, not from shared mutable state) for resumed results to be
+    byte-identical with uninterrupted ones. Returns the values in key
+    order.
+    """
+    store = CheckpointStore(path)
+    results: List[object] = []
+    for key in keys:
+        key = str(key)
+        if key not in store:
+            store.put(key, compute(key))
+        results.append(store.get(key))
+    return results

@@ -9,6 +9,7 @@ keeps the discrete-event cost amortised.
 
 from __future__ import annotations
 
+import logging
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,11 +24,16 @@ from repro.core.multi_copy import MultiCopySession, SprayPolicy
 from repro.core.onion_groups import OnionGroupDirectory
 from repro.core.route import OnionRoute
 from repro.core.single_copy import SingleCopySession
+from repro.faults.churn import NodeChurnProcess, NodeChurnSchedule
+from repro.faults.failstop import FailStopContactProcess, FailStopSchedule
+from repro.faults.recovery import FaultPlan, RecoveryPolicy
 from repro.sim.engine import SimulationEngine
 from repro.sim.message import Message
 from repro.sim.metrics import DeliveryOutcome, delivery_rate_curve
 from repro.sim.protocol import ProtocolSession
 from repro.utils.rng import RandomSource, ensure_rng
+
+logger = logging.getLogger(__name__)
 
 RouteOutcome = Tuple[OnionRoute, DeliveryOutcome]
 
@@ -77,10 +83,19 @@ def _make_session(
     route: OnionRoute,
     copies: int,
     spray_policy: SprayPolicy,
+    faults: Optional[FaultPlan] = None,
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> ProtocolSession:
     if copies == 1:
-        return SingleCopySession(message, route)
-    return MultiCopySession(message, route, copies=copies, spray_policy=spray_policy)
+        return SingleCopySession(message, route, faults=faults, recovery=recovery)
+    return MultiCopySession(
+        message,
+        route,
+        copies=copies,
+        spray_policy=spray_policy,
+        faults=faults,
+        recovery=recovery,
+    )
 
 
 def run_random_graph_batch(
@@ -118,6 +133,59 @@ def run_random_graph_batch(
         session = _make_session(message, route, copies, spray_policy)
         engine.add_session(session)
         live.append(session)
+        pairs.append((route, session.outcome()))
+    engine.run()
+    return pairs
+
+
+def run_faulty_graph_batch(
+    graph: ContactGraph,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    horizon: float,
+    sessions: int,
+    rng: RandomSource = None,
+    spray_policy: SprayPolicy = SprayPolicy.SOURCE,
+    *,
+    churn: Optional[NodeChurnSchedule] = None,
+    failstop: Optional[FailStopSchedule] = None,
+    relays=None,
+    recovery: Optional[RecoveryPolicy] = None,
+) -> List[RouteOutcome]:
+    """:func:`run_random_graph_batch` under injected faults.
+
+    Stacks the fault processes on one sampled event stream (fail-stop
+    suppression inside churn suppression — both are pure filters, order is
+    irrelevant) and hands every session the matching
+    :class:`~repro.faults.recovery.FaultPlan`. The engine quarantines any
+    session that raises, so a pathological route degrades one message, not
+    the batch.
+    """
+    generator = ensure_rng(rng)
+    directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+    events = ExponentialContactProcess(graph, rng=generator)
+    if failstop is not None:
+        events = FailStopContactProcess(events, failstop)
+    if churn is not None:
+        events = NodeChurnProcess(events, churn)
+    plan: Optional[FaultPlan] = None
+    if failstop is not None or relays is not None:
+        plan = FaultPlan(failstop=failstop, relays=relays)
+    engine = SimulationEngine(events, horizon=horizon)
+    pairs: List[RouteOutcome] = []
+    for _ in range(sessions):
+        source, destination = sample_endpoints(graph.n, generator)
+        route = directory.select_route(
+            source, destination, onion_routers, rng=generator
+        )
+        message = Message(
+            source=source, destination=destination, created_at=0.0, deadline=horizon
+        )
+        session = _make_session(
+            message, route, copies, spray_policy, faults=plan, recovery=recovery
+        )
+        engine.add_session(session)
         pairs.append((route, session.outcome()))
     engine.run()
     return pairs
@@ -249,6 +317,12 @@ def run_trace_batch(
     a contact with any node" — each session's creation time is the start of
     a uniformly chosen contact involving its source, drawn from the first
     half of the trace so the deadline window fits inside the recording.
+
+    Sparse traces degrade gracefully: when session placement stalls (too
+    few nodes ever have a first-half contact), the batch runs with however
+    many sessions could be placed — logged as a warning — rather than
+    discarding the partial work. Callers should check ``len(result)``
+    against ``sessions`` when the distinction matters.
     """
     generator = ensure_rng(rng)
     trace = trace.normalized()
@@ -274,7 +348,14 @@ def run_trace_batch(
     while len(pairs) < sessions:
         attempts += 1
         if attempts > sessions * 50:
-            raise RuntimeError("could not place sessions; trace too sparse")
+            logger.warning(
+                "trace too sparse: placed %d of %d sessions after %d "
+                "attempts; running the partial batch",
+                len(pairs),
+                sessions,
+                attempts - 1,
+            )
+            break
         source, destination = sample_endpoints(n, generator)
         if source not in contacts_by_node:
             continue

@@ -1,0 +1,228 @@
+"""Node churn: per-node on/off renewal processes over the contact stream.
+
+Each node alternates independent exponential *up* periods (mean
+``1/fail_rate``) and *down* periods (mean ``1/repair_rate``); a contact is
+usable only while **both** endpoints are up. At a random time the
+probability a node is up is its stationary availability
+
+    ``a = repair_rate / (fail_rate + repair_rate)``.
+
+Contacts of pair ``(i, j)`` form a Poisson process, and the up-indicator of
+the pair at contact instants has mean ``a_i · a_j``, so churn thins the
+pair process by ``a_i · a_j`` on average. When the churn cycle is short
+relative to inter-contact times the indicators at successive contacts
+decorrelate and the suppressed stream is statistically indistinguishable
+from independent thinning — which, by the Poisson thinning property, is a
+rate rescaling. :func:`churned_graph` applies exactly that rescaling, so
+the Eq. 4–7 models evaluated on it predict what the protocol experiences
+on a :class:`NodeChurnProcess` (exact in the fast-churn limit; the tests
+verify the match at Monte Carlo tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Sequence, Union
+
+import numpy as np
+
+from repro.contacts.events import ContactEvent
+from repro.contacts.graph import ContactGraph
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive, check_positive_int
+
+
+class NodeChurnSchedule:
+    """Per-node alternating-renewal up/down timelines.
+
+    Each node gets an independent child RNG stream (SeedSequence spawning),
+    so a node's timeline does not depend on which other nodes are queried.
+    Nodes start in the stationary regime: up with probability
+    :attr:`availability`.
+
+    Queries must be time-monotone per node (the contact streams and the
+    protocol sessions both observe events chronologically, so this holds by
+    construction); querying a node at an earlier time than a previous query
+    raises.
+
+    Parameters
+    ----------
+    n:
+        Network size.
+    fail_rate:
+        Rate of going down while up (``1 / mean uptime``). Zero means the
+        node never fails.
+    repair_rate:
+        Rate of coming back while down (``1 / mean downtime``).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        fail_rate: float,
+        repair_rate: float,
+        rng: RandomSource = None,
+    ):
+        check_positive_int(n, "n")
+        check_non_negative(fail_rate, "fail_rate")
+        check_positive(repair_rate, "repair_rate")
+        self._n = n
+        self._fail_rate = float(fail_rate)
+        self._repair_rate = float(repair_rate)
+        base = ensure_rng(rng)
+        seed_seq = base.bit_generator.seed_seq
+        if seed_seq is None:  # pragma: no cover - generators always carry one
+            raise ValueError("generator has no seed sequence to spawn from")
+        self._rngs = [np.random.default_rng(child) for child in seed_seq.spawn(n)]
+        availability = self.availability
+        self._up = [generator.random() < availability for generator in self._rngs]
+        self._next_toggle = [
+            self._draw_duration(node) for node in range(n)
+        ]
+        self._last_query = [0.0] * n
+
+    @property
+    def n(self) -> int:
+        """Network size."""
+        return self._n
+
+    @property
+    def availability(self) -> float:
+        """Stationary probability that a node is up."""
+        if self._fail_rate == 0.0:
+            return 1.0
+        return self._repair_rate / (self._fail_rate + self._repair_rate)
+
+    @property
+    def mean_cycle(self) -> float:
+        """Mean up + down cycle length; ``inf`` when nodes never fail."""
+        if self._fail_rate == 0.0:
+            return math.inf
+        return 1.0 / self._fail_rate + 1.0 / self._repair_rate
+
+    def _draw_duration(self, node: int) -> float:
+        """Absolute end time of the node's current period (from time 0)."""
+        if self._up[node]:
+            if self._fail_rate == 0.0:
+                return math.inf
+            return self._rngs[node].exponential(1.0 / self._fail_rate)
+        return self._rngs[node].exponential(1.0 / self._repair_rate)
+
+    def is_up(self, node: int, time: float) -> bool:
+        """Whether ``node`` is up at ``time`` (time-monotone per node)."""
+        if not (0 <= node < self._n):
+            raise ValueError(f"node {node} outside 0..{self._n - 1}")
+        if time < self._last_query[node]:
+            raise ValueError(
+                f"churn queries must be time-monotone per node: node {node} "
+                f"queried at {time} after {self._last_query[node]}"
+            )
+        self._last_query[node] = time
+        while self._next_toggle[node] <= time:
+            toggle_at = self._next_toggle[node]
+            self._up[node] = not self._up[node]
+            if self._up[node]:
+                if self._fail_rate == 0.0:  # pragma: no cover - never toggles down
+                    self._next_toggle[node] = math.inf
+                else:
+                    self._next_toggle[node] = toggle_at + self._rngs[
+                        node
+                    ].exponential(1.0 / self._fail_rate)
+            else:
+                self._next_toggle[node] = toggle_at + self._rngs[
+                    node
+                ].exponential(1.0 / self._repair_rate)
+        return self._up[node]
+
+    @classmethod
+    def from_availability(
+        cls,
+        n: int,
+        availability: float,
+        mean_cycle: float,
+        rng: RandomSource = None,
+    ) -> "NodeChurnSchedule":
+        """Build from target availability ``a`` and mean cycle length.
+
+        Mean uptime is ``a · mean_cycle`` and mean downtime
+        ``(1 − a) · mean_cycle``, so the stationary availability is exactly
+        ``a`` and the churn timescale is ``mean_cycle``. ``a`` must lie in
+        ``(0, 1)`` — use no schedule at all for always-up nodes.
+        """
+        check_positive(mean_cycle, "mean_cycle")
+        if not (0.0 < availability < 1.0):
+            raise ValueError(
+                f"availability must lie in (0, 1), got {availability!r}"
+            )
+        return cls(
+            n,
+            fail_rate=1.0 / (availability * mean_cycle),
+            repair_rate=1.0 / ((1.0 - availability) * mean_cycle),
+            rng=rng,
+        )
+
+
+class FaultFilteredContactProcess:
+    """Suppress contacts whose endpoints are not both up.
+
+    Generic over any schedule exposing ``is_up(node, time)`` — node churn
+    and fail-stop both use it. Wraps any chronological event source, like
+    the :mod:`repro.contacts.impairments` transformers, so fault processes
+    compose with thinning and jitter in a single stream.
+    """
+
+    def __init__(self, inner, schedule):
+        self._inner = inner
+        self._schedule = schedule
+
+    @property
+    def schedule(self):
+        """The up/down schedule driving the suppression."""
+        return self._schedule
+
+    def events_until(self, horizon: float) -> Iterator[ContactEvent]:
+        """Yield the wrapped stream's contacts between two up nodes."""
+        for event in self._inner.events_until(horizon):
+            if self._schedule.is_up(event.a, event.time) and self._schedule.is_up(
+                event.b, event.time
+            ):
+                yield event
+
+
+class NodeChurnProcess(FaultFilteredContactProcess):
+    """Contact stream under node churn: down nodes miss their contacts.
+
+    The analytical counterpart is :func:`churned_graph` — see the module
+    docstring for the availability-scaling equivalence.
+    """
+
+    def __init__(self, inner, schedule: NodeChurnSchedule):
+        if not isinstance(schedule, NodeChurnSchedule):
+            raise TypeError(
+                f"expected NodeChurnSchedule, got {type(schedule).__name__}"
+            )
+        super().__init__(inner, schedule)
+
+
+def churned_graph(
+    graph: ContactGraph, availability: Union[float, Sequence[float]]
+) -> ContactGraph:
+    """The analytical counterpart of churn: rates scaled by ``a_i · a_j``.
+
+    ``availability`` is either one scalar for all nodes or a length-``n``
+    per-node sequence. Feeding the scaled graph to the Eq. 4–7 models
+    predicts what the protocol experiences on a :class:`NodeChurnProcess`
+    (fast-churn regime), exactly as :func:`~repro.contacts.impairments.thinned_graph`
+    does for thinning.
+    """
+    a = np.asarray(availability, dtype=float)
+    if a.ndim == 0:
+        a = np.full(graph.n, float(a))
+    if a.shape != (graph.n,):
+        raise ValueError(
+            f"availability must be a scalar or length-{graph.n} sequence, "
+            f"got shape {a.shape}"
+        )
+    if np.any(a < 0.0) or np.any(a > 1.0) or not np.all(np.isfinite(a)):
+        raise ValueError("availabilities must lie in [0, 1]")
+    return ContactGraph(graph.rates * np.outer(a, a))

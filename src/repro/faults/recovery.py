@@ -1,0 +1,61 @@
+"""The session-facing fault plan and the custody-timeout recovery policy.
+
+``FaultPlan`` bundles the fault sources a protocol session must react to:
+fail-stop deaths lose the carrier's copies; dropping relays destroy copies
+at receive time. (Churn needs no session awareness — a churned node comes
+back with its buffer intact, so only the contact stream sees it.)
+
+``RecoveryPolicy`` parameterises how the protocols fight back:
+
+* **single copy** — the previous custodian retains a shadow copy for
+  ``custody_timeout`` after each forward; when the copy is lost it
+  re-anycasts to a *different* member of the same onion group, at most
+  ``max_retries`` times. The timeout models custody-acknowledgement
+  latency: the custodian cannot know instantly that its relay crashed or
+  cheated.
+* **multi copy** — lost copies have their spray tickets reclaimed by the
+  source copy (bounded by ``max_retries`` reclamations), which re-sprays
+  them at future contacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adversary.dropping import DroppingRelays
+from repro.faults.failstop import FailStopSchedule
+from repro.utils.validation import check_positive, check_positive_int
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Bounded-retry custody recovery parameters."""
+
+    custody_timeout: float
+    max_retries: int = 3
+
+    def __post_init__(self) -> None:
+        check_positive(self.custody_timeout, "custody_timeout")
+        check_positive_int(self.max_retries, "max_retries")
+
+
+@dataclass
+class FaultPlan:
+    """The faults one session experiences, queried during forwarding."""
+
+    failstop: Optional[FailStopSchedule] = None
+    relays: Optional[DroppingRelays] = None
+
+    @property
+    def empty(self) -> bool:
+        """Whether the plan injects no protocol-visible fault at all."""
+        return self.failstop is None and self.relays is None
+
+    def carrier_lost(self, node: int, time: float) -> bool:
+        """Whether ``node`` has died (taking any held copies with it)."""
+        return self.failstop is not None and self.failstop.is_dead(node, time)
+
+    def drops_on_receive(self, receiver: int) -> bool:
+        """Sample whether a copy handed to relay ``receiver`` is destroyed."""
+        return self.relays is not None and self.relays.drops(receiver)

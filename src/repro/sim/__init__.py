@@ -9,7 +9,12 @@ and message deadlines are enforced at forwarding time.
 
 from repro.sim.engine import SimulationEngine
 from repro.sim.message import Message
-from repro.sim.metrics import DeliveryOutcome, SummaryStats, summarize
+from repro.sim.metrics import (
+    DeliveryOutcome,
+    SummaryStats,
+    status_counts,
+    summarize,
+)
 from repro.sim.node import Buffer, Node
 from repro.sim.protocol import ProtocolSession
 from repro.sim.workload import (
@@ -27,6 +32,7 @@ __all__ = [
     "DeliveryOutcome",
     "SummaryStats",
     "summarize",
+    "status_counts",
     "PoissonWorkload",
     "WorkloadResult",
     "onion_session_factory",

@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Protocol as TypingProtocol
+import logging
+from typing import Iterable, List, Protocol as TypingProtocol, Tuple
 
 from repro.contacts.events import ContactEvent
 from repro.sim.protocol import ProtocolSession
 from repro.utils.validation import check_positive
+
+logger = logging.getLogger(__name__)
 
 
 class EventSource(TypingProtocol):
@@ -22,14 +25,27 @@ class SimulationEngine:
     The engine is deliberately thin: all routing logic lives in the
     sessions, all stochastic structure in the event source. It stops at the
     horizon or as soon as every session reports ``done``.
+
+    Graceful degradation: by default a session that raises mid-dispatch is
+    *quarantined* — its outcome is marked ``failed``, the exception is kept
+    on :attr:`quarantined`, and the remaining sessions keep running — so one
+    pathological message cannot kill a whole experiment batch. Pass
+    ``on_error="raise"`` to propagate instead (useful in unit tests).
     """
 
-    def __init__(self, events: EventSource, horizon: float):
+    def __init__(self, events: EventSource, horizon: float, on_error: str = "quarantine"):
         check_positive(horizon, "horizon")
+        if on_error not in ("quarantine", "raise"):
+            raise ValueError(
+                f"on_error must be 'quarantine' or 'raise', got {on_error!r}"
+            )
         self._events = events
         self._horizon = horizon
+        self._on_error = on_error
         self._sessions: List[ProtocolSession] = []
         self._events_processed = 0
+        self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
+        self._quarantined_ids: set = set()
 
     @property
     def horizon(self) -> float:
@@ -41,10 +57,29 @@ class SimulationEngine:
         """Number of contact events dispatched so far."""
         return self._events_processed
 
+    @property
+    def quarantined(self) -> Tuple[Tuple[ProtocolSession, Exception], ...]:
+        """Sessions removed from dispatch after raising, with their errors."""
+        return tuple(self._quarantined)
+
     def add_session(self, session: ProtocolSession) -> ProtocolSession:
         """Register a session; returns it for chaining."""
         self._sessions.append(session)
         return session
+
+    def _quarantine(self, session: ProtocolSession, error: Exception) -> None:
+        self._quarantined.append((session, error))
+        self._quarantined_ids.add(id(session))
+        try:
+            session.outcome().status = "failed"
+        except Exception:  # outcome itself is broken — quarantine regardless
+            pass
+        logger.warning(
+            "quarantined session %r after %s: %s",
+            type(session).__name__,
+            type(error).__name__,
+            error,
+        )
 
     def run(self) -> None:
         """Process events until the horizon or until all sessions are done."""
@@ -54,8 +89,17 @@ class SimulationEngine:
             self._events_processed += 1
             all_done = True
             for session in self._sessions:
-                if not session.done:
+                if id(session) in self._quarantined_ids:
+                    continue  # treated as done
+                if session.done:
+                    continue
+                try:
                     session.on_contact(event)
-                    all_done = all_done and session.done
+                except Exception as error:
+                    if self._on_error == "raise":
+                        raise
+                    self._quarantine(session, error)
+                    continue
+                all_done = all_done and session.done
             if all_done:
                 return

@@ -28,6 +28,13 @@ class DeliveryOutcome:
     #: every transfer as ``(time, sender, receiver)`` — the radio activity a
     #: passive global observer could record (fed to traffic analysis).
     transfers: List[Tuple[float, int, int]] = field(default_factory=list)
+    #: terminal disposition: ``pending`` (still routable at the horizon),
+    #: ``delivered``, ``expired`` (deadline passed), ``dropped`` (every copy
+    #: destroyed by a fault and recovery exhausted), or ``failed`` (the
+    #: session raised and was quarantined by the engine).
+    status: str = "pending"
+    #: copies destroyed by faults (greyhole drops, carrier deaths).
+    lost_copies: int = 0
 
     def record_transfer(self, time: float, sender: int, receiver: int) -> None:
         """Count one transmission and log it for traffic analysis."""
@@ -86,6 +93,27 @@ def summarize(outcomes: Iterable[DeliveryOutcome]) -> SummaryStats:
         ),
         delay_p95=float(np.percentile(delays, 95)) if delays.size else math.nan,
     )
+
+
+def status_counts(outcomes: Iterable[DeliveryOutcome]) -> dict:
+    """Tally of terminal dispositions over a batch of outcomes.
+
+    The fault experiments read delivery *and* failure modes from one batch:
+    how many messages were dropped by faults vs merely slow (``pending`` /
+    ``expired``) separates adversarial loss from contact scarcity.
+    """
+    counts: dict = {}
+    for outcome in outcomes:
+        status = outcome.status
+        if status == "pending":
+            # Sessions predating the fault subsystem only set the flags;
+            # normalise so every batch tallies consistently.
+            if outcome.delivered:
+                status = "delivered"
+            elif outcome.expired_copies:
+                status = "expired"
+        counts[status] = counts.get(status, 0) + 1
+    return counts
 
 
 def delivery_rate_curve(

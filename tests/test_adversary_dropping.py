@@ -1,0 +1,58 @@
+"""Tests for greyhole / blackhole dropping relays."""
+
+import numpy as np
+import pytest
+
+from repro.adversary.dropping import DroppingRelays
+
+
+class TestDrops:
+    def test_uncompromised_never_drops(self):
+        relays = DroppingRelays({3, 4}, 0.9, rng=0)
+        assert not any(relays.drops(7) for _ in range(200))
+
+    def test_blackhole_always_drops(self):
+        relays = DroppingRelays.blackholes({3})
+        assert all(relays.drops(3) for _ in range(50))
+        assert relays.drop_prob == 1.0
+
+    def test_zero_prob_never_drops(self):
+        relays = DroppingRelays({3}, 0.0, rng=0)
+        assert not any(relays.drops(3) for _ in range(200))
+
+    def test_greyhole_bernoulli_rate(self):
+        relays = DroppingRelays({3}, 0.3, rng=1)
+        drops = sum(relays.drops(3) for _ in range(5000))
+        assert drops / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_is_compromised(self):
+        relays = DroppingRelays({3, 4}, 0.5, rng=0)
+        assert relays.is_compromised(3)
+        assert not relays.is_compromised(5)
+        assert relays.compromised == frozenset({3, 4})
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            DroppingRelays({1}, 1.5)
+        with pytest.raises(ValueError):
+            DroppingRelays({1}, -0.1)
+
+
+class TestSample:
+    def test_fixed_count(self):
+        relays = DroppingRelays.sample(100, 0.2, 0.5, rng=2)
+        assert len(relays.compromised) == 20
+        assert relays.drop_prob == 0.5
+
+    def test_protected_nodes_excluded(self):
+        for seed in range(10):
+            relays = DroppingRelays.sample(
+                20, 0.5, 1.0, rng=seed, protected=(0, 19)
+            )
+            assert 0 not in relays.compromised
+            assert 19 not in relays.compromised
+
+    def test_repr(self):
+        relays = DroppingRelays({1, 2}, 0.25, rng=0)
+        assert "2" in repr(relays)
+        assert "0.25" in repr(relays)

@@ -86,3 +86,87 @@ class TestFigureSave:
         figure = load_figure(path)
         assert figure.figure_id == "Fig. 6"
         assert any(label.startswith("Analysis") for label in figure.labels)
+
+
+class TestSimulateFaults:
+    def test_churn_and_greyhole_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol", "single",
+                "--n", "30",
+                "--trials", "8",
+                "--deadline", "400",
+                "--availability", "0.7",
+                "--drop-prob", "0.5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delivery_rate=" in out
+        assert "outcomes:" in out
+
+    def test_recovery_flags(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol", "multi",
+                "--copies", "3",
+                "--n", "30",
+                "--trials", "8",
+                "--deadline", "400",
+                "--death-rate", "0.001",
+                "--custody-timeout", "30",
+            ]
+        )
+        assert code == 0
+        assert "outcomes:" in capsys.readouterr().out
+
+    def test_drop_prob_needs_onion_protocol(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol", "epidemic",
+                "--n", "30",
+                "--trials", "5",
+                "--deadline", "400",
+                "--drop-prob", "0.5",
+            ]
+        )
+        assert code == 2
+
+    def test_faultless_output_unchanged(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--protocol", "single",
+                "--n", "30",
+                "--trials", "5",
+                "--deadline", "400",
+            ]
+        )
+        assert code == 0
+        assert "outcomes:" not in capsys.readouterr().out
+
+
+class TestFigureKeys:
+    def test_list_includes_robustness_keys(self, capsys):
+        # `list` must render every registered key, including the
+        # extension/robustness string keys that broke naive sorting.
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "r1" in out
+        assert "r2" in out
+
+    def test_fig_prefix_alias_accepted(self, capsys):
+        # "Fig. R1" and "r1" normalise to the same key; exercise the
+        # converter without paying for a full figure run.
+        from repro.cli import _figure_key
+
+        assert _figure_key("Fig. R1") == "r1"
+        assert _figure_key("fig4") == 4
+        assert _figure_key("10") == 10
+
+    def test_unknown_figure_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure", "zz"])

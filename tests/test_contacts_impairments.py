@@ -10,6 +10,7 @@ from repro.contacts.impairments import (
     ThinnedContactProcess,
     thinned_graph,
 )
+from repro.faults.churn import NodeChurnProcess, NodeChurnSchedule, churned_graph
 
 
 @pytest.fixture
@@ -113,3 +114,67 @@ class TestJitter:
             ExponentialContactProcess(graph, rng=13), max_jitter=10.0, rng=14
         )
         assert all(e.time <= 200.0 for e in jittered.events_until(200.0))
+
+
+class TestStackedImpairments:
+    """Satellite checks: impairments and faults compose cleanly."""
+
+    def test_thin_jitter_churn_stack_stays_chronological(self, graph):
+        schedule = NodeChurnSchedule.from_availability(10, 0.6, 15.0, rng=20)
+        stacked = NodeChurnProcess(
+            JitteredContactProcess(
+                ThinnedContactProcess(
+                    ExponentialContactProcess(graph, rng=21),
+                    drop_prob=0.3,
+                    rng=22,
+                ),
+                max_jitter=2.0,
+                rng=23,
+            ),
+            schedule,
+        )
+        events = list(stacked.events_until(800.0))
+        assert events  # the stack still produces contacts
+        times = [event.time for event in events]
+        assert times == sorted(times)
+        assert all(time <= 800.0 for time in times)
+
+    def test_thinned_churned_graph_matches_stacked_process(self, graph):
+        """thinned_graph ∘ churned_graph predicts the stacked stream's rate."""
+        drop, avail, horizon = 0.3, 0.7, 4000.0
+        composed = thinned_graph(churned_graph(graph, avail), drop)
+        # order of composition is irrelevant: both scale rates multiplicatively
+        other = churned_graph(thinned_graph(graph, drop), avail)
+        assert composed.rate(0, 1) == pytest.approx(other.rate(0, 1))
+
+        model_count = sum(
+            1
+            for _ in ExponentialContactProcess(composed, rng=24).events_until(
+                horizon
+            )
+        )
+        schedule = NodeChurnSchedule.from_availability(10, avail, 5.0, rng=25)
+        stacked = NodeChurnProcess(
+            ThinnedContactProcess(
+                ExponentialContactProcess(graph, rng=26), drop_prob=drop, rng=27
+            ),
+            schedule,
+        )
+        stacked_count = sum(1 for _ in stacked.events_until(horizon))
+        assert stacked_count == pytest.approx(model_count, rel=0.1)
+
+    def test_jitter_heap_output_matches_sorted_reference(self, graph):
+        """The heap-based reorder buffer yields exactly the sorted jittered set."""
+        inner = ExponentialContactProcess(graph, rng=28)
+        reference = []
+        rng = np.random.default_rng(29)
+        for event in ExponentialContactProcess(graph, rng=28).events_until(300.0):
+            shifted = event.time + rng.uniform(0.0, 5.0)
+            if shifted <= 300.0:
+                reference.append((shifted, event.a, event.b))
+        reference.sort()
+
+        jittered = JitteredContactProcess(inner, max_jitter=5.0, rng=29)
+        produced = [(e.time, e.a, e.b) for e in jittered.events_until(300.0)]
+        assert produced == sorted(produced)
+        assert produced == pytest.approx(reference)

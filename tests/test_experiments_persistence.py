@@ -5,9 +5,11 @@ import json
 import pytest
 
 from repro.experiments.persistence import (
+    CheckpointStore,
     figure_from_dict,
     figure_to_dict,
     load_figure,
+    run_checkpointed,
     save_figure,
 )
 from repro.experiments.result import FigureResult, Series
@@ -64,3 +66,102 @@ class TestValidation:
         payload["series"][0]["points"] = [[1.0]]
         with pytest.raises(ValueError):
             figure_from_dict(payload)
+
+
+class TestAtomicSave:
+    def test_no_temp_file_left_behind(self, tmp_path):
+        path = tmp_path / "figure.json"
+        save_figure(_figure(), path)
+        leftovers = [p for p in tmp_path.iterdir() if p != path]
+        assert leftovers == []
+
+    def test_overwrite_is_complete(self, tmp_path):
+        path = tmp_path / "figure.json"
+        path.write_text("x" * 10_000)  # longer than the real payload
+        save_figure(_figure(), path)
+        assert load_figure(path) == _figure()  # no trailing garbage
+
+    def test_failed_write_preserves_original(self, tmp_path, monkeypatch):
+        path = tmp_path / "figure.json"
+        save_figure(_figure(), path)
+        original = path.read_text()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.experiments.persistence.os.replace", exploding_replace)
+        with pytest.raises(OSError, match="disk full"):
+            save_figure(_figure(), path)
+        assert path.read_text() == original
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+
+class TestCheckpointStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt.json")
+        store.put("a=0.5", [1.0, 0.25])
+        assert "a=0.5" in store
+        assert store.get("a=0.5") == [1.0, 0.25]
+        assert len(store) == 1
+
+    def test_survives_reopen(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        CheckpointStore(path).put("k", {"delivered": 42})
+        again = CheckpointStore(path)
+        assert again.get("k") == {"delivered": 42}
+
+    def test_rejects_foreign_schema(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"schema_version": 99, "values": {}}))
+        with pytest.raises(ValueError, match="schema version"):
+            CheckpointStore(path)
+
+    def test_missing_key_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            CheckpointStore(tmp_path / "ckpt.json").get("nope")
+
+
+class TestRunCheckpointed:
+    def test_interrupted_run_resumes_byte_identical(self, tmp_path):
+        """Acceptance: resume after a crash reproduces the uninterrupted file."""
+        keys = ["a", "b", "c", "d"]
+
+        def compute(key):
+            return {"value": ord(key) * 0.25}
+
+        # Reference: one uninterrupted run.
+        clean = tmp_path / "clean.json"
+        expected = run_checkpointed(keys, compute, clean)
+
+        # Crash after two units of work...
+        crashed = tmp_path / "crashed.json"
+        calls = []
+
+        def flaky(key):
+            if len(calls) == 2:
+                raise KeyboardInterrupt
+            calls.append(key)
+            return compute(key)
+
+        with pytest.raises(KeyboardInterrupt):
+            run_checkpointed(keys, flaky, crashed)
+        assert len(CheckpointStore(crashed)) == 2
+
+        # ...then resume: only the remaining keys are computed, and the
+        # final checkpoint is byte-identical to the uninterrupted one.
+        resumed_calls = []
+
+        def resumed(key):
+            resumed_calls.append(key)
+            return compute(key)
+
+        values = run_checkpointed(keys, resumed, crashed)
+        assert resumed_calls == ["c", "d"]
+        assert values == expected
+        assert crashed.read_bytes() == clean.read_bytes()
+
+    def test_values_in_key_order(self, tmp_path):
+        values = run_checkpointed(
+            ["x", "y"], lambda k: k.upper(), tmp_path / "c.json"
+        )
+        assert values == ["X", "Y"]

@@ -1,0 +1,74 @@
+"""Smoke tests for the robustness figures (small sessions, small graph)."""
+
+import pytest
+
+from repro.experiments.config import PaperConfig
+from repro.experiments.robustness_figs import figure_r1, figure_r2
+
+SMALL = PaperConfig(n=20, onion_routers=2)
+
+
+@pytest.fixture(scope="module")
+def fig_r1():
+    return figure_r1(
+        config=SMALL,
+        availabilities=(1.0, 0.5),
+        deadline=300.0,
+        sessions=20,
+        seed=30,
+    )
+
+
+@pytest.fixture(scope="module")
+def fig_r2():
+    return figure_r2(
+        config=SMALL,
+        drop_probs=(0.0, 1.0),
+        deadline=300.0,
+        sessions=20,
+        seed=31,
+    )
+
+
+class TestFigureR1:
+    def test_series_labels(self, fig_r1):
+        labels = [series.label for series in fig_r1.series]
+        assert labels == [
+            "Analysis: Eq. 6 on churned graph",
+            "Simulation: node churn",
+            "Simulation: churned graph",
+        ]
+
+    def test_x_axis_is_availability(self, fig_r1):
+        for series in fig_r1.series:
+            assert set(series.xs) <= {1.0, 0.5}
+
+    def test_values_are_probabilities(self, fig_r1):
+        for series in fig_r1.series:
+            assert all(0.0 <= y <= 1.0 for y in series.ys)
+
+    def test_full_availability_point_present(self, fig_r1):
+        # At a = 1 the churn schedule is skipped and the point is the
+        # fault-free batch — still plotted as the curve's anchor.
+        churn = next(s for s in fig_r1.series if s.label == "Simulation: node churn")
+        assert 1.0 in churn.xs
+
+
+class TestFigureR2:
+    def test_series_labels(self, fig_r2):
+        labels = [series.label for series in fig_r2.series]
+        assert labels == [
+            "Analysis: survival-scaled Eq. 6",
+            "Simulation: no recovery",
+            "Simulation: custody recovery",
+        ]
+
+    def test_values_are_probabilities(self, fig_r2):
+        for series in fig_r2.series:
+            assert all(0.0 <= y <= 1.0 for y in series.ys)
+
+    def test_blackhole_hurts(self, fig_r2):
+        plain = next(
+            s for s in fig_r2.series if s.label == "Simulation: no recovery"
+        )
+        assert plain.y_at(1.0) <= plain.y_at(0.0)

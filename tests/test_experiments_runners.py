@@ -1,13 +1,18 @@
 """Tests for the experiment runner machinery."""
 
+import logging
+
 import numpy as np
 import pytest
 
+from repro.adversary.dropping import DroppingRelays
 from repro.contacts.graph import ContactGraph
 from repro.contacts.synthetic import cambridge_like_trace
+from repro.contacts.traces import ContactRecord, ContactTrace
 from repro.core.route import OnionRoute
 from repro.experiments.runners import (
     analysis_delivery_curve,
+    run_faulty_graph_batch,
     estimate_active_span,
     run_random_graph_batch,
     run_trace_batch,
@@ -18,6 +23,9 @@ from repro.experiments.runners import (
     simulated_delivery_curve,
     trace_contact_graph,
 )
+from repro.faults.failstop import FailStopSchedule
+from repro.faults.churn import NodeChurnSchedule
+from repro.faults.recovery import RecoveryPolicy
 from repro.utils.rng import ensure_rng
 
 
@@ -182,3 +190,76 @@ class TestTraceBatch:
         graph = trace_contact_graph(trace, span)
         assert graph.n == 12
         assert graph.mean_rate() > 0
+
+
+class TestFaultyGraphBatch:
+    def _graph(self):
+        return ContactGraph.complete(20, 0.05)
+
+    def test_faultless_matches_plain_batch_shape(self):
+        batch = run_faulty_graph_batch(
+            self._graph(), group_size=3, onion_routers=2, copies=1,
+            horizon=400.0, sessions=10, rng=5,
+        )
+        assert len(batch) == 10
+        for route, outcome in batch:
+            assert route.eta == 3
+            assert outcome.status in {"delivered", "pending", "expired"}
+
+    def test_churn_reduces_delivery(self):
+        kwargs = dict(
+            group_size=3, onion_routers=2, copies=1,
+            horizon=300.0, sessions=40,
+        )
+        plain = run_faulty_graph_batch(self._graph(), rng=6, **kwargs)
+        churned = run_faulty_graph_batch(
+            self._graph(), rng=6,
+            churn=NodeChurnSchedule.from_availability(20, 0.3, 20.0, rng=7),
+            **kwargs,
+        )
+        delivered = lambda batch: sum(o.delivered for _, o in batch)
+        assert delivered(churned) < delivered(plain)
+
+    def test_blackhole_relays_drop_sessions(self):
+        relays = DroppingRelays.blackholes(set(range(20)))
+        batch = run_faulty_graph_batch(
+            self._graph(), group_size=3, onion_routers=2, copies=1,
+            horizon=400.0, sessions=15, rng=8, relays=relays,
+        )
+        statuses = {outcome.status for _, outcome in batch}
+        assert "dropped" in statuses
+        assert not any(outcome.delivered for _, outcome in batch)
+
+    def test_recovery_with_failstop_runs(self):
+        batch = run_faulty_graph_batch(
+            self._graph(), group_size=3, onion_routers=2, copies=2,
+            horizon=400.0, sessions=15, rng=9,
+            failstop=FailStopSchedule(20, death_rate=0.002, rng=10),
+            relays=DroppingRelays.sample(20, 0.2, 0.5, rng=11),
+            recovery=RecoveryPolicy(custody_timeout=30.0, max_retries=2),
+        )
+        assert len(batch) == 15
+        for _, outcome in batch:
+            assert outcome.status in {
+                "delivered", "pending", "expired", "dropped", "failed",
+            }
+
+
+class TestSparseTrace:
+    def test_partial_batch_with_warning(self, caplog):
+        # Only nodes 0 and 1 ever contact in the first half of the trace,
+        # so almost no sampled source can be placed: the batch must come
+        # back partial instead of raising.
+        records = [ContactRecord(0, 1, 0.0, 1.0)]
+        for i in range(2, 300, 2):
+            records.append(ContactRecord(i, i + 1, 900.0 + i, 905.0 + i))
+        trace = ContactTrace(records)
+        with caplog.at_level(logging.WARNING, logger="repro.experiments.runners"):
+            batch = run_trace_batch(
+                trace, group_size=5, onion_routers=2, copies=1,
+                deadline=100.0, sessions=8, rng=3, overlapping=True,
+            )
+        assert len(batch) < 8  # partial, not empty-handed ...
+        assert any("trace too sparse" in r.message for r in caplog.records)
+        for route, outcome in batch:  # ... and the placed sessions are real
+            assert route.eta == 3

@@ -1,0 +1,70 @@
+"""Tests for permanent fail-stop crashes."""
+
+import math
+
+import pytest
+
+from repro.contacts.events import ExponentialContactProcess
+from repro.contacts.graph import ContactGraph
+from repro.faults.failstop import FailStopContactProcess, FailStopSchedule
+
+
+@pytest.fixture
+def graph():
+    return ContactGraph.complete(8, 0.05)
+
+
+class TestSchedule:
+    def test_explicit_deaths(self):
+        schedule = FailStopSchedule(4, deaths={1: 10.0, 3: 25.0})
+        assert schedule.death_time(0) == math.inf
+        assert schedule.death_time(1) == 10.0
+        assert not schedule.is_dead(1, 9.9)
+        assert schedule.is_dead(1, 10.0)
+        assert schedule.is_up(1, 9.9)
+        assert not schedule.is_up(1, 10.0)
+
+    def test_sampled_deaths_mean(self):
+        schedule = FailStopSchedule(4000, death_rate=0.01, rng=0)
+        times = [schedule.death_time(node) for node in range(4000)]
+        assert sum(times) / len(times) == pytest.approx(100.0, rel=0.1)
+
+    def test_survivors(self):
+        schedule = FailStopSchedule(4, deaths={1: 10.0, 3: 25.0})
+        assert schedule.survivors(5.0) == 4
+        assert schedule.survivors(15.0) == 3
+        assert schedule.survivors(30.0) == 2
+
+    def test_exactly_one_spec_required(self):
+        with pytest.raises(ValueError):
+            FailStopSchedule(4)
+        with pytest.raises(ValueError):
+            FailStopSchedule(4, death_rate=0.1, deaths={0: 1.0})
+
+    def test_rejects_bad_nodes(self):
+        with pytest.raises(ValueError):
+            FailStopSchedule(4, deaths={7: 1.0})
+        schedule = FailStopSchedule(4, deaths={})
+        with pytest.raises(ValueError):
+            schedule.death_time(9)
+
+
+class TestProcess:
+    def test_dead_nodes_lose_their_contacts(self, graph):
+        schedule = FailStopSchedule(graph.n, deaths={0: 100.0})
+        events = FailStopContactProcess(
+            ExponentialContactProcess(graph, rng=1), schedule
+        )
+        for event in events.events_until(1000.0):
+            if event.time >= 100.0:
+                assert 0 not in (event.a, event.b)
+
+    def test_no_deaths_is_identity(self, graph):
+        base = list(ExponentialContactProcess(graph, rng=2).events_until(300.0))
+        filtered = list(
+            FailStopContactProcess(
+                ExponentialContactProcess(graph, rng=2),
+                FailStopSchedule(graph.n, deaths={}),
+            ).events_until(300.0)
+        )
+        assert base == filtered

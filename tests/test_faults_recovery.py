@@ -1,0 +1,202 @@
+"""Tests for protocol recovery: custody re-anycast and ticket reclamation."""
+
+import pytest
+
+from repro.adversary.dropping import DroppingRelays
+from repro.core.multi_copy import MultiCopySession
+from repro.core.route import OnionRoute
+from repro.core.single_copy import SingleCopySession
+from repro.faults.failstop import FailStopSchedule
+from repro.faults.recovery import FaultPlan, RecoveryPolicy
+from repro.sim.message import Message
+
+from tests.helpers import feed
+
+ROUTE = OnionRoute(
+    source=0,
+    destination=19,
+    group_ids=(1, 2),
+    groups=((5, 6), (10, 11)),
+)
+
+
+def _message(deadline=1000.0):
+    return Message(source=0, destination=19, created_at=0.0, deadline=deadline)
+
+
+def _policy(timeout=10.0, retries=3):
+    return RecoveryPolicy(custody_timeout=timeout, max_retries=retries)
+
+
+class TestRecoveryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryPolicy(custody_timeout=0.0)
+        with pytest.raises(ValueError):
+            RecoveryPolicy(custody_timeout=10.0, max_retries=0)
+
+    def test_fault_plan_empty(self):
+        assert FaultPlan().empty
+        assert not FaultPlan(failstop=FailStopSchedule(4, deaths={})).empty
+        assert not FaultPlan(relays=DroppingRelays({1}, 0.5, rng=0)).empty
+
+
+class TestSingleCopyGreyhole:
+    def test_blackhole_without_recovery_drops(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5, 6}))
+        session = SingleCopySession(_message(), ROUTE, faults=plan)
+        feed(session, [(1.0, 0, 5)])
+        outcome = session.outcome()
+        assert session.done
+        assert outcome.status == "dropped"
+        assert outcome.lost_copies == 1
+        assert outcome.transmissions == 1  # the doomed transfer still cost
+        assert not outcome.delivered
+
+    def test_custody_retry_reaches_other_member(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5}))
+        session = SingleCopySession(
+            _message(), ROUTE, faults=plan, recovery=_policy(timeout=10.0)
+        )
+        # 5 eats the copy; before the custody timeout nothing happens
+        feed(session, [(1.0, 0, 5), (5.0, 0, 6)])
+        assert not session.outcome().delivered
+        # after the timeout the source re-anycasts to the untried member 6
+        feed(session, [(12.0, 0, 6), (13.0, 6, 10), (14.0, 10, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.status == "delivered"
+        assert outcome.lost_copies == 1
+        assert outcome.delivered_path == [0, 6, 10]
+
+    def test_retry_skips_already_tried_members(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5, 6}))
+        session = SingleCopySession(
+            _message(), ROUTE, faults=plan, recovery=_policy(timeout=5.0)
+        )
+        feed(session, [(1.0, 0, 5)])   # eaten by 5
+        feed(session, [(10.0, 0, 6)])  # retry: 6 also eats it
+        feed(session, [(20.0, 0, 5), (21.0, 0, 6)])
+        # both members tried and compromised: nothing left to try
+        assert session.outcome().status == "dropped"
+
+    def test_bounded_retries(self):
+        # one group with three blackhole members, one retry allowed
+        route = OnionRoute(
+            source=0, destination=19, group_ids=(1,), groups=((5, 6, 7),)
+        )
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5, 6, 7}))
+        session = SingleCopySession(
+            _message(), route, faults=plan, recovery=_policy(timeout=2.0, retries=1)
+        )
+        feed(session, [(1.0, 0, 5)])
+        assert session.retries_left == 1
+        feed(session, [(5.0, 0, 6)])  # retry #1, eaten again
+        assert session.retries_left == 0
+        feed(session, [(10.0, 0, 7)])
+        assert session.outcome().status == "dropped"
+
+
+class TestSingleCopyFailStop:
+    def test_carrier_death_without_recovery_drops(self):
+        plan = FaultPlan(failstop=FailStopSchedule(20, deaths={5: 3.0}))
+        session = SingleCopySession(_message(), ROUTE, faults=plan)
+        feed(session, [(1.0, 0, 5)])  # 5 now carries the copy
+        feed(session, [(4.0, 1, 2)])  # any event past the death detects it
+        outcome = session.outcome()
+        assert outcome.status == "dropped"
+        assert outcome.lost_copies == 1
+
+    def test_custodian_recovers_after_relay_death(self):
+        plan = FaultPlan(failstop=FailStopSchedule(20, deaths={5: 3.0}))
+        session = SingleCopySession(
+            _message(), ROUTE, faults=plan, recovery=_policy(timeout=10.0)
+        )
+        feed(session, [(1.0, 0, 5)])  # transfer, custody at 0 until 11.0
+        feed(session, [(4.0, 1, 2)])  # death detected, recovery armed
+        feed(session, [(12.0, 0, 6), (13.0, 6, 10), (14.0, 10, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.delivered_path == [0, 6, 10]
+
+    def test_source_death_is_unrecoverable(self):
+        plan = FaultPlan(failstop=FailStopSchedule(20, deaths={0: 0.5}))
+        session = SingleCopySession(
+            _message(), ROUTE, faults=plan, recovery=_policy()
+        )
+        feed(session, [(1.0, 0, 5)])  # source already dead: no custodian
+        assert session.outcome().status == "dropped"
+
+    def test_expiry_while_lost_reports_expired(self):
+        plan = FaultPlan(failstop=FailStopSchedule(20, deaths={5: 3.0}))
+        session = SingleCopySession(
+            _message(deadline=20.0), ROUTE, faults=plan, recovery=_policy(timeout=50.0)
+        )
+        feed(session, [(1.0, 0, 5), (4.0, 1, 2)])
+        feed(session, [(25.0, 0, 6)])  # deadline passed while waiting
+        outcome = session.outcome()
+        assert outcome.status == "expired"
+        assert outcome.expired_copies == 0  # the copy itself was lost
+
+
+class TestMultiCopyFaults:
+    def test_greyhole_relay_kills_copy_without_recovery(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({10, 11}))
+        session = MultiCopySession(_message(), ROUTE, copies=1, faults=plan)
+        feed(session, [(1.0, 0, 5), (2.0, 5, 10)])
+        outcome = session.outcome()
+        assert session.done
+        assert outcome.status == "dropped"
+        assert outcome.lost_copies == 1
+
+    def test_reclaimed_tickets_respray(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5}))
+        session = MultiCopySession(
+            _message(), ROUTE, copies=2, faults=plan, recovery=_policy()
+        )
+        feed(session, [(1.0, 0, 5)])  # sprayed copy eaten, ticket reclaimed
+        assert session.reclaims_left == 2
+        assert session.live_copies == 1  # the seed again holds 2 tickets
+        feed(session, [(2.0, 0, 6), (3.0, 6, 10), (4.0, 10, 19)])
+        outcome = session.outcome()
+        assert outcome.delivered
+        assert outcome.lost_copies == 1
+
+    def test_carrier_death_loses_held_copy(self):
+        plan = FaultPlan(failstop=FailStopSchedule(20, deaths={5: 5.0}))
+        session = MultiCopySession(_message(), ROUTE, copies=2, faults=plan)
+        feed(session, [(1.0, 0, 5)])  # copy sprayed to 5
+        feed(session, [(6.0, 1, 2)])  # 5 is dead now, copy lost
+        assert session.outcome().lost_copies == 1
+        # the seed still holds the remaining ticket and can deliver
+        feed(session, [(7.0, 0, 6), (8.0, 6, 10), (9.0, 10, 19)])
+        assert session.outcome().delivered
+
+    def test_seed_revival_after_exhaustion(self):
+        plan = FaultPlan(relays=DroppingRelays.blackholes({5, 6}))
+        session = MultiCopySession(
+            _message(), ROUTE, copies=1, faults=plan, recovery=_policy(retries=2)
+        )
+        feed(session, [(1.0, 0, 5)])  # single-ticket relay eaten: seed revived
+        assert not session.done
+        assert session.outcome().status == "pending"
+        feed(session, [(2.0, 0, 6)])  # eaten again (retry #2)
+        assert not session.done
+        feed(session, [(3.0, 0, 5)])  # reclaims exhausted
+        assert session.outcome().status == "dropped"
+
+    def test_dead_seed_cannot_reclaim(self):
+        plan = FaultPlan(
+            failstop=FailStopSchedule(20, deaths={0: 1.5}),
+            relays=DroppingRelays.blackholes({10, 11}),
+        )
+        session = MultiCopySession(
+            _message(), ROUTE, copies=2, faults=plan, recovery=_policy()
+        )
+        feed(session, [(1.0, 0, 5)])  # one copy sprayed before the source dies
+        # The dead source takes the seed (and its remaining ticket) down;
+        # then relay 10 eats the surviving copy — nobody left to reclaim.
+        feed(session, [(2.0, 5, 10)])
+        outcome = session.outcome()
+        assert outcome.status == "dropped"
+        assert outcome.lost_copies == 2

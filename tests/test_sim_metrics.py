@@ -7,6 +7,7 @@ import pytest
 from repro.sim.metrics import (
     DeliveryOutcome,
     delivery_rate_curve,
+    status_counts,
     summarize,
 )
 
@@ -81,3 +82,34 @@ class TestDeliveryRateCurve:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             delivery_rate_curve([], [10.0])
+
+
+class TestStatusCounts:
+    def test_explicit_statuses_tallied(self):
+        outcomes = [
+            DeliveryOutcome(status="delivered", delivered=True, delivery_time=5.0),
+            DeliveryOutcome(status="dropped", lost_copies=1),
+            DeliveryOutcome(status="dropped", lost_copies=2),
+            DeliveryOutcome(status="failed"),
+        ]
+        assert status_counts(outcomes) == {
+            "delivered": 1,
+            "dropped": 2,
+            "failed": 1,
+        }
+
+    def test_legacy_delivered_normalised(self):
+        # Pre-fault sessions set only the flags, never status.
+        legacy = DeliveryOutcome(delivered=True, delivery_time=3.0)
+        assert legacy.status == "pending"
+        assert status_counts([legacy]) == {"delivered": 1}
+
+    def test_legacy_expired_normalised(self):
+        legacy = DeliveryOutcome(expired_copies=2)
+        assert status_counts([legacy]) == {"expired": 1}
+
+    def test_pending_stays_pending(self):
+        assert status_counts([DeliveryOutcome()]) == {"pending": 1}
+
+    def test_empty_batch(self):
+        assert status_counts([]) == {}
