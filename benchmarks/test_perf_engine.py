@@ -1,0 +1,90 @@
+"""Perf bench: engine dispatch strategies on a fixed seeded workload.
+
+Times the same seeded session batch under broadcast and indexed dispatch
+and under the parallel batch layer, records events/sec in the benchmark
+extra-info, and asserts the two dispatch modes agree outcome-for-outcome.
+Wall-time is archived, not gated — machine speed varies; the invariants
+(identical outcomes, indexed not slower than broadcast) do not.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.contacts.random_graph import random_contact_graph
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.parallel import run_parallel_batch
+from repro.experiments.runners import run_random_graph_batch
+from scripts.bench_engine import count_events, outcome_signature
+
+SESSIONS = 200
+HORIZON = 360.0
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def workload_graph():
+    return random_contact_graph(
+        100, DEFAULT_CONFIG.mean_intercontact_range, rng=np.random.default_rng(SEED)
+    )
+
+
+def _run(graph, dispatch):
+    return run_random_graph_batch(
+        graph,
+        5,
+        3,
+        copies=1,
+        horizon=HORIZON,
+        sessions=SESSIONS,
+        rng=np.random.default_rng(SEED),
+        dispatch=dispatch,
+    )
+
+
+def test_perf_indexed_vs_broadcast(benchmark, workload_graph):
+    events = count_events(workload_graph, 5, 3, SESSIONS, HORIZON, SEED)
+
+    start = time.perf_counter()
+    broadcast = _run(workload_graph, "broadcast")
+    broadcast_wall = time.perf_counter() - start
+
+    indexed = benchmark.pedantic(
+        lambda: _run(workload_graph, "indexed"), rounds=3, iterations=1
+    )
+    indexed_wall = benchmark.stats["mean"]
+
+    assert outcome_signature(broadcast) == outcome_signature(indexed)
+    assert indexed_wall < broadcast_wall
+
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_second_indexed"] = round(
+        events / indexed_wall, 1
+    )
+    benchmark.extra_info["events_per_second_broadcast"] = round(
+        events / broadcast_wall, 1
+    )
+    benchmark.extra_info["speedup"] = round(broadcast_wall / indexed_wall, 2)
+
+
+def test_perf_parallel_batch(benchmark, workload_graph):
+    pairs = benchmark.pedantic(
+        lambda: run_parallel_batch(
+            run_random_graph_batch,
+            sessions=SESSIONS,
+            workers=2,
+            rng=np.random.default_rng(SEED),
+            graph=workload_graph,
+            group_size=5,
+            onion_routers=3,
+            copies=1,
+            horizon=HORIZON,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(pairs) == SESSIONS
+    benchmark.extra_info["workers"] = 2

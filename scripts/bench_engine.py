@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Engine dispatch benchmark: broadcast vs indexed vs parallel batches.
+
+Reference workload (paper-scale defaults): 1000 single-copy onion sessions
+over one n=100 random contact graph (g=5, K=3, L=1) with a 720-minute
+horizon. The script times the same batch under
+
+* ``broadcast`` — the legacy O(events x sessions) dispatch loop,
+* ``indexed``   — the interest-indexed dispatch (watched-nodes contract),
+* ``parallel``  — the indexed engine under ``run_parallel_batch``,
+
+verifies broadcast and indexed produce identical outcomes, and writes the
+measurements to ``BENCH_engine.json`` at the repo root::
+
+    python scripts/bench_engine.py            # full reference workload
+    python scripts/bench_engine.py --quick    # CI smoke (seconds, not minutes)
+
+The JSON records wall-time, dispatched events/second, and the
+indexed-vs-broadcast speedup; CI archives it as a build artifact so the
+numbers are tracked over time without gating merges on machine speed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+import numpy as np
+
+from repro.contacts.events import ExponentialContactProcess
+from repro.contacts.random_graph import random_contact_graph
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.experiments.config import DEFAULT_CONFIG
+from repro.experiments.parallel import run_parallel_batch
+from repro.experiments.runners import run_random_graph_batch, sample_endpoints
+
+
+def count_events(graph, group_size, onion_routers, sessions, horizon, seed):
+    """Events the engine dispatches for the batch's seeded stream.
+
+    Replays the exact RNG consumption order of ``run_random_graph_batch``
+    (directory, process block pre-draws, per-session endpoint/route draws)
+    so the counted stream is the one the timed runs actually see.
+    """
+    generator = np.random.default_rng(seed)
+    directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+    process = ExponentialContactProcess(graph, rng=generator)
+    for _ in range(sessions):
+        source, destination = sample_endpoints(graph.n, generator)
+        directory.select_route(source, destination, onion_routers, rng=generator)
+    return sum(1 for _ in process.events_until(horizon))
+
+
+def outcome_signature(pairs):
+    """Hashable per-session outcome fields for cross-mode comparison."""
+    return [
+        (
+            outcome.delivered,
+            outcome.delivery_time,
+            outcome.transmissions,
+            outcome.status,
+            tuple(tuple(path) for path in outcome.paths),
+        )
+        for _, outcome in pairs
+    ]
+
+
+def run_benchmark(
+    sessions: int,
+    n: int,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    horizon: float,
+    workers: int,
+    seed: int,
+) -> dict:
+    graph_rng = np.random.default_rng(seed)
+    graph = random_contact_graph(
+        n, DEFAULT_CONFIG.mean_intercontact_range, rng=graph_rng
+    )
+    events = count_events(
+        graph, group_size, onion_routers, sessions, horizon, seed
+    )
+
+    results = {}
+    signatures = {}
+    for mode in ("broadcast", "indexed"):
+        start = time.perf_counter()
+        pairs = run_random_graph_batch(
+            graph,
+            group_size,
+            onion_routers,
+            copies=copies,
+            horizon=horizon,
+            sessions=sessions,
+            rng=np.random.default_rng(seed),
+            dispatch=mode,
+        )
+        wall = time.perf_counter() - start
+        signatures[mode] = outcome_signature(pairs)
+        results[mode] = {
+            "wall_seconds": round(wall, 4),
+            "events": events,
+            "events_per_second": round(events / wall, 1),
+            "delivered": sum(1 for _, o in pairs if o.delivered),
+        }
+
+    start = time.perf_counter()
+    parallel_pairs = run_parallel_batch(
+        run_random_graph_batch,
+        sessions=sessions,
+        workers=workers,
+        rng=np.random.default_rng(seed),
+        graph=graph,
+        group_size=group_size,
+        onion_routers=onion_routers,
+        copies=copies,
+        horizon=horizon,
+        dispatch="indexed",
+    )
+    wall = time.perf_counter() - start
+    results["parallel"] = {
+        "wall_seconds": round(wall, 4),
+        "workers": workers,
+        "delivered": sum(1 for _, o in parallel_pairs if o.delivered),
+        "speedup_vs_indexed": round(
+            results["indexed"]["wall_seconds"] / wall, 2
+        ),
+    }
+
+    return {
+        "workload": {
+            "sessions": sessions,
+            "n": n,
+            "group_size": group_size,
+            "onion_routers": onion_routers,
+            "copies": copies,
+            "horizon": horizon,
+            "seed": seed,
+        },
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "results": results,
+        "identical_outcomes": signatures["broadcast"] == signatures["indexed"],
+        "speedup_indexed_vs_broadcast": round(
+            results["broadcast"]["wall_seconds"]
+            / results["indexed"]["wall_seconds"],
+            2,
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small CI-smoke workload instead of the 1000-session reference",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--output", type=Path, default=ROOT / "BENCH_engine.json",
+        help="where to write the JSON report (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    sessions = args.sessions
+    if sessions is None:
+        sessions = 100 if args.quick else 1000
+    horizon = 240.0 if args.quick else 720.0
+
+    report = run_benchmark(
+        sessions=sessions,
+        n=100,
+        group_size=5,
+        onion_routers=3,
+        copies=1,
+        horizon=horizon,
+        workers=args.workers,
+        seed=args.seed,
+    )
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    broadcast = report["results"]["broadcast"]
+    indexed = report["results"]["indexed"]
+    parallel = report["results"]["parallel"]
+    print(f"workload: {sessions} sessions, n=100, horizon={horizon:g}")
+    print(
+        f"broadcast: {broadcast['wall_seconds']:8.3f}s "
+        f"({broadcast['events_per_second']:>10.1f} events/s)"
+    )
+    print(
+        f"indexed:   {indexed['wall_seconds']:8.3f}s "
+        f"({indexed['events_per_second']:>10.1f} events/s)  "
+        f"speedup {report['speedup_indexed_vs_broadcast']:.2f}x"
+    )
+    print(
+        f"parallel:  {parallel['wall_seconds']:8.3f}s "
+        f"({parallel['workers']} workers)  "
+        f"speedup vs indexed {parallel['speedup_vs_indexed']:.2f}x"
+    )
+    print(f"identical outcomes: {report['identical_outcomes']}")
+    print(f"report: {args.output}")
+    if not report["identical_outcomes"]:
+        print("ERROR: broadcast and indexed outcomes diverged", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -62,6 +62,12 @@ class Hypoexponential:
         if method not in ("auto", "closed-form", "matrix"):
             raise ValueError(f"unknown method {method!r}")
         self._method = method
+        # The instance is immutable, so derived quantities are computed at
+        # most once: Eq. 5 coefficients, the uniformized DTMC, and the
+        # rate-separation predicate are all hot in cdf/pdf sweeps.
+        self._coefficients_cache: Union[np.ndarray, None] = None
+        self._transition_cache: Union[tuple[np.ndarray, float], None] = None
+        self._distinct_cache: Union[bool, None] = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -91,11 +97,14 @@ class Hypoexponential:
 
     def has_distinct_rates(self) -> bool:
         """Whether all stage rates are pairwise well separated."""
-        ordered = sorted(self._rates)
-        for lo, hi in zip(ordered, ordered[1:]):
-            if (hi - lo) <= _RELATIVE_GAP_TOLERANCE * hi:
-                return False
-        return True
+        if self._distinct_cache is None:
+            self._distinct_cache = True
+            ordered = sorted(self._rates)
+            for lo, hi in zip(ordered, ordered[1:]):
+                if (hi - lo) <= _RELATIVE_GAP_TOLERANCE * hi:
+                    self._distinct_cache = False
+                    break
+        return self._distinct_cache
 
     def coefficients(self) -> np.ndarray:
         """The ``A_k^{(η)}`` coefficients of the paper's Eq. 5.
@@ -109,12 +118,14 @@ class Hypoexponential:
                 "closed-form coefficients require pairwise distinct rates; "
                 "use method='matrix'"
             )
-        rates = np.asarray(self._rates)
-        coeffs = np.empty_like(rates)
-        for k in range(len(rates)):
-            others = np.delete(rates, k)
-            coeffs[k] = np.prod(others / (others - rates[k]))
-        return coeffs
+        if self._coefficients_cache is None:
+            rates = np.asarray(self._rates)
+            coeffs = np.empty_like(rates)
+            for k in range(len(rates)):
+                others = np.delete(rates, k)
+                coeffs[k] = np.prod(others / (others - rates[k]))
+            self._coefficients_cache = coeffs
+        return self._coefficients_cache
 
     def _cdf_closed_form(self, t: np.ndarray) -> np.ndarray:
         coeffs = self.coefficients()
@@ -129,14 +140,16 @@ class Hypoexponential:
 
     def _uniformized_transition(self) -> tuple[np.ndarray, float]:
         """Sub-stochastic DTMC ``P = I + Q/Λ`` and the uniformization rate Λ."""
-        eta = self.stages
-        biggest = max(self._rates)
-        transition = np.zeros((eta, eta))
-        for k, rate in enumerate(self._rates):
-            transition[k, k] = 1.0 - rate / biggest
-            if k + 1 < eta:
-                transition[k, k + 1] = rate / biggest
-        return transition, biggest
+        if self._transition_cache is None:
+            eta = self.stages
+            biggest = max(self._rates)
+            transition = np.zeros((eta, eta))
+            for k, rate in enumerate(self._rates):
+                transition[k, k] = 1.0 - rate / biggest
+                if k + 1 < eta:
+                    transition[k, k + 1] = rate / biggest
+            self._transition_cache = (transition, biggest)
+        return self._transition_cache
 
     def _propagate(self, state: np.ndarray, duration: float) -> np.ndarray:
         """``state · e^{Q·duration}`` by Jensen's uniformization.

@@ -69,6 +69,9 @@ _FIGURES: Dict[FigureKey, Callable[..., FigureResult]] = {
 
 _SIM_FIGS = {4, 5, 10, 11, 14, 17, "e1", "e2", "r1", "r2"}
 _MC_FIGS = {6, 7, 8, 9, 12, 13, 15, 16, 18, 19}
+# Figures whose batches run through the parallel layer; e1/e2 drive one
+# shared engine inline and stay serial.
+_PARALLEL_FIGS = (_SIM_FIGS | _MC_FIGS) - {"e1", "e2"}
 
 
 def _figure_key(value: str) -> FigureKey:
@@ -86,6 +89,19 @@ def _figure_key(value: str) -> FigureKey:
             f"unknown figure {value!r} (choose from {known})"
         )
     return key
+
+
+def _positive_int(value: str) -> int:
+    """Argparse type for strictly positive integers (e.g. ``--workers``)."""
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {value!r}")
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer, got {parsed}"
+        )
+    return parsed
 
 
 def _sorted_figure_keys() -> list:
@@ -121,6 +137,11 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "--sessions", type=int, default=None,
         help="simulated sessions (delivery/cost figures)",
+    )
+    figure.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for the simulation/Monte Carlo batches "
+        "(default 1: serial, seed-exact with historical runs)",
     )
     figure.add_argument("--markdown", action="store_true")
     figure.add_argument(
@@ -227,6 +248,8 @@ def _run_figure(args: argparse.Namespace) -> int:
             kwargs["sessions_per_graph"] = args.sessions
         else:
             kwargs["sessions"] = args.sessions
+    if args.workers != 1 and args.number in _PARALLEL_FIGS:
+        kwargs["workers"] = args.workers
     result = func(**kwargs)
     print(result.to_markdown() if args.markdown else result.to_table())
     if args.chart:

@@ -56,16 +56,34 @@ class ExponentialContactProcess:
     merged stream is produced with a heap of per-pair next-contact times.
     The process is a single-use iterator factory: each call to
     :meth:`events_until` continues from where the previous call stopped.
+
+    Inter-contact gaps are pre-drawn in blocks per pair (one vectorised
+    ``rng.exponential`` call fills ``block`` gaps) instead of one scalar
+    draw per popped event, amortising the generator-call overhead over the
+    whole block. Each pair consumes its gaps strictly in draw order and
+    refills deterministically at exhaustion, so a fixed seed still yields
+    one reproducible event stream.
     """
 
-    def __init__(self, graph: ContactGraph, rng: RandomSource = None):
+    def __init__(self, graph: ContactGraph, rng: RandomSource = None, block: int = 32):
+        if block < 1:
+            raise ValueError(f"block must be a positive int, got {block}")
         self._graph = graph
         self._rng = ensure_rng(rng)
+        self._block = int(block)
         self._heap: list[tuple[float, int, int]] = []
         self._now = 0.0
+        # Per-pair gap buffers: scale, pre-drawn gaps, and read cursor.
+        self._scales: dict[tuple[int, int], float] = {}
+        self._gaps: dict[tuple[int, int], np.ndarray] = {}
+        self._cursors: dict[tuple[int, int], int] = {}
         for i, j in graph.pairs():
-            first = self._rng.exponential(1.0 / graph.rate(i, j))
-            self._heap.append((first, i, j))
+            scale = 1.0 / graph.rate(i, j)
+            gaps = self._rng.exponential(scale, size=self._block)
+            self._scales[(i, j)] = scale
+            self._gaps[(i, j)] = gaps
+            self._cursors[(i, j)] = 1
+            self._heap.append((float(gaps[0]), i, j))
         heapq.heapify(self._heap)
 
     @property
@@ -78,14 +96,26 @@ class ExponentialContactProcess:
         """Time of the most recently emitted event (0 before any)."""
         return self._now
 
+    def _next_gap(self, i: int, j: int) -> float:
+        """The pair's next pre-drawn gap, refilling its block if exhausted."""
+        key = (i, j)
+        cursor = self._cursors[key]
+        gaps = self._gaps[key]
+        if cursor >= len(gaps):
+            gaps = self._rng.exponential(self._scales[key], size=self._block)
+            self._gaps[key] = gaps
+            cursor = 0
+        self._cursors[key] = cursor + 1
+        return float(gaps[cursor])
+
     def events_until(self, horizon: float) -> Iterator[ContactEvent]:
         """Yield events with ``time <= horizon`` in chronological order."""
         check_non_negative(horizon, "horizon")
-        while self._heap and self._heap[0][0] <= horizon:
-            time, i, j = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][0] <= horizon:
+            time, i, j = heap[0]
             self._now = time
-            gap = self._rng.exponential(1.0 / self._graph.rate(i, j))
-            heapq.heappush(self._heap, (time + gap, i, j))
+            heapq.heapreplace(heap, (time + self._next_gap(i, j), i, j))
             yield ContactEvent(time=time, a=i, b=j)
 
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import enum
 import itertools
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import FrozenSet, List, Optional, Set
 
 from repro.contacts.events import ContactEvent
 from repro.core.route import OnionRoute
@@ -96,6 +97,10 @@ class MultiCopySession(ProtocolSession):
             paths=[seed.senders], created_at=message.created_at
         )
         self._expired = False
+        # Watched-nodes contract: rebuilt lazily after sprays/relays so the
+        # engine's interest index follows every live copy.
+        self._watched: FrozenSet[int] = frozenset()
+        self._watched_dirty = True
 
     # ------------------------------------------------------------------
     # session interface
@@ -124,6 +129,29 @@ class MultiCopySession(ProtocolSession):
     def reclaims_left(self) -> int:
         """Remaining ticket reclamations (0 without a recovery policy)."""
         return self._reclaims_left
+
+    def watched_nodes(self) -> Optional[FrozenSet[int]]:
+        """Copy holders ∪ their next-group members ∪ destination.
+
+        Under fail-stop faults dead carriers are collected on every event,
+        so the session opts back into broadcast dispatch; message expiry is
+        covered by :meth:`next_poll_time`.
+        """
+        if self._faults is not None and self._faults.failstop is not None:
+            return None  # dead-carrier collection needs every event
+        if self._watched_dirty:
+            watched = {self._message.destination}
+            for copy in self._copies:
+                if copy.terminated:
+                    continue
+                watched.add(copy.holder)
+                watched.update(self._route.next_group_members(copy.next_hop))
+            self._watched = frozenset(watched)
+            self._watched_dirty = False
+        return self._watched
+
+    def next_poll_time(self) -> float:
+        return math.inf if self.done else self._message.expires_at
 
     def on_contact(self, event: ContactEvent) -> None:
         if self.done:
@@ -196,6 +224,7 @@ class MultiCopySession(ProtocolSession):
 
     def _spray(self, copy: _Copy, peer: int, time: float) -> None:
         """Hand some tickets to ``peer`` as a new replica."""
+        self._watched_dirty = True
         if self._policy is SprayPolicy.SOURCE:
             handed = 1
         else:  # BINARY: peer takes half, rounded down, at least one
@@ -224,6 +253,7 @@ class MultiCopySession(ProtocolSession):
 
     def _relay(self, copy: _Copy, peer: int, time: float) -> None:
         """Single-ticket forwarding: the copy moves, the old holder deletes."""
+        self._watched_dirty = True
         self._outcome.record_transfer(time, copy.holder, peer)
         self._holding.discard(copy.holder)
         if self._faults is not None and self._faults.drops_on_receive(peer):
@@ -269,6 +299,7 @@ class MultiCopySession(ProtocolSession):
         seed.tickets += tickets
         if seed.terminated:
             # Revive an exhausted source copy so it can re-spray.
+            self._watched_dirty = True
             seed.terminated = False
             self._holding.add(seed.holder)
         if self._outcome.status == "dropped":
@@ -277,6 +308,7 @@ class MultiCopySession(ProtocolSession):
             self._outcome.status = "pending"
 
     def _terminate(self, copy: _Copy) -> None:
+        self._watched_dirty = True
         copy.terminated = True
         self._holding.discard(copy.holder)
         self._mark_dropped_if_dead()

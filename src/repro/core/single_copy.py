@@ -19,7 +19,7 @@ hang on a faulted message.
 from __future__ import annotations
 
 import math
-from typing import Optional, Set
+from typing import FrozenSet, Optional, Set
 
 from repro.contacts.events import ContactEvent
 from repro.core.route import OnionRoute
@@ -90,6 +90,11 @@ class SingleCopySession(ProtocolSession):
         self._survivor: Optional[int] = None
         self._recover_at = math.inf
 
+        # Watched-nodes contract: rebuilt lazily whenever custody state
+        # changes so the engine's interest index stays current.
+        self._watched: FrozenSet[int] = frozenset()
+        self._watched_dirty = True
+
         self._onion: Optional[Onion] = None
         if keyring is not None:
             self._onion = build_onion(
@@ -129,6 +134,34 @@ class SingleCopySession(ProtocolSession):
     def retries_left(self) -> int:
         """Remaining custody-recovery retries (0 without a policy)."""
         return self._retries_left
+
+    def watched_nodes(self) -> Optional[FrozenSet[int]]:
+        """Current custodians ∪ next-group members ∪ destination.
+
+        Under fail-stop faults the carrier can die at any instant and the
+        session polls every event for the loss, so it opts back into
+        broadcast dispatch; time-armed transitions (expiry, custody-timeout
+        re-anycast) are covered by :meth:`next_poll_time` instead.
+        """
+        if self._faults is not None and self._faults.failstop is not None:
+            return None  # death detection needs every event
+        if self._watched_dirty:
+            watched = {self._holder, self._message.destination}
+            watched.update(self._targets)
+            if self._custodian is not None:
+                watched.add(self._custodian)
+            if self._survivor is not None:
+                watched.add(self._survivor)
+            self._watched = frozenset(watched)
+            self._watched_dirty = False
+        return self._watched
+
+    def next_poll_time(self) -> float:
+        if self.done:
+            return math.inf
+        if self._lost:
+            return min(self._message.expires_at, self._recover_at)
+        return self._message.expires_at
 
     def on_contact(self, event: ContactEvent) -> None:
         if self.done:
@@ -172,6 +205,7 @@ class SingleCopySession(ProtocolSession):
     # ------------------------------------------------------------------
 
     def _forward_to(self, peer: int, time: float) -> None:
+        self._watched_dirty = True
         self._outcome.record_transfer(time, self._holder, peer)
         if self._next_hop == self._route.eta:
             # Final hop: the carrier met the destination (end hosts never
@@ -208,6 +242,7 @@ class SingleCopySession(ProtocolSession):
         ):
             self._drop()
             return
+        self._watched_dirty = True
         self._lost = True
         self._survivor = survivor
         self._recover_at = max(time, self._custody_deadline)
@@ -227,6 +262,7 @@ class SingleCopySession(ProtocolSession):
         if not remaining:
             self._drop()
             return
+        self._watched_dirty = True
         self._retries_left -= 1
         self._lost = False
         self._holder = self._survivor

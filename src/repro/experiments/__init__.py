@@ -21,6 +21,13 @@ from repro.experiments.sensitivity import (
     network_size_sensitivity,
 )
 from repro.experiments.delivery_figs import figure_04, figure_05, figure_10
+from repro.experiments.parallel import (
+    chunk_sizes,
+    parallel_map,
+    run_parallel_batch,
+    run_parallel_montecarlo,
+    spawn_chunk_seeds,
+)
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.robustness_figs import figure_r1, figure_r2
 from repro.experiments.security_figs import (
@@ -67,6 +74,11 @@ __all__ = [
     "figure_r2",
     "network_size_sensitivity",
     "density_sensitivity",
+    "chunk_sizes",
+    "parallel_map",
+    "run_parallel_batch",
+    "run_parallel_montecarlo",
+    "spawn_chunk_seeds",
     "render_chart",
     "save_figure",
     "load_figure",

@@ -10,6 +10,7 @@ from repro.analysis.cost import multi_copy_cost_bound, non_anonymous_cost
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.parallel import run_parallel_batch
 from repro.experiments.runners import run_random_graph_batch
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
 
@@ -21,6 +22,7 @@ def measured_transmissions(
     graphs: int,
     sessions_per_graph: int,
     rng: RandomSource,
+    workers: int = 1,
 ) -> float:
     """Mean transmissions per message for a (K, L) variant.
 
@@ -33,14 +35,16 @@ def measured_transmissions(
         graph = random_contact_graph(
             config.n, config.mean_intercontact_range, rng=graph_rng
         )
-        batch = run_random_graph_batch(
-            graph,
+        batch = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=sessions_per_graph,
+            workers=workers,
+            rng=graph_rng,
+            graph=graph,
             group_size=config.group_size,
             onion_routers=onion_routers,
             copies=copies,
             horizon=config.max_deadline,
-            sessions=sessions_per_graph,
-            rng=graph_rng,
         )
         counts.extend(outcome.transmissions for _, outcome in batch)
     return float(np.mean(counts))
@@ -53,6 +57,7 @@ def figure_11(
     graphs: int = 3,
     sessions_per_graph: int = 30,
     seed: RandomSource = 11,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 11 — number of transmissions vs number of copies L.
 
@@ -88,6 +93,7 @@ def figure_11(
                 graphs=graphs,
                 sessions_per_graph=sessions_per_graph,
                 rng=generator,
+                workers=workers,
             )
             points.append((float(copies), mean_cost))
         series.append(Series(label=f"Simulation: K={onion_routers}", points=tuple(points)))

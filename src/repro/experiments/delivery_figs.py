@@ -9,6 +9,7 @@ import numpy as np
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.parallel import run_parallel_batch
 from repro.experiments.runners import (
     analysis_delivery_curve,
     run_random_graph_batch,
@@ -26,8 +27,14 @@ def delivery_variant_series(
     sessions_per_graph: int,
     rng: RandomSource,
     label: str,
+    workers: int = 1,
 ) -> Tuple[Series, Series]:
-    """One (Analysis, Simulation) series pair for a parameter variant."""
+    """One (Analysis, Simulation) series pair for a parameter variant.
+
+    ``workers > 1`` splits each graph's session batch across a process pool
+    (deterministic for a fixed seed); ``workers=1`` keeps the historical
+    seed-exact serial behaviour.
+    """
     generator = ensure_rng(rng)
     deadlines = config.deadlines
     analysis_total = np.zeros(len(deadlines))
@@ -36,14 +43,16 @@ def delivery_variant_series(
         graph = random_contact_graph(
             config.n, config.mean_intercontact_range, rng=graph_rng
         )
-        batch = run_random_graph_batch(
-            graph,
+        batch = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=sessions_per_graph,
+            workers=workers,
+            rng=graph_rng,
+            graph=graph,
             group_size=group_size,
             onion_routers=onion_routers,
             copies=copies,
             horizon=config.max_deadline,
-            sessions=sessions_per_graph,
-            rng=graph_rng,
         )
         routes = [route for route, _ in batch]
         outcomes.extend(outcome for _, outcome in batch)
@@ -63,6 +72,7 @@ def figure_04(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 4,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -78,6 +88,7 @@ def figure_04(
             sessions_per_graph=sessions_per_graph,
             rng=generator,
             label=f"g={group_size}",
+            workers=workers,
         )
         analysis.append(a)
         simulation.append(s)
@@ -97,6 +108,7 @@ def figure_05(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 5,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers."""
     generator = ensure_rng(seed)
@@ -111,6 +123,7 @@ def figure_05(
             sessions_per_graph=sessions_per_graph,
             rng=generator,
             label=f"{onion_routers} onions",
+            workers=workers,
         )
         analysis.append(a)
         simulation.append(s)
@@ -129,6 +142,7 @@ def figure_10(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 10,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
 
@@ -147,6 +161,7 @@ def figure_10(
             sessions_per_graph=sessions_per_graph,
             rng=generator,
             label=f"L={copies}",
+            workers=workers,
         )
         analysis.append(a)
         simulation.append(s)

@@ -1,0 +1,168 @@
+"""Parallel Monte Carlo batch execution.
+
+The figure batches (`run_random_graph_batch`, `run_faulty_graph_batch`,
+`run_trace_batch`, `security_montecarlo`) are embarrassingly parallel across
+sessions/trials, and the paper's methodology runs thousands of them per data
+point. This module splits one logical batch into chunks, runs the chunks on
+a ``concurrent.futures`` worker pool, and merges the results in submission
+order so the outcome is deterministic for a fixed master seed.
+
+Seeding: each chunk receives an independent child of the master
+:class:`numpy.random.SeedSequence` via ``SeedSequence.spawn()``, so chunk
+streams never collide and re-running with the same master seed and worker
+count reproduces the batch exactly. ``workers=1`` bypasses the pool and the
+spawning entirely — it calls the serial runner with the caller's generator,
+keeping historical seed-exact behaviour.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Any, Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+
+
+def chunk_sizes(total: int, chunks: int) -> List[int]:
+    """Split ``total`` work items into at most ``chunks`` non-empty parts.
+
+    Sizes differ by at most one and are deterministic (larger parts first),
+    so the chunk layout — and therefore the per-chunk seed assignment — is a
+    pure function of ``(total, chunks)``.
+    """
+    check_positive_int(total, "total")
+    check_positive_int(chunks, "chunks")
+    chunks = min(chunks, total)
+    base, extra = divmod(total, chunks)
+    return [base + (1 if k < extra else 0) for k in range(chunks)]
+
+
+def spawn_chunk_seeds(rng: RandomSource, count: int) -> List[np.random.SeedSequence]:
+    """Independent per-chunk seed sequences from one master source.
+
+    Spawning consumes the master sequence's spawn counter, so two calls with
+    the same *generator instance* give different children — but re-creating
+    the generator from the same int seed reproduces them, which is what the
+    deterministic-parallelism contract needs.
+    """
+    check_positive_int(count, "count")
+    seed_seq = ensure_rng(rng).bit_generator.seed_seq
+    if seed_seq is None:  # pragma: no cover - generators always carry one
+        raise ValueError("generator has no seed sequence to spawn from")
+    return list(seed_seq.spawn(count))
+
+
+def parallel_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    workers: int,
+) -> List[Any]:
+    """Apply ``fn`` to argument tuples on a process pool; ordered results.
+
+    ``workers=1`` runs inline (no pool, no pickling). ``fn`` and every
+    argument must be picklable for ``workers > 1`` — module-level functions
+    and plain data objects qualify.
+    """
+    check_positive_int(workers, "workers")
+    if workers == 1:
+        return [fn(*task) for task in tasks]
+    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(fn, *task) for task in tasks]
+        return [future.result() for future in futures]
+
+
+def _run_batch_chunk(
+    batch_fn: Callable[..., list],
+    sessions: int,
+    seed_seq: np.random.SeedSequence,
+    kwargs: dict,
+) -> list:
+    """One worker's share of a session batch (module-level for pickling)."""
+    return batch_fn(sessions=sessions, rng=np.random.default_rng(seed_seq), **kwargs)
+
+
+def run_parallel_batch(
+    batch_fn: Callable[..., list],
+    sessions: int,
+    workers: int,
+    rng: RandomSource = None,
+    chunks: int | None = None,
+    **kwargs: Any,
+) -> list:
+    """Run a session batch split across ``workers`` processes.
+
+    Parameters
+    ----------
+    batch_fn:
+        A serial batch runner taking ``sessions=`` and ``rng=`` keywords —
+        :func:`~repro.experiments.runners.run_random_graph_batch`,
+        :func:`~repro.experiments.runners.run_faulty_graph_batch`, or
+        :func:`~repro.experiments.runners.run_trace_batch`.
+    sessions:
+        Total sessions across all chunks.
+    workers:
+        Pool size; ``1`` calls ``batch_fn`` directly with ``rng`` (seed-exact
+        with the serial path).
+    rng:
+        Master seed source; chunk streams are spawned from it.
+    chunks:
+        Number of chunks (defaults to ``workers``); more chunks smooth load
+        imbalance at the cost of more per-chunk setup.
+
+    Results are concatenated in chunk order, so the merged list is
+    deterministic for a fixed master seed regardless of completion order.
+    """
+    check_positive_int(workers, "workers")
+    if workers == 1:
+        return batch_fn(sessions=sessions, rng=rng, **kwargs)
+    sizes = chunk_sizes(sessions, chunks if chunks is not None else workers)
+    seeds = spawn_chunk_seeds(rng, len(sizes))
+    tasks = [
+        (batch_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
+    ]
+    merged: list = []
+    for part in parallel_map(_run_batch_chunk, tasks, workers):
+        merged.extend(part)
+    return merged
+
+
+def _run_montecarlo_chunk(
+    mc_fn: Callable[..., Tuple[float, ...]],
+    trials: int,
+    seed_seq: np.random.SeedSequence,
+    kwargs: dict,
+) -> Tuple[float, ...]:
+    """One worker's share of a Monte Carlo estimate (module-level)."""
+    return mc_fn(trials=trials, rng=np.random.default_rng(seed_seq), **kwargs)
+
+
+def run_parallel_montecarlo(
+    mc_fn: Callable[..., Tuple[float, ...]],
+    trials: int,
+    workers: int,
+    rng: RandomSource = None,
+    chunks: int | None = None,
+    **kwargs: Any,
+) -> Tuple[float, ...]:
+    """Parallel trial-mean estimator for Monte Carlo runners.
+
+    ``mc_fn`` (e.g. :func:`~repro.experiments.runners.security_montecarlo`)
+    must take ``trials=`` / ``rng=`` keywords and return a tuple of
+    per-trial means; chunk results are merged as a trial-count-weighted
+    average, so the estimate is unbiased for any chunking.
+    """
+    check_positive_int(workers, "workers")
+    if workers == 1:
+        return mc_fn(trials=trials, rng=rng, **kwargs)
+    sizes = chunk_sizes(trials, chunks if chunks is not None else workers)
+    seeds = spawn_chunk_seeds(rng, len(sizes))
+    tasks = [(mc_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)]
+    results = parallel_map(_run_montecarlo_chunk, tasks, workers)
+    totals = np.zeros(len(results[0]))
+    for size, values in zip(sizes, results):
+        totals += np.asarray(values, dtype=float) * size
+    merged = totals / sum(sizes)
+    return tuple(float(v) for v in merged)

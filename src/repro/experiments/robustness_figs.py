@@ -21,6 +21,7 @@ from repro.adversary.dropping import DroppingRelays
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.parallel import run_parallel_batch
 from repro.experiments.runners import (
     RouteOutcome,
     run_faulty_graph_batch,
@@ -50,6 +51,7 @@ def figure_r1(
     deadline: float = 720.0,
     sessions: int = 150,
     seed: RandomSource = 201,
+    workers: int = 1,
 ) -> FigureResult:
     """Delivery rate vs node availability: churned-graph model vs churn sim.
 
@@ -81,14 +83,16 @@ def figure_r1(
                 config.n, availability, mean_cycle, rng=churn_rng
             )
         )
-        pairs = run_faulty_graph_batch(
-            graph,
-            config.group_size,
-            config.onion_routers,
+        pairs = run_parallel_batch(
+            run_faulty_graph_batch,
+            sessions=sessions,
+            workers=workers,
+            rng=churn_rng,
+            graph=graph,
+            group_size=config.group_size,
+            onion_routers=config.onion_routers,
             copies=config.copies,
             horizon=deadline,
-            sessions=sessions,
-            rng=churn_rng,
             churn=churn,
         )
         churn_points.append((availability, _delivered_fraction(pairs, deadline)))
@@ -106,14 +110,16 @@ def figure_r1(
         ) / len(pairs)
         model_points.append((availability, model))
 
-        scaled = run_random_graph_batch(
-            churned_graph(graph, availability),
-            config.group_size,
-            config.onion_routers,
+        scaled = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=sessions,
+            workers=workers,
+            rng=scaled_rng,
+            graph=churned_graph(graph, availability),
+            group_size=config.group_size,
+            onion_routers=config.onion_routers,
             copies=config.copies,
             horizon=deadline,
-            sessions=sessions,
-            rng=scaled_rng,
         )
         scaled_points.append((availability, _delivered_fraction(scaled, deadline)))
 
@@ -143,6 +149,7 @@ def figure_r2(
     custody_timeout: float = 30.0,
     max_retries: int = 3,
     seed: RandomSource = 202,
+    workers: int = 1,
 ) -> FigureResult:
     """Delivery rate vs greyhole drop probability, with/without recovery.
 
@@ -167,14 +174,16 @@ def figure_r2(
     for index, drop_prob in enumerate(drop_probs):
         plain_rng, recovery_rng = children[2 * index], children[2 * index + 1]
         relays = DroppingRelays(compromised, drop_prob, rng=plain_rng)
-        pairs = run_faulty_graph_batch(
-            graph,
-            config.group_size,
-            config.onion_routers,
+        pairs = run_parallel_batch(
+            run_faulty_graph_batch,
+            sessions=sessions,
+            workers=workers,
+            rng=plain_rng,
+            graph=graph,
+            group_size=config.group_size,
+            onion_routers=config.onion_routers,
             copies=config.copies,
             horizon=deadline,
-            sessions=sessions,
-            rng=plain_rng,
             relays=relays,
         )
         plain_points.append((drop_prob, _delivered_fraction(pairs, deadline)))
@@ -194,14 +203,16 @@ def figure_r2(
         model_points.append((drop_prob, model))
 
         recovery_relays = DroppingRelays(compromised, drop_prob, rng=recovery_rng)
-        recovered = run_faulty_graph_batch(
-            graph,
-            config.group_size,
-            config.onion_routers,
+        recovered = run_parallel_batch(
+            run_faulty_graph_batch,
+            sessions=sessions,
+            workers=workers,
+            rng=recovery_rng,
+            graph=graph,
+            group_size=config.group_size,
+            onion_routers=config.onion_routers,
             copies=config.copies,
             horizon=deadline,
-            sessions=sessions,
-            rng=recovery_rng,
             relays=recovery_relays,
             recovery=recovery,
         )

@@ -10,6 +10,7 @@ keeps the discrete-event cost amortised.
 from __future__ import annotations
 
 import logging
+from functools import lru_cache
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -107,6 +108,7 @@ def run_random_graph_batch(
     sessions: int,
     rng: RandomSource = None,
     spray_policy: SprayPolicy = SprayPolicy.SOURCE,
+    dispatch: str = "indexed",
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -114,11 +116,15 @@ def run_random_graph_batch(
     random-membership group directory; all sessions share the same sampled
     contact process (they are read-only observers of it, so this is
     statistically equivalent to independent runs and much cheaper).
+    ``dispatch`` selects the engine strategy; ``indexed`` and ``broadcast``
+    produce byte-identical outcomes.
     """
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
     engine = SimulationEngine(
-        ExponentialContactProcess(graph, rng=generator), horizon=horizon
+        ExponentialContactProcess(graph, rng=generator),
+        horizon=horizon,
+        dispatch=dispatch,
     )
     pairs: List[RouteOutcome] = []
     live: List[ProtocolSession] = []
@@ -152,6 +158,7 @@ def run_faulty_graph_batch(
     failstop: Optional[FailStopSchedule] = None,
     relays=None,
     recovery: Optional[RecoveryPolicy] = None,
+    dispatch: str = "indexed",
 ) -> List[RouteOutcome]:
     """:func:`run_random_graph_batch` under injected faults.
 
@@ -172,7 +179,7 @@ def run_faulty_graph_batch(
     plan: Optional[FaultPlan] = None
     if failstop is not None or relays is not None:
         plan = FaultPlan(failstop=failstop, relays=relays)
-    engine = SimulationEngine(events, horizon=horizon)
+    engine = SimulationEngine(events, horizon=horizon, dispatch=dispatch)
     pairs: List[RouteOutcome] = []
     for _ in range(sessions):
         source, destination = sample_endpoints(graph.n, generator)
@@ -189,6 +196,17 @@ def run_faulty_graph_batch(
         pairs.append((route, session.outcome()))
     engine.run()
     return pairs
+
+
+@lru_cache(maxsize=4096)
+def _hypoexponential_for(rates: Tuple[float, ...]) -> Hypoexponential:
+    """Memoized Hypoexponential keyed by the (boosted) rate tuple.
+
+    Delivery-curve sweeps evaluate the same route realisation at many
+    deadlines and copy counts; the instance caches its Eq. 5 coefficients
+    and uniformized transition matrix, so reusing it skips both rebuilds.
+    """
+    return Hypoexponential(rates)
 
 
 def analysis_delivery_curve(
@@ -212,8 +230,8 @@ def analysis_delivery_curve(
             )
         except ValueError:
             continue  # unreachable hop: contributes zeros
-        boosted = [rate * copies for rate in rates]
-        total += np.asarray(Hypoexponential(boosted).cdf(deadline_arr))
+        boosted = tuple(rate * copies for rate in rates)
+        total += np.asarray(_hypoexponential_for(boosted).cdf(deadline_arr))
     mean = total / max(len(routes), 1)
     return [(float(t), float(p)) for t, p in zip(deadline_arr, mean)]
 
@@ -310,6 +328,7 @@ def run_trace_batch(
     sessions: int,
     rng: RandomSource = None,
     overlapping: bool = False,
+    dispatch: str = "indexed",
 ) -> List[RouteOutcome]:
     """Simulate onion routing sessions over a replayed trace.
 
@@ -341,7 +360,7 @@ def run_trace_batch(
             contacts_by_node.setdefault(record.b, []).append(record.start)
 
     engine = SimulationEngine(
-        TraceReplayProcess(trace), horizon=trace.end + 1.0
+        TraceReplayProcess(trace), horizon=trace.end + 1.0, dispatch=dispatch
     )
     pairs: List[RouteOutcome] = []
     attempts = 0

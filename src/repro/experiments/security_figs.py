@@ -13,6 +13,7 @@ from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
 from repro.analysis.traceable import traceable_rate_model
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.parallel import run_parallel_montecarlo
 from repro.experiments.runners import security_montecarlo
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -22,6 +23,7 @@ def figure_06(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 6,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 6 — traceable rate vs compromised rate for K ∈ {3, 5, 10}."""
     generator = ensure_rng(seed)
@@ -40,13 +42,15 @@ def figure_06(
     for onion_routers in onion_router_counts:
         points = []
         for rate in rates:
-            traceable, _ = security_montecarlo(
-                config.n,
-                config.group_size,
-                onion_routers,
+            traceable, _ = run_parallel_montecarlo(
+                security_montecarlo,
+                n=config.n,
+                group_size=config.group_size,
+                onion_routers=onion_routers,
                 copies=1,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((rate, traceable))
@@ -68,6 +72,7 @@ def figure_07(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 7,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 7 — traceable rate vs number of onion relays for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -85,13 +90,15 @@ def figure_07(
     for rate in compromise_rates:
         points = []
         for onion_routers in onion_router_counts:
-            traceable, _ = security_montecarlo(
-                config.n,
-                config.group_size,
-                onion_routers,
+            traceable, _ = run_parallel_montecarlo(
+                security_montecarlo,
+                n=config.n,
+                group_size=config.group_size,
+                onion_routers=onion_routers,
                 copies=1,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((float(onion_routers), traceable))
@@ -110,6 +117,7 @@ def figure_08(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 8,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 8 — path anonymity vs compromised rate for g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -129,13 +137,15 @@ def figure_08(
     for group_size in group_sizes:
         points = []
         for rate in rates:
-            _, anonymity = security_montecarlo(
-                config.n,
-                group_size,
-                config.onion_routers,
+            _, anonymity = run_parallel_montecarlo(
+                security_montecarlo,
+                n=config.n,
+                group_size=group_size,
+                onion_routers=config.onion_routers,
                 copies=1,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((rate, anonymity))
@@ -155,6 +165,7 @@ def figure_09(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 9,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 9 — path anonymity vs group size for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -173,13 +184,15 @@ def figure_09(
     for rate in compromise_rates:
         points = []
         for group_size in group_sizes:
-            _, anonymity = security_montecarlo(
-                config.n,
-                group_size,
-                config.onion_routers,
+            _, anonymity = run_parallel_montecarlo(
+                security_montecarlo,
+                n=config.n,
+                group_size=group_size,
+                onion_routers=config.onion_routers,
                 copies=1,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((float(group_size), anonymity))
@@ -198,6 +211,7 @@ def figure_12(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 12,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 12 — path anonymity vs compromised rate for L ∈ {1, 3, 5} (g = 5)."""
     generator = ensure_rng(seed)
@@ -224,13 +238,15 @@ def figure_12(
     for copies in copy_counts:
         points = []
         for rate in rates:
-            _, anonymity = security_montecarlo(
-                multicopy_config.n,
-                g,
-                multicopy_config.onion_routers,
+            _, anonymity = run_parallel_montecarlo(
+                security_montecarlo,
+                n=multicopy_config.n,
+                group_size=g,
+                onion_routers=multicopy_config.onion_routers,
                 copies=copies,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((rate, anonymity))
@@ -251,6 +267,7 @@ def figure_13(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 13,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 13 — path anonymity vs group size for L ∈ {1, 3, 5} (c/n = 10%)."""
     generator = ensure_rng(seed)
@@ -274,13 +291,15 @@ def figure_13(
     for copies in copy_counts:
         points = []
         for group_size in group_sizes:
-            _, anonymity = security_montecarlo(
-                config.n,
-                group_size,
-                config.onion_routers,
+            _, anonymity = run_parallel_montecarlo(
+                security_montecarlo,
+                n=config.n,
+                group_size=group_size,
+                onion_routers=config.onion_routers,
                 copies=copies,
                 compromise_rate=compromise_rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
             )
             points.append((float(group_size), anonymity))

@@ -17,6 +17,10 @@ from repro.contacts.synthetic import cambridge_like_trace, infocom05_like_trace
 from repro.contacts.traces import ContactTrace
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
+from repro.experiments.parallel import (
+    run_parallel_batch,
+    run_parallel_montecarlo,
+)
 from repro.experiments.runners import (
     analysis_delivery_curve,
     estimate_active_span,
@@ -43,18 +47,21 @@ def _trace_delivery_series(
     rng: RandomSource,
     overlapping: bool,
     label: str,
+    workers: int = 1,
 ) -> List[Series]:
     """(Analysis, Simulation) delivery series on one trace for one L."""
     generator = ensure_rng(rng)
     normalized = trace.normalized()
-    batch = run_trace_batch(
-        normalized,
+    batch = run_parallel_batch(
+        run_trace_batch,
+        sessions=sessions,
+        workers=workers,
+        rng=generator,
+        trace=normalized,
         group_size=group_size,
         onion_routers=onion_routers,
         copies=copies,
         deadline=max(deadlines),
-        sessions=sessions,
-        rng=generator,
         overlapping=overlapping,
     )
     routes = [route for route, _ in batch]
@@ -80,6 +87,7 @@ def _trace_security_figure(
     seed: RandomSource,
     metric: str,
     overlapping: bool,
+    workers: int = 1,
 ) -> FigureResult:
     """Shared body of the trace security figures (15, 16, 18, 19)."""
     generator = ensure_rng(seed)
@@ -109,13 +117,15 @@ def _trace_security_figure(
     for copies in copy_counts:
         points = []
         for rate in compromise_rates:
-            traceable, anonymity = security_montecarlo(
-                n,
-                group_size,
-                onion_routers,
+            traceable, anonymity = run_parallel_montecarlo(
+                security_montecarlo,
+                n=n,
+                group_size=group_size,
+                onion_routers=onion_routers,
                 copies=copies,
                 compromise_rate=rate,
                 trials=trials,
+                workers=workers,
                 rng=generator,
                 overlapping=overlapping,
             )
@@ -147,6 +157,7 @@ def figure_14(
     deadlines: Sequence[float] = tuple(float(t) for t in range(120, 1801, 120)),
     sessions: int = 50,
     seed: RandomSource = 14,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 14 — delivery rate vs deadline (s) on the Cambridge-like trace."""
     generator = ensure_rng(seed)
@@ -162,6 +173,7 @@ def figure_14(
         rng=generator,
         overlapping=True,
         label="L=1",
+        workers=workers,
     )
     return FigureResult(
         figure_id="Fig. 14",
@@ -177,6 +189,7 @@ def figure_15(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 15,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 15 — traceable rate vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -189,6 +202,7 @@ def figure_15(
         compromise_rates=compromise_rates,
         trials=trials,
         seed=seed,
+        workers=workers,
         metric="traceable",
         overlapping=True,
     )
@@ -199,6 +213,7 @@ def figure_16(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 16,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 16 — path anonymity vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -211,6 +226,7 @@ def figure_16(
         compromise_rates=compromise_rates,
         trials=trials,
         seed=seed,
+        workers=workers,
         metric="anonymity",
         overlapping=True,
     )
@@ -227,6 +243,7 @@ def figure_17(
     deadlines: Sequence[float] = tuple(float(2**k) for k in range(4, 18)),
     sessions: int = 50,
     seed: RandomSource = 17,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 17 — delivery rate vs deadline (log s) on the Infocom-like trace.
 
@@ -249,6 +266,7 @@ def figure_17(
             rng=generator,
             overlapping=False,
             label=f"L={copies}",
+            workers=workers,
         )
         analysis_half.append(pair[0])
         simulation_half.append(pair[1])
@@ -267,6 +285,7 @@ def figure_18(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 18,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 18 — traceable rate vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -279,6 +298,7 @@ def figure_18(
         compromise_rates=compromise_rates,
         trials=trials,
         seed=seed,
+        workers=workers,
         metric="traceable",
         overlapping=False,
     )
@@ -290,6 +310,7 @@ def figure_19(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 19,
+    workers: int = 1,
 ) -> FigureResult:
     """Fig. 19 — path anonymity vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -302,6 +323,7 @@ def figure_19(
         compromise_rates=compromise_rates,
         trials=trials,
         seed=seed,
+        workers=workers,
         metric="anonymity",
         overlapping=False,
     )

@@ -1,9 +1,30 @@
-"""The discrete-event simulation loop."""
+"""The discrete-event simulation loop.
+
+Two dispatch strategies are provided:
+
+* ``indexed`` (default) — the engine maintains a node→sessions *interest
+  index* built from each session's :meth:`~repro.sim.protocol.ProtocolSession.watched_nodes`
+  contract plus a wakeup heap of :meth:`~repro.sim.protocol.ProtocolSession.next_poll_time`
+  deadlines, so every :class:`~repro.contacts.events.ContactEvent` touches
+  only the sessions that could act on it, and finished sessions stop being
+  scanned entirely (a live-session counter replaces the per-event
+  ``all_done`` sweep). Sessions that do not implement the contract fall back
+  to broadcast and still see every event.
+* ``broadcast`` — the original O(events × sessions) loop, kept verbatim for
+  equivalence testing and benchmarking.
+
+Both strategies dispatch the sessions touched by one event in registration
+order, so shared sampled state (e.g. per-receive greyhole draws) consumes
+identical random streams and the two modes produce byte-identical outcomes.
+"""
 
 from __future__ import annotations
 
+import heapq
 import logging
-from typing import Iterable, List, Protocol as TypingProtocol, Tuple
+import math
+from operator import attrgetter
+from typing import Dict, Iterable, List, Optional, Protocol as TypingProtocol, Tuple
 
 from repro.contacts.events import ContactEvent
 from repro.sim.protocol import ProtocolSession
@@ -11,12 +32,27 @@ from repro.utils.validation import check_positive
 
 logger = logging.getLogger(__name__)
 
+_ORDER_KEY = attrgetter("order")
+
 
 class EventSource(TypingProtocol):
     """Anything that yields chronological contact events up to a horizon."""
 
     def events_until(self, horizon: float) -> Iterable[ContactEvent]:  # pragma: no cover
         ...
+
+
+class _SessionRecord:
+    """Engine-side bookkeeping for one registered session."""
+
+    __slots__ = ("order", "session", "watched", "poll_at", "live")
+
+    def __init__(self, order: int, session: ProtocolSession):
+        self.order = order
+        self.session = session
+        self.watched = None  # frozenset of nodes, or None for broadcast
+        self.poll_at = math.inf
+        self.live = True
 
 
 class SimulationEngine:
@@ -31,17 +67,35 @@ class SimulationEngine:
     on :attr:`quarantined`, and the remaining sessions keep running — so one
     pathological message cannot kill a whole experiment batch. Pass
     ``on_error="raise"`` to propagate instead (useful in unit tests).
+
+    Parameters
+    ----------
+    dispatch:
+        ``"indexed"`` (default) routes each event through the interest
+        index; ``"broadcast"`` scans every session per event (the legacy
+        loop). Outcomes are identical; only the wall time differs.
     """
 
-    def __init__(self, events: EventSource, horizon: float, on_error: str = "quarantine"):
+    def __init__(
+        self,
+        events: EventSource,
+        horizon: float,
+        on_error: str = "quarantine",
+        dispatch: str = "indexed",
+    ):
         check_positive(horizon, "horizon")
         if on_error not in ("quarantine", "raise"):
             raise ValueError(
                 f"on_error must be 'quarantine' or 'raise', got {on_error!r}"
             )
+        if dispatch not in ("indexed", "broadcast"):
+            raise ValueError(
+                f"dispatch must be 'indexed' or 'broadcast', got {dispatch!r}"
+            )
         self._events = events
         self._horizon = horizon
         self._on_error = on_error
+        self._dispatch = dispatch
         self._sessions: List[ProtocolSession] = []
         self._events_processed = 0
         self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
@@ -51,6 +105,11 @@ class SimulationEngine:
     def horizon(self) -> float:
         """Latest event time the engine will process."""
         return self._horizon
+
+    @property
+    def dispatch(self) -> str:
+        """The dispatch strategy: ``indexed`` or ``broadcast``."""
+        return self._dispatch
 
     @property
     def events_processed(self) -> int:
@@ -85,6 +144,16 @@ class SimulationEngine:
         """Process events until the horizon or until all sessions are done."""
         if not self._sessions:
             raise RuntimeError("no protocol sessions registered")
+        if self._dispatch == "broadcast":
+            self._run_broadcast()
+        else:
+            self._run_indexed()
+
+    # ------------------------------------------------------------------
+    # broadcast dispatch (legacy loop, kept for equivalence/benchmarks)
+    # ------------------------------------------------------------------
+
+    def _run_broadcast(self) -> None:
         for event in self._events.events_until(self._horizon):
             self._events_processed += 1
             all_done = True
@@ -103,3 +172,140 @@ class SimulationEngine:
                 all_done = all_done and session.done
             if all_done:
                 return
+
+    # ------------------------------------------------------------------
+    # indexed dispatch
+    # ------------------------------------------------------------------
+
+    def _run_indexed(self) -> None:
+        index: Dict[int, List[_SessionRecord]] = {}
+        always: List[_SessionRecord] = []  # broadcast-fallback records
+        wakeups: List[Tuple[float, int, _SessionRecord]] = []
+        live = 0
+        records: List[_SessionRecord] = []
+        for order, session in enumerate(self._sessions):
+            record = _SessionRecord(order, session)
+            records.append(record)
+            if id(session) in self._quarantined_ids or session.done:
+                record.live = False
+                continue
+            live += 1
+            self._place(record, index, always, wakeups)
+        if live == 0:
+            return
+
+        for event in self._events.events_until(self._horizon):
+            self._events_processed += 1
+            due: List[_SessionRecord] = []
+            while wakeups and wakeups[0][0] <= event.time:
+                poll_at, _, record = heapq.heappop(wakeups)
+                # Lazy invalidation: skip entries superseded by a newer
+                # poll time or belonging to a retired session.
+                if record.live and record.poll_at == poll_at:
+                    due.append(record)
+
+            watching_a = index.get(event.a)
+            watching_b = index.get(event.b)
+            candidates: List[_SessionRecord]
+            if watching_b or always or due:
+                seen: set = set()
+                candidates = []
+                for group in (watching_a, watching_b, always, due):
+                    if not group:
+                        continue
+                    for record in group:
+                        if record.order not in seen:
+                            seen.add(record.order)
+                            candidates.append(record)
+            else:
+                candidates = list(watching_a) if watching_a else []
+            # Registration order keeps shared sampled state (e.g. greyhole
+            # draws) on the same stream as broadcast dispatch.
+            candidates.sort(key=_ORDER_KEY)
+
+            for record in candidates:
+                if not record.live:
+                    continue
+                session = record.session
+                try:
+                    session.on_contact(event)
+                except Exception as error:
+                    if self._on_error == "raise":
+                        raise
+                    self._quarantine(session, error)
+                    self._retire(record, index, always)
+                    live -= 1
+                    continue
+                if session.done:
+                    self._retire(record, index, always)
+                    live -= 1
+                    continue
+                # Re-read the contract: custody may have moved.
+                new_watched = session.watched_nodes()
+                if new_watched is not record.watched and new_watched != record.watched:
+                    self._unplace(record, index, always)
+                    record.watched = new_watched
+                    self._place_watched(record, index, always)
+                new_poll = session.next_poll_time()
+                if new_poll != record.poll_at:
+                    record.poll_at = new_poll
+                    if new_poll != math.inf:
+                        heapq.heappush(wakeups, (new_poll, record.order, record))
+                elif record in due and new_poll != math.inf:
+                    # Popped but unchanged (event at the exact poll time was
+                    # a no-op): re-arm so the next event still wakes it.
+                    heapq.heappush(wakeups, (new_poll, record.order, record))
+            if live == 0:
+                return
+
+    def _place(
+        self,
+        record: _SessionRecord,
+        index: Dict[int, List[_SessionRecord]],
+        always: List[_SessionRecord],
+        wakeups: List[Tuple[float, int, _SessionRecord]],
+    ) -> None:
+        record.watched = record.session.watched_nodes()
+        self._place_watched(record, index, always)
+        record.poll_at = record.session.next_poll_time()
+        if record.poll_at != math.inf:
+            heapq.heappush(wakeups, (record.poll_at, record.order, record))
+
+    @staticmethod
+    def _place_watched(
+        record: _SessionRecord,
+        index: Dict[int, List[_SessionRecord]],
+        always: List[_SessionRecord],
+    ) -> None:
+        if record.watched is None:
+            always.append(record)
+        else:
+            for node in record.watched:
+                index.setdefault(node, []).append(record)
+
+    @staticmethod
+    def _unplace(
+        record: _SessionRecord,
+        index: Dict[int, List[_SessionRecord]],
+        always: List[_SessionRecord],
+    ) -> None:
+        if record.watched is None:
+            always.remove(record)
+        else:
+            for node in record.watched:
+                watchers = index.get(node)
+                if watchers is not None:
+                    watchers.remove(record)
+                    if not watchers:
+                        del index[node]
+
+    def _retire(
+        self,
+        record: _SessionRecord,
+        index: Dict[int, List[_SessionRecord]],
+        always: List[_SessionRecord],
+    ) -> None:
+        """Remove a done/quarantined session from all dispatch structures."""
+        self._unplace(record, index, always)
+        record.live = False
+        record.poll_at = math.inf  # invalidates any heap entries

@@ -3,6 +3,8 @@
 from __future__ import annotations
 
 import abc
+import math
+from typing import FrozenSet, Optional
 
 from repro.contacts.events import ContactEvent
 from repro.sim.metrics import DeliveryOutcome
@@ -16,6 +18,12 @@ class ProtocolSession(abc.ABC):
     final :class:`~repro.sim.metrics.DeliveryOutcome`. Sessions should set
     :attr:`done` as soon as no future contact can change the outcome so the
     engine can stop early.
+
+    Sessions may additionally implement the *watched-nodes contract*
+    (:meth:`watched_nodes` / :meth:`next_poll_time`) so the engine's indexed
+    dispatch can skip events that provably cannot change their state. The
+    contract is an optimisation only: a session that keeps the defaults is
+    dispatched every event (broadcast fallback) and behaves identically.
     """
 
     @abc.abstractmethod
@@ -30,3 +38,34 @@ class ProtocolSession(abc.ABC):
     @abc.abstractmethod
     def outcome(self) -> DeliveryOutcome:
         """The (possibly still-evolving) delivery outcome."""
+
+    # ------------------------------------------------------------------
+    # watched-nodes contract (optional; default = broadcast)
+    # ------------------------------------------------------------------
+
+    def watched_nodes(self) -> Optional[FrozenSet[int]]:
+        """Nodes whose contacts could change this session's state.
+
+        Indexed dispatch only delivers events involving a watched node (or
+        events at/after :meth:`next_poll_time`). The contract a session must
+        uphold: *every event that is neither involving a watched node nor due
+        per* :meth:`next_poll_time` *would be a no-op for* :meth:`on_contact`.
+        The set must be kept current as custody moves (the engine re-reads it
+        after every dispatched event).
+
+        Return ``None`` (the default) to opt out: the session is then
+        dispatched every event, exactly like the pre-index engine.
+        """
+        return None
+
+    def next_poll_time(self) -> float:
+        """Earliest time the session must be polled regardless of nodes.
+
+        Lets time-armed state changes (message expiry, custody-timeout
+        re-anycast) fire at the same event they would under broadcast
+        dispatch: the engine dispatches the first event whose time is
+        ``>= next_poll_time()`` to the session even when the event involves
+        no watched node. Return ``math.inf`` (the default) when no such
+        deadline is armed.
+        """
+        return math.inf

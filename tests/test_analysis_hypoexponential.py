@@ -178,3 +178,25 @@ class TestProperties:
         longer = Hypoexponential(rates)
         for t in (1.0, 10.0, 100.0):
             assert longer.cdf(t) <= shorter.cdf(t) + 1e-9
+
+
+class TestDerivedQuantityCaching:
+    """coefficients() and the uniformized DTMC are computed at most once."""
+
+    def test_coefficients_cached(self):
+        dist = Hypoexponential([0.5, 1.0, 2.0])
+        first = dist.coefficients()
+        assert dist.coefficients() is first
+
+    def test_transition_cached(self):
+        dist = Hypoexponential([1.0, 1.0, 1.0], method="matrix")
+        first = dist._uniformized_transition()
+        assert dist._uniformized_transition() is first
+
+    def test_cached_cdf_matches_fresh_instance(self):
+        times = [1.0, 10.0, 100.0]
+        dist = Hypoexponential([0.3, 0.7, 1.3])
+        warm = [dist.cdf(t) for t in times]  # second sweep hits the caches
+        warm = [dist.cdf(t) for t in times]
+        fresh = [Hypoexponential([0.3, 0.7, 1.3]).cdf(t) for t in times]
+        assert warm == fresh

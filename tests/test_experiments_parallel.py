@@ -1,0 +1,159 @@
+"""Tests for the parallel batch layer: chunking, seeding, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.contacts.random_graph import random_contact_graph
+from repro.experiments.parallel import (
+    chunk_sizes,
+    parallel_map,
+    run_parallel_batch,
+    run_parallel_montecarlo,
+    spawn_chunk_seeds,
+)
+from repro.experiments.runners import (
+    run_random_graph_batch,
+    security_montecarlo,
+)
+
+
+class TestChunkSizes:
+    def test_partitions_exactly(self):
+        for total, chunks in [(10, 3), (7, 7), (100, 4), (5, 9), (1, 1)]:
+            sizes = chunk_sizes(total, chunks)
+            assert sum(sizes) == total
+            assert all(size >= 1 for size in sizes)
+            assert len(sizes) == min(chunks, total)
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_deterministic_layout(self):
+        assert chunk_sizes(10, 3) == chunk_sizes(10, 3) == [4, 3, 3]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            chunk_sizes(0, 3)
+        with pytest.raises(ValueError):
+            chunk_sizes(10, 0)
+
+
+class TestSpawnChunkSeeds:
+    def test_reproducible_from_int_seed(self):
+        first = [s.entropy for s in spawn_chunk_seeds(123, 4)]
+        second = [s.entropy for s in spawn_chunk_seeds(123, 4)]
+        assert first == second
+
+    def test_children_are_distinct(self):
+        seeds = spawn_chunk_seeds(7, 8)
+        streams = [np.random.default_rng(s).random() for s in seeds]
+        assert len(set(streams)) == len(streams)
+
+
+def _square(x):
+    return x * x
+
+
+class TestParallelMap:
+    def test_inline_and_pooled_agree(self):
+        tasks = [(k,) for k in range(6)]
+        assert parallel_map(_square, tasks, 1) == parallel_map(_square, tasks, 2)
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            parallel_map(_square, [(1,)], 0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_contact_graph(30, (10.0, 120.0), rng=np.random.default_rng(3))
+
+
+def _batch(graph, workers, seed=17):
+    pairs = run_parallel_batch(
+        run_random_graph_batch,
+        sessions=24,
+        workers=workers,
+        rng=seed,
+        graph=graph,
+        group_size=4,
+        onion_routers=2,
+        copies=1,
+        horizon=240.0,
+    )
+    return [
+        (o.delivered, o.delivery_time, o.transmissions, o.status)
+        for _, o in pairs
+    ]
+
+
+class TestRunParallelBatch:
+    def test_workers_1_is_seed_exact_with_serial(self, graph):
+        serial = run_random_graph_batch(
+            graph, 4, 2, copies=1, horizon=240.0, sessions=24,
+            rng=np.random.default_rng(17),
+        )
+        wrapped = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=24,
+            workers=1,
+            rng=np.random.default_rng(17),
+            graph=graph,
+            group_size=4,
+            onion_routers=2,
+            copies=1,
+            horizon=240.0,
+        )
+        assert [o.delivered for _, o in serial] == [
+            o.delivered for _, o in wrapped
+        ]
+        assert [o.delivery_time for _, o in serial] == [
+            o.delivery_time for _, o in wrapped
+        ]
+
+    def test_workers_4_repeated_runs_identical(self, graph):
+        # The determinism contract: fixed master seed -> identical merged
+        # batch, independent of pool scheduling.
+        assert _batch(graph, workers=4) == _batch(graph, workers=4)
+
+    def test_session_count_preserved(self, graph):
+        assert len(_batch(graph, workers=3)) == 24
+
+
+class TestRunParallelMontecarlo:
+    def kwargs(self):
+        return dict(
+            n=60, group_size=4, onion_routers=2, copies=1,
+            compromise_rate=0.2,
+        )
+
+    def test_repeated_runs_identical(self):
+        first = run_parallel_montecarlo(
+            security_montecarlo, trials=40, workers=4, rng=5, **self.kwargs()
+        )
+        second = run_parallel_montecarlo(
+            security_montecarlo, trials=40, workers=4, rng=5, **self.kwargs()
+        )
+        assert first == second
+
+    def test_estimates_are_probabilities(self):
+        values = run_parallel_montecarlo(
+            security_montecarlo, trials=40, workers=2, rng=6, **self.kwargs()
+        )
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+
+class TestCliWorkersValidation:
+    def test_rejects_zero_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure", "6", "--trials", "10", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_rejects_negative_workers(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure", "6", "--trials", "10", "--workers", "-3"])
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_accepts_workers_for_figure(self):
+        assert main(["figure", "6", "--trials", "20", "--workers", "2"]) == 0

@@ -21,11 +21,14 @@ def fig_r1():
 
 @pytest.fixture(scope="module")
 def fig_r2():
+    # 60 sessions, not 20: test_blackhole_hurts compares two empirical
+    # delivery rates, and at 20 sessions the +-1/sqrt(n) noise swamps the
+    # blackhole effect for many seeds.
     return figure_r2(
         config=SMALL,
         drop_probs=(0.0, 1.0),
         deadline=300.0,
-        sessions=20,
+        sessions=60,
         seed=31,
     )
 
