@@ -88,3 +88,65 @@ def test_perf_parallel_batch(benchmark, workload_graph):
     )
     assert len(pairs) == SESSIONS
     benchmark.extra_info["workers"] = 2
+
+
+def test_perf_columnar_consume(benchmark, workload_graph):
+    events = count_events(workload_graph, 5, 3, SESSIONS, HORIZON, SEED)
+
+    iterator = run_random_graph_batch(
+        workload_graph,
+        5,
+        3,
+        copies=1,
+        horizon=HORIZON,
+        sessions=SESSIONS,
+        rng=np.random.default_rng(SEED),
+        consume="iterator",
+    )
+    columnar = benchmark.pedantic(
+        lambda: run_random_graph_batch(
+            workload_graph,
+            5,
+            3,
+            copies=1,
+            horizon=HORIZON,
+            sessions=SESSIONS,
+            rng=np.random.default_rng(SEED),
+            consume="columnar",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert outcome_signature(iterator) == outcome_signature(columnar)
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_second_columnar"] = round(
+        events / benchmark.stats["mean"], 1
+    )
+
+
+def test_perf_shared_stream_parallel(benchmark, workload_graph):
+    from repro.contacts.events import ExponentialContactProcess
+    from repro.experiments.parallel import WorkerPool
+
+    block = ExponentialContactProcess(
+        workload_graph, rng=np.random.default_rng(SEED)
+    ).events_until_columnar(HORIZON)
+    with WorkerPool(2) as pool:
+        pairs = benchmark.pedantic(
+            lambda: run_parallel_batch(
+                run_random_graph_batch,
+                sessions=SESSIONS,
+                workers=pool,
+                rng=np.random.default_rng(SEED),
+                shared_events=block,
+                graph=workload_graph,
+                group_size=5,
+                onion_routers=3,
+                copies=1,
+                horizon=HORIZON,
+            ),
+            rounds=2,
+            iterations=1,
+        )
+    assert len(pairs) == SESSIONS
+    benchmark.extra_info["stream_bytes"] = len(block.to_bytes())

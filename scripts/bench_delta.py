@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Diff a fresh engine-bench run against the committed baseline.
+
+Report-only: prints a markdown delta table (and appends it to
+``$GITHUB_STEP_SUMMARY`` when set, so it shows up on the workflow run
+page) and always exits 0 — absolute numbers depend on machine speed, so
+the delta is a trend signal, not a merge gate. Ratios (producer speedup,
+columnar-vs-indexed, parallel-vs-indexed) are machine-independent enough
+to be the numbers worth watching.
+
+Usage::
+
+    python scripts/bench_engine.py --quick --output bench_quick.json
+    python scripts/bench_delta.py bench_quick.json            # vs BENCH_engine.json
+    python scripts/bench_delta.py current.json baseline.json  # explicit baseline
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _get(report: dict, *path):
+    """Walk nested keys, returning None when any level is missing."""
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def _fmt(value, unit=""):
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:,.2f}{unit}"
+    return f"{value:,}{unit}"
+
+
+def _delta(current, baseline, higher_is_better=True):
+    """Relative change column, signed so '+' always means improvement."""
+    if current is None or baseline is None or not baseline:
+        return "n/a"
+    change = (current - baseline) / baseline * 100.0
+    if not higher_is_better:
+        change = -change
+    return f"{change:+.1f}%"
+
+
+METRICS = (
+    # (label, key path, unit, higher-is-better)
+    ("producer speedup (columnar/iterator)",
+     ("producer", "columnar_producer_speedup"), "x", True),
+    ("producer events/s (columnar)",
+     ("producer", "columnar_events_per_second"), "", True),
+    ("broadcast events/s", ("results", "broadcast", "events_per_second"), "", True),
+    ("indexed events/s", ("results", "indexed", "events_per_second"), "", True),
+    ("columnar events/s", ("results", "columnar", "events_per_second"), "", True),
+    ("columnar vs indexed", ("speedup_columnar_vs_indexed",), "x", True),
+    ("indexed vs broadcast", ("speedup_indexed_vs_broadcast",), "x", True),
+    ("parallel speedup vs indexed",
+     ("results", "parallel", "speedup_vs_indexed"), "x", True),
+    ("parallel wall", ("results", "parallel", "wall_seconds"), "s", False),
+)
+
+
+def build_table(current: dict, baseline: dict) -> str:
+    lines = [
+        "### Engine bench delta (report-only)",
+        "",
+        "| metric | current | baseline | delta |",
+        "|---|---|---|---|",
+    ]
+    for label, path, unit, higher in METRICS:
+        cur = _get(current, *path)
+        base = _get(baseline, *path)
+        lines.append(
+            f"| {label} | {_fmt(cur, unit)} | {_fmt(base, unit)} "
+            f"| {_delta(cur, base, higher)} |"
+        )
+    cur_sessions = _get(current, "workload", "sessions")
+    base_sessions = _get(baseline, "workload", "sessions")
+    if cur_sessions != base_sessions:
+        lines.append("")
+        lines.append(
+            f"_workloads differ ({cur_sessions} vs {base_sessions} sessions): "
+            "absolute rows are not comparable, ratios still are._"
+        )
+    identical = _get(current, "identical_outcomes")
+    lines.append("")
+    lines.append(f"_identical outcomes across dispatch modes: **{identical}**_")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 0
+    current_path = Path(argv[0])
+    baseline_path = Path(argv[1]) if len(argv) == 2 else ROOT / "BENCH_engine.json"
+    try:
+        current = json.loads(current_path.read_text())
+        baseline = json.loads(baseline_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"bench-delta: cannot compare ({error}); skipping", file=sys.stderr)
+        return 0
+
+    table = build_table(current, baseline)
+    try:
+        print(table)
+    except BrokenPipeError:  # e.g. piped into head
+        return 0
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

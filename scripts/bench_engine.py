@@ -1,30 +1,49 @@
 #!/usr/bin/env python
-"""Engine dispatch benchmark: broadcast vs indexed vs parallel batches.
+"""Engine pipeline benchmark: producers, dispatch strategies, parallelism.
 
 Reference workload (paper-scale defaults): 1000 single-copy onion sessions
 over one n=100 random contact graph (g=5, K=3, L=1) with a 720-minute
-horizon. The script times the same batch under
+horizon. The script measures two layers of the pipeline:
 
-* ``broadcast`` — the legacy O(events x sessions) dispatch loop,
-* ``indexed``   — the interest-indexed dispatch (watched-nodes contract),
-* ``parallel``  — the indexed engine under ``run_parallel_batch``,
+* **producer** — raw contact-event generation for the workload's stream:
+  the legacy lazy iterator (``events_until``) vs the columnar window
+  (``events_until_columnar``), same seed, same events.
+* **engine** — the same batch end-to-end under three strategies:
 
-verifies broadcast and indexed produce identical outcomes, and writes the
-measurements to ``BENCH_engine.json`` at the repo root::
+  - ``broadcast`` — the legacy O(events x sessions) dispatch loop,
+  - ``indexed``   — interest-indexed dispatch fed by the lazy iterator
+    (``consume="iterator"``; the pre-columnar engine, kept as the
+    baseline all speedups are quoted against),
+  - ``columnar``  — interest-indexed dispatch consuming one pre-built
+    columnar window (``consume="columnar"``),
+  - ``parallel``  — the columnar engine under ``run_parallel_batch`` with
+    a *shared* event stream: the window is generated once, serialised,
+    and replayed by every worker chunk instead of re-sampled per chunk.
 
-    python scripts/bench_engine.py            # full reference workload
-    python scripts/bench_engine.py --quick    # CI smoke (seconds, not minutes)
+Engine rows are split into ``generation_seconds`` (producing the event
+stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
+bookkeeping), so producer and dispatch regressions are visible separately.
+Broadcast, indexed, and columnar outcomes are checked for byte-identity;
+the measurements land in ``BENCH_engine.json`` at the repo root::
 
-The JSON records wall-time, dispatched events/second, and the
-indexed-vs-broadcast speedup; CI archives it as a build artifact so the
-numbers are tracked over time without gating merges on machine speed.
+    python scripts/bench_engine.py                 # full reference workload
+    python scripts/bench_engine.py --quick         # CI smoke (seconds)
+    python scripts/bench_engine.py --repeat 3      # best-of-3 walls
+    python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
+
+CI archives the JSON as a build artifact and ``scripts/bench_delta.py``
+diffs a fresh run against the committed file (report-only) so the numbers
+are tracked over time without gating merges on machine speed.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
 import platform
+import pstats
+import os
 import sys
 import time
 from pathlib import Path
@@ -38,7 +57,7 @@ from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.core.onion_groups import OnionGroupDirectory
 from repro.experiments.config import DEFAULT_CONFIG
-from repro.experiments.parallel import run_parallel_batch
+from repro.experiments.parallel import WorkerPool, run_parallel_batch
 from repro.experiments.runners import run_random_graph_batch, sample_endpoints
 
 
@@ -72,6 +91,69 @@ def outcome_signature(pairs):
     ]
 
 
+def _best_wall(fn, repeat):
+    """Run ``fn`` ``repeat`` times; return (best wall, first result)."""
+    best = None
+    result = None
+    for attempt in range(repeat):
+        start = time.perf_counter()
+        out = fn()
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+        if attempt == 0:
+            result = out
+    return best, result
+
+
+def producer_benchmark(graph, horizon, seed, repeat):
+    """Raw event-generation timing: legacy iterator vs columnar window."""
+
+    def legacy():
+        process = ExponentialContactProcess(graph, rng=np.random.default_rng(seed))
+        return sum(1 for _ in process.events_until(horizon))
+
+    def columnar():
+        process = ExponentialContactProcess(graph, rng=np.random.default_rng(seed))
+        return len(process.events_until_columnar(horizon))
+
+    legacy_wall, legacy_events = _best_wall(legacy, repeat)
+    columnar_wall, columnar_events = _best_wall(columnar, repeat)
+    if legacy_events != columnar_events:
+        raise AssertionError(
+            f"producer streams diverged: iterator yielded {legacy_events} "
+            f"events, columnar {columnar_events}"
+        )
+    return {
+        "events": legacy_events,
+        "legacy_iterator_seconds": round(legacy_wall, 4),
+        "columnar_seconds": round(columnar_wall, 4),
+        "legacy_events_per_second": round(legacy_events / legacy_wall, 1),
+        "columnar_events_per_second": round(columnar_events / columnar_wall, 1),
+        "columnar_producer_speedup": round(legacy_wall / columnar_wall, 2),
+    }
+
+
+def _generation_seconds(graph, seed, horizon, columnar, repeat):
+    """Time producing the batch stream exactly as the engine run sees it.
+
+    Replays the batch's RNG prefix (directory construction consumes the
+    generator before the process is built) so the generation phase is
+    measured on the same stream state, then produces the whole window.
+    """
+
+    def produce():
+        generator = np.random.default_rng(seed)
+        OnionGroupDirectory(graph.n, 5, rng=generator)
+        process = ExponentialContactProcess(graph, rng=generator)
+        if columnar:
+            return len(process.events_until_columnar(horizon))
+        return sum(1 for _ in process.events_until(horizon))
+
+    wall, _ = _best_wall(produce, repeat)
+    return wall
+
+
 def run_benchmark(
     sessions: int,
     n: int,
@@ -81,6 +163,8 @@ def run_benchmark(
     horizon: float,
     workers: int,
     seed: int,
+    repeat: int = 1,
+    profile_path: Path | None = None,
 ) -> dict:
     graph_rng = np.random.default_rng(seed)
     graph = random_contact_graph(
@@ -90,11 +174,47 @@ def run_benchmark(
         graph, group_size, onion_routers, sessions, horizon, seed
     )
 
+    producer = producer_benchmark(graph, horizon, seed, repeat)
+
     results = {}
     signatures = {}
-    for mode in ("broadcast", "indexed"):
-        start = time.perf_counter()
-        pairs = run_random_graph_batch(
+    batch_modes = (
+        ("broadcast", dict(dispatch="broadcast")),
+        ("indexed", dict(dispatch="indexed", consume="iterator")),
+        ("columnar", dict(dispatch="indexed", consume="columnar")),
+    )
+    for mode, mode_kwargs in batch_modes:
+
+        def batch():
+            return run_random_graph_batch(
+                graph,
+                group_size,
+                onion_routers,
+                copies=copies,
+                horizon=horizon,
+                sessions=sessions,
+                rng=np.random.default_rng(seed),
+                **mode_kwargs,
+            )
+
+        wall, pairs = _best_wall(batch, repeat)
+        generation = _generation_seconds(
+            graph, seed, horizon, columnar=(mode == "columnar"), repeat=repeat
+        )
+        signatures[mode] = outcome_signature(pairs)
+        results[mode] = {
+            "wall_seconds": round(wall, 4),
+            "generation_seconds": round(generation, 4),
+            "dispatch_seconds": round(max(wall - generation, 0.0), 4),
+            "events": events,
+            "events_per_second": round(events / wall, 1),
+            "delivered": sum(1 for _, o in pairs if o.delivered),
+        }
+
+    if profile_path is not None:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        run_random_graph_batch(
             graph,
             group_size,
             onion_routers,
@@ -102,34 +222,53 @@ def run_benchmark(
             horizon=horizon,
             sessions=sessions,
             rng=np.random.default_rng(seed),
-            dispatch=mode,
+            consume="columnar",
         )
-        wall = time.perf_counter() - start
-        signatures[mode] = outcome_signature(pairs)
-        results[mode] = {
-            "wall_seconds": round(wall, 4),
-            "events": events,
-            "events_per_second": round(events / wall, 1),
-            "delivered": sum(1 for _, o in pairs if o.delivered),
-        }
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler).sort_stats("tottime")
+        stats.print_stats(12)
+        print(f"profile: {profile_path}")
 
-    start = time.perf_counter()
-    parallel_pairs = run_parallel_batch(
-        run_random_graph_batch,
-        sessions=sessions,
-        workers=workers,
-        rng=np.random.default_rng(seed),
-        graph=graph,
-        group_size=group_size,
-        onion_routers=onion_routers,
-        copies=copies,
-        horizon=horizon,
-        dispatch="indexed",
-    )
-    wall = time.perf_counter() - start
+    # Shared-stream parallel: generate the window once in the parent,
+    # serialise it, and let every worker chunk replay it. The block
+    # generation and serialisation are charged to the parallel wall — the
+    # comparison against the indexed row is end-to-end.
+    def shared_block():
+        return ExponentialContactProcess(
+            graph, rng=np.random.default_rng(seed)
+        ).events_until_columnar(horizon)
+
+    with WorkerPool(workers) as pool:
+        pool.warm()
+
+        def parallel_batch():
+            block = shared_block()
+            return (
+                block,
+                run_parallel_batch(
+                    run_random_graph_batch,
+                    sessions=sessions,
+                    workers=pool,
+                    rng=np.random.default_rng(seed),
+                    shared_events=block,
+                    graph=graph,
+                    group_size=group_size,
+                    onion_routers=onion_routers,
+                    copies=copies,
+                    horizon=horizon,
+                ),
+            )
+
+        wall, (block, parallel_pairs) = _best_wall(parallel_batch, repeat)
+        effective = pool.processes
+
     results["parallel"] = {
         "wall_seconds": round(wall, 4),
-        "workers": workers,
+        "workers_requested": workers,
+        "workers_effective": effective,
+        "stream_events": len(block),
+        "stream_bytes": len(block.to_bytes()),
         "delivered": sum(1 for _, o in parallel_pairs if o.delivered),
         "speedup_vs_indexed": round(
             results["indexed"]["wall_seconds"] / wall, 2
@@ -149,12 +288,21 @@ def run_benchmark(
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
         },
+        "producer": producer,
         "results": results,
-        "identical_outcomes": signatures["broadcast"] == signatures["indexed"],
+        "identical_outcomes": (
+            signatures["broadcast"] == signatures["indexed"] == signatures["columnar"]
+        ),
         "speedup_indexed_vs_broadcast": round(
             results["broadcast"]["wall_seconds"]
             / results["indexed"]["wall_seconds"],
+            2,
+        ),
+        "speedup_columnar_vs_indexed": round(
+            results["indexed"]["wall_seconds"]
+            / results["columnar"]["wall_seconds"],
             2,
         ),
     }
@@ -169,6 +317,14 @@ def main(argv=None) -> int:
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="repetitions per timing; the best wall is reported",
+    )
+    parser.add_argument(
+        "--profile", type=Path, default=None, metavar="PATH",
+        help="cProfile the columnar serial run and dump stats to PATH",
+    )
     parser.add_argument(
         "--output", type=Path, default=ROOT / "BENCH_engine.json",
         help="where to write the JSON report (default: repo root)",
@@ -189,34 +345,52 @@ def main(argv=None) -> int:
         horizon=horizon,
         workers=args.workers,
         seed=args.seed,
+        repeat=max(1, args.repeat),
+        profile_path=args.profile,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
+    producer = report["producer"]
     broadcast = report["results"]["broadcast"]
     indexed = report["results"]["indexed"]
+    columnar = report["results"]["columnar"]
     parallel = report["results"]["parallel"]
     print(f"workload: {sessions} sessions, n=100, horizon={horizon:g}")
     print(
-        f"broadcast: {broadcast['wall_seconds']:8.3f}s "
-        f"({broadcast['events_per_second']:>10.1f} events/s)"
+        f"producer:  iterator {producer['legacy_iterator_seconds']:.3f}s, "
+        f"columnar {producer['columnar_seconds']:.3f}s  "
+        f"speedup {producer['columnar_producer_speedup']:.2f}x"
     )
-    print(
-        f"indexed:   {indexed['wall_seconds']:8.3f}s "
-        f"({indexed['events_per_second']:>10.1f} events/s)  "
-        f"speedup {report['speedup_indexed_vs_broadcast']:.2f}x"
-    )
+    for name, row in (
+        ("broadcast", broadcast), ("indexed", indexed), ("columnar", columnar)
+    ):
+        print(
+            f"{name + ':':<10} {row['wall_seconds']:8.3f}s "
+            f"(gen {row['generation_seconds']:.3f}s + "
+            f"dispatch {row['dispatch_seconds']:.3f}s, "
+            f"{row['events_per_second']:>9.1f} events/s)"
+        )
     print(
         f"parallel:  {parallel['wall_seconds']:8.3f}s "
-        f"({parallel['workers']} workers)  "
+        f"({parallel['workers_requested']} workers requested, "
+        f"{parallel['workers_effective']} effective, "
+        f"{parallel['stream_bytes']} stream bytes)  "
         f"speedup vs indexed {parallel['speedup_vs_indexed']:.2f}x"
+    )
+    print(
+        f"columnar vs indexed: {report['speedup_columnar_vs_indexed']:.2f}x, "
+        f"indexed vs broadcast: {report['speedup_indexed_vs_broadcast']:.2f}x"
     )
     print(f"identical outcomes: {report['identical_outcomes']}")
     print(f"report: {args.output}")
     if not report["identical_outcomes"]:
-        print("ERROR: broadcast and indexed outcomes diverged", file=sys.stderr)
+        print(
+            "ERROR: broadcast/indexed/columnar outcomes diverged",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    raise SystemExit(main())

@@ -249,8 +249,15 @@ def _run_figure(args: argparse.Namespace) -> int:
         else:
             kwargs["sessions"] = args.sessions
     if args.workers != 1 and args.number in _PARALLEL_FIGS:
-        kwargs["workers"] = args.workers
-    result = func(**kwargs)
+        # One persistent pool for the whole figure: every batch the sweep
+        # runs reuses the same worker processes instead of forking per call.
+        from repro.experiments.parallel import WorkerPool
+
+        with WorkerPool(args.workers) as pool:
+            kwargs["workers"] = pool
+            result = func(**kwargs)
+    else:
+        result = func(**kwargs)
     print(result.to_markdown() if args.markdown else result.to_table())
     if args.chart:
         from repro.experiments.ascii_chart import render_chart
@@ -426,7 +433,12 @@ def _run_simulate(args: argparse.Namespace) -> int:
             events = FailStopContactProcess(events, failstop)
         if churn is not None:
             events = NodeChurnProcess(events, churn)
-        engine = SimulationEngine(events, horizon=args.deadline)
+        # Iterator consumption: trials share one generator and usually end
+        # well before the deadline, so the lazy legacy path both avoids
+        # generating events past delivery and keeps the historical
+        # cross-trial rng consumption (columnar would pre-draw the full
+        # window and shift every later trial's stream).
+        engine = SimulationEngine(events, horizon=args.deadline, consume="iterator")
         engine.add_session(session)
         engine.run()
         outcomes.append(session.outcome())

@@ -60,28 +60,24 @@ class JitteredContactProcess:
     def events_until(self, horizon: float) -> Iterator[ContactEvent]:
         """Yield jittered contacts, re-sorted to stay chronological.
 
-        The reorder buffer is a heap (``ContactEvent`` orders by time):
-        each event costs ``O(log b)`` for a buffer of ``b`` in-flight
-        events instead of the ``O(b log b)`` of re-sorting a list per
-        arrival.
+        The reorder buffer is a heap of ``(time, a, b)`` tuples: each event
+        costs ``O(log b)`` for a buffer of ``b`` in-flight events instead
+        of the ``O(b log b)`` of re-sorting a list per arrival.
         """
-        pending: list[ContactEvent] = []
+        pending: list[tuple[float, int, int]] = []
         for event in self._inner.events_until(horizon):
             jitter = self._rng.uniform(0.0, self._max_jitter)
-            heapq.heappush(
-                pending,
-                ContactEvent(time=event.time + jitter, a=event.a, b=event.b),
-            )
+            heapq.heappush(pending, (event.time + jitter, event.a, event.b))
             # flush events that can no longer be displaced: the source is
             # chronological, so nothing later can land before event.time
-            while pending and pending[0].time <= event.time:
-                head = heapq.heappop(pending)
-                if head.time <= horizon:
-                    yield head
+            while pending and pending[0][0] <= event.time:
+                time, a, b = heapq.heappop(pending)
+                if time <= horizon:
+                    yield ContactEvent(time=time, a=a, b=b)
         while pending:
-            event = heapq.heappop(pending)
-            if event.time <= horizon:
-                yield event
+            time, a, b = heapq.heappop(pending)
+            if time <= horizon:
+                yield ContactEvent(time=time, a=a, b=b)
 
 
 def thinned_graph(graph: ContactGraph, drop_prob: float) -> ContactGraph:

@@ -14,7 +14,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Sequence, Union
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ContactRecord:
     """One recorded contact: nodes ``a`` and ``b`` in range [start, end]."""
 

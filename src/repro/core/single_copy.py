@@ -72,6 +72,13 @@ class SingleCopySession(ProtocolSession):
             paths=[[message.source]], created_at=message.created_at
         )
         self._expired = False
+        # Mutation counter for the engine's no-op fast path: bumped by every
+        # branch that can change done / watched_nodes() / next_poll_time().
+        self.state_version = 0
+        # Immutable bounds cached off the message so the per-event hot path
+        # avoids two property descriptor calls per dispatch.
+        self._created_at = message.created_at
+        self._expires_at = message.created_at + message.deadline
 
         self._faults = faults
         self._recovery = recovery
@@ -160,17 +167,24 @@ class SingleCopySession(ProtocolSession):
         if self.done:
             return math.inf
         if self._lost:
-            return min(self._message.expires_at, self._recover_at)
-        return self._message.expires_at
+            return min(self._expires_at, self._recover_at)
+        return self._expires_at
 
     def on_contact(self, event: ContactEvent) -> None:
-        if self.done:
+        self.on_contact_scalar(event.time, event.a, event.b)
+
+    def on_contact_scalar(self, time: float, a: int, b: int) -> None:
+        # Hot path: the engine's columnar loop calls this directly with the
+        # block scalars, so no ContactEvent is ever allocated for the
+        # overwhelmingly common no-op dispatches.
+        if self._outcome.delivered or self._expired or self._dropped:
             return
-        if event.time < self._message.created_at:
+        if time < self._created_at:
             return  # the bundle does not exist yet
-        if self._message.expired(event.time):
+        if time > self._expires_at:
             # "If node v_i holding m detects that the deadline of m is past,
             #  m is discarded during a forwarding process."
+            self.state_version += 1
             self._expired = True
             self._outcome.expired_copies = 0 if self._lost else 1
             self._outcome.status = "expired"
@@ -178,7 +192,7 @@ class SingleCopySession(ProtocolSession):
         if (
             not self._lost
             and self._faults is not None
-            and self._faults.carrier_lost(self._holder, event.time)
+            and self._faults.carrier_lost(self._holder, time)
         ):
             # The carrier died holding the copy; only a distinct custodian
             # with a shadow copy can bring the message back.
@@ -188,23 +202,28 @@ class SingleCopySession(ProtocolSession):
                 else None
             )
             self._outcome.lost_copies += 1
-            self._lose_copy(event.time, survivor)
+            self._lose_copy(time, survivor)
         if self._lost:
-            self._attempt_recovery(event.time)
+            self._attempt_recovery(time)
             if self._lost or self.done:
                 return
-        if not event.involves(self._holder):
+        holder = self._holder
+        if a == holder:
+            peer = b
+        elif b == holder:
+            peer = a
+        else:
             return
-        peer = event.peer_of(self._holder)
         if peer not in self._targets:
             return
-        self._forward_to(peer, event.time)
+        self._forward_to(peer, time)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
     def _forward_to(self, peer: int, time: float) -> None:
+        self.state_version += 1
         self._watched_dirty = True
         self._outcome.record_transfer(time, self._holder, peer)
         if self._next_hop == self._route.eta:
@@ -235,6 +254,7 @@ class SingleCopySession(ProtocolSession):
 
     def _lose_copy(self, time: float, survivor: Optional[int]) -> None:
         """The copy is destroyed; arm recovery or report ``dropped``."""
+        self.state_version += 1
         if (
             self._recovery is None
             or survivor is None
@@ -262,6 +282,7 @@ class SingleCopySession(ProtocolSession):
         if not remaining:
             self._drop()
             return
+        self.state_version += 1
         self._watched_dirty = True
         self._retries_left -= 1
         self._lost = False
@@ -279,5 +300,6 @@ class SingleCopySession(ProtocolSession):
         self._survivor = None
 
     def _drop(self) -> None:
+        self.state_version += 1
         self._dropped = True
         self._outcome.status = "dropped"

@@ -22,11 +22,13 @@ from repro.experiments.sensitivity import (
 )
 from repro.experiments.delivery_figs import figure_04, figure_05, figure_10
 from repro.experiments.parallel import (
+    WorkerPool,
     chunk_sizes,
     parallel_map,
     run_parallel_batch,
     run_parallel_montecarlo,
     spawn_chunk_seeds,
+    worker_count,
 )
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.robustness_figs import figure_r1, figure_r2
@@ -79,6 +81,8 @@ __all__ = [
     "run_parallel_batch",
     "run_parallel_montecarlo",
     "spawn_chunk_seeds",
+    "WorkerPool",
+    "worker_count",
     "render_chart",
     "save_figure",
     "load_figure",

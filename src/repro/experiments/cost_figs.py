@@ -7,10 +7,11 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.analysis.cost import multi_copy_cost_bound, non_anonymous_cost
+from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import run_parallel_batch
+from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
 from repro.experiments.runners import run_random_graph_batch
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
 
@@ -22,7 +23,7 @@ def measured_transmissions(
     graphs: int,
     sessions_per_graph: int,
     rng: RandomSource,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> float:
     """Mean transmissions per message for a (K, L) variant.
 
@@ -31,15 +32,26 @@ def measured_transmissions(
     """
     generator = ensure_rng(rng)
     counts: List[int] = []
+    parallel = worker_count(workers) > 1
     for graph_rng in spawn_rng(generator, graphs):
         graph = random_contact_graph(
             config.n, config.mean_intercontact_range, rng=graph_rng
+        )
+        # Parallel chunks replay one shared columnar stream per graph; the
+        # serial (workers=1) path keeps the historical per-batch sampling.
+        shared = (
+            ExponentialContactProcess(graph, rng=graph_rng).events_until_columnar(
+                config.max_deadline
+            )
+            if parallel
+            else None
         )
         batch = run_parallel_batch(
             run_random_graph_batch,
             sessions=sessions_per_graph,
             workers=workers,
             rng=graph_rng,
+            shared_events=shared,
             graph=graph,
             group_size=config.group_size,
             onion_routers=onion_routers,
@@ -57,7 +69,7 @@ def figure_11(
     graphs: int = 3,
     sessions_per_graph: int = 30,
     seed: RandomSource = 11,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 11 — number of transmissions vs number of copies L.
 

@@ -6,10 +6,11 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
+from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import run_parallel_batch
+from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
 from repro.experiments.runners import (
     analysis_delivery_curve,
     run_random_graph_batch,
@@ -27,27 +28,44 @@ def delivery_variant_series(
     sessions_per_graph: int,
     rng: RandomSource,
     label: str,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> Tuple[Series, Series]:
     """One (Analysis, Simulation) series pair for a parameter variant.
 
-    ``workers > 1`` splits each graph's session batch across a process pool
-    (deterministic for a fixed seed); ``workers=1`` keeps the historical
-    seed-exact serial behaviour.
+    ``workers`` is a count or a persistent
+    :class:`~repro.experiments.parallel.WorkerPool` (figure sweeps reuse
+    one pool across every batch instead of forking per call). More than
+    one worker splits each graph's session batch across the pool and
+    shares a single pre-generated columnar event stream between the
+    chunks (deterministic for a fixed seed); one worker keeps the
+    historical seed-exact serial behaviour.
     """
     generator = ensure_rng(rng)
     deadlines = config.deadlines
     analysis_total = np.zeros(len(deadlines))
     outcomes = []
+    parallel = worker_count(workers) > 1
     for graph_rng in spawn_rng(generator, graphs):
         graph = random_contact_graph(
             config.n, config.mean_intercontact_range, rng=graph_rng
+        )
+        # Shared-stream protocol: generate this graph's contact stream once
+        # and ship it to every chunk instead of re-sampling per chunk. The
+        # block draw advances graph_rng, so parallel results are a different
+        # (equally valid) sample than serial — workers=1 stays untouched.
+        shared = (
+            ExponentialContactProcess(graph, rng=graph_rng).events_until_columnar(
+                config.max_deadline
+            )
+            if parallel
+            else None
         )
         batch = run_parallel_batch(
             run_random_graph_batch,
             sessions=sessions_per_graph,
             workers=workers,
             rng=graph_rng,
+            shared_events=shared,
             graph=graph,
             group_size=group_size,
             onion_routers=onion_routers,
@@ -72,7 +90,7 @@ def figure_04(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 4,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -108,7 +126,7 @@ def figure_05(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 5,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers."""
     generator = ensure_rng(seed)
@@ -142,7 +160,7 @@ def figure_10(
     graphs: int = 5,
     sessions_per_graph: int = 40,
     seed: RandomSource = 10,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
 

@@ -13,15 +13,31 @@ streams never collide and re-running with the same master seed and worker
 count reproduces the batch exactly. ``workers=1`` bypasses the pool and the
 spawning entirely — it calls the serial runner with the caller's generator,
 keeping historical seed-exact behaviour.
+
+Two amortisation mechanisms make the parallel path profitable:
+
+* :class:`WorkerPool` — one persistent process pool reused across every
+  ``parallel_map`` call of a figure's sweep, instead of paying interpreter
+  spawn + import per call. The *requested* worker count fixes the chunk
+  layout and per-chunk seeds; the pool sizes its actual processes to the
+  machine (and degrades to inline execution on a single-CPU host), so the
+  merged results are identical everywhere.
+* ``shared_events`` — the contact-event stream is generated (or loaded)
+  once, serialised as a columnar npz payload, and replayed by every chunk
+  through :class:`~repro.contacts.events.ColumnarEventSource`, instead of
+  each chunk re-sampling the full O(n²) per-pair event machinery.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
-from typing import Any, Callable, List, Sequence, Tuple
+import os
+import pickle
+from typing import Any, Callable, List, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.contacts.events import ColumnarEventSource, EventBlock
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -55,23 +71,153 @@ def spawn_chunk_seeds(rng: RandomSource, count: int) -> List[np.random.SeedSeque
     return list(seed_seq.spawn(count))
 
 
+class WorkerPool:
+    """A persistent process pool shared across many parallel calls.
+
+    ``workers`` is the *requested* parallelism: it fixes the default chunk
+    layout and the per-chunk seed assignment, so a batch run with the same
+    master seed and requested workers merges to the same result on every
+    machine. The pool itself sizes its processes to
+    ``min(workers, os.cpu_count())`` (override with ``max_processes``) and
+    runs tasks inline — no subprocesses, no pickling — when that effective
+    size is one, which is both the single-CPU degradation and the cheap
+    path for ``workers=1``.
+
+    Use as a context manager to reuse one warm pool across a whole figure
+    sweep::
+
+        with WorkerPool(4) as pool:
+            first = run_parallel_batch(fn, sessions=1000, workers=pool, ...)
+            second = run_parallel_batch(fn, sessions=1000, workers=pool, ...)
+    """
+
+    def __init__(self, workers: int, *, max_processes: int | None = None):
+        check_positive_int(workers, "workers")
+        if max_processes is not None:
+            check_positive_int(max_processes, "max_processes")
+        cap = max_processes if max_processes is not None else (os.cpu_count() or 1)
+        self._workers = workers
+        self._processes = min(workers, cap)
+        self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int:
+        """Requested parallelism: determines chunk layout and seeds."""
+        return self._workers
+
+    @property
+    def processes(self) -> int:
+        """Effective pool size; ``1`` means tasks run inline."""
+        return self._processes
+
+    def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._processes
+            )
+        return self._executor
+
+    def warm(self) -> None:
+        """Spawn the worker processes now instead of at first use."""
+        if self._processes > 1:
+            pool = self._ensure_executor()
+            futures = [pool.submit(int, 0) for _ in range(self._processes)]
+            for future in futures:
+                future.result()
+
+    def close(self) -> None:
+        """Shut the pool down; it cannot be reused afterwards."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+Workers = Union[int, WorkerPool]
+
+
+def worker_count(workers: Workers) -> int:
+    """The requested parallelism of an ``int`` or :class:`WorkerPool`."""
+    if isinstance(workers, WorkerPool):
+        return workers.workers
+    check_positive_int(workers, "workers")
+    return workers
+
+
+def _inline_map(fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]) -> List[Any]:
+    results = []
+    for index, task in enumerate(tasks):
+        try:
+            # Replicate process-pool semantics: every chunk works on its own
+            # pickled copy of the arguments, so stateful task state (churn
+            # schedules, fault RNGs) is never shared across chunks and the
+            # merged result is identical to a real multi-process run.
+            results.append(fn(*pickle.loads(pickle.dumps(task))))
+        except Exception as error:
+            error.add_note(f"parallel_map: chunk {index}/{len(tasks)} failed (inline)")
+            raise
+    return results
+
+
+def _collect(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    executor: concurrent.futures.ProcessPoolExecutor,
+) -> List[Any]:
+    futures = [executor.submit(fn, *task) for task in tasks]
+    results = []
+    for index, future in enumerate(futures):
+        try:
+            results.append(future.result())
+        except Exception as error:
+            # Don't leave stragglers running a doomed batch: cancel
+            # everything not yet started before propagating.
+            for later in futures[index + 1:]:
+                later.cancel()
+            error.add_note(
+                f"parallel_map: chunk {index}/{len(futures)} failed; "
+                "outstanding chunks cancelled"
+            )
+            raise
+    return results
+
+
 def parallel_map(
     fn: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
-    workers: int,
+    workers: Workers,
 ) -> List[Any]:
     """Apply ``fn`` to argument tuples on a process pool; ordered results.
 
-    ``workers=1`` runs inline (no pool, no pickling). ``fn`` and every
-    argument must be picklable for ``workers > 1`` — module-level functions
-    and plain data objects qualify.
+    ``workers`` is either an ``int`` (a private pool is created for this
+    call and torn down afterwards) or a :class:`WorkerPool` (the shared
+    pool is reused and left running). Either way the *effective* process
+    count is capped at the machine's CPU count, and an effective count of
+    one runs inline — no pool, no pickling. ``fn`` and every argument must
+    be picklable when subprocesses are used.
+
+    On a chunk failure, outstanding chunks are cancelled (a private pool is
+    shut down with ``cancel_futures=True``) and the exception is re-raised
+    with the failing chunk index attached as a note.
     """
+    if isinstance(workers, WorkerPool):
+        if workers.processes == 1:
+            return _inline_map(fn, tasks)
+        return _collect(fn, tasks, workers._ensure_executor())
     check_positive_int(workers, "workers")
-    if workers == 1:
-        return [fn(*task) for task in tasks]
-    with concurrent.futures.ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *task) for task in tasks]
-        return [future.result() for future in futures]
+    processes = min(workers, os.cpu_count() or 1)
+    if processes == 1:
+        return _inline_map(fn, tasks)
+    executor = concurrent.futures.ProcessPoolExecutor(max_workers=processes)
+    try:
+        return _collect(fn, tasks, executor)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
 
 
 def _run_batch_chunk(
@@ -84,12 +230,35 @@ def _run_batch_chunk(
     return batch_fn(sessions=sessions, rng=np.random.default_rng(seed_seq), **kwargs)
 
 
+def _run_shared_batch_chunk(
+    batch_fn: Callable[..., list],
+    sessions: int,
+    seed_seq: np.random.SeedSequence,
+    payload: bytes,
+    kwargs: dict,
+) -> list:
+    """Batch chunk replaying a shared columnar event stream.
+
+    The parent serialises the :class:`EventBlock` once; every chunk gets the
+    same payload bytes and replays them through a fresh cursor, so no chunk
+    ever re-samples the event machinery.
+    """
+    events = ColumnarEventSource(EventBlock.from_bytes(payload))
+    return batch_fn(
+        sessions=sessions,
+        rng=np.random.default_rng(seed_seq),
+        events=events,
+        **kwargs,
+    )
+
+
 def run_parallel_batch(
     batch_fn: Callable[..., list],
     sessions: int,
-    workers: int,
+    workers: Workers,
     rng: RandomSource = None,
     chunks: int | None = None,
+    shared_events: EventBlock | None = None,
     **kwargs: Any,
 ) -> list:
     """Run a session batch split across ``workers`` processes.
@@ -104,27 +273,49 @@ def run_parallel_batch(
     sessions:
         Total sessions across all chunks.
     workers:
-        Pool size; ``1`` calls ``batch_fn`` directly with ``rng`` (seed-exact
-        with the serial path).
+        Requested parallelism: an ``int`` or a persistent
+        :class:`WorkerPool`. ``1`` calls ``batch_fn`` directly with ``rng``
+        (seed-exact with the serial path).
     rng:
         Master seed source; chunk streams are spawned from it.
     chunks:
-        Number of chunks (defaults to ``workers``); more chunks smooth load
-        imbalance at the cost of more per-chunk setup.
+        Number of chunks (defaults to the requested workers); more chunks
+        smooth load imbalance at the cost of more per-chunk setup.
+    shared_events:
+        Optional pre-generated :class:`EventBlock` shipped to every chunk
+        (``batch_fn`` must accept an ``events=`` keyword). Without it each
+        chunk regenerates its own event stream from the chunk seed.
 
     Results are concatenated in chunk order, so the merged list is
-    deterministic for a fixed master seed regardless of completion order.
+    deterministic for a fixed master seed and requested worker count,
+    regardless of the effective pool size or completion order.
     """
-    check_positive_int(workers, "workers")
-    if workers == 1:
+    requested = worker_count(workers)
+    if requested == 1:
+        if shared_events is not None:
+            kwargs = dict(kwargs, events=shared_events)
         return batch_fn(sessions=sessions, rng=rng, **kwargs)
-    sizes = chunk_sizes(sessions, chunks if chunks is not None else workers)
+    sizes = chunk_sizes(sessions, chunks if chunks is not None else requested)
     seeds = spawn_chunk_seeds(rng, len(sizes))
-    tasks = [
-        (batch_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
-    ]
+    if shared_events is None:
+        tasks = [
+            (batch_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
+        ]
+        chunk_fn: Callable[..., list] = _run_batch_chunk
+    else:
+        if not isinstance(shared_events, EventBlock):
+            raise TypeError(
+                f"shared_events must be an EventBlock, got "
+                f"{type(shared_events).__name__}"
+            )
+        payload = shared_events.to_bytes()
+        tasks = [
+            (batch_fn, size, seed, payload, kwargs)
+            for size, seed in zip(sizes, seeds)
+        ]
+        chunk_fn = _run_shared_batch_chunk
     merged: list = []
-    for part in parallel_map(_run_batch_chunk, tasks, workers):
+    for part in parallel_map(chunk_fn, tasks, workers):
         merged.extend(part)
     return merged
 
@@ -142,7 +333,7 @@ def _run_montecarlo_chunk(
 def run_parallel_montecarlo(
     mc_fn: Callable[..., Tuple[float, ...]],
     trials: int,
-    workers: int,
+    workers: Workers,
     rng: RandomSource = None,
     chunks: int | None = None,
     **kwargs: Any,
@@ -150,18 +341,31 @@ def run_parallel_montecarlo(
     """Parallel trial-mean estimator for Monte Carlo runners.
 
     ``mc_fn`` (e.g. :func:`~repro.experiments.runners.security_montecarlo`)
-    must take ``trials=`` / ``rng=`` keywords and return a tuple of
-    per-trial means; chunk results are merged as a trial-count-weighted
-    average, so the estimate is unbiased for any chunking.
+    must take ``trials=`` / ``rng=`` keywords and return a non-empty tuple
+    of per-trial means, the same width for every chunk; chunk results are
+    merged as a trial-count-weighted average, so the estimate is unbiased
+    for any chunking. Malformed chunk results (empty, or width-mismatched)
+    raise :class:`ValueError` instead of crashing the merge.
     """
-    check_positive_int(workers, "workers")
-    if workers == 1:
+    requested = worker_count(workers)
+    if requested == 1:
         return mc_fn(trials=trials, rng=rng, **kwargs)
-    sizes = chunk_sizes(trials, chunks if chunks is not None else workers)
+    sizes = chunk_sizes(trials, chunks if chunks is not None else requested)
     seeds = spawn_chunk_seeds(rng, len(sizes))
     tasks = [(mc_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)]
     results = parallel_map(_run_montecarlo_chunk, tasks, workers)
-    totals = np.zeros(len(results[0]))
+    width = None
+    for index, values in enumerate(results):
+        if width is None:
+            width = len(values)
+        if len(values) == 0 or len(values) != width:
+            raise ValueError(
+                f"montecarlo chunk {index} returned {len(values)} estimates "
+                f"(expected {width or 'at least one'}): "
+                f"{getattr(mc_fn, '__name__', mc_fn)!r} must return one "
+                "fixed-width non-empty tuple per chunk"
+            )
+    totals = np.zeros(width)
     for size, values in zip(sizes, results):
         totals += np.asarray(values, dtype=float) * size
     merged = totals / sum(sizes)

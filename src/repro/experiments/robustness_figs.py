@@ -21,7 +21,8 @@ from repro.adversary.dropping import DroppingRelays
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import run_parallel_batch
+from repro.contacts.events import ExponentialContactProcess
+from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
 from repro.experiments.runners import (
     RouteOutcome,
     run_faulty_graph_batch,
@@ -51,7 +52,7 @@ def figure_r1(
     deadline: float = 720.0,
     sessions: int = 150,
     seed: RandomSource = 201,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Delivery rate vs node availability: churned-graph model vs churn sim.
 
@@ -70,6 +71,7 @@ def figure_r1(
     rng = ensure_rng(seed)
     graph = random_contact_graph(config.n, config.mean_intercontact_range, rng=rng)
     children = spawn_rng(rng, 2 * len(availabilities))
+    parallel = worker_count(workers) > 1
 
     model_points: List[Tuple[float, float]] = []
     churn_points: List[Tuple[float, float]] = []
@@ -83,11 +85,21 @@ def figure_r1(
                 config.n, availability, mean_cycle, rng=churn_rng
             )
         )
+        # Parallel chunks share one pre-generated base stream; the churn
+        # filter still wraps it per chunk (filters are per-event iterators).
+        shared = (
+            ExponentialContactProcess(graph, rng=churn_rng).events_until_columnar(
+                deadline
+            )
+            if parallel
+            else None
+        )
         pairs = run_parallel_batch(
             run_faulty_graph_batch,
             sessions=sessions,
             workers=workers,
             rng=churn_rng,
+            shared_events=shared,
             graph=graph,
             group_size=config.group_size,
             onion_routers=config.onion_routers,
@@ -110,12 +122,21 @@ def figure_r1(
         ) / len(pairs)
         model_points.append((availability, model))
 
+        thinned = churned_graph(graph, availability)
+        scaled_shared = (
+            ExponentialContactProcess(thinned, rng=scaled_rng).events_until_columnar(
+                deadline
+            )
+            if parallel
+            else None
+        )
         scaled = run_parallel_batch(
             run_random_graph_batch,
             sessions=sessions,
             workers=workers,
             rng=scaled_rng,
-            graph=churned_graph(graph, availability),
+            shared_events=scaled_shared,
+            graph=thinned,
             group_size=config.group_size,
             onion_routers=config.onion_routers,
             copies=config.copies,
@@ -149,7 +170,7 @@ def figure_r2(
     custody_timeout: float = 30.0,
     max_retries: int = 3,
     seed: RandomSource = 202,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Delivery rate vs greyhole drop probability, with/without recovery.
 
@@ -167,6 +188,7 @@ def figure_r2(
     ).compromised
     recovery = RecoveryPolicy(custody_timeout=custody_timeout, max_retries=max_retries)
     children = spawn_rng(rng, 2 * len(drop_probs))
+    parallel = worker_count(workers) > 1
 
     model_points: List[Tuple[float, float]] = []
     plain_points: List[Tuple[float, float]] = []
@@ -174,11 +196,19 @@ def figure_r2(
     for index, drop_prob in enumerate(drop_probs):
         plain_rng, recovery_rng = children[2 * index], children[2 * index + 1]
         relays = DroppingRelays(compromised, drop_prob, rng=plain_rng)
+        shared = (
+            ExponentialContactProcess(graph, rng=plain_rng).events_until_columnar(
+                deadline
+            )
+            if parallel
+            else None
+        )
         pairs = run_parallel_batch(
             run_faulty_graph_batch,
             sessions=sessions,
             workers=workers,
             rng=plain_rng,
+            shared_events=shared,
             graph=graph,
             group_size=config.group_size,
             onion_routers=config.onion_routers,
@@ -203,11 +233,19 @@ def figure_r2(
         model_points.append((drop_prob, model))
 
         recovery_relays = DroppingRelays(compromised, drop_prob, rng=recovery_rng)
+        recovery_shared = (
+            ExponentialContactProcess(graph, rng=recovery_rng).events_until_columnar(
+                deadline
+            )
+            if parallel
+            else None
+        )
         recovered = run_parallel_batch(
             run_faulty_graph_batch,
             sessions=sessions,
             workers=workers,
             rng=recovery_rng,
+            shared_events=recovery_shared,
             graph=graph,
             group_size=config.group_size,
             onion_routers=config.onion_routers,

@@ -17,7 +17,11 @@ import numpy as np
 
 from repro.analysis.delivery import onion_path_rates
 from repro.analysis.hypoexponential import Hypoexponential
-from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
+from repro.contacts.events import (
+    ExponentialContactProcess,
+    TraceReplayProcess,
+    as_event_source,
+)
 from repro.contacts.graph import ContactGraph
 from repro.contacts.intercontact import estimate_rates_from_trace
 from repro.contacts.traces import ContactTrace
@@ -109,6 +113,8 @@ def run_random_graph_batch(
     rng: RandomSource = None,
     spray_policy: SprayPolicy = SprayPolicy.SOURCE,
     dispatch: str = "indexed",
+    events=None,
+    consume: str = "auto",
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -117,14 +123,28 @@ def run_random_graph_batch(
     contact process (they are read-only observers of it, so this is
     statistically equivalent to independent runs and much cheaper).
     ``dispatch`` selects the engine strategy; ``indexed`` and ``broadcast``
-    produce byte-identical outcomes.
+    produce byte-identical outcomes, as do the ``consume`` modes of the
+    indexed engine.
+
+    ``events`` overrides the sampled contact process with a pre-generated
+    source (an :class:`~repro.contacts.events.EventBlock` or any event
+    source) — the shared-stream parallel protocol uses this so worker
+    chunks replay one stream instead of re-sampling it. Note the override
+    skips the process's block pre-draws, so the per-session endpoint/route
+    draws sit at a different offset of the master stream than with
+    ``events=None``.
     """
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+    if events is None:
+        source = ExponentialContactProcess(graph, rng=generator)
+    else:
+        source = as_event_source(events)
     engine = SimulationEngine(
-        ExponentialContactProcess(graph, rng=generator),
+        source,
         horizon=horizon,
         dispatch=dispatch,
+        consume=consume,
     )
     pairs: List[RouteOutcome] = []
     live: List[ProtocolSession] = []
@@ -159,6 +179,7 @@ def run_faulty_graph_batch(
     relays=None,
     recovery: Optional[RecoveryPolicy] = None,
     dispatch: str = "indexed",
+    events=None,
 ) -> List[RouteOutcome]:
     """:func:`run_random_graph_batch` under injected faults.
 
@@ -168,10 +189,18 @@ def run_faulty_graph_batch(
     :class:`~repro.faults.recovery.FaultPlan`. The engine quarantines any
     session that raises, so a pathological route degrades one message, not
     the batch.
+
+    ``events`` overrides the sampled base stream (shared-stream parallel
+    chunks pass the parent's block here); the fault filters still wrap it,
+    and since they are per-event iterators the engine consumes the filtered
+    stream through the legacy iterator path.
     """
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
-    events = ExponentialContactProcess(graph, rng=generator)
+    if events is None:
+        events = ExponentialContactProcess(graph, rng=generator)
+    else:
+        events = as_event_source(events)
     if failstop is not None:
         events = FailStopContactProcess(events, failstop)
     if churn is not None:
@@ -329,6 +358,7 @@ def run_trace_batch(
     rng: RandomSource = None,
     overlapping: bool = False,
     dispatch: str = "indexed",
+    consume: str = "auto",
 ) -> List[RouteOutcome]:
     """Simulate onion routing sessions over a replayed trace.
 
@@ -360,7 +390,10 @@ def run_trace_batch(
             contacts_by_node.setdefault(record.b, []).append(record.start)
 
     engine = SimulationEngine(
-        TraceReplayProcess(trace), horizon=trace.end + 1.0, dispatch=dispatch
+        TraceReplayProcess(trace),
+        horizon=trace.end + 1.0,
+        dispatch=dispatch,
+        consume=consume,
     )
     pairs: List[RouteOutcome] = []
     attempts = 0

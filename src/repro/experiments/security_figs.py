@@ -13,7 +13,7 @@ from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
 from repro.analysis.traceable import traceable_rate_model
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import run_parallel_montecarlo
+from repro.experiments.parallel import Workers, run_parallel_montecarlo
 from repro.experiments.runners import security_montecarlo
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -23,7 +23,7 @@ def figure_06(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 6,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 6 — traceable rate vs compromised rate for K ∈ {3, 5, 10}."""
     generator = ensure_rng(seed)
@@ -72,7 +72,7 @@ def figure_07(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 7,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 7 — traceable rate vs number of onion relays for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -117,7 +117,7 @@ def figure_08(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 8,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 8 — path anonymity vs compromised rate for g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -165,7 +165,7 @@ def figure_09(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 9,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 9 — path anonymity vs group size for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -211,7 +211,7 @@ def figure_12(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 12,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 12 — path anonymity vs compromised rate for L ∈ {1, 3, 5} (g = 5)."""
     generator = ensure_rng(seed)
@@ -267,7 +267,7 @@ def figure_13(
     config: PaperConfig = DEFAULT_CONFIG,
     trials: int = 2000,
     seed: RandomSource = 13,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 13 — path anonymity vs group size for L ∈ {1, 3, 5} (c/n = 10%)."""
     generator = ensure_rng(seed)

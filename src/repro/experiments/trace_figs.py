@@ -18,6 +18,7 @@ from repro.contacts.traces import ContactTrace
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import (
+    Workers,
     run_parallel_batch,
     run_parallel_montecarlo,
 )
@@ -47,7 +48,7 @@ def _trace_delivery_series(
     rng: RandomSource,
     overlapping: bool,
     label: str,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> List[Series]:
     """(Analysis, Simulation) delivery series on one trace for one L."""
     generator = ensure_rng(rng)
@@ -87,7 +88,7 @@ def _trace_security_figure(
     seed: RandomSource,
     metric: str,
     overlapping: bool,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Shared body of the trace security figures (15, 16, 18, 19)."""
     generator = ensure_rng(seed)
@@ -157,7 +158,7 @@ def figure_14(
     deadlines: Sequence[float] = tuple(float(t) for t in range(120, 1801, 120)),
     sessions: int = 50,
     seed: RandomSource = 14,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 14 — delivery rate vs deadline (s) on the Cambridge-like trace."""
     generator = ensure_rng(seed)
@@ -189,7 +190,7 @@ def figure_15(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 15,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 15 — traceable rate vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -213,7 +214,7 @@ def figure_16(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 16,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 16 — path anonymity vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -243,7 +244,7 @@ def figure_17(
     deadlines: Sequence[float] = tuple(float(2**k) for k in range(4, 18)),
     sessions: int = 50,
     seed: RandomSource = 17,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 17 — delivery rate vs deadline (log s) on the Infocom-like trace.
 
@@ -285,7 +286,7 @@ def figure_18(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 18,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 18 — traceable rate vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -310,7 +311,7 @@ def figure_19(
     compromise_rates: Sequence[float] = tuple(c / 100 for c in range(5, 51, 5)),
     trials: int = 2000,
     seed: RandomSource = 19,
-    workers: int = 1,
+    workers: Workers = 1,
 ) -> FigureResult:
     """Fig. 19 — path anonymity vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(

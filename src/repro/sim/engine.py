@@ -45,7 +45,7 @@ class EventSource(TypingProtocol):
 class _SessionRecord:
     """Engine-side bookkeeping for one registered session."""
 
-    __slots__ = ("order", "session", "watched", "poll_at", "live")
+    __slots__ = ("order", "session", "watched", "poll_at", "live", "scalar", "versioned")
 
     def __init__(self, order: int, session: ProtocolSession):
         self.order = order
@@ -53,6 +53,13 @@ class _SessionRecord:
         self.watched = None  # frozenset of nodes, or None for broadcast
         self.poll_at = math.inf
         self.live = True
+        # Sessions overriding on_contact_scalar skip event materialisation.
+        self.scalar = (
+            type(session).on_contact_scalar is not ProtocolSession.on_contact_scalar
+        )
+        # Sessions maintaining state_version allow the columnar loop to
+        # skip the contract re-read after a provably no-op dispatch.
+        self.versioned = self.scalar and session.state_version is not None
 
 
 class SimulationEngine:
@@ -74,6 +81,16 @@ class SimulationEngine:
         ``"indexed"`` (default) routes each event through the interest
         index; ``"broadcast"`` scans every session per event (the legacy
         loop). Outcomes are identical; only the wall time differs.
+    consume:
+        How indexed dispatch reads the event source. ``"auto"`` (default)
+        consumes columnar :class:`~repro.contacts.events.EventBlock`
+        windows whenever the source implements ``events_until_columnar``
+        and falls back to the per-event iterator otherwise (e.g. fault
+        filters wrap the stream as plain iterators); ``"iterator"`` forces
+        the legacy per-event loop; ``"columnar"`` requires block support
+        and raises if the source has none. Outcomes are identical across
+        modes — the columnar loop dispatches the exact same events to the
+        exact same sessions in the same order.
     """
 
     def __init__(
@@ -82,6 +99,7 @@ class SimulationEngine:
         horizon: float,
         on_error: str = "quarantine",
         dispatch: str = "indexed",
+        consume: str = "auto",
     ):
         check_positive(horizon, "horizon")
         if on_error not in ("quarantine", "raise"):
@@ -92,10 +110,21 @@ class SimulationEngine:
             raise ValueError(
                 f"dispatch must be 'indexed' or 'broadcast', got {dispatch!r}"
             )
+        if consume not in ("auto", "iterator", "columnar"):
+            raise ValueError(
+                f"consume must be 'auto', 'iterator', or 'columnar', got {consume!r}"
+            )
+        if consume == "columnar" and not hasattr(events, "events_until_columnar"):
+            raise ValueError(
+                "consume='columnar' requires an event source with "
+                "events_until_columnar (got "
+                f"{type(events).__name__})"
+            )
         self._events = events
         self._horizon = horizon
         self._on_error = on_error
         self._dispatch = dispatch
+        self._consume = consume
         self._sessions: List[ProtocolSession] = []
         self._events_processed = 0
         self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
@@ -110,6 +139,11 @@ class SimulationEngine:
     def dispatch(self) -> str:
         """The dispatch strategy: ``indexed`` or ``broadcast``."""
         return self._dispatch
+
+    @property
+    def consume(self) -> str:
+        """The consumption mode: ``auto``, ``iterator``, or ``columnar``."""
+        return self._consume
 
     @property
     def events_processed(self) -> int:
@@ -146,8 +180,13 @@ class SimulationEngine:
             raise RuntimeError("no protocol sessions registered")
         if self._dispatch == "broadcast":
             self._run_broadcast()
-        else:
+        elif self._consume == "iterator" or (
+            self._consume == "auto"
+            and not hasattr(self._events, "events_until_columnar")
+        ):
             self._run_indexed()
+        else:
+            self._run_indexed_columnar()
 
     # ------------------------------------------------------------------
     # broadcast dispatch (legacy loop, kept for equivalence/benchmarks)
@@ -177,20 +216,23 @@ class SimulationEngine:
     # indexed dispatch
     # ------------------------------------------------------------------
 
-    def _run_indexed(self) -> None:
+    def _build_dispatch_state(self):
+        """The interest index, broadcast-fallback list, and wakeup heap."""
         index: Dict[int, List[_SessionRecord]] = {}
         always: List[_SessionRecord] = []  # broadcast-fallback records
         wakeups: List[Tuple[float, int, _SessionRecord]] = []
         live = 0
-        records: List[_SessionRecord] = []
         for order, session in enumerate(self._sessions):
             record = _SessionRecord(order, session)
-            records.append(record)
             if id(session) in self._quarantined_ids or session.done:
                 record.live = False
                 continue
             live += 1
             self._place(record, index, always, wakeups)
+        return index, always, wakeups, live
+
+    def _run_indexed(self) -> None:
+        index, always, wakeups, live = self._build_dispatch_state()
         if live == 0:
             return
 
@@ -254,6 +296,101 @@ class SimulationEngine:
                 elif record in due and new_poll != math.inf:
                     # Popped but unchanged (event at the exact poll time was
                     # a no-op): re-arm so the next event still wakes it.
+                    heapq.heappush(wakeups, (new_poll, record.order, record))
+            if live == 0:
+                return
+
+    def _run_indexed_columnar(self) -> None:
+        """Indexed dispatch fed by one columnar window instead of a stream.
+
+        Event-for-event equivalent to :meth:`_run_indexed`: the block holds
+        the same events in the same order (the producers guarantee it), and
+        the candidate assembly, dispatch order, contract re-reads, and
+        early-exit logic are identical. The only differences are that the
+        whole window is produced up front (one block instead of one heap
+        pop per event) and that :class:`ContactEvent` objects are built
+        lazily — only for sessions that do not implement the scalar
+        callback, and at most once per event.
+        """
+        index, always, wakeups, live = self._build_dispatch_state()
+        if live == 0:
+            return
+
+        block = self._events.events_until_columnar(self._horizon)
+        times = block.times.tolist()
+        nodes_a = block.a.tolist()
+        nodes_b = block.b.tolist()
+        index_get = index.get
+        for time, node_a, node_b in zip(times, nodes_a, nodes_b):
+            self._events_processed += 1
+            due: List[_SessionRecord] = []
+            while wakeups and wakeups[0][0] <= time:
+                poll_at, _, record = heapq.heappop(wakeups)
+                if record.live and record.poll_at == poll_at:
+                    due.append(record)
+
+            watching_a = index_get(node_a)
+            watching_b = index_get(node_b)
+            candidates: List[_SessionRecord]
+            if watching_b or always or due:
+                seen: set = set()
+                candidates = []
+                for group in (watching_a, watching_b, always, due):
+                    if not group:
+                        continue
+                    for record in group:
+                        if record.order not in seen:
+                            seen.add(record.order)
+                            candidates.append(record)
+            else:
+                candidates = list(watching_a) if watching_a else []
+            candidates.sort(key=_ORDER_KEY)
+
+            event: Optional[ContactEvent] = None
+            # ``due`` being empty means no wakeup entry was consumed this
+            # event, so a dispatch that leaves state_version unchanged needs
+            # no follow-up at all: done / watched_nodes() / next_poll_time()
+            # are all exactly as recorded and every heap entry is intact.
+            fast_ok = not due
+            for record in candidates:
+                if not record.live:
+                    continue
+                session = record.session
+                try:
+                    if record.scalar:
+                        if fast_ok and record.versioned:
+                            version = session.state_version
+                            session.on_contact_scalar(time, node_a, node_b)
+                            if session.state_version == version:
+                                continue
+                        else:
+                            session.on_contact_scalar(time, node_a, node_b)
+                    else:
+                        if event is None:
+                            event = ContactEvent(time=time, a=node_a, b=node_b)
+                        session.on_contact(event)
+                except Exception as error:
+                    if self._on_error == "raise":
+                        raise
+                    self._quarantine(session, error)
+                    self._retire(record, index, always)
+                    live -= 1
+                    continue
+                if session.done:
+                    self._retire(record, index, always)
+                    live -= 1
+                    continue
+                new_watched = session.watched_nodes()
+                if new_watched is not record.watched and new_watched != record.watched:
+                    self._unplace(record, index, always)
+                    record.watched = new_watched
+                    self._place_watched(record, index, always)
+                new_poll = session.next_poll_time()
+                if new_poll != record.poll_at:
+                    record.poll_at = new_poll
+                    if new_poll != math.inf:
+                        heapq.heappush(wakeups, (new_poll, record.order, record))
+                elif record in due and new_poll != math.inf:
                     heapq.heappush(wakeups, (new_poll, record.order, record))
             if live == 0:
                 return

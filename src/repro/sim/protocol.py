@@ -26,9 +26,31 @@ class ProtocolSession(abc.ABC):
     dispatched every event (broadcast fallback) and behaves identically.
     """
 
+    #: Optional mutation counter backing the engine's no-op fast path.
+    #:
+    #: A session that maintains this sets it to ``0`` in ``__init__`` and
+    #: increments it on *every* state change that could alter :attr:`done`,
+    #: :meth:`watched_nodes`, or :meth:`next_poll_time` (spurious increments
+    #: are harmless; a missed one breaks indexed dispatch). When the value
+    #: is unchanged across a dispatch the engine may skip re-reading the
+    #: whole contract for that event. ``None`` (the default) opts out.
+    state_version: Optional[int] = None
+
     @abc.abstractmethod
     def on_contact(self, event: ContactEvent) -> None:
         """React to a contact between ``event.a`` and ``event.b``."""
+
+    def on_contact_scalar(self, time: float, a: int, b: int) -> None:
+        """Scalar-argument twin of :meth:`on_contact`.
+
+        The engine's columnar consumption loop iterates ``(time, a, b)``
+        columns and prefers this hook: a session that overrides it is
+        dispatched without a :class:`ContactEvent` ever being allocated.
+        The default wraps the scalars and delegates, so overriding either
+        method alone keeps both entry points behaviourally identical —
+        overriders must preserve that equivalence.
+        """
+        self.on_contact(ContactEvent(time=time, a=a, b=b))
 
     @property
     @abc.abstractmethod

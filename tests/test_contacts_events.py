@@ -30,10 +30,14 @@ class TestContactEvent:
         with pytest.raises(ValueError, match="not part of"):
             event.peer_of(9)
 
-    def test_ordering_by_time(self):
-        early = ContactEvent(time=1.0, a=0, b=1)
-        late = ContactEvent(time=2.0, a=0, b=1)
-        assert early < late
+    def test_slots_no_instance_dict(self):
+        # The hot event dataclass is slotted: no per-instance __dict__, and
+        # no ordering protocol — nothing sorts event objects directly any
+        # more (the jitter buffer and the engine both order plain tuples).
+        event = ContactEvent(time=1.0, a=0, b=1)
+        assert not hasattr(event, "__dict__")
+        with pytest.raises(TypeError):
+            event < ContactEvent(time=2.0, a=0, b=1)
 
 
 class TestExponentialContactProcess:

@@ -5,7 +5,12 @@ import pytest
 
 from repro.cli import main
 from repro.contacts.random_graph import random_contact_graph
+from repro.contacts.events import (
+    ColumnarEventSource,
+    ExponentialContactProcess,
+)
 from repro.experiments.parallel import (
+    WorkerPool,
     chunk_sizes,
     parallel_map,
     run_parallel_batch,
@@ -157,3 +162,186 @@ class TestCliWorkersValidation:
 
     def test_accepts_workers_for_figure(self):
         assert main(["figure", "6", "--trials", "20", "--workers", "2"]) == 0
+
+
+def _boom(x):
+    if x == 2:
+        raise RuntimeError("chunk exploded")
+    return x
+
+
+class TestWorkerPool:
+    def test_requested_vs_effective(self):
+        pool = WorkerPool(8, max_processes=2)
+        assert pool.workers == 8
+        assert pool.processes == 2
+        pool.close()
+
+    def test_inline_when_effective_is_one(self):
+        with WorkerPool(4, max_processes=1) as pool:
+            assert pool.processes == 1
+            assert parallel_map(_square, [(k,) for k in range(4)], pool) == [
+                0, 1, 4, 9
+            ]
+            assert pool._executor is None  # never forked
+
+    def test_pool_reuse_matches_inline(self):
+        tasks = [(k,) for k in range(6)]
+        with WorkerPool(2, max_processes=2) as pool:
+            pooled_first = parallel_map(_square, tasks, pool)
+            pooled_second = parallel_map(_square, tasks, pool)
+        assert pooled_first == pooled_second == parallel_map(_square, tasks, 1)
+
+    def test_requested_workers_fix_chunk_layout(self, graph):
+        # A pool constrained to one process must still produce the
+        # requested-parallelism merge, not the serial stream.
+        chunked = _batch(graph, workers=4)
+        with WorkerPool(4, max_processes=1) as pool:
+            constrained = _batch(graph, workers=pool)
+        assert constrained == chunked
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)
+        with pytest.raises(ValueError):
+            WorkerPool(2, max_processes=0)
+
+
+class TestParallelMapErrors:
+    def test_inline_failure_notes_chunk_index(self):
+        tasks = [(k,) for k in range(4)]
+        with pytest.raises(RuntimeError) as excinfo:
+            parallel_map(_boom, tasks, 1)
+        assert any("chunk 2/4" in note for note in excinfo.value.__notes__)
+
+    def test_pooled_failure_notes_chunk_and_cancels(self):
+        tasks = [(k,) for k in range(4)]
+        with WorkerPool(2, max_processes=2) as pool:
+            with pytest.raises(RuntimeError) as excinfo:
+                parallel_map(_boom, tasks, pool)
+        notes = "\n".join(excinfo.value.__notes__)
+        assert "chunk 2/4" in notes
+        assert "cancelled" in notes
+
+
+def _empty_mc(trials, rng):
+    return ()
+
+
+def _widening_mc(trials, rng):
+    # Width depends on the chunk's trial count -> mismatched chunks.
+    return tuple(0.5 for _ in range(trials))
+
+
+class TestMontecarloValidation:
+    def test_empty_chunk_raises_value_error(self):
+        with pytest.raises(ValueError) as excinfo:
+            run_parallel_montecarlo(_empty_mc, trials=10, workers=2, rng=1)
+        assert "_empty_mc" in str(excinfo.value)
+        assert "chunk 0" in str(excinfo.value)
+
+    def test_width_mismatch_raises_value_error(self):
+        with pytest.raises(ValueError):
+            run_parallel_montecarlo(_widening_mc, trials=9, workers=2, rng=1)
+
+
+def _shared_signature(pairs):
+    return [
+        (o.delivered, o.delivery_time, o.transmissions, o.status)
+        for _, o in pairs
+    ]
+
+
+class TestSharedStreamParallel:
+    def _block(self, graph, horizon=240.0):
+        return ExponentialContactProcess(
+            graph, rng=np.random.default_rng(33)
+        ).events_until_columnar(horizon)
+
+    def test_matches_serial_replay_of_chunk_seeds(self, graph):
+        # The shared-stream merge must equal running each spawned chunk
+        # serially against a fresh cursor over the same block.
+        block = self._block(graph)
+        merged = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=24,
+            workers=4,
+            rng=np.random.default_rng(17),
+            shared_events=block,
+            graph=graph,
+            group_size=4,
+            onion_routers=2,
+            copies=1,
+            horizon=240.0,
+        )
+        sizes = chunk_sizes(24, 4)
+        seeds = spawn_chunk_seeds(np.random.default_rng(17), len(sizes))
+        replayed = []
+        for size, seed in zip(sizes, seeds):
+            replayed.extend(
+                run_random_graph_batch(
+                    graph, 4, 2, copies=1, horizon=240.0, sessions=size,
+                    rng=np.random.default_rng(seed),
+                    events=ColumnarEventSource(block),
+                )
+            )
+        assert _shared_signature(merged) == _shared_signature(replayed)
+
+    def test_pool_and_int_workers_agree(self, graph):
+        block = self._block(graph)
+
+        def run(workers):
+            return _shared_signature(
+                run_parallel_batch(
+                    run_random_graph_batch,
+                    sessions=24,
+                    workers=workers,
+                    rng=np.random.default_rng(17),
+                    shared_events=block,
+                    graph=graph,
+                    group_size=4,
+                    onion_routers=2,
+                    copies=1,
+                    horizon=240.0,
+                )
+            )
+
+        with WorkerPool(4, max_processes=2) as pool:
+            pooled = run(pool)
+        assert pooled == run(4)
+
+    def test_workers_1_uses_block_directly(self, graph):
+        block = self._block(graph)
+        direct = run_random_graph_batch(
+            graph, 4, 2, copies=1, horizon=240.0, sessions=24,
+            rng=np.random.default_rng(17),
+            events=ColumnarEventSource(block),
+        )
+        wrapped = run_parallel_batch(
+            run_random_graph_batch,
+            sessions=24,
+            workers=1,
+            rng=np.random.default_rng(17),
+            shared_events=block,
+            graph=graph,
+            group_size=4,
+            onion_routers=2,
+            copies=1,
+            horizon=240.0,
+        )
+        assert _shared_signature(direct) == _shared_signature(wrapped)
+
+    def test_rejects_non_block_shared_events(self, graph):
+        with pytest.raises(TypeError):
+            run_parallel_batch(
+                run_random_graph_batch,
+                sessions=8,
+                workers=2,
+                rng=1,
+                shared_events=object(),
+                graph=graph,
+                group_size=4,
+                onion_routers=2,
+                copies=1,
+                horizon=240.0,
+            )
