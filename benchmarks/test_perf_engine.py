@@ -87,7 +87,22 @@ def test_perf_parallel_batch(benchmark, workload_graph):
         iterations=1,
     )
     assert len(pairs) == SESSIONS
+
+    # Parallel chunks draw endpoints/routes from spawned SeedSequence
+    # children — a different (equally valid) sample than the serial master
+    # stream — so the delivered count may drift slightly from serial
+    # (BENCH_engine.json records 945 vs 946 on the reference workload).
+    # The divergence is expected; what must hold is that it stays a
+    # statistical wobble, not a systematic loss of deliveries.
+    serial = _run(workload_graph, "indexed")
+    delivered_serial = sum(1 for _, o in serial if o.delivered)
+    delivered_parallel = sum(1 for _, o in pairs if o.delivered)
+    tolerance = max(5, int(0.05 * SESSIONS))
+    assert abs(delivered_parallel - delivered_serial) <= tolerance
+
     benchmark.extra_info["workers"] = 2
+    benchmark.extra_info["delivered_serial"] = delivered_serial
+    benchmark.extra_info["delivered_parallel"] = delivered_parallel
 
 
 def test_perf_columnar_consume(benchmark, workload_graph):
@@ -121,6 +136,45 @@ def test_perf_columnar_consume(benchmark, workload_graph):
     benchmark.extra_info["events"] = events
     benchmark.extra_info["events_per_second_columnar"] = round(
         events / benchmark.stats["mean"], 1
+    )
+
+
+def test_perf_kernel_consume(benchmark, workload_graph):
+    events = count_events(workload_graph, 5, 3, SESSIONS, HORIZON, SEED)
+
+    def batch(consume):
+        return run_random_graph_batch(
+            workload_graph,
+            5,
+            3,
+            copies=1,
+            horizon=HORIZON,
+            sessions=SESSIONS,
+            rng=np.random.default_rng(SEED),
+            consume=consume,
+        )
+
+    start = time.perf_counter()
+    columnar = batch("columnar")
+    columnar_wall = time.perf_counter() - start
+
+    kernel = benchmark.pedantic(
+        lambda: batch("kernel"), rounds=3, iterations=1
+    )
+    kernel_wall = benchmark.stats["mean"]
+
+    assert outcome_signature(columnar) == outcome_signature(kernel)
+    # The end-to-end walls share the generation phase, so the ratio here
+    # understates the dispatch-only speedup BENCH_engine.json records; the
+    # kernel must still win end-to-end on this workload.
+    assert kernel_wall < columnar_wall
+
+    benchmark.extra_info["events"] = events
+    benchmark.extra_info["events_per_second_kernel"] = round(
+        events / kernel_wall, 1
+    )
+    benchmark.extra_info["speedup_vs_columnar"] = round(
+        columnar_wall / kernel_wall, 2
     )
 
 

@@ -1,28 +1,35 @@
 #!/usr/bin/env python
 """Diff a fresh engine-bench run against the committed baseline.
 
-Report-only: prints a markdown delta table (and appends it to
-``$GITHUB_STEP_SUMMARY`` when set, so it shows up on the workflow run
-page) and always exits 0 — absolute numbers depend on machine speed, so
-the delta is a trend signal, not a merge gate. Ratios (producer speedup,
-columnar-vs-indexed, parallel-vs-indexed) are machine-independent enough
-to be the numbers worth watching.
+Prints a markdown delta table (and appends it to ``$GITHUB_STEP_SUMMARY``
+when set, so it shows up on the workflow run page). Absolute numbers
+depend on machine speed, so they are reported as a trend signal only; the
+*ratio* metrics (producer speedup, columnar-vs-indexed,
+kernel-vs-columnar, parallel-vs-indexed) are machine-independent, and
+those are gated: a ratio regressing by more than ``--threshold`` percent
+(default 25%) against the committed baseline fails the run. Pass
+``--allow-regression`` to demote the gate back to report-only — e.g. when
+committing an intentional trade-off alongside a refreshed baseline.
 
 Usage::
 
     python scripts/bench_engine.py --quick --output bench_quick.json
     python scripts/bench_delta.py bench_quick.json            # vs BENCH_engine.json
     python scripts/bench_delta.py current.json baseline.json  # explicit baseline
+    python scripts/bench_delta.py current.json --allow-regression
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+
+DEFAULT_THRESHOLD = 25.0
 
 
 def _get(report: dict, *path):
@@ -43,54 +50,100 @@ def _fmt(value, unit=""):
     return f"{value:,}{unit}"
 
 
-def _delta(current, baseline, higher_is_better=True):
-    """Relative change column, signed so '+' always means improvement."""
+def _change_percent(current, baseline, higher_is_better=True):
+    """Signed relative change, '+' meaning improvement; None when unknown."""
     if current is None or baseline is None or not baseline:
-        return "n/a"
+        return None
     change = (current - baseline) / baseline * 100.0
     if not higher_is_better:
         change = -change
-    return f"{change:+.1f}%"
+    return change
+
+
+def _delta(current, baseline, higher_is_better=True):
+    change = _change_percent(current, baseline, higher_is_better)
+    return "n/a" if change is None else f"{change:+.1f}%"
 
 
 METRICS = (
-    # (label, key path, unit, higher-is-better)
+    # (label, key path, unit, higher-is-better, machine-independent ratio)
     ("producer speedup (columnar/iterator)",
-     ("producer", "columnar_producer_speedup"), "x", True),
+     ("producer", "columnar_producer_speedup"), "x", True, True),
     ("producer events/s (columnar)",
-     ("producer", "columnar_events_per_second"), "", True),
-    ("broadcast events/s", ("results", "broadcast", "events_per_second"), "", True),
-    ("indexed events/s", ("results", "indexed", "events_per_second"), "", True),
-    ("columnar events/s", ("results", "columnar", "events_per_second"), "", True),
-    ("columnar vs indexed", ("speedup_columnar_vs_indexed",), "x", True),
-    ("indexed vs broadcast", ("speedup_indexed_vs_broadcast",), "x", True),
+     ("producer", "columnar_events_per_second"), "", True, False),
+    ("broadcast events/s",
+     ("results", "broadcast", "events_per_second"), "", True, False),
+    ("indexed events/s",
+     ("results", "indexed", "events_per_second"), "", True, False),
+    ("columnar events/s",
+     ("results", "columnar", "events_per_second"), "", True, False),
+    ("kernel events/s",
+     ("results", "kernel", "events_per_second"), "", True, False),
+    ("columnar vs indexed",
+     ("speedup_columnar_vs_indexed",), "x", True, True),
+    ("indexed vs broadcast",
+     ("speedup_indexed_vs_broadcast",), "x", True, True),
+    ("kernel vs columnar dispatch",
+     ("speedup_kernel_vs_columnar",), "x", True, True),
     ("parallel speedup vs indexed",
-     ("results", "parallel", "speedup_vs_indexed"), "x", True),
-    ("parallel wall", ("results", "parallel", "wall_seconds"), "s", False),
+     ("results", "parallel", "speedup_vs_indexed"), "x", True, True),
+    ("parallel wall",
+     ("results", "parallel", "wall_seconds"), "s", False, False),
 )
 
 
-def build_table(current: dict, baseline: dict) -> str:
+def same_workload(current: dict, baseline: dict) -> bool:
+    """Whether the two reports measured the same reference workload."""
+    return _get(current, "workload") == _get(baseline, "workload")
+
+
+def find_regressions(current: dict, baseline: dict, threshold: float) -> list:
+    """Gated (ratio) metrics that regressed more than ``threshold`` percent.
+
+    Only the machine-independent ratio rows participate: absolute
+    throughput tracks runner speed, not code quality, and the gate has to
+    hold on arbitrary CI hardware. Even ratios shift with workload scale
+    (a shorter window amortises the producer less), so the gate only
+    fires when the workloads match — mismatched runs stay report-only.
+    """
+    if not same_workload(current, baseline):
+        return []
+    regressions = []
+    for label, path, _unit, higher, is_ratio in METRICS:
+        if not is_ratio:
+            continue
+        change = _change_percent(
+            _get(current, *path), _get(baseline, *path), higher
+        )
+        if change is not None and change < -threshold:
+            regressions.append((label, change))
+    return regressions
+
+
+def build_table(current: dict, baseline: dict, regressions: list) -> str:
+    gated = {label for label, _ in regressions}
     lines = [
-        "### Engine bench delta (report-only)",
+        "### Engine bench delta (ratio-gated)",
         "",
         "| metric | current | baseline | delta |",
         "|---|---|---|---|",
     ]
-    for label, path, unit, higher in METRICS:
+    for label, path, unit, higher, _is_ratio in METRICS:
         cur = _get(current, *path)
         base = _get(baseline, *path)
+        marker = " ⚠" if label in gated else ""
         lines.append(
-            f"| {label} | {_fmt(cur, unit)} | {_fmt(base, unit)} "
+            f"| {label}{marker} | {_fmt(cur, unit)} | {_fmt(base, unit)} "
             f"| {_delta(cur, base, higher)} |"
         )
-    cur_sessions = _get(current, "workload", "sessions")
-    base_sessions = _get(baseline, "workload", "sessions")
-    if cur_sessions != base_sessions:
+    if not same_workload(current, baseline):
+        cur_sessions = _get(current, "workload", "sessions")
+        base_sessions = _get(baseline, "workload", "sessions")
         lines.append("")
         lines.append(
             f"_workloads differ ({cur_sessions} vs {base_sessions} sessions): "
-            "absolute rows are not comparable, ratios still are._"
+            "rows are not directly comparable, so the regression gate is "
+            "report-only for this pair._"
         )
     identical = _get(current, "identical_outcomes")
     lines.append("")
@@ -99,20 +152,35 @@ def build_table(current: dict, baseline: dict) -> str:
 
 
 def main(argv=None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if not 1 <= len(argv) <= 2:
-        print(__doc__, file=sys.stderr)
-        return 0
-    current_path = Path(argv[0])
-    baseline_path = Path(argv[1]) if len(argv) == 2 else ROOT / "BENCH_engine.json"
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[1],
+    )
+    parser.add_argument("current", type=Path, help="fresh bench JSON to check")
+    parser.add_argument(
+        "baseline", type=Path, nargs="?", default=ROOT / "BENCH_engine.json",
+        help="baseline JSON (default: committed BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD, metavar="PCT",
+        help="ratio regression percentage that fails the gate "
+        f"(default {DEFAULT_THRESHOLD:g})",
+    )
+    parser.add_argument(
+        "--allow-regression", action="store_true",
+        help="report regressions but exit 0 anyway (escape hatch for "
+        "intentional trade-offs landing with a refreshed baseline)",
+    )
+    args = parser.parse_args(argv)
+
     try:
-        current = json.loads(current_path.read_text())
-        baseline = json.loads(baseline_path.read_text())
+        current = json.loads(args.current.read_text())
+        baseline = json.loads(args.baseline.read_text())
     except (OSError, json.JSONDecodeError) as error:
         print(f"bench-delta: cannot compare ({error}); skipping", file=sys.stderr)
         return 0
 
-    table = build_table(current, baseline)
+    regressions = find_regressions(current, baseline, args.threshold)
+    table = build_table(current, baseline, regressions)
     try:
         print(table)
     except BrokenPipeError:  # e.g. piped into head
@@ -121,6 +189,20 @@ def main(argv=None) -> int:
     if summary_path:
         with open(summary_path, "a", encoding="utf-8") as handle:
             handle.write(table + "\n")
+    if regressions:
+        for label, change in regressions:
+            print(
+                f"bench-delta: {label} regressed {change:.1f}% "
+                f"(threshold -{args.threshold:g}%)",
+                file=sys.stderr,
+            )
+        if args.allow_regression:
+            print(
+                "bench-delta: --allow-regression set; not failing the gate",
+                file=sys.stderr,
+            )
+            return 0
+        return 1
     return 0
 
 

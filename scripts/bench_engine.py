@@ -16,6 +16,9 @@ horizon. The script measures two layers of the pipeline:
     baseline all speedups are quoted against),
   - ``columnar``  — interest-indexed dispatch consuming one pre-built
     columnar window (``consume="columnar"``),
+  - ``kernel``    — the struct-of-arrays :class:`BatchKernel` sweep
+    (``consume="kernel"``): eligible fault-free single-copy sessions are
+    advanced by array operations, dispatching only state-changing events,
   - ``parallel``  — the columnar engine under ``run_parallel_batch`` with
     a *shared* event stream: the window is generated once, serialised,
     and replayed by every worker chunk instead of re-sampled per chunk.
@@ -28,6 +31,7 @@ the measurements land in ``BENCH_engine.json`` at the repo root::
 
     python scripts/bench_engine.py                 # full reference workload
     python scripts/bench_engine.py --quick         # CI smoke (seconds)
+    python scripts/bench_engine.py --mode kernel   # columnar + kernel only
     python scripts/bench_engine.py --repeat 3      # best-of-3 walls
     python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
 
@@ -165,6 +169,7 @@ def run_benchmark(
     seed: int,
     repeat: int = 1,
     profile_path: Path | None = None,
+    mode: str = "all",
 ) -> dict:
     graph_rng = np.random.default_rng(seed)
     graph = random_contact_graph(
@@ -182,8 +187,16 @@ def run_benchmark(
         ("broadcast", dict(dispatch="broadcast")),
         ("indexed", dict(dispatch="indexed", consume="iterator")),
         ("columnar", dict(dispatch="indexed", consume="columnar")),
+        ("kernel", dict(dispatch="indexed", consume="kernel")),
     )
-    for mode, mode_kwargs in batch_modes:
+    if mode == "kernel":
+        # CI smoke subset: just the pair whose identity/speedup the kernel
+        # acceptance criteria are quoted against.
+        batch_modes = tuple(
+            (name, kwargs) for name, kwargs in batch_modes
+            if name in ("columnar", "kernel")
+        )
+    for bench_mode, mode_kwargs in batch_modes:
 
         def batch():
             return run_random_graph_batch(
@@ -199,10 +212,14 @@ def run_benchmark(
 
         wall, pairs = _best_wall(batch, repeat)
         generation = _generation_seconds(
-            graph, seed, horizon, columnar=(mode == "columnar"), repeat=repeat
+            graph,
+            seed,
+            horizon,
+            columnar=(bench_mode in ("columnar", "kernel")),
+            repeat=repeat,
         )
-        signatures[mode] = outcome_signature(pairs)
-        results[mode] = {
+        signatures[bench_mode] = outcome_signature(pairs)
+        results[bench_mode] = {
             "wall_seconds": round(wall, 4),
             "generation_seconds": round(generation, 4),
             "dispatch_seconds": round(max(wall - generation, 0.0), 4),
@@ -230,52 +247,64 @@ def run_benchmark(
         stats.print_stats(12)
         print(f"profile: {profile_path}")
 
-    # Shared-stream parallel: generate the window once in the parent,
-    # serialise it, and let every worker chunk replay it. The block
-    # generation and serialisation are charged to the parallel wall — the
-    # comparison against the indexed row is end-to-end.
-    def shared_block():
-        return ExponentialContactProcess(
-            graph, rng=np.random.default_rng(seed)
-        ).events_until_columnar(horizon)
+    if mode == "all":
+        # Shared-stream parallel: generate the window once in the parent,
+        # serialise it, and let every worker chunk replay it. The block
+        # generation and serialisation are charged to the parallel wall —
+        # the comparison against the indexed row is end-to-end.
+        def shared_block():
+            return ExponentialContactProcess(
+                graph, rng=np.random.default_rng(seed)
+            ).events_until_columnar(horizon)
 
-    with WorkerPool(workers) as pool:
-        pool.warm()
+        with WorkerPool(workers) as pool:
+            pool.warm()
 
-        def parallel_batch():
-            block = shared_block()
-            return (
-                block,
-                run_parallel_batch(
-                    run_random_graph_batch,
-                    sessions=sessions,
-                    workers=pool,
-                    rng=np.random.default_rng(seed),
-                    shared_events=block,
-                    graph=graph,
-                    group_size=group_size,
-                    onion_routers=onion_routers,
-                    copies=copies,
-                    horizon=horizon,
-                ),
-            )
+            def parallel_batch():
+                block = shared_block()
+                return (
+                    block,
+                    run_parallel_batch(
+                        run_random_graph_batch,
+                        sessions=sessions,
+                        workers=pool,
+                        rng=np.random.default_rng(seed),
+                        shared_events=block,
+                        graph=graph,
+                        group_size=group_size,
+                        onion_routers=onion_routers,
+                        copies=copies,
+                        horizon=horizon,
+                    ),
+                )
 
-        wall, (block, parallel_pairs) = _best_wall(parallel_batch, repeat)
-        effective = pool.processes
+            wall, (block, parallel_pairs) = _best_wall(parallel_batch, repeat)
+            effective = pool.processes
 
-    results["parallel"] = {
-        "wall_seconds": round(wall, 4),
-        "workers_requested": workers,
-        "workers_effective": effective,
-        "stream_events": len(block),
-        "stream_bytes": len(block.to_bytes()),
-        "delivered": sum(1 for _, o in parallel_pairs if o.delivered),
-        "speedup_vs_indexed": round(
-            results["indexed"]["wall_seconds"] / wall, 2
-        ),
-    }
+        delivered_serial = results["columnar"]["delivered"]
+        delivered_parallel = sum(1 for _, o in parallel_pairs if o.delivered)
+        results["parallel"] = {
+            "wall_seconds": round(wall, 4),
+            "workers_requested": workers,
+            "workers_effective": effective,
+            "stream_events": len(block),
+            "stream_bytes": len(block.to_bytes()),
+            "delivered": delivered_parallel,
+            "delivered_serial": delivered_serial,
+            "delivered_delta": delivered_parallel - delivered_serial,
+            "note": (
+                "parallel chunks draw endpoints/routes from spawned "
+                "SeedSequence children, a different (equally valid) sample "
+                "than the serial master stream; a small delivered-count "
+                "divergence is expected and bounded by the tolerance "
+                "asserted in benchmarks/test_perf_engine.py"
+            ),
+            "speedup_vs_indexed": round(
+                results["indexed"]["wall_seconds"] / wall, 2
+            ),
+        }
 
-    return {
+    report = {
         "workload": {
             "sessions": sessions,
             "n": n,
@@ -292,20 +321,27 @@ def run_benchmark(
         },
         "producer": producer,
         "results": results,
-        "identical_outcomes": (
-            signatures["broadcast"] == signatures["indexed"] == signatures["columnar"]
+        "identical_outcomes": all(
+            sig == signatures["columnar"] for sig in signatures.values()
         ),
-        "speedup_indexed_vs_broadcast": round(
-            results["broadcast"]["wall_seconds"]
-            / results["indexed"]["wall_seconds"],
-            2,
-        ),
-        "speedup_columnar_vs_indexed": round(
-            results["indexed"]["wall_seconds"]
-            / results["columnar"]["wall_seconds"],
+        "speedup_kernel_vs_columnar": round(
+            results["columnar"]["dispatch_seconds"]
+            / max(results["kernel"]["dispatch_seconds"], 1e-9),
             2,
         ),
     }
+    if mode == "all":
+        report["speedup_indexed_vs_broadcast"] = round(
+            results["broadcast"]["wall_seconds"]
+            / results["indexed"]["wall_seconds"],
+            2,
+        )
+        report["speedup_columnar_vs_indexed"] = round(
+            results["indexed"]["wall_seconds"]
+            / results["columnar"]["wall_seconds"],
+            2,
+        )
+    return report
 
 
 def main(argv=None) -> int:
@@ -313,6 +349,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--quick", action="store_true",
         help="small CI-smoke workload instead of the 1000-session reference",
+    )
+    parser.add_argument(
+        "--mode", choices=("all", "kernel"), default="all",
+        help="'all' runs every strategy; 'kernel' times only the "
+        "columnar/kernel pair (the CI smoke for the batch-kernel gate)",
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
@@ -347,45 +388,59 @@ def main(argv=None) -> int:
         seed=args.seed,
         repeat=max(1, args.repeat),
         profile_path=args.profile,
+        mode=args.mode,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
     producer = report["producer"]
-    broadcast = report["results"]["broadcast"]
-    indexed = report["results"]["indexed"]
-    columnar = report["results"]["columnar"]
-    parallel = report["results"]["parallel"]
+    results = report["results"]
     print(f"workload: {sessions} sessions, n=100, horizon={horizon:g}")
     print(
         f"producer:  iterator {producer['legacy_iterator_seconds']:.3f}s, "
         f"columnar {producer['columnar_seconds']:.3f}s  "
         f"speedup {producer['columnar_producer_speedup']:.2f}x"
     )
-    for name, row in (
-        ("broadcast", broadcast), ("indexed", indexed), ("columnar", columnar)
-    ):
+    for name in ("broadcast", "indexed", "columnar", "kernel"):
+        row = results.get(name)
+        if row is None:
+            continue
         print(
             f"{name + ':':<10} {row['wall_seconds']:8.3f}s "
             f"(gen {row['generation_seconds']:.3f}s + "
             f"dispatch {row['dispatch_seconds']:.3f}s, "
             f"{row['events_per_second']:>9.1f} events/s)"
         )
+    parallel = results.get("parallel")
+    if parallel is not None:
+        print(
+            f"parallel:  {parallel['wall_seconds']:8.3f}s "
+            f"({parallel['workers_requested']} workers requested, "
+            f"{parallel['workers_effective']} effective, "
+            f"{parallel['stream_bytes']} stream bytes)  "
+            f"speedup vs indexed {parallel['speedup_vs_indexed']:.2f}x"
+        )
+        print(
+            f"parallel delivered {parallel['delivered']} vs serial "
+            f"{parallel['delivered_serial']} "
+            f"(delta {parallel['delivered_delta']:+d}; expected — spawned "
+            "chunk seeds sample different endpoints/routes)"
+        )
+    if "speedup_columnar_vs_indexed" in report:
+        print(
+            f"columnar vs indexed: "
+            f"{report['speedup_columnar_vs_indexed']:.2f}x, "
+            f"indexed vs broadcast: "
+            f"{report['speedup_indexed_vs_broadcast']:.2f}x"
+        )
     print(
-        f"parallel:  {parallel['wall_seconds']:8.3f}s "
-        f"({parallel['workers_requested']} workers requested, "
-        f"{parallel['workers_effective']} effective, "
-        f"{parallel['stream_bytes']} stream bytes)  "
-        f"speedup vs indexed {parallel['speedup_vs_indexed']:.2f}x"
-    )
-    print(
-        f"columnar vs indexed: {report['speedup_columnar_vs_indexed']:.2f}x, "
-        f"indexed vs broadcast: {report['speedup_indexed_vs_broadcast']:.2f}x"
+        "kernel vs columnar dispatch: "
+        f"{report['speedup_kernel_vs_columnar']:.2f}x"
     )
     print(f"identical outcomes: {report['identical_outcomes']}")
     print(f"report: {args.output}")
     if not report["identical_outcomes"]:
         print(
-            "ERROR: broadcast/indexed/columnar outcomes diverged",
+            "ERROR: serial dispatch modes produced divergent outcomes",
             file=sys.stderr,
         )
         return 1

@@ -64,7 +64,10 @@ class Hypoexponential:
         self._method = method
         # The instance is immutable, so derived quantities are computed at
         # most once: Eq. 5 coefficients, the uniformized DTMC, and the
-        # rate-separation predicate are all hot in cdf/pdf sweeps.
+        # rate-separation predicate are all hot in cdf/pdf sweeps. The rate
+        # array is materialised up front for the same reason — cdf/pdf were
+        # re-converting the tuple on every call of a deadline sweep.
+        self._rates_arr = np.asarray(self._rates, dtype=float)
         self._coefficients_cache: Union[np.ndarray, None] = None
         self._transition_cache: Union[tuple[np.ndarray, float], None] = None
         self._distinct_cache: Union[bool, None] = None
@@ -119,7 +122,7 @@ class Hypoexponential:
                 "use method='matrix'"
             )
         if self._coefficients_cache is None:
-            rates = np.asarray(self._rates)
+            rates = self._rates_arr
             coeffs = np.empty_like(rates)
             for k in range(len(rates)):
                 others = np.delete(rates, k)
@@ -129,7 +132,7 @@ class Hypoexponential:
 
     def _cdf_closed_form(self, t: np.ndarray) -> np.ndarray:
         coeffs = self.coefficients()
-        rates = np.asarray(self._rates)
+        rates = self._rates_arr
         # F(t) = Σ_k A_k (1 - e^{-λ_k t})  (paper Eq. 6)
         terms = coeffs[None, :] * (-np.expm1(-np.outer(t, rates)))
         return terms.sum(axis=1)
@@ -193,9 +196,26 @@ class Hypoexponential:
     # public distribution API
     # ------------------------------------------------------------------
 
+    @staticmethod
+    def _as_time_grid(t: Union[float, Sequence[float]]) -> np.ndarray:
+        """A 1-D float64 view of ``t``, copying only when conversion demands.
+
+        Figure sweeps evaluate hundreds of routes on one shared deadline
+        grid; handing that grid back untouched keeps the per-route cost at
+        the evaluation itself. The grid is only read, never written.
+        """
+        if isinstance(t, np.ndarray) and t.dtype == np.float64 and t.ndim == 1:
+            return t
+        return np.atleast_1d(np.asarray(t, dtype=float))
+
     def cdf(self, t: Union[float, Sequence[float]]) -> Union[float, np.ndarray]:
-        """``P[delay ≤ t]``; accepts a scalar or an array of times."""
-        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        """``P[delay ≤ t]``; accepts a scalar or an array of times.
+
+        A precomputed one-dimensional float64 grid is used as-is — no
+        copy, no re-broadcast — so sweeping many routes over one shared
+        deadline grid costs the conversion once, at grid creation.
+        """
+        t_arr = self._as_time_grid(t)
         if np.any(t_arr < 0):
             raise ValueError("times must be non-negative")
 
@@ -223,11 +243,14 @@ class Hypoexponential:
         return 1.0 - result
 
     def pdf(self, t: Union[float, Sequence[float]]) -> Union[float, np.ndarray]:
-        """Probability density of the total delay."""
-        t_arr = np.atleast_1d(np.asarray(t, dtype=float))
+        """Probability density of the total delay.
+
+        Accepts precomputed float64 grids without copying, like :meth:`cdf`.
+        """
+        t_arr = self._as_time_grid(t)
         if np.any(t_arr < 0):
             raise ValueError("times must be non-negative")
-        rates = np.asarray(self._rates)
+        rates = self._rates_arr
         if self._method != "matrix" and self.has_distinct_rates():
             coeffs = self.coefficients()
             values = (coeffs * rates)[None, :] * np.exp(-np.outer(t_arr, rates))

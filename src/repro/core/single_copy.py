@@ -133,6 +133,31 @@ class SingleCopySession(ProtocolSession):
         return self._holder
 
     @property
+    def next_hop(self) -> int:
+        """1-based index of the hop about to happen (``eta`` = final hop)."""
+        return self._next_hop
+
+    @property
+    def created_at(self) -> float:
+        """When the bundle came into existence."""
+        return self._created_at
+
+    @property
+    def expires_at(self) -> float:
+        """Deadline after which the bundle is discarded at forwarding time."""
+        return self._expires_at
+
+    @property
+    def faults(self) -> Optional["FaultPlan"]:
+        """The fault plan this session is subject to (``None`` = fault-free)."""
+        return self._faults
+
+    @property
+    def recovery(self) -> Optional["RecoveryPolicy"]:
+        """The custody-recovery policy, when one is armed."""
+        return self._recovery
+
+    @property
     def onion(self) -> Optional[Onion]:
         """The layered onion carried with the message, when crypto is on."""
         return self._onion

@@ -29,6 +29,7 @@ def delivery_variant_series(
     rng: RandomSource,
     label: str,
     workers: Workers = 1,
+    kernel: bool = True,
 ) -> Tuple[Series, Series]:
     """One (Analysis, Simulation) series pair for a parameter variant.
 
@@ -39,6 +40,12 @@ def delivery_variant_series(
     shares a single pre-generated columnar event stream between the
     chunks (deterministic for a fixed seed); one worker keeps the
     historical seed-exact serial behaviour.
+
+    ``kernel`` (default on) lets eligible fault-free single-copy batches
+    run through the struct-of-arrays
+    :class:`~repro.sim.kernel.BatchKernel`; ineligible sessions (e.g.
+    the multi-copy variants of Fig. 10) transparently fall back to the
+    columnar object path with byte-identical outcomes either way.
     """
     generator = ensure_rng(rng)
     deadlines = config.deadlines
@@ -66,6 +73,7 @@ def delivery_variant_series(
             workers=workers,
             rng=graph_rng,
             shared_events=shared,
+            kernel=kernel,
             graph=graph,
             group_size=group_size,
             onion_routers=onion_routers,
@@ -91,6 +99,7 @@ def figure_04(
     sessions_per_graph: int = 40,
     seed: RandomSource = 4,
     workers: Workers = 1,
+    kernel: bool = True,
 ) -> FigureResult:
     """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -107,6 +116,7 @@ def figure_04(
             rng=generator,
             label=f"g={group_size}",
             workers=workers,
+            kernel=kernel,
         )
         analysis.append(a)
         simulation.append(s)
@@ -127,6 +137,7 @@ def figure_05(
     sessions_per_graph: int = 40,
     seed: RandomSource = 5,
     workers: Workers = 1,
+    kernel: bool = True,
 ) -> FigureResult:
     """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers."""
     generator = ensure_rng(seed)
@@ -142,6 +153,7 @@ def figure_05(
             rng=generator,
             label=f"{onion_routers} onions",
             workers=workers,
+            kernel=kernel,
         )
         analysis.append(a)
         simulation.append(s)
@@ -161,6 +173,7 @@ def figure_10(
     sessions_per_graph: int = 40,
     seed: RandomSource = 10,
     workers: Workers = 1,
+    kernel: bool = True,
 ) -> FigureResult:
     """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
 
@@ -180,6 +193,7 @@ def figure_10(
             rng=generator,
             label=f"L={copies}",
             workers=workers,
+            kernel=kernel,
         )
         analysis.append(a)
         simulation.append(s)

@@ -259,6 +259,7 @@ def run_parallel_batch(
     rng: RandomSource = None,
     chunks: int | None = None,
     shared_events: EventBlock | None = None,
+    kernel: bool | None = None,
     **kwargs: Any,
 ) -> list:
     """Run a session batch split across ``workers`` processes.
@@ -285,11 +286,18 @@ def run_parallel_batch(
         Optional pre-generated :class:`EventBlock` shipped to every chunk
         (``batch_fn`` must accept an ``events=`` keyword). Without it each
         chunk regenerates its own event stream from the chunk seed.
+    kernel:
+        When not ``None``, forwarded to ``batch_fn`` as its ``kernel=``
+        knob (struct-of-arrays sweep for eligible sessions in every
+        chunk). ``None`` omits the keyword, keeping compatibility with
+        batch functions that predate it.
 
     Results are concatenated in chunk order, so the merged list is
     deterministic for a fixed master seed and requested worker count,
     regardless of the effective pool size or completion order.
     """
+    if kernel is not None:
+        kwargs = dict(kwargs, kernel=kernel)
     requested = worker_count(workers)
     if requested == 1:
         if shared_events is not None:
@@ -336,6 +344,7 @@ def run_parallel_montecarlo(
     workers: Workers,
     rng: RandomSource = None,
     chunks: int | None = None,
+    kernel: bool | None = None,
     **kwargs: Any,
 ) -> Tuple[float, ...]:
     """Parallel trial-mean estimator for Monte Carlo runners.
@@ -346,7 +355,12 @@ def run_parallel_montecarlo(
     merged as a trial-count-weighted average, so the estimate is unbiased
     for any chunking. Malformed chunk results (empty, or width-mismatched)
     raise :class:`ValueError` instead of crashing the merge.
+
+    ``kernel`` follows the :func:`run_parallel_batch` convention: ``None``
+    omits the keyword, anything else is forwarded to ``mc_fn``.
     """
+    if kernel is not None:
+        kwargs = dict(kwargs, kernel=kernel)
     requested = worker_count(workers)
     if requested == 1:
         return mc_fn(trials=trials, rng=rng, **kwargs)

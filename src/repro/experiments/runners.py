@@ -115,6 +115,7 @@ def run_random_graph_batch(
     dispatch: str = "indexed",
     events=None,
     consume: str = "auto",
+    kernel: bool = False,
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -133,7 +134,14 @@ def run_random_graph_batch(
     skips the process's block pre-draws, so the per-session endpoint/route
     draws sit at a different offset of the master stream than with
     ``events=None``.
+
+    ``kernel=True`` is shorthand for ``consume="kernel"``: eligible
+    fault-free single-copy sessions are swept by the struct-of-arrays
+    :class:`~repro.sim.kernel.BatchKernel` and everything else falls back
+    to the columnar object loop, with byte-identical outcomes.
     """
+    if kernel:
+        consume = "kernel"
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
     if events is None:
@@ -180,6 +188,7 @@ def run_faulty_graph_batch(
     recovery: Optional[RecoveryPolicy] = None,
     dispatch: str = "indexed",
     events=None,
+    kernel: bool = False,
 ) -> List[RouteOutcome]:
     """:func:`run_random_graph_batch` under injected faults.
 
@@ -194,6 +203,12 @@ def run_faulty_graph_batch(
     chunks pass the parent's block here); the fault filters still wrap it,
     and since they are per-event iterators the engine consumes the filtered
     stream through the legacy iterator path.
+
+    ``kernel=True`` requests ``consume="kernel"``. It only bites when no
+    fault filter wraps the stream (iterator filters force the legacy
+    loop) and no :class:`~repro.faults.recovery.FaultPlan` is attached —
+    i.e. exactly when this call degenerates to the fault-free batch — so
+    it is safe to leave on in sweeps that include a fault-free baseline.
     """
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
@@ -208,7 +223,12 @@ def run_faulty_graph_batch(
     plan: Optional[FaultPlan] = None
     if failstop is not None or relays is not None:
         plan = FaultPlan(failstop=failstop, relays=relays)
-    engine = SimulationEngine(events, horizon=horizon, dispatch=dispatch)
+    engine = SimulationEngine(
+        events,
+        horizon=horizon,
+        dispatch=dispatch,
+        consume="kernel" if kernel else "auto",
+    )
     pairs: List[RouteOutcome] = []
     for _ in range(sessions):
         source, destination = sample_endpoints(graph.n, generator)
@@ -359,6 +379,7 @@ def run_trace_batch(
     overlapping: bool = False,
     dispatch: str = "indexed",
     consume: str = "auto",
+    kernel: bool = False,
 ) -> List[RouteOutcome]:
     """Simulate onion routing sessions over a replayed trace.
 
@@ -372,7 +393,12 @@ def run_trace_batch(
     many sessions could be placed — logged as a warning — rather than
     discarding the partial work. Callers should check ``len(result)``
     against ``sessions`` when the distinction matters.
+
+    ``kernel=True`` is shorthand for ``consume="kernel"`` — see
+    :func:`run_random_graph_batch`.
     """
+    if kernel:
+        consume = "kernel"
     generator = ensure_rng(rng)
     trace = trace.normalized()
     n = trace.n

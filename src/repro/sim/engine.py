@@ -16,6 +16,16 @@ Two dispatch strategies are provided:
 Both strategies dispatch the sessions touched by one event in registration
 order, so shared sampled state (e.g. per-receive greyhole draws) consumes
 identical random streams and the two modes produce byte-identical outcomes.
+
+On top of the indexed strategy, ``consume="kernel"`` (or the
+``dispatch="kernel"`` shorthand) peels the *kernel-eligible* sessions —
+fault-free, recovery-free, keyring-free single-copy, see
+:meth:`repro.sim.kernel.BatchKernel.supports` — out of the per-object loop
+entirely and sweeps them over the columnar window with
+:class:`~repro.sim.kernel.BatchKernel` array operations; every other
+session (and every session when the source cannot produce columnar
+windows) transparently falls back to the regular columnar/iterator object
+path. Outcomes stay byte-identical with every other mode.
 """
 
 from __future__ import annotations
@@ -88,9 +98,21 @@ class SimulationEngine:
         and falls back to the per-event iterator otherwise (e.g. fault
         filters wrap the stream as plain iterators); ``"iterator"`` forces
         the legacy per-event loop; ``"columnar"`` requires block support
-        and raises if the source has none. Outcomes are identical across
-        modes — the columnar loop dispatches the exact same events to the
-        exact same sessions in the same order.
+        and raises if the source has none; ``"kernel"`` additionally sweeps
+        kernel-eligible sessions with the struct-of-arrays
+        :class:`~repro.sim.kernel.BatchKernel` and runs the rest through
+        the columnar object loop (degrading all the way to the iterator
+        loop when the source has no block support). Outcomes are identical
+        across all modes — the columnar loop dispatches the exact same
+        events to the exact same sessions in the same order, and the
+        kernel dispatches exactly the state-changing subset of them
+        through the same scalar session hook.
+
+    One bookkeeping caveat: under ``consume="kernel"`` with every session
+    kernel-eligible, :attr:`events_processed` counts the whole consumed
+    window (the kernel proves most events are no-ops without dispatching
+    them), whereas the object loops stop counting at their early exit.
+    Outcomes are unaffected.
     """
 
     def __init__(
@@ -106,13 +128,19 @@ class SimulationEngine:
             raise ValueError(
                 f"on_error must be 'quarantine' or 'raise', got {on_error!r}"
             )
+        if dispatch == "kernel":
+            # Shorthand: kernel consumption is a refinement of indexed
+            # dispatch, so ``dispatch="kernel"`` means indexed + kernel.
+            dispatch, consume = "indexed", "kernel"
         if dispatch not in ("indexed", "broadcast"):
             raise ValueError(
-                f"dispatch must be 'indexed' or 'broadcast', got {dispatch!r}"
+                f"dispatch must be 'indexed', 'broadcast', or 'kernel', "
+                f"got {dispatch!r}"
             )
-        if consume not in ("auto", "iterator", "columnar"):
+        if consume not in ("auto", "iterator", "columnar", "kernel"):
             raise ValueError(
-                f"consume must be 'auto', 'iterator', or 'columnar', got {consume!r}"
+                f"consume must be 'auto', 'iterator', 'columnar', or "
+                f"'kernel', got {consume!r}"
             )
         if consume == "columnar" and not hasattr(events, "events_until_columnar"):
             raise ValueError(
@@ -142,7 +170,7 @@ class SimulationEngine:
 
     @property
     def consume(self) -> str:
-        """The consumption mode: ``auto``, ``iterator``, or ``columnar``."""
+        """Consumption mode: ``auto``, ``iterator``, ``columnar``, or ``kernel``."""
         return self._consume
 
     @property
@@ -180,6 +208,8 @@ class SimulationEngine:
             raise RuntimeError("no protocol sessions registered")
         if self._dispatch == "broadcast":
             self._run_broadcast()
+        elif self._consume == "kernel":
+            self._run_kernel()
         elif self._consume == "iterator" or (
             self._consume == "auto"
             and not hasattr(self._events, "events_until_columnar")
@@ -216,13 +246,20 @@ class SimulationEngine:
     # indexed dispatch
     # ------------------------------------------------------------------
 
-    def _build_dispatch_state(self):
-        """The interest index, broadcast-fallback list, and wakeup heap."""
+    def _build_dispatch_state(self, ordered_sessions=None):
+        """The interest index, broadcast-fallback list, and wakeup heap.
+
+        ``ordered_sessions`` — ``(order, session)`` pairs — restricts the
+        state to a subset while preserving registration order (the kernel
+        path hands the object loop only the kernel-ineligible sessions).
+        """
         index: Dict[int, List[_SessionRecord]] = {}
         always: List[_SessionRecord] = []  # broadcast-fallback records
         wakeups: List[Tuple[float, int, _SessionRecord]] = []
         live = 0
-        for order, session in enumerate(self._sessions):
+        if ordered_sessions is None:
+            ordered_sessions = enumerate(self._sessions)
+        for order, session in ordered_sessions:
             record = _SessionRecord(order, session)
             if id(session) in self._quarantined_ids or session.done:
                 record.live = False
@@ -300,7 +337,52 @@ class SimulationEngine:
             if live == 0:
                 return
 
-    def _run_indexed_columnar(self) -> None:
+    def _run_kernel(self) -> None:
+        """Kernel sweep for eligible sessions, columnar loop for the rest.
+
+        The split is transparent: eligible sessions (fault-free /
+        recovery-free / keyring-free single-copy) are advanced over the
+        whole window by :class:`~repro.sim.kernel.BatchKernel` array
+        operations, and every other session sees the *same* window through
+        the regular columnar object loop. Eligible sessions draw no
+        randomness at dispatch time, so removing them from the object loop
+        cannot perturb shared sampled state (e.g. greyhole draws) — the
+        combined outcomes are byte-identical with ``consume="columnar"``.
+        Sources without columnar support degrade to the iterator loop for
+        everything.
+        """
+        from repro.sim.kernel import BatchKernel
+
+        if not hasattr(self._events, "events_until_columnar"):
+            self._run_indexed()
+            return
+        eligible = []
+        rest = []
+        for order, session in enumerate(self._sessions):
+            if (
+                BatchKernel.supports(session)
+                and id(session) not in self._quarantined_ids
+                and not session.done
+            ):
+                eligible.append(session)
+            else:
+                rest.append((order, session))
+        if not eligible:
+            self._run_indexed_columnar()
+            return
+        block = self._events.events_until_columnar(self._horizon)
+        BatchKernel(eligible).run(block)
+        if any(
+            not session.done and id(session) not in self._quarantined_ids
+            for _, session in rest
+        ):
+            self._run_indexed_columnar(block=block, ordered_sessions=rest)
+        else:
+            # The kernel consumed the window on its own; the object loop's
+            # per-event counter never ran, so account for the block here.
+            self._events_processed += len(block)
+
+    def _run_indexed_columnar(self, block=None, ordered_sessions=None) -> None:
         """Indexed dispatch fed by one columnar window instead of a stream.
 
         Event-for-event equivalent to :meth:`_run_indexed`: the block holds
@@ -311,12 +393,19 @@ class SimulationEngine:
         pop per event) and that :class:`ContactEvent` objects are built
         lazily — only for sessions that do not implement the scalar
         callback, and at most once per event.
+
+        ``block`` reuses an already-produced window (the kernel path
+        produces it once and shares it); ``ordered_sessions`` restricts
+        dispatch to a subset of registered sessions.
         """
-        index, always, wakeups, live = self._build_dispatch_state()
+        index, always, wakeups, live = self._build_dispatch_state(
+            ordered_sessions
+        )
         if live == 0:
             return
 
-        block = self._events.events_until_columnar(self._horizon)
+        if block is None:
+            block = self._events.events_until_columnar(self._horizon)
         times = block.times.tolist()
         nodes_a = block.a.tolist()
         nodes_b = block.b.tolist()

@@ -1,0 +1,252 @@
+"""Vectorized struct-of-arrays batch kernel for single-copy Monte Carlo.
+
+The paper's delivery-rate sweeps simulate thousands of *homogeneous,
+fault-free* :class:`~repro.core.single_copy.SingleCopySession` objects whose
+entire live state is ``(holder, next-hop index, target group)``. Driving
+each of them through one Python method call per relevant event — even the
+columnar engine's allocation-free scalar hook — leaves per-object dispatch
+as the dominant cost of a batch. This module sweeps the whole batch over a
+columnar :class:`~repro.contacts.events.EventBlock` with array operations
+instead.
+
+The key observation (the per-hop anycast race): a fault-free single-copy
+session changes state only at
+
+* the first event at/after ``created_at`` where the current holder meets a
+  member of the next onion group (a *forward* — at most ``η`` of them), or
+* the first event strictly after ``expires_at`` (TTL *expiry*).
+
+Everything else is provably a no-op, so the kernel locates those few
+state-changing events with vectorized searches and dispatches **only
+them** through the session's own
+:meth:`~repro.sim.protocol.ProtocolSession.on_contact_scalar` hook. The
+outcome objects (paths, hop timestamps, transfers, status) are therefore
+built by the exact same code path as every other engine mode —
+byte-identity with columnar/indexed/broadcast dispatch is structural, not
+re-implemented.
+
+State is kept as struct-of-arrays: ``holder[s]``, ``next_hop[s]``,
+``done[s]``, ``cursor[s]`` (next candidate event index), ``expiry[s]``
+(index of the first event past the deadline), plus a flattened
+per-session × hop target-group membership table. Each *round* advances
+every active session by exactly one state change:
+
+1. for every active ``(session, target)`` pair, find the first event at
+   index ``>= cursor[s]`` on the pair ``(holder[s], target)`` via one
+   :func:`numpy.searchsorted` over a composite ``(pair key, event index)``
+   ordering of the block;
+2. reduce per session (``np.minimum.reduceat``) to the winning member of
+   the anycast race, clip against ``expiry[s]``;
+3. dispatch the rare winners through ``on_contact_scalar`` (the thin
+   scalar inner loop — forwards are rare relative to contacts) and advance
+   the per-session arrays from the session's post-dispatch state.
+
+A batch of ``S`` sessions with ``η`` hops finishes in at most ``η + 1``
+rounds, each costing ``O(S · g · log E)`` — independent of the number of
+events that would otherwise be dispatched per object.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.contacts.events import EventBlock
+from repro.core.single_copy import SingleCopySession
+from repro.sim.protocol import ProtocolSession
+
+__all__ = ["BatchKernel"]
+
+
+class BatchKernel:
+    """Simulate a batch of eligible single-copy sessions over one block.
+
+    Eligibility (:meth:`supports`) is deliberately narrow: exactly
+    :class:`~repro.core.single_copy.SingleCopySession` (no subclasses),
+    fault-free, without custody recovery, and without an onion-crypto
+    payload. Those sessions never draw randomness at dispatch time and
+    never interact with each other, which is what makes the per-hop race
+    a pure array search. Everything else — faulted, recovering,
+    multi-copy, keyring-carrying sessions — must go through the engine's
+    columnar object path; :class:`~repro.sim.engine.SimulationEngine`
+    performs that split transparently under ``consume="kernel"``.
+    """
+
+    def __init__(self, sessions: Sequence[SingleCopySession]):
+        ineligible = [type(s).__name__ for s in sessions if not self.supports(s)]
+        if ineligible:
+            raise ValueError(
+                "BatchKernel only accepts fault-free, recovery-free, "
+                f"keyring-free SingleCopySession instances; got {ineligible[:3]}"
+            )
+        self._sessions: List[SingleCopySession] = list(sessions)
+        self._dispatches = 0
+
+    @staticmethod
+    def supports(session: ProtocolSession) -> bool:
+        """Whether ``session`` can be swept by the kernel.
+
+        Subclasses are rejected wholesale (they may override forwarding
+        behaviour the kernel's race search does not model).
+        """
+        return (
+            type(session) is SingleCopySession
+            and session.faults is None
+            and session.recovery is None
+            and session.onion is None
+        )
+
+    @property
+    def sessions(self) -> Sequence[SingleCopySession]:
+        """The sessions this kernel advances."""
+        return tuple(self._sessions)
+
+    @property
+    def dispatches(self) -> int:
+        """State-changing events dispatched so far (forwards + expiries)."""
+        return self._dispatches
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+
+    def run(self, block: EventBlock) -> int:
+        """Advance every session across ``block``; returns the dispatch count.
+
+        The block must be chronological (every producer guarantees it).
+        After the call each session is in exactly the state the columnar
+        object loop would have left it in: delivered/expired sessions are
+        ``done`` with identical outcomes, the rest are ``pending`` with
+        their holder parked wherever the window left it.
+        """
+        sessions = self._sessions
+        n_events = len(block)
+        if not sessions or n_events == 0:
+            return 0
+        times = block.times
+        events_a = block.a
+        events_b = block.b
+
+        n_sessions = len(sessions)
+        holder = np.empty(n_sessions, dtype=np.int64)
+        active = np.zeros(n_sessions, dtype=bool)
+        cursor = np.empty(n_sessions, dtype=np.int64)
+        expiry = np.empty(n_sessions, dtype=np.int64)
+
+        # Flattened per-session × hop membership table: session s's hop h
+        # (1-based) targets live at flat_targets[hop_start[base[s] + h - 1] :
+        # hop_stop[base[s] + h - 1]]. hop_slot[s] tracks the current hop.
+        flat_targets: List[int] = []
+        hop_start: List[int] = []
+        hop_stop: List[int] = []
+        base = np.empty(n_sessions, dtype=np.int64)
+        hop_slot = np.empty(n_sessions, dtype=np.int64)
+        last_slot = np.empty(n_sessions, dtype=np.int64)
+        max_node = int(max(events_a.max(), events_b.max()))
+
+        for s, session in enumerate(sessions):
+            base[s] = len(hop_start)
+            route = session.route
+            for hop in range(1, route.eta + 1):
+                members = route.next_group_members(hop)
+                hop_start.append(len(flat_targets))
+                flat_targets.extend(members)
+                hop_stop.append(len(flat_targets))
+                biggest = max(members)
+                if biggest > max_node:
+                    max_node = biggest
+            last_slot[s] = len(hop_start) - 1
+            if session.done:
+                continue
+            active[s] = True
+            holder[s] = session.holder
+            if session.holder > max_node:
+                max_node = session.holder
+            hop_slot[s] = base[s] + session.next_hop - 1
+            # Events before creation are no-ops; expiry fires at the first
+            # event strictly past the deadline (on_contact_scalar's
+            # ``time < created_at`` / ``time > expires_at`` branches).
+            cursor[s] = int(np.searchsorted(times, session.created_at, "left"))
+            expiry[s] = int(np.searchsorted(times, session.expires_at, "right"))
+
+        targets_arr = np.asarray(flat_targets, dtype=np.int64)
+        starts_arr = np.asarray(hop_start, dtype=np.int64)
+        stops_arr = np.asarray(hop_stop, dtype=np.int64)
+
+        # Composite ordering of the block: events sorted by (pair key,
+        # index). Within one pair the stable argsort keeps chronological
+        # order, so "first event of pair P at index >= c" is a single
+        # searchsorted against key * stride + index.
+        n_nodes = max_node + 1
+        stride = n_events + 1
+        lo = np.minimum(events_a, events_b)
+        hi = np.maximum(events_a, events_b)
+        event_key = lo * n_nodes + hi
+        key_order = np.argsort(event_key, kind="stable")
+        sorted_comp = event_key[key_order] * stride + key_order
+        comp_len = len(sorted_comp)
+
+        dispatched = 0
+        act = np.nonzero(active)[0]
+        while act.size:
+            slots = hop_slot[act]
+            counts = stops_arr[slots] - starts_arr[slots]
+            total = int(counts.sum())
+            # Ragged gather of every active session's current target group.
+            group_ends = np.cumsum(counts)
+            group_starts = group_ends - counts
+            flat_idx = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(group_starts, counts)
+                + np.repeat(starts_arr[slots], counts)
+            )
+            q_target = targets_arr[flat_idx]
+            q_holder = np.repeat(holder[act], counts)
+            q_lo = np.minimum(q_holder, q_target)
+            q_hi = np.maximum(q_holder, q_target)
+            q_comp = (q_lo * n_nodes + q_hi) * stride + np.repeat(
+                cursor[act], counts
+            )
+
+            pos = np.searchsorted(sorted_comp, q_comp, side="left")
+            candidate = np.full(total, n_events, dtype=np.int64)
+            clipped = np.minimum(pos, comp_len - 1)
+            found_comp = sorted_comp[clipped]
+            in_pair = (pos < comp_len) & (
+                found_comp // stride == q_lo * n_nodes + q_hi
+            )
+            candidate[in_pair] = found_comp[in_pair] % stride
+
+            # The anycast race: first meeting with any group member wins,
+            # unless the TTL runs out first.
+            fire = np.minimum.reduceat(candidate, group_starts)
+            next_idx = np.minimum(fire, expiry[act])
+
+            # Sessions with no state-changing event left in the window stay
+            # pending — exactly what the object loop leaves behind.
+            finished = act[next_idx == n_events]
+            active[finished] = False
+
+            firing = next_idx < n_events
+            for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
+                session = sessions[s]
+                session.on_contact_scalar(
+                    float(times[k]), int(events_a[k]), int(events_b[k])
+                )
+                dispatched += 1
+                if session.done:
+                    active[s] = False
+                    continue
+                if session.holder == holder[s]:  # pragma: no cover - guard
+                    raise RuntimeError(
+                        "BatchKernel dispatched a no-op event; the session "
+                        "state diverged from the kernel's race model"
+                    )
+                holder[s] = session.holder
+                hop_slot[s] = base[s] + session.next_hop - 1
+                cursor[s] = k + 1
+            act = np.nonzero(active)[0]
+
+        self._dispatches += dispatched
+        return dispatched
