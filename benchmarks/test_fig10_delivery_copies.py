@@ -11,4 +11,7 @@ def test_fig10_delivery_copies(record_figure):
     result = record_figure(figure_10, graphs=3, sessions_per_graph=40, seed=10)
     for kind in ("Analysis", "Simulation"):
         ordered = [result.get(f"{kind}: L={c}").points[-1][1] for c in (1, 3, 5)]
-        assert ordered == sorted(ordered)
+        # Tolerance: at the last deadline the L>1 analysis curves have
+        # saturated at 1.0, where the ordering is float noise (~1e-13)
+        # that depends on which routes the shared sweep rng drew.
+        assert all(b >= a - 1e-9 for a, b in zip(ordered, ordered[1:]))

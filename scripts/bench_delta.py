@@ -5,8 +5,9 @@ Prints a markdown delta table (and appends it to ``$GITHUB_STEP_SUMMARY``
 when set, so it shows up on the workflow run page). Absolute numbers
 depend on machine speed, so they are reported as a trend signal only; the
 *ratio* metrics (producer speedup, columnar-vs-indexed,
-kernel-vs-columnar, parallel-vs-indexed) are machine-independent, and
-those are gated: a ratio regressing by more than ``--threshold`` percent
+kernel-vs-columnar, its multicopy and trace variants, and
+parallel-vs-indexed) are machine-independent, and those are gated: a
+ratio regressing by more than ``--threshold`` percent
 (default 25%) against the committed baseline fails the run. Pass
 ``--allow-regression`` to demote the gate back to report-only — e.g. when
 committing an intentional trade-off alongside a refreshed baseline.
@@ -79,12 +80,20 @@ METRICS = (
      ("results", "columnar", "events_per_second"), "", True, False),
     ("kernel events/s",
      ("results", "kernel", "events_per_second"), "", True, False),
+    ("kernel-multicopy events/s",
+     ("results", "kernel-multicopy", "events_per_second"), "", True, False),
+    ("kernel-trace events/s",
+     ("results", "kernel-trace", "events_per_second"), "", True, False),
     ("columnar vs indexed",
      ("speedup_columnar_vs_indexed",), "x", True, True),
     ("indexed vs broadcast",
      ("speedup_indexed_vs_broadcast",), "x", True, True),
     ("kernel vs columnar dispatch",
      ("speedup_kernel_vs_columnar",), "x", True, True),
+    ("multicopy kernel vs columnar dispatch",
+     ("speedup_kernel_multicopy_vs_columnar",), "x", True, True),
+    ("trace kernel vs columnar dispatch",
+     ("speedup_kernel_trace_vs_columnar",), "x", True, True),
     ("parallel speedup vs indexed",
      ("results", "parallel", "speedup_vs_indexed"), "x", True, True),
     ("parallel wall",
@@ -131,10 +140,22 @@ def build_table(current: dict, baseline: dict, regressions: list) -> str:
     for label, path, unit, higher, _is_ratio in METRICS:
         cur = _get(current, *path)
         base = _get(baseline, *path)
+        if cur is None and base is None:
+            continue  # neither run measured this mode — nothing to say
         marker = " ⚠" if label in gated else ""
+        # One-sided rows are stated explicitly: a metric the current run
+        # has but the baseline lacks is "new" (a freshly added bench
+        # mode), and one only the baseline has is "not in current run"
+        # (e.g. a --mode subset), instead of an ambiguous n/a.
+        if base is None:
+            delta = "new"
+        elif cur is None:
+            delta = "not in current run"
+        else:
+            delta = _delta(cur, base, higher)
         lines.append(
             f"| {label}{marker} | {_fmt(cur, unit)} | {_fmt(base, unit)} "
-            f"| {_delta(cur, base, higher)} |"
+            f"| {delta} |"
         )
     if not same_workload(current, baseline):
         cur_sessions = _get(current, "workload", "sessions")

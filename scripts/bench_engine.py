@@ -23,16 +23,29 @@ horizon. The script measures two layers of the pipeline:
     a *shared* event stream: the window is generated once, serialised,
     and replayed by every worker chunk instead of re-sampled per chunk.
 
+Two further workloads exercise the rest of the kernel family:
+
+* **multicopy** — the same graph and stream with L=4 spray-and-wait
+  copies per session: ``columnar-multicopy`` vs ``kernel-multicopy``
+  (the :class:`MultiCopyBatchKernel` acceptance numbers are quoted
+  against this pair).
+* **trace** — single-copy sessions replayed over the Infocom-2005-like
+  synthetic trace: ``columnar-trace`` vs ``kernel-trace`` times the
+  trace-replay eligibility path (``TraceReplayProcess`` feeding the
+  struct-of-arrays kernels).
+
 Engine rows are split into ``generation_seconds`` (producing the event
 stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
 bookkeeping), so producer and dispatch regressions are visible separately.
-Broadcast, indexed, and columnar outcomes are checked for byte-identity;
-the measurements land in ``BENCH_engine.json`` at the repo root::
+Paired dispatch modes are checked for byte-identity; the measurements
+land in ``BENCH_engine.json`` at the repo root::
 
-    python scripts/bench_engine.py                 # full reference workload
-    python scripts/bench_engine.py --quick         # CI smoke (seconds)
-    python scripts/bench_engine.py --mode kernel   # columnar + kernel only
-    python scripts/bench_engine.py --repeat 3      # best-of-3 walls
+    python scripts/bench_engine.py                  # full reference workload
+    python scripts/bench_engine.py --quick          # CI smoke (seconds)
+    python scripts/bench_engine.py --mode kernel    # columnar + kernel only
+    python scripts/bench_engine.py --mode multicopy # multi-copy kernel pair
+    python scripts/bench_engine.py --mode trace     # trace-replay kernel pair
+    python scripts/bench_engine.py --repeat 3       # best-of-3 walls
     python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
 
 CI archives the JSON as a build artifact and ``scripts/bench_delta.py``
@@ -57,12 +70,20 @@ sys.path.insert(0, str(ROOT / "src"))
 
 import numpy as np
 
-from repro.contacts.events import ExponentialContactProcess
+from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
 from repro.contacts.random_graph import random_contact_graph
+from repro.contacts.synthetic import infocom05_like_trace
 from repro.core.onion_groups import OnionGroupDirectory
 from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.parallel import WorkerPool, run_parallel_batch
-from repro.experiments.runners import run_random_graph_batch, sample_endpoints
+from repro.experiments.runners import (
+    run_random_graph_batch,
+    run_trace_batch,
+    sample_endpoints,
+)
+
+MULTICOPY_COPIES = 4
+TRACE_DEADLINE = 86400.0
 
 
 def count_events(graph, group_size, onion_routers, sessions, horizon, seed):
@@ -158,6 +179,120 @@ def _generation_seconds(graph, seed, horizon, columnar, repeat):
     return wall
 
 
+def multicopy_benchmark(
+    graph, group_size, onion_routers, copies, horizon, sessions, seed, repeat
+):
+    """Columnar vs struct-of-arrays kernel on the multi-copy workload.
+
+    Same reference graph and seeded contact stream as the single-copy
+    rows (session construction draws no randomness, so ``count_events``
+    counts the identical stream), with ``copies`` source-sprayed copies
+    per session. Returns ``(rows, identical, dispatch_speedup)``.
+    """
+    events = count_events(
+        graph, group_size, onion_routers, sessions, horizon, seed
+    )
+    rows = {}
+    signatures = {}
+    for name, consume in (
+        ("columnar-multicopy", "columnar"),
+        ("kernel-multicopy", "kernel"),
+    ):
+
+        def batch(consume=consume):
+            return run_random_graph_batch(
+                graph,
+                group_size,
+                onion_routers,
+                copies=copies,
+                horizon=horizon,
+                sessions=sessions,
+                rng=np.random.default_rng(seed),
+                consume=consume,
+            )
+
+        wall, pairs = _best_wall(batch, repeat)
+        generation = _generation_seconds(
+            graph, seed, horizon, columnar=True, repeat=repeat
+        )
+        signatures[name] = outcome_signature(pairs)
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "generation_seconds": round(generation, 4),
+            "dispatch_seconds": round(max(wall - generation, 0.0), 4),
+            "events": events,
+            "events_per_second": round(events / wall, 1),
+            "copies": copies,
+            "delivered": sum(1 for _, o in pairs if o.delivered),
+        }
+    identical = signatures["columnar-multicopy"] == signatures["kernel-multicopy"]
+    speedup = round(
+        rows["columnar-multicopy"]["dispatch_seconds"]
+        / max(rows["kernel-multicopy"]["dispatch_seconds"], 1e-9),
+        2,
+    )
+    return rows, identical, speedup
+
+
+def trace_benchmark(group_size, onion_routers, deadline, sessions, seed, repeat):
+    """Columnar vs kernel dispatch over a replayed synthetic trace.
+
+    Single-copy sessions placed on the Infocom-2005-like trace — the
+    :class:`TraceReplayProcess` serves columnar windows, so this times
+    the trace-replay eligibility path of the batch kernels. The
+    "generation" phase here is replaying the recorded contacts into a
+    columnar block, not sampling them. Returns
+    ``(rows, identical, dispatch_speedup)``.
+    """
+    trace = infocom05_like_trace(rng=np.random.default_rng(seed)).normalized()
+
+    def replay():
+        return len(
+            TraceReplayProcess(trace).events_until_columnar(trace.end + 1.0)
+        )
+
+    generation, events = _best_wall(replay, repeat)
+    rows = {}
+    signatures = {}
+    for name, consume in (
+        ("columnar-trace", "columnar"),
+        ("kernel-trace", "kernel"),
+    ):
+
+        def batch(consume=consume):
+            return run_trace_batch(
+                trace,
+                group_size,
+                onion_routers,
+                copies=1,
+                deadline=deadline,
+                sessions=sessions,
+                rng=np.random.default_rng(seed),
+                consume=consume,
+            )
+
+        wall, pairs = _best_wall(batch, repeat)
+        signatures[name] = outcome_signature(pairs)
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "generation_seconds": round(generation, 4),
+            "dispatch_seconds": round(max(wall - generation, 0.0), 4),
+            "events": events,
+            "events_per_second": round(events / wall, 1),
+            "trace_nodes": trace.n,
+            "deadline": deadline,
+            "placed_sessions": len(pairs),
+            "delivered": sum(1 for _, o in pairs if o.delivered),
+        }
+    identical = signatures["columnar-trace"] == signatures["kernel-trace"]
+    speedup = round(
+        rows["columnar-trace"]["dispatch_seconds"]
+        / max(rows["kernel-trace"]["dispatch_seconds"], 1e-9),
+        2,
+    )
+    return rows, identical, speedup
+
+
 def run_benchmark(
     sessions: int,
     n: int,
@@ -175,58 +310,94 @@ def run_benchmark(
     graph = random_contact_graph(
         n, DEFAULT_CONFIG.mean_intercontact_range, rng=graph_rng
     )
-    events = count_events(
-        graph, group_size, onion_routers, sessions, horizon, seed
-    )
-
-    producer = producer_benchmark(graph, horizon, seed, repeat)
-
+    single_modes = mode in ("all", "kernel")
     results = {}
     signatures = {}
-    batch_modes = (
-        ("broadcast", dict(dispatch="broadcast")),
-        ("indexed", dict(dispatch="indexed", consume="iterator")),
-        ("columnar", dict(dispatch="indexed", consume="columnar")),
-        ("kernel", dict(dispatch="indexed", consume="kernel")),
-    )
-    if mode == "kernel":
-        # CI smoke subset: just the pair whose identity/speedup the kernel
-        # acceptance criteria are quoted against.
-        batch_modes = tuple(
-            (name, kwargs) for name, kwargs in batch_modes
-            if name in ("columnar", "kernel")
-        )
-    for bench_mode, mode_kwargs in batch_modes:
+    identity_checks = {}
+    speedups = {}
+    producer = None
 
-        def batch():
-            return run_random_graph_batch(
-                graph,
-                group_size,
-                onion_routers,
-                copies=copies,
-                horizon=horizon,
-                sessions=sessions,
-                rng=np.random.default_rng(seed),
-                **mode_kwargs,
+    if single_modes:
+        events = count_events(
+            graph, group_size, onion_routers, sessions, horizon, seed
+        )
+        producer = producer_benchmark(graph, horizon, seed, repeat)
+
+        batch_modes = (
+            ("broadcast", dict(dispatch="broadcast")),
+            ("indexed", dict(dispatch="indexed", consume="iterator")),
+            ("columnar", dict(dispatch="indexed", consume="columnar")),
+            ("kernel", dict(dispatch="indexed", consume="kernel")),
+        )
+        if mode == "kernel":
+            # CI smoke subset: just the pair whose identity/speedup the
+            # kernel acceptance criteria are quoted against.
+            batch_modes = tuple(
+                (name, kwargs) for name, kwargs in batch_modes
+                if name in ("columnar", "kernel")
             )
+        for bench_mode, mode_kwargs in batch_modes:
 
-        wall, pairs = _best_wall(batch, repeat)
-        generation = _generation_seconds(
-            graph,
-            seed,
-            horizon,
-            columnar=(bench_mode in ("columnar", "kernel")),
-            repeat=repeat,
+            def batch(mode_kwargs=mode_kwargs):
+                return run_random_graph_batch(
+                    graph,
+                    group_size,
+                    onion_routers,
+                    copies=copies,
+                    horizon=horizon,
+                    sessions=sessions,
+                    rng=np.random.default_rng(seed),
+                    **mode_kwargs,
+                )
+
+            wall, pairs = _best_wall(batch, repeat)
+            generation = _generation_seconds(
+                graph,
+                seed,
+                horizon,
+                columnar=(bench_mode in ("columnar", "kernel")),
+                repeat=repeat,
+            )
+            signatures[bench_mode] = outcome_signature(pairs)
+            results[bench_mode] = {
+                "wall_seconds": round(wall, 4),
+                "generation_seconds": round(generation, 4),
+                "dispatch_seconds": round(max(wall - generation, 0.0), 4),
+                "events": events,
+                "events_per_second": round(events / wall, 1),
+                "delivered": sum(1 for _, o in pairs if o.delivered),
+            }
+        identity_checks["single"] = all(
+            sig == signatures["columnar"] for sig in signatures.values()
         )
-        signatures[bench_mode] = outcome_signature(pairs)
-        results[bench_mode] = {
-            "wall_seconds": round(wall, 4),
-            "generation_seconds": round(generation, 4),
-            "dispatch_seconds": round(max(wall - generation, 0.0), 4),
-            "events": events,
-            "events_per_second": round(events / wall, 1),
-            "delivered": sum(1 for _, o in pairs if o.delivered),
-        }
+        speedups["speedup_kernel_vs_columnar"] = round(
+            results["columnar"]["dispatch_seconds"]
+            / max(results["kernel"]["dispatch_seconds"], 1e-9),
+            2,
+        )
+
+    if mode in ("all", "multicopy"):
+        rows, identical, speedup = multicopy_benchmark(
+            graph,
+            group_size,
+            onion_routers,
+            MULTICOPY_COPIES,
+            horizon,
+            sessions,
+            seed,
+            repeat,
+        )
+        results.update(rows)
+        identity_checks["multicopy"] = identical
+        speedups["speedup_kernel_multicopy_vs_columnar"] = speedup
+
+    if mode in ("all", "trace"):
+        rows, identical, speedup = trace_benchmark(
+            group_size, onion_routers, TRACE_DEADLINE, sessions, seed, repeat
+        )
+        results.update(rows)
+        identity_checks["trace"] = identical
+        speedups["speedup_kernel_trace_vs_columnar"] = speedup
 
     if profile_path is not None:
         profiler = cProfile.Profile()
@@ -303,6 +474,13 @@ def run_benchmark(
                 results["indexed"]["wall_seconds"] / wall, 2
             ),
         }
+        if (os.cpu_count() or 1) == 1:
+            results["parallel"]["warning"] = (
+                "cpu_count=1: every worker process shares the single core, "
+                "so the parallel wall measures serialisation overhead, not "
+                "concurrency; speedup_vs_indexed is not meaningful on this "
+                "machine"
+            )
 
     report = {
         "workload": {
@@ -319,17 +497,13 @@ def run_benchmark(
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
         },
-        "producer": producer,
         "results": results,
-        "identical_outcomes": all(
-            sig == signatures["columnar"] for sig in signatures.values()
-        ),
-        "speedup_kernel_vs_columnar": round(
-            results["columnar"]["dispatch_seconds"]
-            / max(results["kernel"]["dispatch_seconds"], 1e-9),
-            2,
-        ),
+        "identical_outcomes": all(identity_checks.values()),
+        "identity_checks": identity_checks,
     }
+    if producer is not None:
+        report["producer"] = producer
+    report.update(speedups)
     if mode == "all":
         report["speedup_indexed_vs_broadcast"] = round(
             results["broadcast"]["wall_seconds"]
@@ -351,9 +525,11 @@ def main(argv=None) -> int:
         help="small CI-smoke workload instead of the 1000-session reference",
     )
     parser.add_argument(
-        "--mode", choices=("all", "kernel"), default="all",
-        help="'all' runs every strategy; 'kernel' times only the "
-        "columnar/kernel pair (the CI smoke for the batch-kernel gate)",
+        "--mode", choices=("all", "kernel", "multicopy", "trace"),
+        default="all",
+        help="'all' runs every strategy plus the multicopy and trace "
+        "workloads; 'kernel', 'multicopy', and 'trace' each time only "
+        "their columnar/kernel pair (the CI smokes for the kernel gates)",
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
@@ -392,20 +568,30 @@ def main(argv=None) -> int:
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
-    producer = report["producer"]
+    producer = report.get("producer")
     results = report["results"]
     print(f"workload: {sessions} sessions, n=100, horizon={horizon:g}")
-    print(
-        f"producer:  iterator {producer['legacy_iterator_seconds']:.3f}s, "
-        f"columnar {producer['columnar_seconds']:.3f}s  "
-        f"speedup {producer['columnar_producer_speedup']:.2f}x"
-    )
-    for name in ("broadcast", "indexed", "columnar", "kernel"):
+    if producer is not None:
+        print(
+            f"producer:  iterator {producer['legacy_iterator_seconds']:.3f}s, "
+            f"columnar {producer['columnar_seconds']:.3f}s  "
+            f"speedup {producer['columnar_producer_speedup']:.2f}x"
+        )
+    for name in (
+        "broadcast",
+        "indexed",
+        "columnar",
+        "kernel",
+        "columnar-multicopy",
+        "kernel-multicopy",
+        "columnar-trace",
+        "kernel-trace",
+    ):
         row = results.get(name)
         if row is None:
             continue
         print(
-            f"{name + ':':<10} {row['wall_seconds']:8.3f}s "
+            f"{name + ':':<19} {row['wall_seconds']:8.3f}s "
             f"(gen {row['generation_seconds']:.3f}s + "
             f"dispatch {row['dispatch_seconds']:.3f}s, "
             f"{row['events_per_second']:>9.1f} events/s)"
@@ -425,6 +611,13 @@ def main(argv=None) -> int:
             f"(delta {parallel['delivered_delta']:+d}; expected — spawned "
             "chunk seeds sample different endpoints/routes)"
         )
+        warning = parallel.get("warning")
+        if warning:
+            print(f"WARNING: {warning}", file=sys.stderr)
+            summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+            if summary_path:
+                with open(summary_path, "a", encoding="utf-8") as handle:
+                    handle.write(f"> ⚠ engine bench: {warning}\n")
     if "speedup_columnar_vs_indexed" in report:
         print(
             f"columnar vs indexed: "
@@ -432,10 +625,19 @@ def main(argv=None) -> int:
             f"indexed vs broadcast: "
             f"{report['speedup_indexed_vs_broadcast']:.2f}x"
         )
-    print(
-        "kernel vs columnar dispatch: "
-        f"{report['speedup_kernel_vs_columnar']:.2f}x"
-    )
+    for label, key in (
+        ("kernel vs columnar dispatch", "speedup_kernel_vs_columnar"),
+        (
+            "multicopy kernel vs columnar dispatch",
+            "speedup_kernel_multicopy_vs_columnar",
+        ),
+        (
+            "trace kernel vs columnar dispatch",
+            "speedup_kernel_trace_vs_columnar",
+        ),
+    ):
+        if key in report:
+            print(f"{label}: {report[key]:.2f}x")
     print(f"identical outcomes: {report['identical_outcomes']}")
     print(f"report: {args.output}")
     if not report["identical_outcomes"]:

@@ -101,12 +101,16 @@ class Hypoexponential:
     def has_distinct_rates(self) -> bool:
         """Whether all stage rates are pairwise well separated."""
         if self._distinct_cache is None:
-            self._distinct_cache = True
+            # Compute into a local and publish with one assignment: the
+            # instance is shared across threads in parallel sweeps, and a
+            # reader must never observe a provisional value mid-check.
+            distinct = True
             ordered = sorted(self._rates)
             for lo, hi in zip(ordered, ordered[1:]):
                 if (hi - lo) <= _RELATIVE_GAP_TOLERANCE * hi:
-                    self._distinct_cache = False
+                    distinct = False
                     break
+            self._distinct_cache = distinct
         return self._distinct_cache
 
     def coefficients(self) -> np.ndarray:

@@ -104,7 +104,14 @@ class ContactTrace:
     # ------------------------------------------------------------------
 
     def normalized(self) -> "ContactTrace":
-        """Remap node ids to a dense ``0..n-1`` range, shift start to 0."""
+        """Remap node ids to a dense ``0..n-1`` range, shift start to 0.
+
+        Already-normalized traces are returned as-is (records are never
+        mutated after construction), so repeated normalisation — every
+        batch runner normalizes defensively — costs nothing.
+        """
+        if self.start == 0.0 and self._nodes == list(range(len(self._nodes))):
+            return self
         index = {node: rank for rank, node in enumerate(self._nodes)}
         origin = self.start
         return ContactTrace(

@@ -23,7 +23,7 @@ import enum
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import FrozenSet, List, Optional, Set
+from typing import FrozenSet, List, Optional, Set, Tuple
 
 from repro.contacts.events import ContactEvent
 from repro.core.route import OnionRoute
@@ -97,6 +97,14 @@ class MultiCopySession(ProtocolSession):
             paths=[seed.senders], created_at=message.created_at
         )
         self._expired = False
+        # Mutation counter for the engine's no-op fast path and the batch
+        # kernel's copy-mirror resync: bumped by every branch that can
+        # change done / watched_nodes() / next_poll_time() or move a copy.
+        self.state_version = 0
+        # Immutable bounds cached off the message so the per-event hot path
+        # avoids property descriptor calls per dispatch.
+        self._created_at = message.created_at
+        self._expires_at = message.created_at + message.deadline
         # Watched-nodes contract: rebuilt lazily after sprays/relays so the
         # engine's interest index follows every live copy.
         self._watched: FrozenSet[int] = frozenset()
@@ -130,6 +138,44 @@ class MultiCopySession(ProtocolSession):
         """Remaining ticket reclamations (0 without a recovery policy)."""
         return self._reclaims_left
 
+    @property
+    def created_at(self) -> float:
+        """When the bundle came into existence."""
+        return self._created_at
+
+    @property
+    def expires_at(self) -> float:
+        """Deadline after which the bundle is discarded at forwarding time."""
+        return self._expires_at
+
+    @property
+    def faults(self) -> Optional["FaultPlan"]:
+        """The fault plan this session is subject to (``None`` = fault-free)."""
+        return self._faults
+
+    @property
+    def recovery(self) -> Optional["RecoveryPolicy"]:
+        """The ticket-reclamation policy, when one is armed."""
+        return self._recovery
+
+    @property
+    def spray_policy(self) -> SprayPolicy:
+        """How tickets split on a transfer."""
+        return self._policy
+
+    def copy_states(self) -> Tuple[Tuple[int, int], ...]:
+        """``(holder, next_hop)`` of every live copy, in spawn order.
+
+        The batch kernel mirrors this to race each copy's anycast group;
+        the tuple is rebuilt from scratch so callers can cache it against
+        :attr:`state_version`.
+        """
+        return tuple(
+            (copy.holder, copy.next_hop)
+            for copy in self._copies
+            if not copy.terminated
+        )
+
     def watched_nodes(self) -> Optional[FrozenSet[int]]:
         """Copy holders ∪ their next-group members ∪ destination.
 
@@ -154,34 +200,45 @@ class MultiCopySession(ProtocolSession):
         return math.inf if self.done else self._message.expires_at
 
     def on_contact(self, event: ContactEvent) -> None:
+        self.on_contact_scalar(event.time, event.a, event.b)
+
+    def on_contact_scalar(self, time: float, a: int, b: int) -> None:
+        # Hot path: the engine's columnar loop and the multi-copy batch
+        # kernel call this directly with block scalars, so no ContactEvent
+        # is allocated for the overwhelmingly common no-op dispatches.
         if self.done:
             return
-        if event.time < self._message.created_at:
+        if time < self._created_at:
             return  # the bundle does not exist yet
-        if self._message.expired(event.time):
+        if time > self._expires_at:
             self._expire()
             return
         if self._faults is not None and self._faults.failstop is not None:
-            self._collect_dead_carriers(event.time)
+            self._collect_dead_carriers(time)
             if self.done:
                 return
-        if event.a not in self._holding and event.b not in self._holding:
+        holding = self._holding
+        if a not in holding and b not in holding:
             return  # fast path: neither side carries a copy
         # A contact may trigger at most one transfer per copy; iterate over a
         # snapshot because spraying appends new copies.
         for copy in list(self._copies):
             if copy.terminated:
                 continue
-            if not event.involves(copy.holder):
+            if copy.holder == a:
+                peer = b
+            elif copy.holder == b:
+                peer = a
+            else:
                 continue
-            peer = event.peer_of(copy.holder)
-            self._try_forward(copy, peer, event.time)
+            self._try_forward(copy, peer, time)
 
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
 
     def _expire(self) -> None:
+        self.state_version += 1
         self._expired = True
         self._outcome.expired_copies = sum(
             1 for copy in self._copies if not copy.terminated
@@ -224,6 +281,7 @@ class MultiCopySession(ProtocolSession):
 
     def _spray(self, copy: _Copy, peer: int, time: float) -> None:
         """Hand some tickets to ``peer`` as a new replica."""
+        self.state_version += 1
         self._watched_dirty = True
         if self._policy is SprayPolicy.SOURCE:
             handed = 1
@@ -253,6 +311,7 @@ class MultiCopySession(ProtocolSession):
 
     def _relay(self, copy: _Copy, peer: int, time: float) -> None:
         """Single-ticket forwarding: the copy moves, the old holder deletes."""
+        self.state_version += 1
         self._watched_dirty = True
         self._outcome.record_transfer(time, copy.holder, peer)
         self._holding.discard(copy.holder)
@@ -299,6 +358,7 @@ class MultiCopySession(ProtocolSession):
         seed.tickets += tickets
         if seed.terminated:
             # Revive an exhausted source copy so it can re-spray.
+            self.state_version += 1
             self._watched_dirty = True
             seed.terminated = False
             self._holding.add(seed.holder)
@@ -308,6 +368,7 @@ class MultiCopySession(ProtocolSession):
             self._outcome.status = "pending"
 
     def _terminate(self, copy: _Copy) -> None:
+        self.state_version += 1
         self._watched_dirty = True
         copy.terminated = True
         self._holding.discard(copy.holder)

@@ -11,27 +11,43 @@ from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
-from repro.experiments.runners import run_random_graph_batch
+from repro.experiments.parallel import (
+    Workers,
+    run_parallel_fused_sweep,
+    worker_count,
+)
+from repro.experiments.runners import SweepVariant, run_fused_graph_sweep
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
 
 
-def measured_transmissions(
+def measured_transmissions_sweep(
     config: PaperConfig,
     onion_routers: int,
-    copies: int,
+    copy_counts: Sequence[int],
     graphs: int,
     sessions_per_graph: int,
     rng: RandomSource,
     workers: Workers = 1,
-) -> float:
-    """Mean transmissions per message for a (K, L) variant.
+) -> List[float]:
+    """Mean transmissions per message for each L of one K's copy sweep.
 
+    The whole L grid runs as one fused sweep per graph — every copy count
+    measures its cost on the same contact windows (common random numbers),
+    and the kernels advance the entire grid in one invocation per class.
     Sessions run to the full deadline so undelivered copies also account
     for their spray/relay cost, like the paper's cost measurements.
     """
     generator = ensure_rng(rng)
-    counts: List[int] = []
+    variants = [
+        SweepVariant(
+            label=f"L={copies}",
+            group_size=config.group_size,
+            onion_routers=onion_routers,
+            copies=copies,
+        )
+        for copies in copy_counts
+    ]
+    counts: List[List[int]] = [[] for _ in variants]
     parallel = worker_count(workers) > 1
     for graph_rng in spawn_rng(generator, graphs):
         graph = random_contact_graph(
@@ -46,20 +62,40 @@ def measured_transmissions(
             if parallel
             else None
         )
-        batch = run_parallel_batch(
-            run_random_graph_batch,
-            sessions=sessions_per_graph,
+        sweep = run_parallel_fused_sweep(
+            run_fused_graph_sweep,
+            variants=variants,
+            sessions_per_variant=sessions_per_graph,
             workers=workers,
             rng=graph_rng,
             shared_events=shared,
             graph=graph,
-            group_size=config.group_size,
-            onion_routers=onion_routers,
-            copies=copies,
             horizon=config.max_deadline,
         )
-        counts.extend(outcome.transmissions for _, outcome in batch)
-    return float(np.mean(counts))
+        for slot, batch in enumerate(sweep):
+            counts[slot].extend(outcome.transmissions for _, outcome in batch)
+    return [float(np.mean(per_variant)) for per_variant in counts]
+
+
+def measured_transmissions(
+    config: PaperConfig,
+    onion_routers: int,
+    copies: int,
+    graphs: int,
+    sessions_per_graph: int,
+    rng: RandomSource,
+    workers: Workers = 1,
+) -> float:
+    """Mean transmissions per message for a single (K, L) variant."""
+    return measured_transmissions_sweep(
+        config,
+        onion_routers=onion_routers,
+        copy_counts=[copies],
+        graphs=graphs,
+        sessions_per_graph=sessions_per_graph,
+        rng=rng,
+        workers=workers,
+    )[0]
 
 
 def figure_11(
@@ -96,18 +132,19 @@ def figure_11(
             )
         )
     for onion_routers in onion_router_counts:
-        points = []
-        for copies in copy_counts:
-            mean_cost = measured_transmissions(
-                cost_config,
-                onion_routers=onion_routers,
-                copies=copies,
-                graphs=graphs,
-                sessions_per_graph=sessions_per_graph,
-                rng=generator,
-                workers=workers,
-            )
-            points.append((float(copies), mean_cost))
+        mean_costs = measured_transmissions_sweep(
+            cost_config,
+            onion_routers=onion_routers,
+            copy_counts=copy_counts,
+            graphs=graphs,
+            sessions_per_graph=sessions_per_graph,
+            rng=generator,
+            workers=workers,
+        )
+        points = [
+            (float(copies), mean_cost)
+            for copies, mean_cost in zip(copy_counts, mean_costs)
+        ]
         series.append(Series(label=f"Simulation: K={onion_routers}", points=tuple(points)))
     return FigureResult(
         figure_id="Fig. 11",

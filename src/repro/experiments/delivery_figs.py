@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -10,47 +10,49 @@ from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
+from repro.experiments.parallel import (
+    Workers,
+    run_parallel_fused_sweep,
+    worker_count,
+)
 from repro.experiments.runners import (
+    SweepVariant,
     analysis_delivery_curve,
-    run_random_graph_batch,
+    run_fused_graph_sweep,
     simulated_delivery_curve,
 )
 from repro.utils.rng import RandomSource, ensure_rng, spawn_rng
 
 
-def delivery_variant_series(
+def delivery_sweep_series(
     config: PaperConfig,
-    group_size: int,
-    onion_routers: int,
-    copies: int,
+    variants: Sequence[SweepVariant],
     graphs: int,
     sessions_per_graph: int,
     rng: RandomSource,
-    label: str,
     workers: Workers = 1,
-    kernel: bool = True,
-) -> Tuple[Series, Series]:
-    """One (Analysis, Simulation) series pair for a parameter variant.
+    kernel: Optional[bool] = None,
+) -> List[Tuple[Series, Series]]:
+    """(Analysis, Simulation) series pairs for a fused parameter sweep.
 
-    ``workers`` is a count or a persistent
-    :class:`~repro.experiments.parallel.WorkerPool` (figure sweeps reuse
-    one pool across every batch instead of forking per call). More than
-    one worker splits each graph's session batch across the pool and
-    shares a single pre-generated columnar event stream between the
-    chunks (deterministic for a fixed seed); one worker keeps the
-    historical seed-exact serial behaviour.
+    All grid points share each graph's contact window — one engine pass
+    (one struct-of-arrays kernel invocation per kernel class) advances the
+    entire grid per graph, and between-point comparisons see common random
+    numbers. ``workers`` is a count or a persistent
+    :class:`~repro.experiments.parallel.WorkerPool`; more than one worker
+    splits each graph's per-variant session batches across the pool and
+    shares a single pre-generated columnar event stream between the chunks
+    (deterministic for a fixed seed); one worker keeps the seed-exact
+    serial behaviour.
 
-    ``kernel`` (default on) lets eligible fault-free single-copy batches
-    run through the struct-of-arrays
-    :class:`~repro.sim.kernel.BatchKernel`; ineligible sessions (e.g.
-    the multi-copy variants of Fig. 10) transparently fall back to the
-    columnar object path with byte-identical outcomes either way.
+    ``kernel`` follows the runner convention: the default ``None`` lets
+    eligible fault-free single-copy *and* multi-copy batches run through
+    the struct-of-arrays kernels, with byte-identical outcomes either way.
     """
     generator = ensure_rng(rng)
     deadlines = config.deadlines
-    analysis_total = np.zeros(len(deadlines))
-    outcomes = []
+    analysis_totals = [np.zeros(len(deadlines)) for _ in variants]
+    outcomes_per_variant: List[list] = [[] for _ in variants]
     parallel = worker_count(workers) > 1
     for graph_rng in spawn_rng(generator, graphs):
         graph = random_contact_graph(
@@ -67,28 +69,102 @@ def delivery_variant_series(
             if parallel
             else None
         )
-        batch = run_parallel_batch(
-            run_random_graph_batch,
-            sessions=sessions_per_graph,
+        sweep = run_parallel_fused_sweep(
+            run_fused_graph_sweep,
+            variants=variants,
+            sessions_per_variant=sessions_per_graph,
             workers=workers,
             rng=graph_rng,
             shared_events=shared,
             kernel=kernel,
             graph=graph,
-            group_size=group_size,
-            onion_routers=onion_routers,
-            copies=copies,
             horizon=config.max_deadline,
         )
-        routes = [route for route, _ in batch]
-        outcomes.extend(outcome for _, outcome in batch)
-        curve = analysis_delivery_curve(graph, routes, deadlines, copies=copies)
-        analysis_total += np.array([y for _, y in curve])
-    analysis_points = tuple(zip(deadlines, analysis_total / graphs))
-    sim_points = tuple(simulated_delivery_curve(outcomes, deadlines))
-    return (
-        Series(label=f"Analysis: {label}", points=analysis_points),
-        Series(label=f"Simulation: {label}", points=sim_points),
+        for slot, (variant, batch) in enumerate(zip(variants, sweep)):
+            routes = [route for route, _ in batch]
+            outcomes_per_variant[slot].extend(outcome for _, outcome in batch)
+            curve = analysis_delivery_curve(
+                graph, routes, deadlines, copies=variant.copies
+            )
+            analysis_totals[slot] += np.array([y for _, y in curve])
+    pairs: List[Tuple[Series, Series]] = []
+    for variant, total, outcomes in zip(
+        variants, analysis_totals, outcomes_per_variant
+    ):
+        analysis_points = tuple(zip(deadlines, total / graphs))
+        sim_points = tuple(simulated_delivery_curve(outcomes, deadlines))
+        pairs.append(
+            (
+                Series(label=f"Analysis: {variant.label}", points=analysis_points),
+                Series(label=f"Simulation: {variant.label}", points=sim_points),
+            )
+        )
+    return pairs
+
+
+def delivery_variant_series(
+    config: PaperConfig,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    graphs: int,
+    sessions_per_graph: int,
+    rng: RandomSource,
+    label: str,
+    workers: Workers = 1,
+    kernel: Optional[bool] = None,
+) -> Tuple[Series, Series]:
+    """One (Analysis, Simulation) series pair for a single variant.
+
+    Single-point convenience wrapper over :func:`delivery_sweep_series`.
+    """
+    return delivery_sweep_series(
+        config,
+        [
+            SweepVariant(
+                label=label,
+                group_size=group_size,
+                onion_routers=onion_routers,
+                copies=copies,
+            )
+        ],
+        graphs=graphs,
+        sessions_per_graph=sessions_per_graph,
+        rng=rng,
+        workers=workers,
+        kernel=kernel,
+    )[0]
+
+
+def _sweep_figure(
+    figure_id: str,
+    title: str,
+    config: PaperConfig,
+    variants: Sequence[SweepVariant],
+    graphs: int,
+    sessions_per_graph: int,
+    seed: RandomSource,
+    workers: Workers,
+    kernel: Optional[bool],
+) -> FigureResult:
+    """Shared body of the fused delivery-rate figures."""
+    pairs = delivery_sweep_series(
+        config,
+        variants,
+        graphs=graphs,
+        sessions_per_graph=sessions_per_graph,
+        rng=ensure_rng(seed),
+        workers=workers,
+        kernel=kernel,
+    )
+    analysis = [a for a, _ in pairs]
+    simulation = [s for _, s in pairs]
+    return FigureResult(
+        figure_id=figure_id,
+        title=title,
+        x_label="Deadline (minutes)",
+        y_label="Delivery rate",
+        series=tuple(analysis + simulation),
     )
 
 
@@ -99,34 +175,32 @@ def figure_04(
     sessions_per_graph: int = 40,
     seed: RandomSource = 4,
     workers: Workers = 1,
-    kernel: bool = True,
+    kernel: Optional[bool] = None,
 ) -> FigureResult:
-    """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}."""
-    generator = ensure_rng(seed)
-    series: List[Series] = []
-    analysis, simulation = [], []
-    for group_size in group_sizes:
-        a, s = delivery_variant_series(
-            config,
+    """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}.
+
+    The g grid runs as one fused sweep: every group size shares the same
+    contact graphs and windows.
+    """
+    variants = [
+        SweepVariant(
+            label=f"g={group_size}",
             group_size=group_size,
             onion_routers=config.onion_routers,
             copies=1,
-            graphs=graphs,
-            sessions_per_graph=sessions_per_graph,
-            rng=generator,
-            label=f"g={group_size}",
-            workers=workers,
-            kernel=kernel,
         )
-        analysis.append(a)
-        simulation.append(s)
-    series = analysis + simulation
-    return FigureResult(
-        figure_id="Fig. 4",
-        title="Delivery rate w.r.t. deadline (group sizes)",
-        x_label="Deadline (minutes)",
-        y_label="Delivery rate",
-        series=tuple(series),
+        for group_size in group_sizes
+    ]
+    return _sweep_figure(
+        "Fig. 4",
+        "Delivery rate w.r.t. deadline (group sizes)",
+        config,
+        variants,
+        graphs,
+        sessions_per_graph,
+        seed,
+        workers,
+        kernel,
     )
 
 
@@ -137,32 +211,31 @@ def figure_05(
     sessions_per_graph: int = 40,
     seed: RandomSource = 5,
     workers: Workers = 1,
-    kernel: bool = True,
+    kernel: Optional[bool] = None,
 ) -> FigureResult:
-    """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers."""
-    generator = ensure_rng(seed)
-    analysis, simulation = [], []
-    for onion_routers in onion_router_counts:
-        a, s = delivery_variant_series(
-            config,
+    """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers.
+
+    The K grid runs as one fused sweep over shared contact windows.
+    """
+    variants = [
+        SweepVariant(
+            label=f"{onion_routers} onions",
             group_size=config.group_size,
             onion_routers=onion_routers,
             copies=1,
-            graphs=graphs,
-            sessions_per_graph=sessions_per_graph,
-            rng=generator,
-            label=f"{onion_routers} onions",
-            workers=workers,
-            kernel=kernel,
         )
-        analysis.append(a)
-        simulation.append(s)
-    return FigureResult(
-        figure_id="Fig. 5",
-        title="Delivery rate w.r.t. deadline (onion router counts)",
-        x_label="Deadline (minutes)",
-        y_label="Delivery rate",
-        series=tuple(analysis + simulation),
+        for onion_routers in onion_router_counts
+    ]
+    return _sweep_figure(
+        "Fig. 5",
+        "Delivery rate w.r.t. deadline (onion router counts)",
+        config,
+        variants,
+        graphs,
+        sessions_per_graph,
+        seed,
+        workers,
+        kernel,
     )
 
 
@@ -173,34 +246,34 @@ def figure_10(
     sessions_per_graph: int = 40,
     seed: RandomSource = 10,
     workers: Workers = 1,
-    kernel: bool = True,
+    kernel: Optional[bool] = None,
 ) -> FigureResult:
     """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
 
-    The paper pins g = 5 here "to make sure that L ≤ g holds".
+    The paper pins g = 5 here "to make sure that L ≤ g holds". The L grid
+    runs as one fused sweep — single-copy sessions sweep through
+    :class:`~repro.sim.kernel.BatchKernel` and the multi-copy grid points
+    through :class:`~repro.sim.kernel.MultiCopyBatchKernel`, all over the
+    same shared contact windows.
     """
-    generator = ensure_rng(seed)
     multicopy_config = config.with_(group_size=5)
-    analysis, simulation = [], []
-    for copies in copy_counts:
-        a, s = delivery_variant_series(
-            multicopy_config,
+    variants = [
+        SweepVariant(
+            label=f"L={copies}",
             group_size=multicopy_config.group_size,
             onion_routers=multicopy_config.onion_routers,
             copies=copies,
-            graphs=graphs,
-            sessions_per_graph=sessions_per_graph,
-            rng=generator,
-            label=f"L={copies}",
-            workers=workers,
-            kernel=kernel,
         )
-        analysis.append(a)
-        simulation.append(s)
-    return FigureResult(
-        figure_id="Fig. 10",
-        title="Delivery rate w.r.t. deadline (copy counts, g=5)",
-        x_label="Deadline (minutes)",
-        y_label="Delivery rate",
-        series=tuple(analysis + simulation),
+        for copies in copy_counts
+    ]
+    return _sweep_figure(
+        "Fig. 10",
+        "Delivery rate w.r.t. deadline (copy counts, g=5)",
+        multicopy_config,
+        variants,
+        graphs,
+        sessions_per_graph,
+        seed,
+        workers,
+        kernel,
     )

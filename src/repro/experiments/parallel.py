@@ -328,6 +328,104 @@ def run_parallel_batch(
     return merged
 
 
+def _run_fused_sweep_chunk(
+    sweep_fn: Callable[..., list],
+    sessions_per_variant: int,
+    seed_seq: np.random.SeedSequence,
+    kwargs: dict,
+) -> list:
+    """One worker's share of a fused sweep (module-level for pickling)."""
+    return sweep_fn(
+        sessions_per_variant=sessions_per_variant,
+        rng=np.random.default_rng(seed_seq),
+        **kwargs,
+    )
+
+
+def _run_shared_fused_sweep_chunk(
+    sweep_fn: Callable[..., list],
+    sessions_per_variant: int,
+    seed_seq: np.random.SeedSequence,
+    payload: bytes,
+    kwargs: dict,
+) -> list:
+    """Fused-sweep chunk replaying a shared columnar event stream."""
+    events = ColumnarEventSource(EventBlock.from_bytes(payload))
+    return sweep_fn(
+        sessions_per_variant=sessions_per_variant,
+        rng=np.random.default_rng(seed_seq),
+        events=events,
+        **kwargs,
+    )
+
+
+def run_parallel_fused_sweep(
+    sweep_fn: Callable[..., list],
+    variants: Sequence[Any],
+    sessions_per_variant: int,
+    workers: Workers,
+    rng: RandomSource = None,
+    chunks: int | None = None,
+    shared_events: EventBlock | None = None,
+    kernel: bool | None = None,
+    **kwargs: Any,
+) -> list:
+    """Run a fused parameter-grid sweep split across ``workers`` processes.
+
+    ``sweep_fn`` is a fused sweep runner taking ``variants=``,
+    ``sessions_per_variant=``, and ``rng=`` keywords and returning one
+    outcome list per variant —
+    :func:`~repro.experiments.runners.run_fused_graph_sweep` or
+    :func:`~repro.experiments.runners.run_fused_trace_sweep`. Each chunk
+    runs its share of the per-variant sessions for *every* variant (so the
+    shared-window fusion happens inside every chunk), and the per-variant
+    lists are concatenated across chunks in chunk order — deterministic
+    for a fixed master seed and requested worker count, following the
+    :func:`run_parallel_batch` conventions for ``rng``, ``chunks``,
+    ``shared_events`` (graph sweeps only — trace sweeps replay the trace
+    themselves), and ``kernel``.
+    """
+    if kernel is not None:
+        kwargs = dict(kwargs, kernel=kernel)
+    kwargs = dict(kwargs, variants=list(variants))
+    requested = worker_count(workers)
+    if requested == 1:
+        if shared_events is not None:
+            kwargs = dict(kwargs, events=shared_events)
+        return sweep_fn(
+            sessions_per_variant=sessions_per_variant, rng=rng, **kwargs
+        )
+    sizes = chunk_sizes(sessions_per_variant, chunks if chunks is not None else requested)
+    seeds = spawn_chunk_seeds(rng, len(sizes))
+    if shared_events is None:
+        tasks = [
+            (sweep_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
+        ]
+        chunk_fn: Callable[..., list] = _run_fused_sweep_chunk
+    else:
+        if not isinstance(shared_events, EventBlock):
+            raise TypeError(
+                f"shared_events must be an EventBlock, got "
+                f"{type(shared_events).__name__}"
+            )
+        payload = shared_events.to_bytes()
+        tasks = [
+            (sweep_fn, size, seed, payload, kwargs)
+            for size, seed in zip(sizes, seeds)
+        ]
+        chunk_fn = _run_shared_fused_sweep_chunk
+    merged: list = [[] for _ in variants]
+    for part in parallel_map(chunk_fn, tasks, workers):
+        if len(part) != len(merged):
+            raise ValueError(
+                f"fused sweep chunk returned {len(part)} variant lists "
+                f"(expected {len(merged)})"
+            )
+        for variant_results, chunk_results in zip(merged, part):
+            variant_results.extend(chunk_results)
+    return merged
+
+
 def _run_montecarlo_chunk(
     mc_fn: Callable[..., Tuple[float, ...]],
     trials: int,

@@ -10,8 +10,9 @@ keeps the discrete-event cost amortised.
 from __future__ import annotations
 
 import logging
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -41,6 +42,26 @@ from repro.utils.rng import RandomSource, ensure_rng
 logger = logging.getLogger(__name__)
 
 RouteOutcome = Tuple[OnionRoute, DeliveryOutcome]
+
+
+@dataclass(frozen=True)
+class SweepVariant:
+    """One parameter-grid point of a fused sweep.
+
+    A fused sweep runs several grid points — e.g. the ``L`` values of
+    fig. 10 or the ``K`` values of fig. 5 — against *one* shared contact
+    window in one engine pass, so the kernels sweep every point's sessions
+    in a single invocation instead of regenerating and re-scanning the
+    window per point. Sharing the window across points is also a common
+    random numbers scheme: between-point comparisons see the same contact
+    realisation, which reduces the variance of their differences.
+    """
+
+    label: str
+    group_size: int
+    onion_routers: int
+    copies: int = 1
+    spray_policy: SprayPolicy = SprayPolicy.SOURCE
 
 
 def sample_endpoints(
@@ -83,6 +104,23 @@ def select_overlapping_route(
     )
 
 
+def _resolve_consume(consume: str, kernel: Optional[bool]) -> str:
+    """Fold the ``kernel`` knob into the engine's ``consume`` mode.
+
+    ``kernel=True`` forces ``consume="kernel"``; ``kernel=None`` (the
+    default) upgrades ``consume="auto"`` to the kernel path — eligible
+    sessions are swept by the struct-of-arrays kernels, everything else
+    falls back transparently, and outcomes are byte-identical either way —
+    while leaving an explicitly requested mode (``"columnar"``,
+    ``"iterator"``) untouched; ``kernel=False`` opts out entirely.
+    """
+    if kernel:
+        return "kernel"
+    if kernel is None and consume == "auto":
+        return "kernel"
+    return consume
+
+
 def _make_session(
     message: Message,
     route: OnionRoute,
@@ -115,7 +153,7 @@ def run_random_graph_batch(
     dispatch: str = "indexed",
     events=None,
     consume: str = "auto",
-    kernel: bool = False,
+    kernel: Optional[bool] = None,
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -135,13 +173,13 @@ def run_random_graph_batch(
     draws sit at a different offset of the master stream than with
     ``events=None``.
 
-    ``kernel=True`` is shorthand for ``consume="kernel"``: eligible
-    fault-free single-copy sessions are swept by the struct-of-arrays
-    :class:`~repro.sim.kernel.BatchKernel` and everything else falls back
-    to the columnar object loop, with byte-identical outcomes.
+    ``kernel`` defaults to on (see :func:`_resolve_consume`): eligible
+    fault-free single-copy and multi-copy sessions are swept by the
+    struct-of-arrays kernels and everything else falls back to the
+    columnar object loop, with byte-identical outcomes. Pass
+    ``kernel=False`` (or an explicit ``consume``) to opt out.
     """
-    if kernel:
-        consume = "kernel"
+    consume = _resolve_consume(consume, kernel)
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
     if events is None:
@@ -172,6 +210,69 @@ def run_random_graph_batch(
     return pairs
 
 
+def run_fused_graph_sweep(
+    graph: ContactGraph,
+    variants: Sequence[SweepVariant],
+    horizon: float,
+    sessions_per_variant: int,
+    rng: RandomSource = None,
+    dispatch: str = "indexed",
+    events=None,
+    consume: str = "auto",
+    kernel: Optional[bool] = None,
+) -> List[List[RouteOutcome]]:
+    """Simulate every grid point of a sweep over one shared event stream.
+
+    All variants' sessions are registered in *one* engine and advanced in
+    *one* pass over one contact window — under the (default) kernel mode
+    that means a single struct-of-arrays invocation per kernel class for
+    the entire grid. Each variant draws its own group directory, endpoints,
+    and routes from the shared ``rng`` (in variant order, so the draw
+    sequence is deterministic); with a single variant the result is
+    byte-identical to :func:`run_random_graph_batch` on the same seed.
+
+    Returns one outcome list per variant, parallel to ``variants``.
+    """
+    if not variants:
+        raise ValueError("run_fused_graph_sweep needs at least one variant")
+    consume = _resolve_consume(consume, kernel)
+    generator = ensure_rng(rng)
+    results: List[List[RouteOutcome]] = []
+    engine: Optional[SimulationEngine] = None
+    for variant in variants:
+        directory = OnionGroupDirectory(
+            graph.n, variant.group_size, rng=generator
+        )
+        if engine is None:
+            # The contact process is created after the first directory so a
+            # single-variant sweep replays run_random_graph_batch's exact
+            # draw order (directory, then process pre-draws, then routes).
+            if events is None:
+                source = ExponentialContactProcess(graph, rng=generator)
+            else:
+                source = as_event_source(events)
+            engine = SimulationEngine(
+                source, horizon=horizon, dispatch=dispatch, consume=consume
+            )
+        pairs: List[RouteOutcome] = []
+        for _ in range(sessions_per_variant):
+            src, dst = sample_endpoints(graph.n, generator)
+            route = directory.select_route(
+                src, dst, variant.onion_routers, rng=generator
+            )
+            message = Message(
+                source=src, destination=dst, created_at=0.0, deadline=horizon
+            )
+            session = _make_session(
+                message, route, variant.copies, variant.spray_policy
+            )
+            engine.add_session(session)
+            pairs.append((route, session.outcome()))
+        results.append(pairs)
+    engine.run()
+    return results
+
+
 def run_faulty_graph_batch(
     graph: ContactGraph,
     group_size: int,
@@ -188,7 +289,7 @@ def run_faulty_graph_batch(
     recovery: Optional[RecoveryPolicy] = None,
     dispatch: str = "indexed",
     events=None,
-    kernel: bool = False,
+    kernel: Optional[bool] = None,
 ) -> List[RouteOutcome]:
     """:func:`run_random_graph_batch` under injected faults.
 
@@ -204,11 +305,12 @@ def run_faulty_graph_batch(
     and since they are per-event iterators the engine consumes the filtered
     stream through the legacy iterator path.
 
-    ``kernel=True`` requests ``consume="kernel"``. It only bites when no
-    fault filter wraps the stream (iterator filters force the legacy
-    loop) and no :class:`~repro.faults.recovery.FaultPlan` is attached —
-    i.e. exactly when this call degenerates to the fault-free batch — so
-    it is safe to leave on in sweeps that include a fault-free baseline.
+    ``kernel`` (default on) requests ``consume="kernel"``. It only bites
+    when no fault filter wraps the stream (iterator filters force the
+    legacy loop) and no :class:`~repro.faults.recovery.FaultPlan` is
+    attached — i.e. exactly when this call degenerates to the fault-free
+    batch — so it is safe to leave on in sweeps that include a fault-free
+    baseline.
     """
     generator = ensure_rng(rng)
     directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
@@ -227,7 +329,7 @@ def run_faulty_graph_batch(
         events,
         horizon=horizon,
         dispatch=dispatch,
-        consume="kernel" if kernel else "auto",
+        consume=_resolve_consume("auto", kernel),
     )
     pairs: List[RouteOutcome] = []
     for _ in range(sessions):
@@ -368,59 +470,43 @@ def security_montecarlo(
 # ----------------------------------------------------------------------
 
 
-def run_trace_batch(
-    trace: ContactTrace,
-    group_size: int,
-    onion_routers: int,
-    copies: int,
-    deadline: float,
-    sessions: int,
-    rng: RandomSource = None,
-    overlapping: bool = False,
-    dispatch: str = "indexed",
-    consume: str = "auto",
-    kernel: bool = False,
-) -> List[RouteOutcome]:
-    """Simulate onion routing sessions over a replayed trace.
+def _first_half_contact_starts(trace: ContactTrace) -> Dict[int, List[float]]:
+    """Per-node start times of contacts in the trace's first half.
 
-    "A source node initiates a message transmission at any time after it has
-    a contact with any node" — each session's creation time is the start of
-    a uniformly chosen contact involving its source, drawn from the first
-    half of the trace so the deadline window fits inside the recording.
-
-    Sparse traces degrade gracefully: when session placement stalls (too
-    few nodes ever have a first-half contact), the batch runs with however
-    many sessions could be placed — logged as a warning — rather than
-    discarding the partial work. Callers should check ``len(result)``
-    against ``sessions`` when the distinction matters.
-
-    ``kernel=True`` is shorthand for ``consume="kernel"`` — see
-    :func:`run_random_graph_batch`.
+    "A source node initiates a message transmission at any time after it
+    has a contact with any node" — sessions are created at one of these
+    starts so the deadline window fits inside the recording.
     """
-    if kernel:
-        consume = "kernel"
-    generator = ensure_rng(rng)
-    trace = trace.normalized()
-    n = trace.n
-    if n < 3:
-        raise ValueError("trace too small for onion routing")
-    directory = (
-        None if overlapping else OnionGroupDirectory(n, group_size, rng=generator)
-    )
-
     midpoint = trace.start + trace.duration / 2
-    contacts_by_node: dict[int, list[float]] = {}
+    contacts_by_node: Dict[int, List[float]] = {}
     for record in trace.records:
         if record.start <= midpoint:
             contacts_by_node.setdefault(record.a, []).append(record.start)
             contacts_by_node.setdefault(record.b, []).append(record.start)
+    return contacts_by_node
 
-    engine = SimulationEngine(
-        TraceReplayProcess(trace),
-        horizon=trace.end + 1.0,
-        dispatch=dispatch,
-        consume=consume,
-    )
+
+def _place_trace_sessions(
+    engine: SimulationEngine,
+    n: int,
+    contacts_by_node: Dict[int, List[float]],
+    directory: Optional[OnionGroupDirectory],
+    overlapping: bool,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    spray_policy: SprayPolicy,
+    deadline: float,
+    sessions: int,
+    generator: np.random.Generator,
+) -> List[RouteOutcome]:
+    """Register ``sessions`` trace-placed sessions; returns (route, outcome)s.
+
+    Sparse traces degrade gracefully: when placement stalls (too few nodes
+    ever have a first-half contact), the batch runs with however many
+    sessions could be placed — logged as a warning — rather than
+    discarding the partial work.
+    """
     pairs: List[RouteOutcome] = []
     attempts = 0
     while len(pairs) < sessions:
@@ -458,11 +544,134 @@ def run_trace_batch(
             created_at=created_at,
             deadline=deadline,
         )
-        session = _make_session(message, route, copies, SprayPolicy.SOURCE)
+        session = _make_session(message, route, copies, spray_policy)
         engine.add_session(session)
         pairs.append((route, session.outcome()))
+    return pairs
+
+
+def run_trace_batch(
+    trace: ContactTrace,
+    group_size: int,
+    onion_routers: int,
+    copies: int,
+    deadline: float,
+    sessions: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+    dispatch: str = "indexed",
+    consume: str = "auto",
+    kernel: Optional[bool] = None,
+) -> List[RouteOutcome]:
+    """Simulate onion routing sessions over a replayed trace.
+
+    Each session's creation time is the start of a uniformly chosen
+    first-half contact involving its source (see
+    :func:`_first_half_contact_starts`); callers should check
+    ``len(result)`` against ``sessions`` when partial placement on a
+    sparse trace matters.
+
+    ``kernel`` defaults to on — :class:`~repro.contacts.events.TraceReplayProcess`
+    serves columnar windows, so eligible sessions are swept by the
+    struct-of-arrays kernels directly over the replayed trace; see
+    :func:`run_random_graph_batch`.
+    """
+    consume = _resolve_consume(consume, kernel)
+    generator = ensure_rng(rng)
+    trace = trace.normalized()
+    n = trace.n
+    if n < 3:
+        raise ValueError("trace too small for onion routing")
+    directory = (
+        None if overlapping else OnionGroupDirectory(n, group_size, rng=generator)
+    )
+    contacts_by_node = _first_half_contact_starts(trace)
+    engine = SimulationEngine(
+        TraceReplayProcess(trace),
+        horizon=trace.end + 1.0,
+        dispatch=dispatch,
+        consume=consume,
+    )
+    pairs = _place_trace_sessions(
+        engine,
+        n,
+        contacts_by_node,
+        directory,
+        overlapping,
+        group_size,
+        onion_routers,
+        copies,
+        SprayPolicy.SOURCE,
+        deadline,
+        sessions,
+        generator,
+    )
     engine.run()
     return pairs
+
+
+def run_fused_trace_sweep(
+    trace: ContactTrace,
+    variants: Sequence[SweepVariant],
+    deadline: float,
+    sessions_per_variant: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+    dispatch: str = "indexed",
+    consume: str = "auto",
+    kernel: Optional[bool] = None,
+) -> List[List[RouteOutcome]]:
+    """Simulate every grid point of a trace sweep over one replay.
+
+    The trace analogue of :func:`run_fused_graph_sweep`: all variants'
+    sessions — e.g. fig. 17's ``L`` grid — run in one engine pass over a
+    single :class:`~repro.contacts.events.TraceReplayProcess`, giving one
+    kernel invocation per kernel class for the whole grid and common
+    random numbers across the grid points. With a single variant the
+    result is byte-identical to :func:`run_trace_batch` on the same seed.
+
+    Returns one outcome list per variant, parallel to ``variants``.
+    """
+    if not variants:
+        raise ValueError("run_fused_trace_sweep needs at least one variant")
+    consume = _resolve_consume(consume, kernel)
+    generator = ensure_rng(rng)
+    trace = trace.normalized()
+    n = trace.n
+    if n < 3:
+        raise ValueError("trace too small for onion routing")
+    contacts_by_node = _first_half_contact_starts(trace)
+    engine = SimulationEngine(
+        TraceReplayProcess(trace),
+        horizon=trace.end + 1.0,
+        dispatch=dispatch,
+        consume=consume,
+    )
+    results: List[List[RouteOutcome]] = []
+    for variant in variants:
+        directory = (
+            None
+            if overlapping
+            else OnionGroupDirectory(n, variant.group_size, rng=generator)
+        )
+        results.append(
+            _place_trace_sessions(
+                engine,
+                n,
+                contacts_by_node,
+                directory,
+                overlapping,
+                variant.group_size,
+                variant.onion_routers,
+                variant.copies,
+                variant.spray_policy,
+                deadline,
+                sessions_per_variant,
+                generator,
+            )
+        )
+    engine.run()
+    return results
 
 
 def trace_contact_graph(

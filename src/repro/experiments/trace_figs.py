@@ -19,13 +19,14 @@ from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import (
     Workers,
-    run_parallel_batch,
+    run_parallel_fused_sweep,
     run_parallel_montecarlo,
 )
 from repro.experiments.runners import (
+    SweepVariant,
     analysis_delivery_curve,
     estimate_active_span,
-    run_trace_batch,
+    run_fused_trace_sweep,
     security_montecarlo,
     simulated_delivery_curve,
     trace_contact_graph,
@@ -38,42 +39,64 @@ INFOCOM_GROUP_SIZE = 5
 INFOCOM_ONIONS = 3
 
 
-def _trace_delivery_series(
+def _trace_delivery_sweep(
     trace: ContactTrace,
     group_size: int,
     onion_routers: int,
-    copies: int,
+    copy_counts: Sequence[int],
     deadlines: Sequence[float],
     sessions: int,
     rng: RandomSource,
     overlapping: bool,
-    label: str,
+    labels: Sequence[str],
     workers: Workers = 1,
-) -> List[Series]:
-    """(Analysis, Simulation) delivery series on one trace for one L."""
+) -> List[List[Series]]:
+    """(Analysis, Simulation) series per L, fused over one trace replay.
+
+    Every copy count's sessions run in a single engine pass over one
+    :class:`~repro.contacts.events.TraceReplayProcess` — the trace-replay
+    blocks feed the struct-of-arrays kernels directly (single-copy and
+    multi-copy alike), and the grid points share the replayed contacts.
+    """
     generator = ensure_rng(rng)
     normalized = trace.normalized()
-    batch = run_parallel_batch(
-        run_trace_batch,
-        sessions=sessions,
+    variants = [
+        SweepVariant(
+            label=label,
+            group_size=group_size,
+            onion_routers=onion_routers,
+            copies=copies,
+        )
+        for label, copies in zip(labels, copy_counts)
+    ]
+    sweep = run_parallel_fused_sweep(
+        run_fused_trace_sweep,
+        variants=variants,
+        sessions_per_variant=sessions,
         workers=workers,
         rng=generator,
         trace=normalized,
-        group_size=group_size,
-        onion_routers=onion_routers,
-        copies=copies,
         deadline=max(deadlines),
         overlapping=overlapping,
     )
-    routes = [route for route, _ in batch]
-    outcomes = [outcome for _, outcome in batch]
     graph = trace_contact_graph(normalized, estimate_active_span(normalized))
-    analysis = analysis_delivery_curve(graph, routes, deadlines, copies=copies)
-    simulation = simulated_delivery_curve(outcomes, deadlines)
-    return [
-        Series(label=f"Analysis: {label}", points=tuple(analysis)),
-        Series(label=f"Simulation: {label}", points=tuple(simulation)),
-    ]
+    pairs: List[List[Series]] = []
+    for variant, batch in zip(variants, sweep):
+        routes = [route for route, _ in batch]
+        outcomes = [outcome for _, outcome in batch]
+        analysis = analysis_delivery_curve(
+            graph, routes, deadlines, copies=variant.copies
+        )
+        simulation = simulated_delivery_curve(outcomes, deadlines)
+        pairs.append(
+            [
+                Series(label=f"Analysis: {variant.label}", points=tuple(analysis)),
+                Series(
+                    label=f"Simulation: {variant.label}", points=tuple(simulation)
+                ),
+            ]
+        )
+    return pairs
 
 
 def _trace_security_figure(
@@ -164,18 +187,18 @@ def figure_14(
     generator = ensure_rng(seed)
     if trace is None:
         trace = cambridge_like_trace(rng=generator)
-    series = _trace_delivery_series(
+    series = _trace_delivery_sweep(
         trace,
         group_size=CAMBRIDGE_GROUP_SIZE,
         onion_routers=CAMBRIDGE_ONIONS,
-        copies=1,
+        copy_counts=(1,),
         deadlines=deadlines,
         sessions=sessions,
         rng=generator,
         overlapping=True,
-        label="L=1",
+        labels=("L=1",),
         workers=workers,
-    )
+    )[0]
     return FigureResult(
         figure_id="Fig. 14",
         title="Delivery rate w.r.t. deadline (Cambridge-like trace)",
@@ -254,23 +277,23 @@ def figure_17(
     generator = ensure_rng(seed)
     if trace is None:
         trace = infocom05_like_trace(rng=generator)
-    series: List[Series] = []
-    analysis_half, simulation_half = [], []
-    for copies in copy_counts:
-        pair = _trace_delivery_series(
-            trace,
-            group_size=INFOCOM_GROUP_SIZE,
-            onion_routers=INFOCOM_ONIONS,
-            copies=copies,
-            deadlines=deadlines,
-            sessions=sessions,
-            rng=generator,
-            overlapping=False,
-            label=f"L={copies}",
-            workers=workers,
-        )
-        analysis_half.append(pair[0])
-        simulation_half.append(pair[1])
+    # One fused sweep: all L values replay the trace once, in one engine
+    # pass — single-copy through BatchKernel, L>1 through the multi-copy
+    # kernel, over the same replayed contacts.
+    pairs = _trace_delivery_sweep(
+        trace,
+        group_size=INFOCOM_GROUP_SIZE,
+        onion_routers=INFOCOM_ONIONS,
+        copy_counts=copy_counts,
+        deadlines=deadlines,
+        sessions=sessions,
+        rng=generator,
+        overlapping=False,
+        labels=tuple(f"L={copies}" for copies in copy_counts),
+        workers=workers,
+    )
+    analysis_half = [pair[0] for pair in pairs]
+    simulation_half = [pair[1] for pair in pairs]
     series = analysis_half + simulation_half
     return FigureResult(
         figure_id="Fig. 17",

@@ -19,13 +19,14 @@ identical random streams and the two modes produce byte-identical outcomes.
 
 On top of the indexed strategy, ``consume="kernel"`` (or the
 ``dispatch="kernel"`` shorthand) peels the *kernel-eligible* sessions —
-fault-free, recovery-free, keyring-free single-copy, see
-:meth:`repro.sim.kernel.BatchKernel.supports` — out of the per-object loop
-entirely and sweeps them over the columnar window with
-:class:`~repro.sim.kernel.BatchKernel` array operations; every other
-session (and every session when the source cannot produce columnar
-windows) transparently falls back to the regular columnar/iterator object
-path. Outcomes stay byte-identical with every other mode.
+fault-free, recovery-free, keyring-free single-copy and fault-free
+multi-copy, see :data:`repro.sim.kernel.KERNEL_CLASSES` — out of the
+per-object loop entirely and sweeps them over the columnar window with
+struct-of-arrays kernel operations; every other session (and every
+session when the source cannot produce columnar windows) transparently
+falls back to the regular columnar/iterator object path. Outcomes stay
+byte-identical with every other mode. :attr:`SimulationEngine.dispatch_mode_counts`
+records how many sessions each run routed through each path.
 """
 
 from __future__ import annotations
@@ -99,10 +100,12 @@ class SimulationEngine:
         filters wrap the stream as plain iterators); ``"iterator"`` forces
         the legacy per-event loop; ``"columnar"`` requires block support
         and raises if the source has none; ``"kernel"`` additionally sweeps
-        kernel-eligible sessions with the struct-of-arrays
-        :class:`~repro.sim.kernel.BatchKernel` and runs the rest through
-        the columnar object loop (degrading all the way to the iterator
-        loop when the source has no block support). Outcomes are identical
+        kernel-eligible sessions with the struct-of-arrays kernels
+        (:class:`~repro.sim.kernel.BatchKernel` for single-copy,
+        :class:`~repro.sim.kernel.MultiCopyBatchKernel` for multi-copy)
+        and runs the rest through the columnar object loop (degrading all
+        the way to the iterator loop when the source has no block
+        support). Outcomes are identical
         across all modes — the columnar loop dispatches the exact same
         events to the exact same sessions in the same order, and the
         kernel dispatches exactly the state-changing subset of them
@@ -157,6 +160,7 @@ class SimulationEngine:
         self._events_processed = 0
         self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
         self._quarantined_ids: set = set()
+        self._dispatch_mode_counts: Dict[str, int] = {}
 
     @property
     def horizon(self) -> float:
@@ -183,6 +187,31 @@ class SimulationEngine:
         """Sessions removed from dispatch after raising, with their errors."""
         return tuple(self._quarantined)
 
+    @property
+    def dispatch_mode_counts(self) -> Dict[str, int]:
+        """Sessions routed through each dispatch path, accumulated per run.
+
+        Keys: ``kernel-single`` / ``kernel-multicopy`` (struct-of-arrays
+        sweeps), ``columnar`` (the columnar object loop), ``iterator`` (the
+        per-event object loop), ``broadcast`` (the legacy scan). Only live,
+        unquarantined sessions are counted, at the moment :meth:`run`
+        assigns them to a path.
+        """
+        return dict(self._dispatch_mode_counts)
+
+    def _count_mode(self, mode: str, count: int) -> None:
+        if count:
+            self._dispatch_mode_counts[mode] = (
+                self._dispatch_mode_counts.get(mode, 0) + count
+            )
+
+    def _live_session_count(self) -> int:
+        return sum(
+            1
+            for session in self._sessions
+            if not session.done and id(session) not in self._quarantined_ids
+        )
+
     def add_session(self, session: ProtocolSession) -> ProtocolSession:
         """Register a session; returns it for chaining."""
         self._sessions.append(session)
@@ -207,15 +236,18 @@ class SimulationEngine:
         if not self._sessions:
             raise RuntimeError("no protocol sessions registered")
         if self._dispatch == "broadcast":
+            self._count_mode("broadcast", self._live_session_count())
             self._run_broadcast()
         elif self._consume == "kernel":
-            self._run_kernel()
+            self._run_kernel()  # counts per-path internally
         elif self._consume == "iterator" or (
             self._consume == "auto"
             and not hasattr(self._events, "events_until_columnar")
         ):
+            self._count_mode("iterator", self._live_session_count())
             self._run_indexed()
         else:
+            self._count_mode("columnar", self._live_session_count())
             self._run_indexed_columnar()
 
     # ------------------------------------------------------------------
@@ -338,48 +370,60 @@ class SimulationEngine:
                 return
 
     def _run_kernel(self) -> None:
-        """Kernel sweep for eligible sessions, columnar loop for the rest.
+        """Kernel sweeps for eligible sessions, columnar loop for the rest.
 
-        The split is transparent: eligible sessions (fault-free /
-        recovery-free / keyring-free single-copy) are advanced over the
-        whole window by :class:`~repro.sim.kernel.BatchKernel` array
-        operations, and every other session sees the *same* window through
-        the regular columnar object loop. Eligible sessions draw no
-        randomness at dispatch time, so removing them from the object loop
-        cannot perturb shared sampled state (e.g. greyhole draws) — the
-        combined outcomes are byte-identical with ``consume="columnar"``.
-        Sources without columnar support degrade to the iterator loop for
+        The split is transparent: each eligible session is claimed by the
+        first kernel class in :data:`~repro.sim.kernel.KERNEL_CLASSES`
+        whose ``supports`` accepts it (fault-free / recovery-free /
+        keyring-free single-copy → :class:`~repro.sim.kernel.BatchKernel`,
+        fault-free multi-copy →
+        :class:`~repro.sim.kernel.MultiCopyBatchKernel`) and advanced over
+        the whole window by array operations; every other session sees the
+        *same* window through the regular columnar object loop. Eligible
+        sessions draw no randomness at dispatch time and never interact
+        with each other, so removing them from the object loop cannot
+        perturb shared sampled state (e.g. greyhole draws) — the combined
+        outcomes are byte-identical with ``consume="columnar"``. Sources
+        without columnar support degrade to the iterator loop for
         everything.
         """
-        from repro.sim.kernel import BatchKernel
+        from repro.sim.kernel import KERNEL_CLASSES, kernel_class_for
 
         if not hasattr(self._events, "events_until_columnar"):
+            self._count_mode("iterator", self._live_session_count())
             self._run_indexed()
             return
-        eligible = []
+        groups = {kernel_cls: [] for kernel_cls in KERNEL_CLASSES}
         rest = []
         for order, session in enumerate(self._sessions):
-            if (
-                BatchKernel.supports(session)
-                and id(session) not in self._quarantined_ids
-                and not session.done
-            ):
-                eligible.append(session)
+            kernel_cls = None
+            if id(session) not in self._quarantined_ids and not session.done:
+                kernel_cls = kernel_class_for(session)
+            if kernel_cls is not None:
+                groups[kernel_cls].append(session)
             else:
                 rest.append((order, session))
-        if not eligible:
+        if not any(groups.values()):
+            self._count_mode("columnar", self._live_session_count())
             self._run_indexed_columnar()
             return
         block = self._events.events_until_columnar(self._horizon)
-        BatchKernel(eligible).run(block)
-        if any(
-            not session.done and id(session) not in self._quarantined_ids
-            for _, session in rest
-        ):
+        for kernel_cls in KERNEL_CLASSES:
+            eligible = groups[kernel_cls]
+            if eligible:
+                self._count_mode(kernel_cls.mode, len(eligible))
+                kernel_cls(eligible).run(block)
+        live_rest = [
+            pair
+            for pair in rest
+            if not pair[1].done and id(pair[1]) not in self._quarantined_ids
+        ]
+        if live_rest:
+            self._count_mode("columnar", len(live_rest))
             self._run_indexed_columnar(block=block, ordered_sessions=rest)
         else:
-            # The kernel consumed the window on its own; the object loop's
-            # per-event counter never ran, so account for the block here.
+            # The kernels consumed the window on their own; the object
+            # loop's per-event counter never ran, so account for the block.
             self._events_processed += len(block)
 
     def _run_indexed_columnar(self, block=None, ordered_sessions=None) -> None:

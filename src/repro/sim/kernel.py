@@ -1,62 +1,162 @@
-"""Vectorized struct-of-arrays batch kernel for single-copy Monte Carlo.
+"""Vectorized struct-of-arrays batch kernels for Monte Carlo sweeps.
 
 The paper's delivery-rate sweeps simulate thousands of *homogeneous,
-fault-free* :class:`~repro.core.single_copy.SingleCopySession` objects whose
-entire live state is ``(holder, next-hop index, target group)``. Driving
-each of them through one Python method call per relevant event — even the
-columnar engine's allocation-free scalar hook — leaves per-object dispatch
-as the dominant cost of a batch. This module sweeps the whole batch over a
-columnar :class:`~repro.contacts.events.EventBlock` with array operations
-instead.
+fault-free* protocol sessions whose entire live state is a handful of
+integers. Driving each of them through one Python method call per relevant
+event — even the columnar engine's allocation-free scalar hook — leaves
+per-object dispatch as the dominant cost of a batch. This module sweeps
+whole batches over a columnar :class:`~repro.contacts.events.EventBlock`
+with array operations instead.
 
-The key observation (the per-hop anycast race): a fault-free single-copy
-session changes state only at
+The key observation (the per-hop anycast race): a fault-free session
+changes state only at
 
-* the first event at/after ``created_at`` where the current holder meets a
-  member of the next onion group (a *forward* — at most ``η`` of them), or
+* the first event at/after ``created_at`` where the holder of a live copy
+  meets a member of that copy's next onion group (a *forward* / *spray*),
+  or
 * the first event strictly after ``expires_at`` (TTL *expiry*).
 
-Everything else is provably a no-op, so the kernel locates those few
-state-changing events with vectorized searches and dispatches **only
-them** through the session's own
+Everything else is provably a no-op, so the kernels locate those few
+state-changing events with vectorized searches and dispatch **only them**
+through the session's own
 :meth:`~repro.sim.protocol.ProtocolSession.on_contact_scalar` hook. The
 outcome objects (paths, hop timestamps, transfers, status) are therefore
 built by the exact same code path as every other engine mode —
 byte-identity with columnar/indexed/broadcast dispatch is structural, not
 re-implemented.
 
-State is kept as struct-of-arrays: ``holder[s]``, ``next_hop[s]``,
-``done[s]``, ``cursor[s]`` (next candidate event index), ``expiry[s]``
-(index of the first event past the deadline), plus a flattened
-per-session × hop target-group membership table. Each *round* advances
-every active session by exactly one state change:
+Two kernels share the composite-index machinery (:class:`_EventIndex`):
 
-1. for every active ``(session, target)`` pair, find the first event at
-   index ``>= cursor[s]`` on the pair ``(holder[s], target)`` via one
-   :func:`numpy.searchsorted` over a composite ``(pair key, event index)``
-   ordering of the block;
-2. reduce per session (``np.minimum.reduceat``) to the winning member of
-   the anycast race, clip against ``expiry[s]``;
-3. dispatch the rare winners through ``on_contact_scalar`` (the thin
-   scalar inner loop — forwards are rare relative to contacts) and advance
-   the per-session arrays from the session's post-dispatch state.
+* :class:`BatchKernel` — fault-free, keyring-free
+  :class:`~repro.core.single_copy.SingleCopySession`. One copy, one holder
+  per session; each round advances every active session by exactly one
+  state change, so a batch with ``η`` hops finishes in at most ``η + 1``
+  rounds.
+* :class:`MultiCopyBatchKernel` — fault-free
+  :class:`~repro.core.multi_copy.MultiCopySession` (Algorithm 2). The
+  anycast race runs over *every live copy* of a session: the per-round
+  minimum is taken across all (copy, target-member) candidates of the
+  session, the winning event is dispatched once through
+  ``on_contact_scalar`` (which advances every copy involved), and the
+  kernel resyncs its copy mirror from :meth:`MultiCopySession.copy_states`
+  — skipping the resync when :attr:`state_version` proves the dispatch was
+  a no-op. No-op dispatches are possible (the paper's ``Forward()``
+  predicate refuses peers that already hold a copy, which the race does
+  not model), but every dispatch advances the session's cursor, so
+  progress is monotone and the sweep terminates.
 
-A batch of ``S`` sessions with ``η`` hops finishes in at most ``η + 1``
-rounds, each costing ``O(S · g · log E)`` — independent of the number of
-events that would otherwise be dispatched per object.
+Both kernels work with any chronological block — synthetic
+:class:`~repro.contacts.events.ExponentialContactProcess` windows and
+CRAWDAD :class:`~repro.contacts.events.TraceReplayProcess` replays alike;
+eligibility never depends on the event source.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 import numpy as np
 
 from repro.contacts.events import EventBlock
+from repro.core.multi_copy import MultiCopySession
 from repro.core.single_copy import SingleCopySession
 from repro.sim.protocol import ProtocolSession
 
-__all__ = ["BatchKernel"]
+__all__ = ["BatchKernel", "MultiCopyBatchKernel", "KERNEL_CLASSES", "kernel_class_for"]
+
+
+class _EventIndex:
+    """Composite ``(pair key, event index)`` ordering of one block.
+
+    Within one unordered node pair the stable argsort keeps chronological
+    order, so "first event of pair P at index >= c" is a single
+    :func:`numpy.searchsorted` against ``key * stride + index``. Both
+    kernels build their queries against this structure; ``min_nodes``
+    widens the key space to cover session nodes absent from the block.
+    """
+
+    def __init__(self, block: EventBlock, min_nodes: int):
+        self.n_events = len(block)
+        self.times = block.times
+        self.events_a = block.a
+        self.events_b = block.b
+        max_node = int(max(self.events_a.max(), self.events_b.max()))
+        self.n_nodes = max(max_node + 1, min_nodes)
+        self.stride = self.n_events + 1
+        lo = np.minimum(self.events_a, self.events_b)
+        hi = np.maximum(self.events_a, self.events_b)
+        event_key = lo * self.n_nodes + hi
+        key_order = np.argsort(event_key, kind="stable")
+        self.sorted_comp = event_key[key_order] * self.stride + key_order
+
+    def first_events(
+        self,
+        q_holder: np.ndarray,
+        q_target: np.ndarray,
+        q_cursor: np.ndarray,
+    ) -> np.ndarray:
+        """First event index ≥ cursor on each ``(holder, target)`` pair.
+
+        Pairs with no such event map to ``n_events`` (a sentinel that
+        always loses the subsequent minimum reductions).
+        """
+        q_lo = np.minimum(q_holder, q_target)
+        q_hi = np.maximum(q_holder, q_target)
+        pair_key = q_lo * self.n_nodes + q_hi
+        q_comp = pair_key * self.stride + q_cursor
+        sorted_comp = self.sorted_comp
+        comp_len = len(sorted_comp)
+        pos = np.searchsorted(sorted_comp, q_comp, side="left")
+        candidate = np.full(len(q_comp), self.n_events, dtype=np.int64)
+        clipped = np.minimum(pos, comp_len - 1)
+        found_comp = sorted_comp[clipped]
+        in_pair = (pos < comp_len) & (found_comp // self.stride == pair_key)
+        candidate[in_pair] = found_comp[in_pair] % self.stride
+        return candidate
+
+
+class _TargetTable:
+    """Flattened per-session × hop target-group membership table.
+
+    Session ``s``'s hop ``h`` (1-based) targets live at
+    ``targets[start[base[s] + h - 1] : stop[base[s] + h - 1]]``.
+    """
+
+    def __init__(self, sessions: Sequence[ProtocolSession]):
+        flat_targets: List[int] = []
+        hop_start: List[int] = []
+        hop_stop: List[int] = []
+        self.base = np.empty(len(sessions), dtype=np.int64)
+        max_node = 0
+        for s, session in enumerate(sessions):
+            self.base[s] = len(hop_start)
+            route = session.route
+            for hop in range(1, route.eta + 1):
+                members = route.next_group_members(hop)
+                hop_start.append(len(flat_targets))
+                flat_targets.extend(members)
+                hop_stop.append(len(flat_targets))
+                biggest = max(members)
+                if biggest > max_node:
+                    max_node = biggest
+        self.targets = np.asarray(flat_targets, dtype=np.int64)
+        self.start = np.asarray(hop_start, dtype=np.int64)
+        self.stop = np.asarray(hop_stop, dtype=np.int64)
+        self.max_node = max_node
+
+
+def _window_bounds(
+    times: np.ndarray, session: ProtocolSession
+) -> Tuple[int, int]:
+    """(cursor, expiry) event indices for one session over the block.
+
+    Events before creation are no-ops; expiry fires at the first event
+    strictly past the deadline (``on_contact_scalar``'s
+    ``time < created_at`` / ``time > expires_at`` branches).
+    """
+    cursor = int(np.searchsorted(times, session.created_at, "left"))
+    expiry = int(np.searchsorted(times, session.expires_at, "right"))
+    return cursor, expiry
 
 
 class BatchKernel:
@@ -67,11 +167,13 @@ class BatchKernel:
     fault-free, without custody recovery, and without an onion-crypto
     payload. Those sessions never draw randomness at dispatch time and
     never interact with each other, which is what makes the per-hop race
-    a pure array search. Everything else — faulted, recovering,
-    multi-copy, keyring-carrying sessions — must go through the engine's
-    columnar object path; :class:`~repro.sim.engine.SimulationEngine`
-    performs that split transparently under ``consume="kernel"``.
+    a pure array search. Faulted, recovering, or keyring-carrying sessions
+    must go through the engine's columnar object path;
+    :class:`~repro.sim.engine.SimulationEngine` performs that split
+    transparently under ``consume="kernel"``.
     """
+
+    mode = "kernel-single"
 
     def __init__(self, sessions: Sequence[SingleCopySession]):
         ineligible = [type(s).__name__ for s in sessions if not self.supports(s)]
@@ -124,39 +226,18 @@ class BatchKernel:
         n_events = len(block)
         if not sessions or n_events == 0:
             return 0
-        times = block.times
-        events_a = block.a
-        events_b = block.b
 
         n_sessions = len(sessions)
         holder = np.empty(n_sessions, dtype=np.int64)
         active = np.zeros(n_sessions, dtype=bool)
         cursor = np.empty(n_sessions, dtype=np.int64)
         expiry = np.empty(n_sessions, dtype=np.int64)
-
-        # Flattened per-session × hop membership table: session s's hop h
-        # (1-based) targets live at flat_targets[hop_start[base[s] + h - 1] :
-        # hop_stop[base[s] + h - 1]]. hop_slot[s] tracks the current hop.
-        flat_targets: List[int] = []
-        hop_start: List[int] = []
-        hop_stop: List[int] = []
-        base = np.empty(n_sessions, dtype=np.int64)
         hop_slot = np.empty(n_sessions, dtype=np.int64)
-        last_slot = np.empty(n_sessions, dtype=np.int64)
-        max_node = int(max(events_a.max(), events_b.max()))
 
+        table = _TargetTable(sessions)
+        base = table.base
+        max_node = table.max_node
         for s, session in enumerate(sessions):
-            base[s] = len(hop_start)
-            route = session.route
-            for hop in range(1, route.eta + 1):
-                members = route.next_group_members(hop)
-                hop_start.append(len(flat_targets))
-                flat_targets.extend(members)
-                hop_stop.append(len(flat_targets))
-                biggest = max(members)
-                if biggest > max_node:
-                    max_node = biggest
-            last_slot[s] = len(hop_start) - 1
             if session.done:
                 continue
             active[s] = True
@@ -164,28 +245,15 @@ class BatchKernel:
             if session.holder > max_node:
                 max_node = session.holder
             hop_slot[s] = base[s] + session.next_hop - 1
-            # Events before creation are no-ops; expiry fires at the first
-            # event strictly past the deadline (on_contact_scalar's
-            # ``time < created_at`` / ``time > expires_at`` branches).
-            cursor[s] = int(np.searchsorted(times, session.created_at, "left"))
-            expiry[s] = int(np.searchsorted(times, session.expires_at, "right"))
+            cursor[s], expiry[s] = _window_bounds(block.times, session)
 
-        targets_arr = np.asarray(flat_targets, dtype=np.int64)
-        starts_arr = np.asarray(hop_start, dtype=np.int64)
-        stops_arr = np.asarray(hop_stop, dtype=np.int64)
-
-        # Composite ordering of the block: events sorted by (pair key,
-        # index). Within one pair the stable argsort keeps chronological
-        # order, so "first event of pair P at index >= c" is a single
-        # searchsorted against key * stride + index.
-        n_nodes = max_node + 1
-        stride = n_events + 1
-        lo = np.minimum(events_a, events_b)
-        hi = np.maximum(events_a, events_b)
-        event_key = lo * n_nodes + hi
-        key_order = np.argsort(event_key, kind="stable")
-        sorted_comp = event_key[key_order] * stride + key_order
-        comp_len = len(sorted_comp)
+        index = _EventIndex(block, min_nodes=max_node + 1)
+        times = index.times
+        events_a = index.events_a
+        events_b = index.events_b
+        starts_arr = table.start
+        stops_arr = table.stop
+        targets_arr = table.targets
 
         dispatched = 0
         act = np.nonzero(active)[0]
@@ -203,20 +271,8 @@ class BatchKernel:
             )
             q_target = targets_arr[flat_idx]
             q_holder = np.repeat(holder[act], counts)
-            q_lo = np.minimum(q_holder, q_target)
-            q_hi = np.maximum(q_holder, q_target)
-            q_comp = (q_lo * n_nodes + q_hi) * stride + np.repeat(
-                cursor[act], counts
-            )
-
-            pos = np.searchsorted(sorted_comp, q_comp, side="left")
-            candidate = np.full(total, n_events, dtype=np.int64)
-            clipped = np.minimum(pos, comp_len - 1)
-            found_comp = sorted_comp[clipped]
-            in_pair = (pos < comp_len) & (
-                found_comp // stride == q_lo * n_nodes + q_hi
-            )
-            candidate[in_pair] = found_comp[in_pair] % stride
+            q_cursor = np.repeat(cursor[act], counts)
+            candidate = index.first_events(q_holder, q_target, q_cursor)
 
             # The anycast race: first meeting with any group member wins,
             # unless the TTL runs out first.
@@ -250,3 +306,184 @@ class BatchKernel:
 
         self._dispatches += dispatched
         return dispatched
+
+
+class MultiCopyBatchKernel:
+    """Simulate a batch of eligible multi-copy sessions over one block.
+
+    Eligibility mirrors :class:`BatchKernel`: exactly
+    :class:`~repro.core.multi_copy.MultiCopySession` (no subclasses),
+    fault-free, without ticket-reclamation recovery. Spray policy does not
+    matter — ``SOURCE`` and ``BINARY`` only decide how many tickets a
+    dispatched transfer hands over, which the session computes itself; the
+    kernel only needs to know *which copies exist and where*, mirrored via
+    :meth:`MultiCopySession.copy_states`.
+
+    Unlike the single-copy race, a dispatched event may be a no-op: the
+    race candidates include peers that already hold a copy of the same
+    session (the paper's ``Forward()`` refuses those), which only happens
+    when onion groups overlap across hops. The kernel detects the no-op
+    via :attr:`MultiCopySession.state_version`, skips the mirror resync,
+    and advances the cursor past the event — identical to what the
+    columnar object loop does with such contacts.
+    """
+
+    mode = "kernel-multicopy"
+
+    def __init__(self, sessions: Sequence[MultiCopySession]):
+        ineligible = [type(s).__name__ for s in sessions if not self.supports(s)]
+        if ineligible:
+            raise ValueError(
+                "MultiCopyBatchKernel only accepts fault-free, recovery-free "
+                f"MultiCopySession instances; got {ineligible[:3]}"
+            )
+        self._sessions: List[MultiCopySession] = list(sessions)
+        self._dispatches = 0
+
+    @staticmethod
+    def supports(session: ProtocolSession) -> bool:
+        """Whether ``session`` can be swept by the multi-copy kernel."""
+        return (
+            type(session) is MultiCopySession
+            and session.faults is None
+            and session.recovery is None
+        )
+
+    @property
+    def sessions(self) -> Sequence[MultiCopySession]:
+        """The sessions this kernel advances."""
+        return tuple(self._sessions)
+
+    @property
+    def dispatches(self) -> int:
+        """Events dispatched so far (sprays, relays, deliveries, expiries,
+        plus the rare overlapping-group no-ops)."""
+        return self._dispatches
+
+    # ------------------------------------------------------------------
+    # the sweep
+    # ------------------------------------------------------------------
+
+    def run(self, block: EventBlock) -> int:
+        """Advance every session across ``block``; returns the dispatch count.
+
+        Same contract as :meth:`BatchKernel.run`: after the call every
+        session is byte-identical to what the columnar object loop would
+        have produced over the same block.
+        """
+        sessions = self._sessions
+        n_events = len(block)
+        if not sessions or n_events == 0:
+            return 0
+
+        n_sessions = len(sessions)
+        active = np.zeros(n_sessions, dtype=bool)
+        cursor = np.empty(n_sessions, dtype=np.int64)
+        expiry = np.empty(n_sessions, dtype=np.int64)
+        # Per-session copy mirror: [(holder, hop slot), ...] per live copy.
+        mirrors: List[List[Tuple[int, int]]] = [[] for _ in range(n_sessions)]
+
+        table = _TargetTable(sessions)
+        base = table.base
+        max_node = table.max_node
+        for s, session in enumerate(sessions):
+            if session.done:
+                continue
+            active[s] = True
+            offset = int(base[s])
+            mirror = [
+                (holder_, offset + next_hop - 1)
+                for holder_, next_hop in session.copy_states()
+            ]
+            mirrors[s] = mirror
+            for holder_, _slot in mirror:
+                if holder_ > max_node:
+                    max_node = holder_
+            cursor[s], expiry[s] = _window_bounds(block.times, session)
+
+        index = _EventIndex(block, min_nodes=max_node + 1)
+        times = index.times
+        events_a = index.events_a
+        events_b = index.events_b
+        starts_arr = table.start
+        stops_arr = table.stop
+        targets_arr = table.targets
+
+        dispatched = 0
+        act = np.nonzero(active)[0]
+        while act.size:
+            # Flatten every active session's live copies. An active session
+            # always has at least one live copy (all-terminated ⇒ done).
+            c_row: List[int] = []  # position of the copy's session in act
+            c_holder: List[int] = []
+            c_slot: List[int] = []
+            for row, s in enumerate(act.tolist()):
+                for holder_, slot_ in mirrors[s]:
+                    c_row.append(row)
+                    c_holder.append(holder_)
+                    c_slot.append(slot_)
+            slots = np.asarray(c_slot, dtype=np.int64)
+            counts = stops_arr[slots] - starts_arr[slots]
+            total = int(counts.sum())
+            group_ends = np.cumsum(counts)
+            group_starts = group_ends - counts
+            flat_idx = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(group_starts, counts)
+                + np.repeat(starts_arr[slots], counts)
+            )
+            q_target = targets_arr[flat_idx]
+            q_holder = np.repeat(np.asarray(c_holder, dtype=np.int64), counts)
+            rows = np.asarray(c_row, dtype=np.int64)
+            q_cursor = np.repeat(cursor[act][rows], counts)
+            candidate = index.first_events(q_holder, q_target, q_cursor)
+
+            # Per-session race across *all* copies: reduce at the first
+            # flattened member of each session's first copy. ``rows`` is
+            # sorted (copies were appended in act order), so the session
+            # boundaries are where a new row value first appears.
+            session_first_copy = np.searchsorted(
+                rows, np.arange(len(act), dtype=np.int64), side="left"
+            )
+            session_starts = group_starts[session_first_copy]
+            fire = np.minimum.reduceat(candidate, session_starts)
+            next_idx = np.minimum(fire, expiry[act])
+
+            finished = act[next_idx == n_events]
+            active[finished] = False
+
+            firing = next_idx < n_events
+            for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
+                session = sessions[s]
+                version = session.state_version
+                session.on_contact_scalar(
+                    float(times[k]), int(events_a[k]), int(events_b[k])
+                )
+                dispatched += 1
+                if session.done:
+                    active[s] = False
+                    continue
+                cursor[s] = k + 1
+                if session.state_version != version:
+                    offset = int(base[s])
+                    mirrors[s] = [
+                        (holder_, offset + next_hop - 1)
+                        for holder_, next_hop in session.copy_states()
+                    ]
+            act = np.nonzero(active)[0]
+
+        self._dispatches += dispatched
+        return dispatched
+
+
+#: Kernel classes in the order the engine tries them; the first whose
+#: ``supports`` accepts a session sweeps it.
+KERNEL_CLASSES = (BatchKernel, MultiCopyBatchKernel)
+
+
+def kernel_class_for(session: ProtocolSession):
+    """The kernel class that can sweep ``session``, or ``None``."""
+    for kernel_cls in KERNEL_CLASSES:
+        if kernel_cls.supports(session):
+            return kernel_cls
+    return None

@@ -8,7 +8,9 @@ tests check the claim end-to-end: the same seeded batch, run under
 ``consume="columnar"`` and ``consume="kernel"``, must produce
 byte-identical ``DeliveryOutcome`` sequences across graph sizes, group
 sizes, route lengths, and seeds; including mixed batches where faulted /
-multi-copy / keyring sessions fall back to the object path.
+keyring sessions fall back to the object path (multi-copy sessions now
+route to their own kernel — see
+``tests/test_sim_multicopy_kernel_equivalence.py``).
 """
 
 import numpy as np
