@@ -496,6 +496,8 @@ def run_benchmark(
             "python": platform.python_version(),
             "machine": platform.machine(),
             "cpu_count": os.cpu_count(),
+            "workers_requested": workers,
+            "workers_effective": min(workers, os.cpu_count() or 1),
         },
         "results": results,
         "identical_outcomes": all(identity_checks.values()),

@@ -236,6 +236,25 @@ def _add_config_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-L", "--copies", type=int, default=1)
 
 
+def _clamp_workers(requested: int, cpu_count: int) -> int:
+    """Cap ``--workers`` at the CPU count, warning once when it bites.
+
+    Oversubscribing buys nothing (the pool already sizes its processes to
+    the machine) but would pay for extra chunk setup; clamping keeps the
+    chunk layout and per-chunk seeds aligned with what actually runs. The
+    warning tells the user reproduction now follows the clamped count.
+    """
+    if requested <= cpu_count:
+        return requested
+    print(
+        f"warning: --workers {requested} exceeds the {cpu_count} available "
+        f"CPU(s); clamping to {cpu_count} (chunk layout and seeds follow "
+        "the clamped count)",
+        file=sys.stderr,
+    )
+    return cpu_count
+
+
 def _run_figure(args: argparse.Namespace) -> int:
     func = _FIGURES[args.number]
     kwargs = {}
@@ -251,11 +270,20 @@ def _run_figure(args: argparse.Namespace) -> int:
     if args.workers != 1 and args.number in _PARALLEL_FIGS:
         # One persistent pool for the whole figure: every batch the sweep
         # runs reuses the same worker processes instead of forking per call.
-        from repro.experiments.parallel import WorkerPool
+        # The pool is supervised — chunk timeouts, crash recovery, bounded
+        # seed-exact retries — so a flaky worker degrades the run instead
+        # of aborting it.
+        import os
 
-        with WorkerPool(args.workers) as pool:
+        from repro.experiments.parallel import WorkerPool
+        from repro.utils.resilience import RetryPolicy
+
+        workers = _clamp_workers(args.workers, os.cpu_count() or 1)
+        with WorkerPool(workers, policy=RetryPolicy()) as pool:
             kwargs["workers"] = pool
             result = func(**kwargs)
+        if pool.report:
+            print(pool.report.describe(), file=sys.stderr)
     else:
         result = func(**kwargs)
     print(result.to_markdown() if args.markdown else result.to_table())

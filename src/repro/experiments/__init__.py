@@ -29,6 +29,7 @@ from repro.experiments.parallel import (
     run_parallel_montecarlo,
     spawn_chunk_seeds,
     worker_count,
+    workers_metadata,
 )
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.robustness_figs import figure_r1, figure_r2
@@ -83,6 +84,7 @@ __all__ = [
     "spawn_chunk_seeds",
     "WorkerPool",
     "worker_count",
+    "workers_metadata",
     "render_chart",
     "save_figure",
     "load_figure",

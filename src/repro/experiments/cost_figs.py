@@ -12,6 +12,7 @@ from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import (
+    workers_metadata,
     Workers,
     run_parallel_fused_sweep,
     worker_count,
@@ -152,4 +153,5 @@ def figure_11(
         x_label="Number of copies",
         y_label="Number of transmissions",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )

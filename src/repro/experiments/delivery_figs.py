@@ -11,6 +11,7 @@ from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import (
+    workers_metadata,
     Workers,
     run_parallel_fused_sweep,
     worker_count,
@@ -165,6 +166,7 @@ def _sweep_figure(
         x_label="Deadline (minutes)",
         y_label="Delivery rate",
         series=tuple(analysis + simulation),
+        metadata=workers_metadata(workers),
     )
 
 

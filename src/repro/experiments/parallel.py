@@ -26,18 +26,43 @@ Two amortisation mechanisms make the parallel path profitable:
   once, serialised as a columnar npz payload, and replayed by every chunk
   through :class:`~repro.contacts.events.ColumnarEventSource`, instead of
   each chunk re-sampling the full O(n²) per-pair event machinery.
+
+Supervision: passing a :class:`~repro.utils.resilience.RetryPolicy`
+(directly or on the pool) upgrades ``parallel_map`` to a *supervised*
+dispatcher: every chunk gets a wall-clock budget, a hung or SIGKILLed
+worker is detected, the pool is rebuilt, and the affected chunks are
+re-executed from their original ``SeedSequence.spawn`` seeds — so a sweep
+that survived timeouts, crashes, and transient exceptions merges to a
+result byte-identical to an unfailed run. Failures are classified
+(:mod:`repro.utils.resilience`) and recorded on an
+:class:`~repro.utils.resilience.ExecutionReport`; the degradation ladder
+runs chunk-level (kernel → columnar → iterator inside a retried chunk)
+and sweep-level (pool → serial once ``max_pool_restarts`` is exhausted).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import inspect
 import os
 import pickle
-from typing import Any, Callable, List, Sequence, Tuple, Union
+import time
+from collections import deque
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, NamedTuple, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.contacts.events import ColumnarEventSource, EventBlock
+from repro.utils.resilience import (
+    CHUNK_ERROR,
+    CHUNK_TIMEOUT,
+    KERNEL_FALLBACK,
+    WORKER_CRASH,
+    ExecutionReport,
+    ResilienceEvent,
+    RetryPolicy,
+)
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
 
@@ -71,6 +96,30 @@ def spawn_chunk_seeds(rng: RandomSource, count: int) -> List[np.random.SeedSeque
     return list(seed_seq.spawn(count))
 
 
+def _terminate_executor(executor: concurrent.futures.ProcessPoolExecutor) -> None:
+    """Kill an executor's worker processes and release its resources.
+
+    ``shutdown()`` alone joins the workers, which hangs forever on a hung or
+    signal-blocked chunk — so the processes are terminated first, then the
+    executor is shut down without waiting, then the corpses are reaped.
+    """
+    processes = list((getattr(executor, "_processes", None) or {}).values())
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead race
+            pass
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - uninterruptible state
+                process.kill()
+                process.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already-reaped race
+            pass
+
+
 class WorkerPool:
     """A persistent process pool shared across many parallel calls.
 
@@ -83,6 +132,13 @@ class WorkerPool:
     size is one, which is both the single-CPU degradation and the cheap
     path for ``workers=1``.
 
+    A pool constructed with a :class:`~repro.utils.resilience.RetryPolicy`
+    is *supervised*: every ``parallel_map`` call through it gets per-chunk
+    timeouts, crash detection with pool rebuilds, and bounded seed-exact
+    retries, with incidents recorded on ``report`` (an
+    :class:`~repro.utils.resilience.ExecutionReport`, created automatically
+    when a policy is given).
+
     Use as a context manager to reuse one warm pool across a whole figure
     sweep::
 
@@ -91,7 +147,14 @@ class WorkerPool:
             second = run_parallel_batch(fn, sessions=1000, workers=pool, ...)
     """
 
-    def __init__(self, workers: int, *, max_processes: int | None = None):
+    def __init__(
+        self,
+        workers: int,
+        *,
+        max_processes: int | None = None,
+        policy: RetryPolicy | None = None,
+        report: ExecutionReport | None = None,
+    ):
         check_positive_int(workers, "workers")
         if max_processes is not None:
             check_positive_int(max_processes, "max_processes")
@@ -99,6 +162,10 @@ class WorkerPool:
         self._workers = workers
         self._processes = min(workers, cap)
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self.policy = policy
+        if report is None and policy is not None:
+            report = ExecutionReport()
+        self.report = report
 
     @property
     def workers(self) -> int:
@@ -131,6 +198,18 @@ class WorkerPool:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
 
+    def terminate(self) -> None:
+        """Kill the worker processes without waiting for running chunks.
+
+        Unlike :meth:`close`, the pool stays usable — the next submission
+        lazily builds a fresh executor. This is the restart primitive the
+        supervisor uses after a crash or timeout, and the prompt-shutdown
+        path on :class:`KeyboardInterrupt`.
+        """
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            _terminate_executor(executor)
+
     def __enter__(self) -> "WorkerPool":
         return self
 
@@ -147,6 +226,25 @@ def worker_count(workers: Workers) -> int:
         return workers.workers
     check_positive_int(workers, "workers")
     return workers
+
+
+def workers_metadata(workers: Workers) -> dict:
+    """JSON-safe execution metadata for run results and bench records.
+
+    Reports the *requested* parallelism (which fixes chunk layout and
+    seeds) next to the *effective* process count the machine allowed, and —
+    when ``workers`` is a supervised :class:`WorkerPool` whose report holds
+    incidents — the structured resilience summary.
+    """
+    requested = worker_count(workers)
+    if isinstance(workers, WorkerPool):
+        effective = workers.processes
+    else:
+        effective = min(requested, os.cpu_count() or 1)
+    meta: dict = {"workers_requested": requested, "workers_effective": effective}
+    if isinstance(workers, WorkerPool) and workers.report:
+        meta["resilience"] = workers.report.summary()
+    return meta
 
 
 def _inline_map(fn: Callable[..., Any], tasks: Sequence[Tuple[Any, ...]]) -> List[Any]:
@@ -168,17 +266,25 @@ def _collect(
     fn: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
     executor: concurrent.futures.ProcessPoolExecutor,
+    terminate: Callable[[], None] | None = None,
 ) -> List[Any]:
     futures = [executor.submit(fn, *task) for task in tasks]
     results = []
     for index, future in enumerate(futures):
         try:
             results.append(future.result())
-        except Exception as error:
+        except BaseException as error:
             # Don't leave stragglers running a doomed batch: cancel
             # everything not yet started before propagating.
             for later in futures[index + 1:]:
                 later.cancel()
+            if not isinstance(error, Exception):
+                # KeyboardInterrupt / SystemExit: chunks already running
+                # would make shutdown join forever — kill the workers so the
+                # interrupt lands promptly and no process leaks.
+                if terminate is not None:
+                    terminate()
+                raise
             error.add_note(
                 f"parallel_map: chunk {index}/{len(futures)} failed; "
                 "outstanding chunks cancelled"
@@ -187,10 +293,232 @@ def _collect(
     return results
 
 
+def _inline_supervised(
+    fn: Callable[..., Any],
+    task: Tuple[Any, ...],
+    index: int,
+    total: int,
+    policy: RetryPolicy,
+    report: ExecutionReport,
+) -> Any:
+    """Run one chunk in-process with bounded retries (last supervision rung).
+
+    Serves both the single-process pool and chunks whose pooled retries are
+    exhausted. Timeouts cannot be enforced here — an in-process chunk is
+    uninterruptible — so only exceptions are retried.
+    """
+    attempt = 1
+    while True:
+        try:
+            return fn(*pickle.loads(pickle.dumps(task)))
+        except Exception as error:
+            exhausted = attempt > policy.max_retries
+            report.record(
+                CHUNK_ERROR,
+                f"chunk {index}",
+                attempt=attempt,
+                detail=f"{type(error).__name__}: {error}",
+                resolution="failed" if exhausted else "retried",
+            )
+            if exhausted:
+                error.add_note(
+                    f"parallel_map: chunk {index}/{total} failed after "
+                    f"{attempt} inline attempts"
+                )
+                raise
+            policy.pause(attempt, key=index)
+            attempt += 1
+
+
+def _supervised_map(
+    fn: Callable[..., Any],
+    tasks: Sequence[Tuple[Any, ...]],
+    pool: WorkerPool,
+    policy: RetryPolicy,
+    report: ExecutionReport,
+) -> List[Any]:
+    """Dispatch chunks with timeouts, crash recovery, and bounded retries.
+
+    Submission is bounded to the pool's process count so a chunk's
+    wall-clock budget starts ticking when it actually starts running. A
+    timed-out or crashed pool is killed and rebuilt (bounded by
+    ``policy.max_pool_restarts``, after which the whole sweep degrades to
+    serial in-process execution), and the affected chunks re-execute from
+    their original argument tuples — same seeds, byte-identical results.
+    """
+    total = len(tasks)
+    results: List[Any] = [None] * total
+    if pool.processes == 1 or report.degraded_to_serial:
+        for index, task in enumerate(tasks):
+            results[index] = _inline_supervised(fn, task, index, total, policy, report)
+        return results
+
+    pending = deque((index, 1) for index in range(total))
+    inflight: dict = {}  # future -> (index, attempt, deadline)
+
+    def requeue_inflight(kind: str, detail: str) -> None:
+        # A broken or hung pool dooms every in-flight chunk; harvest the
+        # ones that finished cleanly before the break, then requeue the
+        # rest ahead of untouched work, in index order, burning one attempt
+        # each (the culprit is not reliably attributable to one future).
+        doomed = []
+        for future, (index, attempt, _) in inflight.items():
+            if future.done():
+                try:
+                    results[index] = future.result(timeout=0)
+                    continue
+                except BaseException:
+                    pass
+            doomed.append((index, attempt))
+        inflight.clear()
+        for index, attempt in sorted(doomed):
+            report.record(
+                kind,
+                f"chunk {index}",
+                attempt=attempt,
+                detail=detail,
+                resolution="retried",
+            )
+        for index, attempt in sorted(doomed, reverse=True):
+            pending.appendleft((index, attempt + 1))
+
+    def restart_pool() -> None:
+        pool.terminate()
+        report.pool_restarts += 1
+        if report.pool_restarts > policy.max_pool_restarts:
+            report.degraded_to_serial = True
+
+    try:
+        while pending or inflight:
+            if report.degraded_to_serial:
+                # The pool kept dying; finish everything left in-process.
+                for index, _ in sorted(pending):
+                    results[index] = _inline_supervised(
+                        fn, tasks[index], index, total, policy, report
+                    )
+                pending.clear()
+                break
+            submit_broken = False
+            while pending and len(inflight) < pool.processes:
+                index, attempt = pending.popleft()
+                if attempt > policy.max_retries + 1:
+                    # Pooled retries exhausted: degrade this chunk to inline.
+                    results[index] = _inline_supervised(
+                        fn, tasks[index], index, total, policy, report
+                    )
+                    continue
+                if attempt > 1:
+                    policy.pause(attempt - 1, key=index)
+                deadline = (
+                    time.monotonic() + policy.timeout
+                    if policy.timeout is not None
+                    else None
+                )
+                try:
+                    future = pool._ensure_executor().submit(fn, *tasks[index])
+                except BrokenProcessPool:
+                    # The pool died between waits; this chunk never started,
+                    # so it goes back at the same attempt.
+                    pending.appendleft((index, attempt))
+                    submit_broken = True
+                    break
+                inflight[future] = (index, attempt, deadline)
+            if submit_broken:
+                requeue_inflight(
+                    WORKER_CRASH, "pool broke while chunk was in flight"
+                )
+                restart_pool()
+                continue
+            if not inflight:
+                continue
+            timeout = None
+            deadlines = [meta[2] for meta in inflight.values() if meta[2] is not None]
+            if deadlines:
+                timeout = max(0.0, min(deadlines) - time.monotonic())
+            finished, _ = concurrent.futures.wait(
+                inflight,
+                timeout=timeout,
+                return_when=concurrent.futures.FIRST_COMPLETED,
+            )
+            broken = False
+            for future in finished:
+                index, attempt, _ = inflight.pop(future)
+                try:
+                    results[index] = future.result()
+                except BrokenProcessPool:
+                    broken = True
+                    report.record(
+                        WORKER_CRASH,
+                        f"chunk {index}",
+                        attempt=attempt,
+                        detail="worker process died while chunk was in flight",
+                        resolution="retried",
+                    )
+                    pending.appendleft((index, attempt + 1))
+                except Exception as error:
+                    exhausted = attempt > policy.max_retries
+                    report.record(
+                        CHUNK_ERROR,
+                        f"chunk {index}",
+                        attempt=attempt,
+                        detail=f"{type(error).__name__}: {error}",
+                        resolution="inline" if exhausted else "retried",
+                    )
+                    pending.append((index, attempt + 1))
+            if broken:
+                requeue_inflight(
+                    WORKER_CRASH, "pool broke while chunk was in flight"
+                )
+                restart_pool()
+                continue
+            if policy.timeout is not None and inflight:
+                now = time.monotonic()
+                overdue = sorted(
+                    meta
+                    for meta in inflight.values()
+                    if meta[2] is not None and now >= meta[2]
+                )
+                if overdue:
+                    # A hung worker cannot be interrupted individually: kill
+                    # the whole pool, charge the overdue chunks an attempt,
+                    # and requeue the innocent bystanders unchanged.
+                    overdue_keys = {(i, a) for i, a, _ in overdue}
+                    survivors = sorted(
+                        meta
+                        for meta in inflight.values()
+                        if (meta[0], meta[1]) not in overdue_keys
+                    )
+                    inflight.clear()
+                    for index, attempt, _ in overdue:
+                        report.record(
+                            CHUNK_TIMEOUT,
+                            f"chunk {index}",
+                            attempt=attempt,
+                            detail=(
+                                f"exceeded {policy.timeout:g}s wall-clock budget"
+                            ),
+                            resolution="retried",
+                        )
+                    for index, attempt, _ in reversed(survivors):
+                        pending.appendleft((index, attempt))
+                    for index, attempt, _ in reversed(overdue):
+                        pending.appendleft((index, attempt + 1))
+                    restart_pool()
+        return results
+    except BaseException:
+        for future in inflight:
+            future.cancel()
+        pool.terminate()
+        raise
+
+
 def parallel_map(
     fn: Callable[..., Any],
     tasks: Sequence[Tuple[Any, ...]],
     workers: Workers,
+    *,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
 ) -> List[Any]:
     """Apply ``fn`` to argument tuples on a process pool; ordered results.
 
@@ -201,23 +529,125 @@ def parallel_map(
     one runs inline — no pool, no pickling. ``fn`` and every argument must
     be picklable when subprocesses are used.
 
-    On a chunk failure, outstanding chunks are cancelled (a private pool is
-    shut down with ``cancel_futures=True``) and the exception is re-raised
-    with the failing chunk index attached as a note.
+    With a :class:`~repro.utils.resilience.RetryPolicy` (passed here or
+    carried by the pool), dispatch is *supervised*: per-chunk wall-clock
+    timeouts, crash detection with pool rebuilds, bounded seed-exact
+    retries, and incident rows on ``report``. Without one, a chunk failure
+    cancels the outstanding chunks and re-raises with the failing chunk
+    index attached as a note; :class:`KeyboardInterrupt` terminates the
+    workers promptly instead of hanging on shutdown.
     """
     if isinstance(workers, WorkerPool):
+        if policy is None:
+            policy = workers.policy
+        if report is None:
+            report = workers.report
+        if policy is not None:
+            return _supervised_map(
+                fn, tasks, workers, policy, report if report is not None else ExecutionReport()
+            )
         if workers.processes == 1:
             return _inline_map(fn, tasks)
-        return _collect(fn, tasks, workers._ensure_executor())
+        return _collect(
+            fn, tasks, workers._ensure_executor(), terminate=workers.terminate
+        )
     check_positive_int(workers, "workers")
+    if policy is not None:
+        with WorkerPool(workers, policy=policy, report=report) as pool:
+            return _supervised_map(fn, tasks, pool, policy, pool.report)
     processes = min(workers, os.cpu_count() or 1)
     if processes == 1:
         return _inline_map(fn, tasks)
     executor = concurrent.futures.ProcessPoolExecutor(max_workers=processes)
     try:
-        return _collect(fn, tasks, executor)
+        return _collect(
+            fn, tasks, executor, terminate=lambda: _terminate_executor(executor)
+        )
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
+
+
+class _ChunkPayload(NamedTuple):
+    """A chunk result plus the JSON-safe incident rows recorded computing it.
+
+    Chunk functions return this envelope so degradation events that happened
+    inside a worker process survive the trip back to the parent, where the
+    mergers unwrap the result and feed the rows into the sweep's
+    :class:`~repro.utils.resilience.ExecutionReport`.
+    """
+
+    result: Any
+    events: List[dict]
+
+
+def _unwrap_chunk(part: Any, report: ExecutionReport | None) -> Any:
+    if isinstance(part, _ChunkPayload):
+        if report is not None and part.events:
+            report.extend(part.events)
+        return part.result
+    return part
+
+
+def _supports_keyword(fn: Callable[..., Any], name: str) -> bool:
+    try:
+        return name in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - C callables
+        return False
+
+
+def _degradation_rungs(
+    batch_fn: Callable[..., Any], kwargs: dict
+) -> List[Tuple[str, dict]]:
+    """The per-chunk consume ladder: as requested → kernel off → iterator.
+
+    Only rungs the batch function understands (and the caller has not
+    already pinned) are offered; a function with neither knob gets a
+    single-rung ladder, i.e. no degradation.
+    """
+    rungs = [("requested configuration", dict(kwargs))]
+    if kwargs.get("kernel") is not False and _supports_keyword(batch_fn, "kernel"):
+        rungs.append(("kernel=False", dict(kwargs, kernel=False)))
+    if kwargs.get("consume") != "iterator" and _supports_keyword(batch_fn, "consume"):
+        rungs.append(("consume='iterator'", dict(rungs[-1][1], consume="iterator")))
+    return rungs
+
+
+def _run_chunk_with_ladder(
+    batch_fn: Callable[..., Any],
+    where: str,
+    kwargs: dict,
+    call: Callable[[dict], Any],
+) -> _ChunkPayload:
+    """Run one chunk, degrading kernel → columnar → iterator on failure.
+
+    ``call(rung_kwargs)`` must rebuild every piece of chunk state (the
+    generator, the event cursor) from the chunk seed, so each rung
+    re-executes from scratch and a degraded rung's outcome is byte-identical
+    to a clean run of that rung — which is itself byte-identical to the
+    kernel path by the dispatch-equivalence contract. Only the last rung's
+    failure propagates (and is then subject to the supervisor's retries).
+    """
+    rungs = _degradation_rungs(batch_fn, kwargs)
+    events: List[dict] = []
+    for k, (label, rung_kwargs) in enumerate(rungs):
+        try:
+            return _ChunkPayload(call(rung_kwargs), events)
+        except Exception as error:
+            if k + 1 == len(rungs):
+                raise
+            events.append(
+                ResilienceEvent(
+                    kind=KERNEL_FALLBACK,
+                    where=where,
+                    attempt=k + 1,
+                    detail=(
+                        f"{type(error).__name__}: {error} under {label}; "
+                        f"degrading to {rungs[k + 1][0]}"
+                    ),
+                    resolution="degraded",
+                ).to_dict()
+            )
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _run_batch_chunk(
@@ -225,9 +655,16 @@ def _run_batch_chunk(
     sessions: int,
     seed_seq: np.random.SeedSequence,
     kwargs: dict,
-) -> list:
+) -> _ChunkPayload:
     """One worker's share of a session batch (module-level for pickling)."""
-    return batch_fn(sessions=sessions, rng=np.random.default_rng(seed_seq), **kwargs)
+    return _run_chunk_with_ladder(
+        batch_fn,
+        getattr(batch_fn, "__name__", "batch"),
+        kwargs,
+        lambda rung_kwargs: batch_fn(
+            sessions=sessions, rng=np.random.default_rng(seed_seq), **rung_kwargs
+        ),
+    )
 
 
 def _run_shared_batch_chunk(
@@ -236,20 +673,41 @@ def _run_shared_batch_chunk(
     seed_seq: np.random.SeedSequence,
     payload: bytes,
     kwargs: dict,
-) -> list:
+) -> _ChunkPayload:
     """Batch chunk replaying a shared columnar event stream.
 
     The parent serialises the :class:`EventBlock` once; every chunk gets the
-    same payload bytes and replays them through a fresh cursor, so no chunk
-    ever re-samples the event machinery.
+    same payload bytes and replays them through a fresh cursor (rebuilt per
+    ladder rung, since a partially consumed cursor must never be reused).
     """
-    events = ColumnarEventSource(EventBlock.from_bytes(payload))
-    return batch_fn(
-        sessions=sessions,
-        rng=np.random.default_rng(seed_seq),
-        events=events,
-        **kwargs,
+    block = EventBlock.from_bytes(payload)
+    return _run_chunk_with_ladder(
+        batch_fn,
+        getattr(batch_fn, "__name__", "batch"),
+        kwargs,
+        lambda rung_kwargs: batch_fn(
+            sessions=sessions,
+            rng=np.random.default_rng(seed_seq),
+            events=ColumnarEventSource(block),
+            **rung_kwargs,
+        ),
     )
+
+
+def _resolve_supervision(
+    workers: Workers,
+    policy: RetryPolicy | None,
+    report: ExecutionReport | None,
+) -> Tuple[RetryPolicy | None, ExecutionReport | None]:
+    """Adopt a pool's policy/report when the caller didn't pass their own."""
+    if isinstance(workers, WorkerPool):
+        if policy is None:
+            policy = workers.policy
+        if report is None:
+            report = workers.report
+    if policy is not None and report is None:
+        report = ExecutionReport()
+    return policy, report
 
 
 def run_parallel_batch(
@@ -260,6 +718,8 @@ def run_parallel_batch(
     chunks: int | None = None,
     shared_events: EventBlock | None = None,
     kernel: bool | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
     **kwargs: Any,
 ) -> list:
     """Run a session batch split across ``workers`` processes.
@@ -291,6 +751,13 @@ def run_parallel_batch(
         knob (struct-of-arrays sweep for eligible sessions in every
         chunk). ``None`` omits the keyword, keeping compatibility with
         batch functions that predate it.
+    policy / report:
+        Optional :class:`~repro.utils.resilience.RetryPolicy` and
+        :class:`~repro.utils.resilience.ExecutionReport` for supervised
+        dispatch; defaults are adopted from ``workers`` when it is a
+        supervised :class:`WorkerPool`. Chunk-level degradation events
+        (kernel → columnar → iterator) recorded inside workers are merged
+        into the report.
 
     Results are concatenated in chunk order, so the merged list is
     deterministic for a fixed master seed and requested worker count,
@@ -298,6 +765,7 @@ def run_parallel_batch(
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    policy, report = _resolve_supervision(workers, policy, report)
     requested = worker_count(workers)
     if requested == 1:
         if shared_events is not None:
@@ -323,8 +791,8 @@ def run_parallel_batch(
         ]
         chunk_fn = _run_shared_batch_chunk
     merged: list = []
-    for part in parallel_map(chunk_fn, tasks, workers):
-        merged.extend(part)
+    for part in parallel_map(chunk_fn, tasks, workers, policy=policy, report=report):
+        merged.extend(_unwrap_chunk(part, report))
     return merged
 
 
@@ -333,12 +801,17 @@ def _run_fused_sweep_chunk(
     sessions_per_variant: int,
     seed_seq: np.random.SeedSequence,
     kwargs: dict,
-) -> list:
+) -> _ChunkPayload:
     """One worker's share of a fused sweep (module-level for pickling)."""
-    return sweep_fn(
-        sessions_per_variant=sessions_per_variant,
-        rng=np.random.default_rng(seed_seq),
-        **kwargs,
+    return _run_chunk_with_ladder(
+        sweep_fn,
+        getattr(sweep_fn, "__name__", "sweep"),
+        kwargs,
+        lambda rung_kwargs: sweep_fn(
+            sessions_per_variant=sessions_per_variant,
+            rng=np.random.default_rng(seed_seq),
+            **rung_kwargs,
+        ),
     )
 
 
@@ -348,14 +821,19 @@ def _run_shared_fused_sweep_chunk(
     seed_seq: np.random.SeedSequence,
     payload: bytes,
     kwargs: dict,
-) -> list:
+) -> _ChunkPayload:
     """Fused-sweep chunk replaying a shared columnar event stream."""
-    events = ColumnarEventSource(EventBlock.from_bytes(payload))
-    return sweep_fn(
-        sessions_per_variant=sessions_per_variant,
-        rng=np.random.default_rng(seed_seq),
-        events=events,
-        **kwargs,
+    block = EventBlock.from_bytes(payload)
+    return _run_chunk_with_ladder(
+        sweep_fn,
+        getattr(sweep_fn, "__name__", "sweep"),
+        kwargs,
+        lambda rung_kwargs: sweep_fn(
+            sessions_per_variant=sessions_per_variant,
+            rng=np.random.default_rng(seed_seq),
+            events=ColumnarEventSource(block),
+            **rung_kwargs,
+        ),
     )
 
 
@@ -368,6 +846,8 @@ def run_parallel_fused_sweep(
     chunks: int | None = None,
     shared_events: EventBlock | None = None,
     kernel: bool | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
     **kwargs: Any,
 ) -> list:
     """Run a fused parameter-grid sweep split across ``workers`` processes.
@@ -383,10 +863,11 @@ def run_parallel_fused_sweep(
     for a fixed master seed and requested worker count, following the
     :func:`run_parallel_batch` conventions for ``rng``, ``chunks``,
     ``shared_events`` (graph sweeps only — trace sweeps replay the trace
-    themselves), and ``kernel``.
+    themselves), ``kernel``, and ``policy``/``report``.
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    policy, report = _resolve_supervision(workers, policy, report)
     kwargs = dict(kwargs, variants=list(variants))
     requested = worker_count(workers)
     if requested == 1:
@@ -415,7 +896,8 @@ def run_parallel_fused_sweep(
         ]
         chunk_fn = _run_shared_fused_sweep_chunk
     merged: list = [[] for _ in variants]
-    for part in parallel_map(chunk_fn, tasks, workers):
+    for raw in parallel_map(chunk_fn, tasks, workers, policy=policy, report=report):
+        part = _unwrap_chunk(raw, report)
         if len(part) != len(merged):
             raise ValueError(
                 f"fused sweep chunk returned {len(part)} variant lists "
@@ -431,9 +913,16 @@ def _run_montecarlo_chunk(
     trials: int,
     seed_seq: np.random.SeedSequence,
     kwargs: dict,
-) -> Tuple[float, ...]:
+) -> _ChunkPayload:
     """One worker's share of a Monte Carlo estimate (module-level)."""
-    return mc_fn(trials=trials, rng=np.random.default_rng(seed_seq), **kwargs)
+    return _run_chunk_with_ladder(
+        mc_fn,
+        getattr(mc_fn, "__name__", "montecarlo"),
+        kwargs,
+        lambda rung_kwargs: mc_fn(
+            trials=trials, rng=np.random.default_rng(seed_seq), **rung_kwargs
+        ),
+    )
 
 
 def run_parallel_montecarlo(
@@ -443,6 +932,8 @@ def run_parallel_montecarlo(
     rng: RandomSource = None,
     chunks: int | None = None,
     kernel: bool | None = None,
+    policy: RetryPolicy | None = None,
+    report: ExecutionReport | None = None,
     **kwargs: Any,
 ) -> Tuple[float, ...]:
     """Parallel trial-mean estimator for Monte Carlo runners.
@@ -459,13 +950,19 @@ def run_parallel_montecarlo(
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    policy, report = _resolve_supervision(workers, policy, report)
     requested = worker_count(workers)
     if requested == 1:
         return mc_fn(trials=trials, rng=rng, **kwargs)
     sizes = chunk_sizes(trials, chunks if chunks is not None else requested)
     seeds = spawn_chunk_seeds(rng, len(sizes))
     tasks = [(mc_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)]
-    results = parallel_map(_run_montecarlo_chunk, tasks, workers)
+    results = [
+        _unwrap_chunk(part, report)
+        for part in parallel_map(
+            _run_montecarlo_chunk, tasks, workers, policy=policy, report=report
+        )
+    ]
     width = None
     for index, values in enumerate(results):
         if width is None:

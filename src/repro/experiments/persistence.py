@@ -10,20 +10,39 @@ run (Ctrl-C mid-batch, OOM kill) can never leave a truncated JSON behind:
 readers see either the old complete file or the new complete file.
 :class:`CheckpointStore` builds on the same primitive to let long Monte
 Carlo batches resume where they stopped.
+
+Checkpoints additionally carry a SHA-256 checksum over their canonical
+value payload (schema v2; v1 files without one are still readable). A
+checkpoint that fails parsing, structural validation, or checksum
+verification is *corrupt*: by default it is quarantined — renamed to a
+``.corrupt`` sibling so the evidence survives — and the sweep resumes from
+an empty store, recomputing the lost work instead of crashing. Pass
+``on_corrupt="raise"`` to get the
+:class:`~repro.utils.resilience.CheckpointCorrupt` exception instead. A
+*foreign schema version* is not corruption and always raises: quarantining
+a valid file written by a newer code version would destroy good data.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Union
+from typing import Callable, Dict, Iterable, List, Optional, Union
 
 from repro.experiments.result import FigureResult, Series
+from repro.utils.resilience import (
+    CHECKPOINT_CORRUPT,
+    CheckpointCorrupt,
+    ExecutionReport,
+)
 
 _SCHEMA_VERSION = 1
-_CHECKPOINT_SCHEMA_VERSION = 1
+_CHECKPOINT_SCHEMA_VERSION = 2
+#: Older checkpoint schemas this reader still accepts (v1 lacked checksums).
+_CHECKPOINT_COMPAT_VERSIONS = (1, _CHECKPOINT_SCHEMA_VERSION)
 
 
 def _atomic_write_text(path: Path, text: str) -> None:
@@ -46,7 +65,7 @@ def _atomic_write_text(path: Path, text: str) -> None:
 
 def figure_to_dict(figure: FigureResult) -> dict:
     """A JSON-safe dictionary representation."""
-    return {
+    payload = {
         "schema_version": _SCHEMA_VERSION,
         "figure_id": figure.figure_id,
         "title": figure.title,
@@ -57,6 +76,9 @@ def figure_to_dict(figure: FigureResult) -> dict:
             for series in figure.series
         ],
     }
+    if figure.metadata:
+        payload["metadata"] = dict(figure.metadata)
+    return payload
 
 
 def figure_from_dict(payload: dict) -> FigureResult:
@@ -81,6 +103,7 @@ def figure_from_dict(payload: dict) -> FigureResult:
             x_label=payload["x_label"],
             y_label=payload["y_label"],
             series=series,
+            metadata=dict(payload.get("metadata", {})),
         )
     except KeyError as missing:
         raise ValueError(f"figure payload missing field {missing}") from None
@@ -99,6 +122,22 @@ def load_figure(path: Union[str, Path]) -> FigureResult:
     return figure_from_dict(json.loads(Path(path).read_text()))
 
 
+def _values_checksum(values: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON form of the value map."""
+    canonical = json.dumps(values, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _quarantine_path(path: Path) -> Path:
+    """A free ``.corrupt`` sibling name for a quarantined checkpoint."""
+    candidate = path.with_name(path.name + ".corrupt")
+    counter = 1
+    while candidate.exists():
+        candidate = path.with_name(f"{path.name}.corrupt.{counter}")
+        counter += 1
+    return candidate
+
+
 class CheckpointStore:
     """Durable key → JSON-value map for resumable experiment batches.
 
@@ -106,20 +145,80 @@ class CheckpointStore:
     leaves the file with every *completed* unit of work intact and none
     half-written. Values must be JSON-serialisable (figure points, summary
     numbers — not arbitrary objects). Keys are strings.
+
+    Every write embeds a SHA-256 checksum of the value map; a file that
+    fails parsing or verification is handled per ``on_corrupt``:
+    ``"quarantine"`` (default) renames it to a ``.corrupt`` sibling,
+    records a ``CheckpointCorrupt`` event on ``report`` (when given), and
+    starts empty so the sweep recomputes the lost work; ``"raise"``
+    propagates :class:`~repro.utils.resilience.CheckpointCorrupt`.
     """
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        on_corrupt: str = "quarantine",
+        report: Optional[ExecutionReport] = None,
+    ):
+        if on_corrupt not in ("quarantine", "raise"):
+            raise ValueError(
+                f"on_corrupt must be 'quarantine' or 'raise', got {on_corrupt!r}"
+            )
         self._path = Path(path)
         self._values: Dict[str, object] = {}
+        self.quarantined: Optional[Path] = None
         if self._path.exists():
+            try:
+                self._values = self._load()
+            except CheckpointCorrupt as error:
+                if on_corrupt == "raise":
+                    raise
+                self.quarantined = _quarantine_path(self._path)
+                os.replace(self._path, self.quarantined)
+                if report is not None:
+                    report.record(
+                        CHECKPOINT_CORRUPT,
+                        str(self._path),
+                        detail=f"{error}; moved to {self.quarantined.name}",
+                        resolution="quarantined",
+                    )
+
+    def _load(self) -> Dict[str, object]:
+        """Parse and verify the on-disk store; raises CheckpointCorrupt."""
+        try:
             payload = json.loads(self._path.read_text())
-            version = payload.get("schema_version")
-            if version != _CHECKPOINT_SCHEMA_VERSION:
-                raise ValueError(
-                    f"unsupported checkpoint schema version {version!r} "
-                    f"(expected {_CHECKPOINT_SCHEMA_VERSION})"
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise CheckpointCorrupt(
+                f"checkpoint {self._path} is not valid JSON: {error}"
+            ) from error
+        if not isinstance(payload, dict):
+            raise CheckpointCorrupt(
+                f"checkpoint {self._path} holds "
+                f"{type(payload).__name__}, expected an object"
+            )
+        version = payload.get("schema_version")
+        if version not in _CHECKPOINT_COMPAT_VERSIONS:
+            # Not corruption: a file from a newer (or unknown) code version
+            # must never be quarantined away.
+            raise ValueError(
+                f"unsupported checkpoint schema version {version!r} "
+                f"(expected one of {_CHECKPOINT_COMPAT_VERSIONS})"
+            )
+        values = payload.get("values")
+        if not isinstance(values, dict):
+            raise CheckpointCorrupt(
+                f"checkpoint {self._path} has no value map"
+            )
+        if version >= 2:
+            expected = payload.get("checksum")
+            actual = _values_checksum(values)
+            if expected != actual:
+                raise CheckpointCorrupt(
+                    f"checkpoint {self._path} failed checksum validation "
+                    f"(stored {str(expected)[:12]}…, computed {actual[:12]}…)"
                 )
-            self._values = dict(payload["values"])
+        return dict(values)
 
     @property
     def path(self) -> Path:
@@ -147,6 +246,7 @@ class CheckpointStore:
             json.dumps(
                 {
                     "schema_version": _CHECKPOINT_SCHEMA_VERSION,
+                    "checksum": _values_checksum(self._values),
                     "values": self._values,
                 },
                 indent=2,
@@ -160,6 +260,9 @@ def run_checkpointed(
     keys: Iterable[str],
     compute: Callable[[str], object],
     path: Union[str, Path],
+    *,
+    on_corrupt: str = "quarantine",
+    report: Optional[ExecutionReport] = None,
 ) -> List[object]:
     """Evaluate ``compute(key)`` for every key, checkpointing each result.
 
@@ -169,8 +272,13 @@ def run_checkpointed(
     key, not from shared mutable state) for resumed results to be
     byte-identical with uninterrupted ones. Returns the values in key
     order.
+
+    A corrupt checkpoint file is handled per ``on_corrupt`` (see
+    :class:`CheckpointStore`): the default quarantines it and recomputes
+    every key, so a damaged resume degrades to a clean full run — with the
+    incident recorded on ``report`` — instead of crashing the sweep.
     """
-    store = CheckpointStore(path)
+    store = CheckpointStore(path, on_corrupt=on_corrupt, report=report)
     results: List[object] = []
     for key in keys:
         key = str(key)

@@ -7,7 +7,7 @@ figures report, so a reviewer can diff trends directly.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -42,13 +42,21 @@ class Series:
 
 @dataclass(frozen=True)
 class FigureResult:
-    """All series of one reproduced figure."""
+    """All series of one reproduced figure.
+
+    ``metadata`` records *how* the figure was produced (worker counts,
+    resilience summaries) without affecting figure identity: it is excluded
+    from equality, so a run that survived retries still compares equal to a
+    clean run with the same series — the byte-identity contract the
+    execution layer guarantees.
+    """
 
     figure_id: str
     title: str
     x_label: str
     y_label: str
     series: Tuple[Series, ...]
+    metadata: Dict[str, Any] = field(default_factory=dict, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "series", tuple(self.series))

@@ -22,7 +22,7 @@ from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.contacts.events import ExponentialContactProcess
-from repro.experiments.parallel import Workers, run_parallel_batch, worker_count
+from repro.experiments.parallel import Workers, run_parallel_batch, worker_count, workers_metadata
 from repro.experiments.runners import (
     RouteOutcome,
     run_faulty_graph_batch,
@@ -164,6 +164,7 @@ def figure_r1(
                 points=tuple(scaled_points),
             ),
         ),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -286,4 +287,5 @@ def figure_r2(
                 points=tuple(recovered_points),
             ),
         ),
+        metadata=workers_metadata(workers),
     )

@@ -13,7 +13,7 @@ from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
 from repro.analysis.traceable import traceable_rate_model
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
-from repro.experiments.parallel import Workers, run_parallel_montecarlo
+from repro.experiments.parallel import Workers, run_parallel_montecarlo, workers_metadata
 from repro.experiments.runners import security_montecarlo
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -63,6 +63,7 @@ def figure_06(
         x_label="Compromised rate (c/n)",
         y_label="Traceable rate",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -109,6 +110,7 @@ def figure_07(
         x_label="Number of onion relays",
         y_label="Traceable rate",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -156,6 +158,7 @@ def figure_08(
         x_label="Compromised rate (c/n)",
         y_label="Path anonymity",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -203,6 +206,7 @@ def figure_09(
         x_label="Group size",
         y_label="Path anonymity",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -257,6 +261,7 @@ def figure_12(
         x_label="Compromised rate (c/n)",
         y_label="Path anonymity",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -310,4 +315,5 @@ def figure_13(
         x_label="Group size",
         y_label="Path anonymity",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )

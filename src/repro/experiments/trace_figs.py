@@ -18,6 +18,7 @@ from repro.contacts.traces import ContactTrace
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import (
+    workers_metadata,
     Workers,
     run_parallel_fused_sweep,
     run_parallel_montecarlo,
@@ -168,6 +169,7 @@ def _trace_security_figure(
         x_label="Compromised rate (c/n)",
         y_label="Traceable rate" if metric == "traceable" else "Path anonymity",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -205,6 +207,7 @@ def figure_14(
         x_label="Deadline (seconds)",
         y_label="Delivery rate",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 
@@ -301,6 +304,7 @@ def figure_17(
         x_label="Deadline (seconds)",
         y_label="Delivery rate",
         series=tuple(series),
+        metadata=workers_metadata(workers),
     )
 
 

@@ -39,6 +39,7 @@ from typing import Dict, Iterable, List, Optional, Protocol as TypingProtocol, T
 
 from repro.contacts.events import ContactEvent
 from repro.sim.protocol import ProtocolSession
+from repro.utils.resilience import KERNEL_FALLBACK, ResilienceEvent
 from repro.utils.validation import check_positive
 
 logger = logging.getLogger(__name__)
@@ -161,6 +162,7 @@ class SimulationEngine:
         self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
         self._quarantined_ids: set = set()
         self._dispatch_mode_counts: Dict[str, int] = {}
+        self._fallbacks: List[ResilienceEvent] = []
 
     @property
     def horizon(self) -> float:
@@ -199,11 +201,34 @@ class SimulationEngine:
         """
         return dict(self._dispatch_mode_counts)
 
+    @property
+    def fallback_events(self) -> Tuple[ResilienceEvent, ...]:
+        """Degradations taken on the consume ladder this run.
+
+        Each entry is a :data:`~repro.utils.resilience.KERNEL_FALLBACK`
+        event recording one rung taken (kernel → columnar, or columnar →
+        iterator). Outcomes are byte-identical across rungs — a fallback
+        costs wall time, never correctness.
+        """
+        return tuple(self._fallbacks)
+
     def _count_mode(self, mode: str, count: int) -> None:
         if count:
-            self._dispatch_mode_counts[mode] = (
-                self._dispatch_mode_counts.get(mode, 0) + count
-            )
+            total = self._dispatch_mode_counts.get(mode, 0) + count
+            if total:
+                self._dispatch_mode_counts[mode] = total
+            else:
+                self._dispatch_mode_counts.pop(mode, None)
+
+    def _record_fallback(self, where: str, error: Exception, detail: str) -> None:
+        event = ResilienceEvent(
+            kind=KERNEL_FALLBACK,
+            where=where,
+            detail=f"{detail}: {type(error).__name__}: {error}",
+            resolution="degraded",
+        )
+        self._fallbacks.append(event)
+        logger.warning("%s — %s", where, event.detail)
 
     def _live_session_count(self) -> int:
         return sum(
@@ -400,19 +425,61 @@ class SimulationEngine:
             if id(session) not in self._quarantined_ids and not session.done:
                 kernel_cls = kernel_class_for(session)
             if kernel_cls is not None:
-                groups[kernel_cls].append(session)
+                groups[kernel_cls].append((order, session))
             else:
                 rest.append((order, session))
         if not any(groups.values()):
             self._count_mode("columnar", self._live_session_count())
             self._run_indexed_columnar()
             return
-        block = self._events.events_until_columnar(self._horizon)
+        try:
+            block = self._events.events_until_columnar(self._horizon)
+        except Exception as error:
+            # The source promised columnar windows but could not produce
+            # one — degrade the whole run to the per-event iterator loop.
+            self._record_fallback(
+                "consume=kernel",
+                error,
+                "columnar window production failed; degraded to iterator",
+            )
+            self._count_mode("iterator", self._live_session_count())
+            self._run_indexed()
+            return
+        on_session_error = None
+        if self._on_error == "quarantine":
+            on_session_error = self._quarantine
         for kernel_cls in KERNEL_CLASSES:
             eligible = groups[kernel_cls]
-            if eligible:
-                self._count_mode(kernel_cls.mode, len(eligible))
-                kernel_cls(eligible).run(block)
+            if not eligible:
+                continue
+            kernel = None
+            try:
+                kernel = kernel_cls([session for _, session in eligible])
+                kernel.run(block, on_session_error=on_session_error)
+            except Exception as error:
+                if kernel is not None and kernel.dispatches:
+                    # Sessions were already advanced; replaying them through
+                    # the object loop would violate causality, so this is
+                    # not a safe rung — propagate instead of corrupting.
+                    error.add_note(
+                        f"{kernel_cls.__name__} failed after "
+                        f"{kernel.dispatches} dispatches; partial kernel "
+                        "state cannot fall back byte-identically — rerun "
+                        "the batch (or chunk) with kernel=False"
+                    )
+                    raise
+                # Nothing was mutated: route the whole group through the
+                # columnar object loop, byte-identically.
+                self._record_fallback(
+                    kernel_cls.__name__,
+                    error,
+                    f"kernel rejected {len(eligible)} eligible sessions "
+                    "before dispatching; degraded to columnar",
+                )
+                rest.extend(eligible)
+                continue
+            self._count_mode(kernel_cls.mode, len(eligible))
+        rest.sort(key=lambda pair: pair[0])
         live_rest = [
             pair
             for pair in rest
@@ -442,14 +509,28 @@ class SimulationEngine:
         produces it once and shares it); ``ordered_sessions`` restricts
         dispatch to a subset of registered sessions.
         """
+        if block is None:
+            try:
+                block = self._events.events_until_columnar(self._horizon)
+            except Exception as error:
+                # Degrade to the per-event iterator loop: same events, same
+                # dispatch order, byte-identical outcomes — only slower.
+                self._record_fallback(
+                    "consume=columnar",
+                    error,
+                    "columnar window production failed; degraded to iterator",
+                )
+                live_now = self._live_session_count()
+                self._count_mode("columnar", -live_now)
+                self._count_mode("iterator", live_now)
+                self._run_indexed()
+                return
+
         index, always, wakeups, live = self._build_dispatch_state(
             ordered_sessions
         )
         if live == 0:
             return
-
-        if block is None:
-            block = self._events.events_until_columnar(self._horizon)
         times = block.times.tolist()
         nodes_a = block.a.tolist()
         nodes_b = block.b.tolist()

@@ -213,7 +213,7 @@ class BatchKernel:
     # the sweep
     # ------------------------------------------------------------------
 
-    def run(self, block: EventBlock) -> int:
+    def run(self, block: EventBlock, on_session_error=None) -> int:
         """Advance every session across ``block``; returns the dispatch count.
 
         The block must be chronological (every producer guarantees it).
@@ -221,6 +221,13 @@ class BatchKernel:
         object loop would have left it in: delivered/expired sessions are
         ``done`` with identical outcomes, the rest are ``pending`` with
         their holder parked wherever the window left it.
+
+        ``on_session_error(session, error)``, when given, receives any
+        exception a session's ``on_contact_scalar`` raises; the session is
+        dropped from the sweep and the rest continue (eligible sessions
+        never interact, so the others are unaffected — the same containment
+        the engine's quarantine gives the object loops). Without the
+        callback session exceptions propagate and abort the sweep.
         """
         sessions = self._sessions
         n_events = len(block)
@@ -287,9 +294,16 @@ class BatchKernel:
             firing = next_idx < n_events
             for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
                 session = sessions[s]
-                session.on_contact_scalar(
-                    float(times[k]), int(events_a[k]), int(events_b[k])
-                )
+                try:
+                    session.on_contact_scalar(
+                        float(times[k]), int(events_a[k]), int(events_b[k])
+                    )
+                except Exception as error:
+                    if on_session_error is None:
+                        raise
+                    on_session_error(session, error)
+                    active[s] = False
+                    continue
                 dispatched += 1
                 if session.done:
                     active[s] = False
@@ -364,10 +378,11 @@ class MultiCopyBatchKernel:
     # the sweep
     # ------------------------------------------------------------------
 
-    def run(self, block: EventBlock) -> int:
+    def run(self, block: EventBlock, on_session_error=None) -> int:
         """Advance every session across ``block``; returns the dispatch count.
 
-        Same contract as :meth:`BatchKernel.run`: after the call every
+        Same contract as :meth:`BatchKernel.run`, including the
+        ``on_session_error`` containment: after the call every surviving
         session is byte-identical to what the columnar object loop would
         have produced over the same block.
         """
@@ -456,9 +471,16 @@ class MultiCopyBatchKernel:
             for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
                 session = sessions[s]
                 version = session.state_version
-                session.on_contact_scalar(
-                    float(times[k]), int(events_a[k]), int(events_b[k])
-                )
+                try:
+                    session.on_contact_scalar(
+                        float(times[k]), int(events_a[k]), int(events_b[k])
+                    )
+                except Exception as error:
+                    if on_session_error is None:
+                        raise
+                    on_session_error(session, error)
+                    active[s] = False
+                    continue
                 dispatched += 1
                 if session.done:
                     active[s] = False

@@ -2,7 +2,22 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import _clamp_workers, main
+
+
+class TestClampWorkers:
+    def test_within_budget_is_silent(self, capsys):
+        assert _clamp_workers(2, 8) == 2
+        assert _clamp_workers(8, 8) == 8
+        assert capsys.readouterr().err == ""
+
+    def test_oversubscription_clamps_with_one_warning(self, capsys):
+        assert _clamp_workers(8, 2) == 2
+        err = capsys.readouterr().err
+        assert err.count("warning:") == 1
+        assert "--workers 8" in err
+        assert "clamping to 2" in err
+        assert "seeds" in err  # the warning explains the reproduction impact
 
 
 class TestList:

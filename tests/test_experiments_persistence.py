@@ -13,6 +13,11 @@ from repro.experiments.persistence import (
     save_figure,
 )
 from repro.experiments.result import FigureResult, Series
+from repro.utils.resilience import (
+    CHECKPOINT_CORRUPT,
+    CheckpointCorrupt,
+    ExecutionReport,
+)
 
 
 def _figure():
@@ -39,6 +44,31 @@ class TestRoundtrip:
         path = tmp_path / "figure.json"
         save_figure(figure, path)
         assert load_figure(path) == figure
+
+    def test_metadata_roundtrip(self, tmp_path):
+        figure = _figure()
+        meta = {"workers_requested": 8, "workers_effective": 2}
+        with_meta = FigureResult(
+            figure_id=figure.figure_id,
+            title=figure.title,
+            x_label=figure.x_label,
+            y_label=figure.y_label,
+            series=figure.series,
+            metadata=meta,
+        )
+        path = tmp_path / "figure.json"
+        save_figure(with_meta, path)
+        loaded = load_figure(path)
+        assert loaded.metadata == meta
+        assert json.loads(path.read_text())["metadata"] == meta
+        # Metadata describes the run, not the science: it never breaks the
+        # byte-identity equality contract between runs.
+        assert loaded == figure
+
+    def test_empty_metadata_omitted_from_json(self, tmp_path):
+        path = tmp_path / "figure.json"
+        save_figure(_figure(), path)
+        assert "metadata" not in json.loads(path.read_text())
 
     def test_json_is_plain(self, tmp_path):
         path = tmp_path / "figure.json"
@@ -119,6 +149,108 @@ class TestCheckpointStore:
     def test_missing_key_raises(self, tmp_path):
         with pytest.raises(KeyError):
             CheckpointStore(tmp_path / "ckpt.json").get("nope")
+
+    def test_accepts_v1_file_without_checksum(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"schema_version": 1, "values": {"k": 7}}))
+        store = CheckpointStore(path)
+        assert store.get("k") == 7
+        assert store.quarantined is None
+
+
+class TestCheckpointCorruption:
+    def _corrupt_variants(self, tmp_path):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text('{"schema_version": 2, "values": }nope')
+        not_object = tmp_path / "list.json"
+        not_object.write_text("[1, 2, 3]")
+        no_values = tmp_path / "novalues.json"
+        no_values.write_text(json.dumps({"schema_version": 2, "checksum": "x"}))
+        return [garbage, not_object, no_values]
+
+    def test_garbage_is_quarantined_and_store_starts_empty(self, tmp_path):
+        for path in self._corrupt_variants(tmp_path):
+            original = path.read_bytes()
+            store = CheckpointStore(path)
+            assert len(store) == 0
+            assert not path.exists()  # moved aside, not silently overwritten
+            assert store.quarantined is not None
+            assert store.quarantined.name.startswith(path.name + ".corrupt")
+            assert store.quarantined.read_bytes() == original  # evidence kept
+
+    def test_checksum_tamper_detected(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        CheckpointStore(path).put("k", [1.0, 2.0])
+        payload = json.loads(path.read_text())
+        payload["values"]["k"] = [1.0, 2.5]  # silent bit-rot, valid JSON
+        path.write_text(json.dumps(payload))
+        with pytest.raises(CheckpointCorrupt, match="checksum"):
+            CheckpointStore(path, on_corrupt="raise")
+
+    def test_on_corrupt_raise_leaves_file_in_place(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("not json at all")
+        with pytest.raises(CheckpointCorrupt, match="not valid JSON"):
+            CheckpointStore(path, on_corrupt="raise")
+        assert path.exists()
+
+    def test_invalid_on_corrupt_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="on_corrupt"):
+            CheckpointStore(tmp_path / "ckpt.json", on_corrupt="ignore")
+
+    def test_quarantine_records_report_event(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        path.write_text("garbage")
+        report = ExecutionReport()
+        CheckpointStore(path, report=report)
+        assert report.counts() == {CHECKPOINT_CORRUPT: 1}
+        event = report.events[0]
+        assert event.resolution == "quarantined"
+        assert path.name in event.where
+
+    def test_quarantine_names_do_not_collide(self, tmp_path):
+        path = tmp_path / "ckpt.json"
+        quarantined = []
+        for _ in range(3):
+            path.write_text("garbage")
+            quarantined.append(CheckpointStore(path).quarantined)
+        assert len(set(quarantined)) == 3
+        assert all(p.exists() for p in quarantined)
+
+    def test_foreign_schema_never_quarantined(self, tmp_path):
+        # A valid file from a newer code version must raise (plain
+        # ValueError, not CheckpointCorrupt) and stay on disk untouched.
+        path = tmp_path / "ckpt.json"
+        content = json.dumps({"schema_version": 99, "values": {"k": 1}})
+        path.write_text(content)
+        with pytest.raises(ValueError, match="schema version") as excinfo:
+            CheckpointStore(path)
+        assert not isinstance(excinfo.value, CheckpointCorrupt)
+        assert path.read_text() == content
+
+    def test_corrupt_resume_recomputes_byte_identical(self, tmp_path):
+        """Acceptance: a damaged resume degrades to a clean full run."""
+        keys = ["a", "b", "c"]
+        compute_log = []
+
+        def compute(key):
+            compute_log.append(key)
+            return {"value": ord(key) * 0.25}
+
+        clean = tmp_path / "clean.json"
+        expected = run_checkpointed(keys, compute, clean)
+
+        damaged = tmp_path / "damaged.json"
+        run_checkpointed(keys[:2], compute, damaged)  # partial sweep...
+        damaged.write_text('{"schema_version": 2, "values": }boom')  # ...rotted
+
+        report = ExecutionReport()
+        compute_log.clear()
+        values = run_checkpointed(keys, compute, damaged, report=report)
+        assert compute_log == keys  # the lost work was recomputed in full
+        assert values == expected
+        assert damaged.read_bytes() == clean.read_bytes()
+        assert report.counts() == {CHECKPOINT_CORRUPT: 1}
 
 
 class TestRunCheckpointed:

@@ -1,0 +1,132 @@
+"""Tests for the failure taxonomy, execution report, and retry policy."""
+
+import pytest
+
+from repro.utils.resilience import (
+    CHECKPOINT_CORRUPT,
+    CHUNK_ERROR,
+    CHUNK_TIMEOUT,
+    FAILURE_KINDS,
+    KERNEL_FALLBACK,
+    WORKER_CRASH,
+    ExecutionReport,
+    ResilienceEvent,
+    RetryPolicy,
+)
+
+
+class TestResilienceEvent:
+    def test_known_kinds(self):
+        for kind in FAILURE_KINDS:
+            event = ResilienceEvent(kind=kind, where="chunk 0")
+            assert event.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown failure kind"):
+            ResilienceEvent(kind="Gremlin", where="chunk 0")
+
+    def test_to_dict_roundtrip(self):
+        event = ResilienceEvent(
+            kind=WORKER_CRASH, where="chunk 3", attempt=2,
+            detail="sigkill", resolution="retried",
+        )
+        assert ResilienceEvent(**event.to_dict()) == event
+
+
+class TestExecutionReport:
+    def test_empty_report_is_falsy(self):
+        report = ExecutionReport()
+        assert not report
+        assert len(report) == 0
+        assert report.describe() == ""
+        assert report.counts() == {}
+
+    def test_record_and_counts(self):
+        report = ExecutionReport()
+        report.record(CHUNK_ERROR, "chunk 0", attempt=1, resolution="retried")
+        report.record(CHUNK_ERROR, "chunk 0", attempt=2, resolution="retried")
+        report.record(CHUNK_TIMEOUT, "chunk 1", attempt=1, resolution="retried")
+        assert report.counts() == {CHUNK_ERROR: 2, CHUNK_TIMEOUT: 1}
+        assert report.retries == 3
+        assert bool(report)
+
+    def test_extend_accepts_events_and_dict_rows(self):
+        report = ExecutionReport()
+        event = ResilienceEvent(kind=KERNEL_FALLBACK, where="kernel")
+        report.extend([event, event.to_dict()])
+        assert len(report) == 2
+        assert all(e == event for e in report.events)
+
+    def test_summary_is_json_safe(self):
+        import json
+
+        report = ExecutionReport()
+        report.record(CHECKPOINT_CORRUPT, "ckpt.json", resolution="quarantined")
+        report.pool_restarts = 2
+        summary = json.loads(json.dumps(report.summary()))
+        assert summary["counts"] == {CHECKPOINT_CORRUPT: 1}
+        assert summary["pool_restarts"] == 2
+        assert summary["degraded_to_serial"] is False
+        assert summary["events"][0]["where"] == "ckpt.json"
+
+    def test_describe_mentions_restarts_and_degradation(self):
+        report = ExecutionReport()
+        report.record(WORKER_CRASH, "chunk 0", resolution="retried")
+        report.pool_restarts = 1
+        report.degraded_to_serial = True
+        line = report.describe()
+        assert "WorkerCrash=1" in line
+        assert "pool_restarts=1" in line
+        assert "degraded_to_serial" in line
+
+
+class TestRetryPolicy:
+    def test_defaults_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries == 2
+        assert policy.timeout is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff": -0.1},
+            {"factor": 0.5},
+            {"jitter": 1.5},
+            {"timeout": 0.0},
+            {"max_pool_restarts": -1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+    def test_delay_deterministic_and_growing(self):
+        policy = RetryPolicy(backoff=0.1, factor=2.0, jitter=0.5)
+        first = policy.delay(1, key=7)
+        assert first == policy.delay(1, key=7)  # reproducible
+        assert policy.delay(2, key=7) > first  # exponential growth wins
+        assert policy.delay(1, key=8) != first  # chunks de-synchronised
+
+    def test_delay_bounds(self):
+        policy = RetryPolicy(backoff=0.1, factor=2.0, jitter=0.5)
+        for attempt in (1, 2, 3):
+            base = 0.1 * 2.0 ** (attempt - 1)
+            assert base <= policy.delay(attempt, key=3) <= base * 1.5
+
+    def test_zero_jitter_is_pure_exponential(self):
+        policy = RetryPolicy(backoff=0.2, factor=3.0, jitter=0.0)
+        assert policy.delay(1) == 0.2
+        assert policy.delay(2) == pytest.approx(0.6)
+
+    def test_pause_uses_injected_sleep(self):
+        slept = []
+        policy = RetryPolicy(backoff=0.25, jitter=0.0, sleep=slept.append)
+        policy.pause(2, key=0)
+        assert slept == [0.5]
+
+    def test_pause_skips_zero_delay(self):
+        slept = []
+        policy = RetryPolicy(backoff=0.0, sleep=slept.append)
+        policy.pause(1)
+        assert slept == []
