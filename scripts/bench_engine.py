@@ -33,6 +33,12 @@ Two further workloads exercise the rest of the kernel family:
   synthetic trace: ``columnar-trace`` vs ``kernel-trace`` times the
   trace-replay eligibility path (``TraceReplayProcess`` feeding the
   struct-of-arrays kernels).
+* **security** — the contact-graph-independent security Monte Carlo
+  (traceable rate + path anonymity, 2000 trials): the
+  :class:`SecurityBatchKernel` vs the block-scalar opt-out
+  (``kernel=False``, byte-identical estimates) and vs the original
+  draw-per-trial ``security_montecarlo`` loop, plus a fused
+  figure-6-shaped (c, K) sweep pair sharing one trial block.
 
 Engine rows are split into ``generation_seconds`` (producing the event
 stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
@@ -45,6 +51,7 @@ land in ``BENCH_engine.json`` at the repo root::
     python scripts/bench_engine.py --mode kernel    # columnar + kernel only
     python scripts/bench_engine.py --mode multicopy # multi-copy kernel pair
     python scripts/bench_engine.py --mode trace     # trace-replay kernel pair
+    python scripts/bench_engine.py --mode security  # security Monte Carlo kernel
     python scripts/bench_engine.py --repeat 3       # best-of-3 walls
     python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
 
@@ -70,6 +77,8 @@ sys.path.insert(0, str(ROOT / "src"))
 
 import numpy as np
 
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.kernel import SecuritySweepVariant
 from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.contacts.synthetic import infocom05_like_trace
@@ -77,13 +86,18 @@ from repro.core.onion_groups import OnionGroupDirectory
 from repro.experiments.config import DEFAULT_CONFIG
 from repro.experiments.parallel import WorkerPool, run_parallel_batch
 from repro.experiments.runners import (
+    _legacy_security_montecarlo,
     run_random_graph_batch,
     run_trace_batch,
     sample_endpoints,
+    security_montecarlo,
+    security_sweep_montecarlo,
 )
 
 MULTICOPY_COPIES = 4
 TRACE_DEADLINE = 86400.0
+SECURITY_COMPROMISE_RATE = 0.10
+SECURITY_SWEEP_ONIONS = (3, 5, 10)
 
 
 def count_events(graph, group_size, onion_routers, sessions, horizon, seed):
@@ -293,6 +307,142 @@ def trace_benchmark(group_size, onion_routers, deadline, sessions, seed, repeat)
     return rows, identical, speedup
 
 
+def security_benchmark(n, group_size, onion_routers, trials, seed, repeat):
+    """Security Monte Carlo: batch kernel vs its two scalar baselines.
+
+    The single-point reference workload (n=100, g=5, K=3, L=1, c=10%,
+    ``trials`` trials) runs three ways:
+
+    * ``security-kernel``      — :class:`SecurityBatchKernel` scoring the
+      sampled trial block with array operations,
+    * ``security-block-scalar``— ``kernel=False``: the *same* block walked
+      trial-by-trial through ``PathTracer``/``observed_path_anonymity``
+      (byte-identical estimates — the dispatch-equivalence pair),
+    * ``security-scalar-loop`` — the original draw-per-trial
+      ``security_montecarlo`` loop (route, compromise set, and paths
+      sampled per trial; the baseline the kernel acceptance speedup is
+      quoted against).
+
+    A figure-6-shaped fused sweep (K ∈ {3, 5, 10} × the Table II
+    compromise rates, one shared trial block) then times
+    ``security-sweep-kernel`` vs ``security-sweep-scalar``. Returns
+    ``(rows, identity_checks, speedups)``.
+    """
+    point = dict(
+        n=n,
+        group_size=group_size,
+        onion_routers=onion_routers,
+        copies=1,
+        compromise_rate=SECURITY_COMPROMISE_RATE,
+        trials=trials,
+    )
+
+    def legacy_loop():
+        variant = SecuritySweepVariant(
+            label="reference",
+            onion_routers=onion_routers,
+            copies=1,
+            compromise_rate=SECURITY_COMPROMISE_RATE,
+        )
+        model = CompromiseModel(n, SECURITY_COMPROMISE_RATE)
+        scored = _legacy_security_montecarlo(
+            n, group_size, (variant,), model, trials,
+            np.random.default_rng(seed), False,
+        )
+        traceable, anonymity = scored[0]
+        return float(traceable.sum() / trials), float(anonymity.sum() / trials)
+
+    rows = {}
+    walls = {}
+    estimates = {}
+    for name, run in (
+        (
+            "security-kernel",
+            lambda: security_montecarlo(
+                rng=np.random.default_rng(seed), kernel=True, **point
+            ),
+        ),
+        (
+            "security-block-scalar",
+            lambda: security_montecarlo(
+                rng=np.random.default_rng(seed), kernel=False, **point
+            ),
+        ),
+        ("security-scalar-loop", legacy_loop),
+    ):
+        wall, out = _best_wall(run, repeat)
+        walls[name] = wall
+        estimates[name] = out
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "trials": trials,
+            "trials_per_second": round(trials / wall, 1),
+            "traceable_rate": round(out[0], 6),
+            "path_anonymity": round(out[1], 6),
+        }
+
+    grid = tuple(
+        SecuritySweepVariant(
+            label=f"K={k} c={rate:g}",
+            onion_routers=k,
+            copies=1,
+            compromise_rate=rate,
+        )
+        for k in SECURITY_SWEEP_ONIONS
+        for rate in DEFAULT_CONFIG.compromise_rates
+    )
+
+    def sweep(kernel):
+        return security_sweep_montecarlo(
+            n,
+            group_size,
+            grid,
+            trials=trials,
+            rng=np.random.default_rng(seed),
+            kernel=kernel,
+        )
+
+    sweep_estimates = {}
+    for name, kernel in (
+        ("security-sweep-kernel", True),
+        ("security-sweep-scalar", False),
+    ):
+        wall, out = _best_wall(lambda kernel=kernel: sweep(kernel), repeat)
+        walls[name] = wall
+        sweep_estimates[name] = out
+        rows[name] = {
+            "wall_seconds": round(wall, 4),
+            "trials": trials,
+            "grid_points": len(grid),
+            "grid_scores_per_second": round(len(grid) * trials / wall, 1),
+        }
+
+    identity_checks = {
+        "security": estimates["security-kernel"]
+        == estimates["security-block-scalar"],
+        "security_sweep": sweep_estimates["security-sweep-kernel"]
+        == sweep_estimates["security-sweep-scalar"],
+    }
+    speedups = {
+        "speedup_security_kernel_vs_scalar": round(
+            walls["security-scalar-loop"]
+            / max(walls["security-kernel"], 1e-9),
+            2,
+        ),
+        "speedup_security_kernel_vs_block_scalar": round(
+            walls["security-block-scalar"]
+            / max(walls["security-kernel"], 1e-9),
+            2,
+        ),
+        "speedup_security_sweep_kernel_vs_scalar": round(
+            walls["security-sweep-scalar"]
+            / max(walls["security-sweep-kernel"], 1e-9),
+            2,
+        ),
+    }
+    return rows, identity_checks, speedups
+
+
 def run_benchmark(
     sessions: int,
     n: int,
@@ -305,6 +455,7 @@ def run_benchmark(
     repeat: int = 1,
     profile_path: Path | None = None,
     mode: str = "all",
+    security_trials: int = 2000,
 ) -> dict:
     graph_rng = np.random.default_rng(seed)
     graph = random_contact_graph(
@@ -399,6 +550,14 @@ def run_benchmark(
         identity_checks["trace"] = identical
         speedups["speedup_kernel_trace_vs_columnar"] = speedup
 
+    if mode in ("all", "security"):
+        rows, security_checks, security_speedups = security_benchmark(
+            n, group_size, onion_routers, security_trials, seed, repeat
+        )
+        results.update(rows)
+        identity_checks.update(security_checks)
+        speedups.update(security_speedups)
+
     if profile_path is not None:
         profiler = cProfile.Profile()
         profiler.enable()
@@ -491,6 +650,7 @@ def run_benchmark(
             "copies": copies,
             "horizon": horizon,
             "seed": seed,
+            "security_trials": security_trials,
         },
         "platform": {
             "python": platform.python_version(),
@@ -527,11 +687,13 @@ def main(argv=None) -> int:
         help="small CI-smoke workload instead of the 1000-session reference",
     )
     parser.add_argument(
-        "--mode", choices=("all", "kernel", "multicopy", "trace"),
+        "--mode", choices=("all", "kernel", "multicopy", "trace", "security"),
         default="all",
-        help="'all' runs every strategy plus the multicopy and trace "
-        "workloads; 'kernel', 'multicopy', and 'trace' each time only "
-        "their columnar/kernel pair (the CI smokes for the kernel gates)",
+        help="'all' runs every strategy plus the multicopy, trace, and "
+        "security workloads; 'kernel', 'multicopy', and 'trace' each time "
+        "only their columnar/kernel pair, and 'security' times the "
+        "security Monte Carlo kernel against its scalar baselines "
+        "(the CI smokes for the kernel gates)",
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
@@ -554,6 +716,7 @@ def main(argv=None) -> int:
     if sessions is None:
         sessions = 100 if args.quick else 1000
     horizon = 240.0 if args.quick else 720.0
+    security_trials = 400 if args.quick else 2000
 
     report = run_benchmark(
         sessions=sessions,
@@ -567,6 +730,7 @@ def main(argv=None) -> int:
         repeat=max(1, args.repeat),
         profile_path=args.profile,
         mode=args.mode,
+        security_trials=security_trials,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -597,6 +761,29 @@ def main(argv=None) -> int:
             f"(gen {row['generation_seconds']:.3f}s + "
             f"dispatch {row['dispatch_seconds']:.3f}s, "
             f"{row['events_per_second']:>9.1f} events/s)"
+        )
+    for name in (
+        "security-kernel",
+        "security-block-scalar",
+        "security-scalar-loop",
+    ):
+        row = results.get(name)
+        if row is None:
+            continue
+        print(
+            f"{name + ':':<22} {row['wall_seconds']:8.3f}s "
+            f"({row['trials_per_second']:>9.1f} trials/s, "
+            f"traceable {row['traceable_rate']:.4f}, "
+            f"anonymity {row['path_anonymity']:.4f})"
+        )
+    for name in ("security-sweep-kernel", "security-sweep-scalar"):
+        row = results.get(name)
+        if row is None:
+            continue
+        print(
+            f"{name + ':':<22} {row['wall_seconds']:8.3f}s "
+            f"({row['grid_points']} grid points, "
+            f"{row['grid_scores_per_second']:>9.1f} scores/s)"
         )
     parallel = results.get("parallel")
     if parallel is not None:
@@ -636,6 +823,18 @@ def main(argv=None) -> int:
         (
             "trace kernel vs columnar dispatch",
             "speedup_kernel_trace_vs_columnar",
+        ),
+        (
+            "security kernel vs scalar loop",
+            "speedup_security_kernel_vs_scalar",
+        ),
+        (
+            "security kernel vs block scalar",
+            "speedup_security_kernel_vs_block_scalar",
+        ),
+        (
+            "security fused sweep kernel vs scalar",
+            "speedup_security_sweep_kernel_vs_scalar",
         ),
     ):
         if key in report:

@@ -35,10 +35,17 @@ from repro.analysis import (
     traceable_rate_model,
 )
 from repro.adversary import (
+    BernoulliCompromise,
     CompromiseModel,
     DroppingRelays,
     PathTracer,
+    SecurityBatchKernel,
+    SecuritySweepVariant,
+    StakeWeightedCompromise,
+    TargetedCompromise,
+    make_compromise_model,
     observed_path_anonymity,
+    sample_security_block,
 )
 from repro.contacts import (
     ContactGraph,
@@ -119,6 +126,13 @@ __all__ = [
     "path_anonymity_multicopy",
     # adversary
     "CompromiseModel",
+    "BernoulliCompromise",
+    "TargetedCompromise",
+    "StakeWeightedCompromise",
+    "make_compromise_model",
+    "SecurityBatchKernel",
+    "SecuritySweepVariant",
+    "sample_security_block",
     "PathTracer",
     "observed_path_anonymity",
     "DroppingRelays",

@@ -7,8 +7,22 @@ paths with the traceable-rate metric of Eq. 1, and measures empirical path
 anonymity from the exposure the adversary actually obtained.
 """
 
-from repro.adversary.compromise import CompromiseModel
+from repro.adversary.compromise import (
+    COMPROMISE_MODELS,
+    BernoulliCompromise,
+    CompromiseModel,
+    StakeWeightedCompromise,
+    TargetedCompromise,
+    make_compromise_model,
+)
 from repro.adversary.dropping import DroppingRelays
+from repro.adversary.kernel import (
+    SecurityBatchKernel,
+    SecuritySweepVariant,
+    SecurityTrialBlock,
+    anonymity_lookup,
+    sample_security_block,
+)
 from repro.adversary.observer import (
     observed_exposed_hops,
     observed_path_anonymity,
@@ -25,6 +39,16 @@ from repro.adversary.traffic_analysis import (
 
 __all__ = [
     "CompromiseModel",
+    "BernoulliCompromise",
+    "TargetedCompromise",
+    "StakeWeightedCompromise",
+    "COMPROMISE_MODELS",
+    "make_compromise_model",
+    "SecurityBatchKernel",
+    "SecuritySweepVariant",
+    "SecurityTrialBlock",
+    "sample_security_block",
+    "anonymity_lookup",
     "DroppingRelays",
     "PathTracer",
     "observed_exposed_hops",

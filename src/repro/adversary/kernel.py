@@ -1,0 +1,409 @@
+"""Struct-of-arrays batch kernel for the paper's security measurements.
+
+The delivery half of the reproduction sweeps sessions through
+:mod:`repro.sim.kernel`; this module is its adversary-side sibling. The
+traceable-rate (Eq. 1, 8–12) and path-anonymity (Eq. 13–20) "Simulation"
+curves are Monte Carlo estimates over thousands of independent trials —
+each a (group membership, route, copy paths, compromised set) tuple —
+whose scoring is pure arithmetic. Walking them one
+:class:`~repro.adversary.tracer.PathTracer` at a time leaves per-object
+Python dispatch as the dominant cost, exactly the situation PR 4 fixed
+for delivery.
+
+The kernel splits a Monte Carlo run into two phases:
+
+* **sampling** — :func:`sample_security_block` draws *every* trial's
+  endpoints, route groups, per-copy group members, and compromise key
+  column in one pass of vectorized RNG calls, laid out as
+  struct-of-arrays in a :class:`SecurityTrialBlock`. The block is sampled
+  once at the *widest* grid point (``k_max`` onion groups, ``l_max``
+  copies) so a fused ``(c, K, L)`` sweep shares it: variant ``K`` reads
+  the first ``K`` route columns, variant ``L`` the first ``L`` copy
+  columns, and every compromise rate re-derives its mask from the same
+  key column — common random numbers across the whole grid.
+* **scoring** — :class:`SecurityBatchKernel` turns the block plus one
+  :class:`SecuritySweepVariant` into per-trial traceable rates and
+  anonymity values without touching a Python object per trial: the
+  run-length sum of squares behind Eq. 1 is computed with the same
+  flattened searchsorted/reduceat idiom the delivery kernels use for
+  anycast races, and the entropy ratio is a table lookup (the observed
+  exposure only takes ``η + 1`` integer values, so
+  :func:`~repro.analysis.anonymity.path_anonymity_exact` is evaluated
+  once per value, not once per trial).
+
+The scalar fallback in :func:`repro.experiments.runners.security_montecarlo`
+scores the *same block* row by row through the original per-trial objects
+(:class:`~repro.adversary.tracer.PathTracer`,
+:func:`~repro.adversary.observer.observed_path_anonymity`), so the two
+paths agree to the last bit — the equivalence suite asserts exact float
+equality, mirroring the delivery kernels' byte-identity contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adversary.compromise import CompromiseModel
+from repro.analysis.anonymity import path_anonymity_exact
+from repro.core.onion_groups import OnionGroupDirectory
+from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_positive_int
+
+__all__ = [
+    "SecuritySweepVariant",
+    "SecurityTrialBlock",
+    "SecurityBatchKernel",
+    "sample_security_block",
+    "anonymity_lookup",
+]
+
+
+@dataclass(frozen=True)
+class SecuritySweepVariant:
+    """One grid point of a fused security sweep.
+
+    The security counterpart of the delivery layer's
+    :class:`~repro.experiments.runners.SweepVariant`: a fused sweep scores
+    several ``(compromise rate c, onion count K, copies L)`` points against
+    *one* shared :class:`SecurityTrialBlock`, so between-point comparisons
+    see the same endpoints, routes, copy assignments, and compromise keys
+    (common random numbers), and the block is sampled once instead of once
+    per point.
+    """
+
+    label: str
+    onion_routers: int
+    copies: int = 1
+    compromise_rate: float = 0.1
+
+
+class SecurityTrialBlock:
+    """Struct-of-arrays sample of a whole security Monte Carlo run.
+
+    All arrays share the leading ``trials`` axis:
+
+    ``sources`` / ``destinations``
+        ``(trials,)`` endpoint node ids (uniform ordered pairs).
+    ``copy_members``
+        ``(trials, k_max, l_max)`` node ids: the member of hop ``k``'s
+        onion group that copy ``l`` traverses. Copies occupy distinct
+        members while the group has enough, then wrap — the vectorized
+        restatement of
+        :func:`~repro.experiments.runners.sample_copy_paths`.
+    ``compromise_keys``
+        ``(trials, n)`` uniform keys consumed by
+        :meth:`~repro.adversary.compromise.CompromiseModel.mask_from_keys`.
+        Rate-independent, so one block serves every compromise rate of a
+        fused sweep with nested compromised sets.
+
+    A variant with ``K ≤ k_max`` onion routers and ``L ≤ l_max`` copies
+    reads the leading ``K`` hop columns and ``L`` copy columns; sampling
+    at the widest point keeps the narrower variants' draws identical to
+    what a dedicated narrower block would hold (prefix property).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        group_size: int,
+        sources: np.ndarray,
+        destinations: np.ndarray,
+        copy_members: np.ndarray,
+        compromise_keys: np.ndarray,
+        overlapping: bool,
+    ):
+        self.n = n
+        self.group_size = group_size
+        self.sources = sources
+        self.destinations = destinations
+        self.copy_members = copy_members
+        self.compromise_keys = compromise_keys
+        self.overlapping = overlapping
+
+    @property
+    def trials(self) -> int:
+        """Number of Monte Carlo trials in the block."""
+        return len(self.sources)
+
+    @property
+    def k_max(self) -> int:
+        """Widest onion-router count the block was sampled at."""
+        return self.copy_members.shape[1]
+
+    @property
+    def l_max(self) -> int:
+        """Widest copy count the block was sampled at."""
+        return self.copy_members.shape[2]
+
+    def copy_paths(self, trial: int, onion_routers: int, copies: int) -> List[List[int]]:
+        """Trial ``trial``'s per-copy hop-sender paths, scalar layout.
+
+        Returns ``copies`` lists of ``K + 1`` node ids — ``[source,
+        member_1, …, member_K]`` — exactly the structure
+        :func:`~repro.experiments.runners.sample_copy_paths` builds, for
+        the scalar scoring fallback and for tests.
+        """
+        source = int(self.sources[trial])
+        members = self.copy_members[trial, :onion_routers, :copies]
+        return [
+            [source] + [int(members[k, c]) for k in range(onion_routers)]
+            for c in range(copies)
+        ]
+
+
+def _sample_endpoints_batch(
+    n: int, trials: int, rng: np.random.Generator
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform ordered (source, destination) pairs for every trial."""
+    sources = rng.integers(0, n, size=trials)
+    raw = rng.integers(0, n - 1, size=trials)
+    destinations = raw + (raw >= sources)
+    return sources, destinations
+
+
+def _route_member_matrix(
+    directory: OnionGroupDirectory,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The directory's membership as padded arrays.
+
+    Returns ``(members, sizes, group_of)``: ``members`` is
+    ``(group_count, g)`` with rows right-padded by repeating the first
+    member (never selected — the modulo below stays inside ``sizes``),
+    ``sizes`` the true member counts, ``group_of`` the node→group map.
+    """
+    g = directory.group_size
+    count = directory.group_count
+    members = np.zeros((count, g), dtype=np.int64)
+    sizes = np.zeros(count, dtype=np.int64)
+    for gid, row in enumerate(directory.groups):
+        sizes[gid] = len(row)
+        members[gid, : len(row)] = row
+        if len(row) < g:
+            members[gid, len(row) :] = row[0]
+    group_of = np.zeros(directory.n, dtype=np.int64)
+    for gid, row in enumerate(directory.groups):
+        group_of[list(row)] = gid
+    return members, sizes, group_of
+
+
+def sample_security_block(
+    n: int,
+    group_size: int,
+    k_max: int,
+    l_max: int,
+    trials: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+) -> SecurityTrialBlock:
+    """Draw a :class:`SecurityTrialBlock` for ``trials`` Monte Carlo trials.
+
+    One vectorized pass replaces the scalar loop's per-trial draw
+    sequence. The RNG consumption order is fixed and documented (group
+    membership, endpoints, route keys, member-order keys, compromise
+    keys), so a seed pins every trial of the block — both scoring paths
+    consume the block, never the generator, which is what makes the
+    kernel↔scalar equivalence exact.
+
+    ``overlapping`` mirrors
+    :func:`~repro.experiments.runners.select_overlapping_route`: instead
+    of ``K`` distinct directory groups, every hop draws a fresh random
+    ``g``-subset of the non-endpoint nodes (needed when ``K·g`` approaches
+    ``n``, e.g. the paper's Cambridge setup).
+    """
+    check_positive_int(n, "n")
+    check_positive_int(group_size, "group_size")
+    check_positive_int(k_max, "k_max")
+    check_positive_int(l_max, "l_max")
+    check_positive_int(trials, "trials")
+    generator = ensure_rng(rng)
+
+    if overlapping:
+        if group_size > n - 2:
+            raise ValueError(
+                f"group_size={group_size} exceeds the {n - 2} eligible nodes"
+            )
+        sources, destinations = _sample_endpoints_batch(n, trials, generator)
+        # Per (trial, hop): random keys over all nodes; endpoints pushed to
+        # +inf. The g smallest keys are a uniform g-subset, and the argsort
+        # order within them is a uniform permutation — group choice and
+        # member order in one draw.
+        hop_keys = generator.random((trials, k_max, n))
+        rows = np.arange(trials)
+        hop_keys[rows, :, sources] = np.inf
+        hop_keys[rows, :, destinations] = np.inf
+        order = np.argsort(hop_keys, axis=2)[:, :, :group_size]
+        take = np.arange(l_max) % group_size
+        copy_members = order[:, :, take]
+        return SecurityTrialBlock(
+            n=n,
+            group_size=group_size,
+            sources=sources,
+            destinations=destinations,
+            copy_members=copy_members,
+            compromise_keys=generator.random((trials, n)),
+            overlapping=True,
+        )
+
+    directory = OnionGroupDirectory(n, group_size, rng=generator)
+    members, sizes, group_of = _route_member_matrix(directory)
+    group_count = directory.group_count
+    sources, destinations = _sample_endpoints_batch(n, trials, generator)
+
+    # Route selection: random keys over groups, endpoint groups excluded
+    # (the directory's avoid_endpoint_groups default); the k_max
+    # smallest-keyed candidates in key order are the route's groups, so
+    # any variant K reads a prefix.
+    route_keys = generator.random((trials, group_count))
+    rows = np.arange(trials)
+    route_keys[rows, group_of[sources]] = np.inf
+    route_keys[rows, group_of[destinations]] = np.inf
+    candidates = np.isfinite(route_keys).sum(axis=1)
+    if k_max > candidates.min():
+        worst = int(candidates.min())
+        raise ValueError(
+            f"cannot pick K={k_max} distinct groups from {worst} candidates "
+            f"(n={n}, g={group_size})"
+        )
+    route_groups = np.argsort(route_keys, axis=1)[:, :k_max]
+
+    # Copy assignment: a uniform member order per (trial, hop); copy l
+    # takes position l mod |group| — distinct members while they last,
+    # then wrap-around, matching sample_copy_paths.
+    member_keys = generator.random((trials, k_max, group_size))
+    hop_sizes = sizes[route_groups]  # (trials, k_max)
+    # Pad slots beyond the true group size out of contention.
+    slot = np.arange(group_size)[None, None, :]
+    member_keys = np.where(slot < hop_sizes[:, :, None], member_keys, np.inf)
+    order = np.argsort(member_keys, axis=2)
+    pick = np.arange(l_max)[None, None, :] % hop_sizes[:, :, None]
+    slot_of_copy = np.take_along_axis(order, pick, axis=2)
+    copy_members = np.take_along_axis(
+        members[route_groups], slot_of_copy, axis=2
+    )
+
+    return SecurityTrialBlock(
+        n=n,
+        group_size=group_size,
+        sources=sources,
+        destinations=destinations,
+        copy_members=copy_members,
+        compromise_keys=generator.random((trials, n)),
+        overlapping=False,
+    )
+
+
+@lru_cache(maxsize=256)
+def anonymity_lookup(n: int, eta: int, group_size: int) -> np.ndarray:
+    """``D(φ')`` for every possible observed exposure ``0 … η``.
+
+    The simulation-side anonymity is
+    :func:`~repro.analysis.anonymity.path_anonymity_exact` evaluated at an
+    *integer* exposure count, so a full Monte Carlo run only ever needs
+    these ``η + 1`` values — the kernel replaces per-trial ``lgamma``
+    calls with one indexed gather from this table.
+    """
+    table = np.array(
+        [
+            path_anonymity_exact(
+                n=n, eta=eta, group_size=group_size, compromised_on_path=exposed
+            )
+            for exposed in range(eta + 1)
+        ]
+    )
+    table.setflags(write=False)
+    return table
+
+
+def _run_length_square_sums(bits: np.ndarray) -> np.ndarray:
+    """Per-row sum of squared 1-run lengths (the numerator of Eq. 1).
+
+    Rows are padded with one trailing zero and flattened so runs never
+    cross row boundaries; run starts/ends fall out of one diff, and the
+    per-row totals come from the same searchsorted + reduceat idiom the
+    delivery kernels use to group per-hop candidates by session.
+    """
+    trials, eta = bits.shape
+    padded = np.zeros((trials, eta + 1), dtype=np.int8)
+    padded[:, :eta] = bits
+    flat = padded.ravel()
+    edges = np.diff(flat, prepend=np.int8(0))
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    sums = np.zeros(trials, dtype=np.int64)
+    if len(starts) == 0:
+        return sums
+    squares = (ends - starts) ** 2
+    # Row boundaries in the flattened run list: runs are emitted in row
+    # order, so each row's runs are the contiguous slice between
+    # consecutive searchsorted cut points.
+    cuts = np.searchsorted(starts, np.arange(trials) * (eta + 1))
+    counts = np.diff(cuts, append=len(squares))
+    occupied = counts > 0
+    sums[occupied] = np.add.reduceat(squares, cuts[occupied])
+    return sums
+
+
+class SecurityBatchKernel:
+    """Vectorized scorer of one :class:`SecurityTrialBlock`.
+
+    Holds the block plus the compromise model and evaluates sweep variants
+    against it. All per-variant work is array arithmetic: the compromise
+    mask is re-derived from the shared key column at the variant's rate,
+    hop-sender bits come from one fancy-indexed gather, Eq. 1 from the
+    run-length reduceat, and the entropy ratio from the
+    :func:`anonymity_lookup` table.
+    """
+
+    def __init__(self, block: SecurityTrialBlock, model: CompromiseModel):
+        if model.n != block.n:
+            raise ValueError(
+                f"model covers n={model.n} nodes but the block holds n={block.n}"
+            )
+        self.block = block
+        self.model = model
+
+    def score_variant(
+        self, variant: SecuritySweepVariant
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-trial ``(traceable rates, anonymity values)`` for one variant."""
+        block = self.block
+        onion_routers = variant.onion_routers
+        copies = variant.copies
+        if onion_routers > block.k_max or copies > block.l_max:
+            raise ValueError(
+                f"variant needs K={onion_routers}, L={copies} but the block "
+                f"was sampled at k_max={block.k_max}, l_max={block.l_max}"
+            )
+        eta = onion_routers + 1
+        trials = block.trials
+        rows = np.arange(trials)
+
+        mask = self.model.mask_from_keys(
+            block.compromise_keys, rate=variant.compromise_rate
+        )
+
+        # Copy 0's hop senders: the source, then its member at each hop.
+        senders = np.empty((trials, eta), dtype=np.int64)
+        senders[:, 0] = block.sources
+        senders[:, 1:] = block.copy_members[:, :onion_routers, 0]
+        bits = mask[rows[:, None], senders]
+        traceable = _run_length_square_sums(bits) / float(eta**2)
+
+        # Exposure across copies (Eq. 20's Y'): position 0 is the source on
+        # every copy's path; position k is exposed when any copy's carrier
+        # there is compromised.
+        carriers = block.copy_members[:, :onion_routers, :copies]
+        exposed_positions = mask[rows[:, None, None], carriers].any(axis=2)
+        exposed = exposed_positions.sum(axis=1) + mask[rows, block.sources]
+        anonymity = anonymity_lookup(block.n, eta, block.group_size)[exposed]
+        return traceable, anonymity
+
+    def score(
+        self, variants: Sequence[SecuritySweepVariant]
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Score every variant of a fused sweep against the shared block."""
+        return [self.score_variant(variant) for variant in variants]

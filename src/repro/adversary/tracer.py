@@ -37,10 +37,25 @@ class PathTracer:
         return sum(self.bits(hop_senders))
 
     def mean_traceable_rate(
-        self, paths: Iterable[Sequence[int]]
+        self, paths: Iterable[Sequence[int]], context: str = "paths"
     ) -> float:
-        """Average traceable rate over several paths (e.g. trials or copies)."""
-        rates = [self.traceable_rate(path) for path in paths]
-        if not rates:
-            raise ValueError("need at least one path")
-        return sum(rates) / len(rates)
+        """Average traceable rate over several paths (e.g. trials or copies).
+
+        Streams over ``paths`` — a generator of a million trial paths is
+        scored in constant memory, no per-path rate list is materialised.
+        ``context`` names the caller's figure/trial batch so an empty
+        input fails with an actionable message instead of a bare
+        "need at least one path".
+        """
+        total = 0.0
+        count = 0
+        for path in paths:
+            total += self.traceable_rate(path)
+            count += 1
+        if count == 0:
+            raise ValueError(
+                f"need at least one path to average a traceable rate over "
+                f"{context} (empty trial batch — check the figure's "
+                f"trials/sessions arguments)"
+            )
+        return total / count

@@ -131,8 +131,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument("--seed", type=int, default=None)
     figure.add_argument(
-        "--trials", type=int, default=None,
+        "--trials", type=_positive_int, default=None,
         help="Monte Carlo trials (security figures)",
+    )
+    figure.add_argument(
+        "--compromise-model",
+        choices=("uniform", "bernoulli", "targeted", "stake"),
+        default=None,
+        help="adversary sampling strategy for the security figures "
+        "(default uniform: fixed-count uniform compromise)",
     )
     figure.add_argument(
         "--sessions", type=int, default=None,
@@ -262,6 +269,15 @@ def _run_figure(args: argparse.Namespace) -> int:
         kwargs["seed"] = args.seed
     if args.trials is not None and args.number in _MC_FIGS:
         kwargs["trials"] = args.trials
+    if args.compromise_model is not None:
+        if args.number not in _MC_FIGS:
+            print(
+                f"error: --compromise-model only applies to the security "
+                f"figures ({', '.join(str(k) for k in sorted(_MC_FIGS))})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["compromise_model"] = args.compromise_model
     if args.sessions is not None and args.number in _SIM_FIGS:
         if args.number in (4, 5, 10, 11):
             kwargs["sessions_per_graph"] = args.sessions

@@ -16,6 +16,20 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.adversary.compromise import (
+    CompromiseModel,
+    TargetedCompromise,
+    StakeWeightedCompromise,
+    make_compromise_model,
+)
+from repro.adversary.kernel import (
+    SecurityBatchKernel,
+    SecuritySweepVariant,
+    SecurityTrialBlock,
+    sample_security_block,
+)
+from repro.adversary.observer import observed_path_anonymity
+from repro.adversary.tracer import PathTracer
 from repro.analysis.delivery import onion_path_rates
 from repro.analysis.hypoexponential import Hypoexponential
 from repro.contacts.events import (
@@ -30,6 +44,7 @@ from repro.core.multi_copy import MultiCopySession, SprayPolicy
 from repro.core.onion_groups import OnionGroupDirectory
 from repro.core.route import OnionRoute
 from repro.core.single_copy import SingleCopySession
+from repro.experiments.config import DEFAULT_CONFIG
 from repro.faults.churn import NodeChurnProcess, NodeChurnSchedule
 from repro.faults.failstop import FailStopContactProcess, FailStopSchedule
 from repro.faults.recovery import FaultPlan, RecoveryPolicy
@@ -38,6 +53,7 @@ from repro.sim.message import Message
 from repro.sim.metrics import DeliveryOutcome, delivery_rate_curve
 from repro.sim.protocol import ProtocolSession
 from repro.utils.rng import RandomSource, ensure_rng
+from repro.utils.validation import check_fraction, check_positive_int
 
 logger = logging.getLogger(__name__)
 
@@ -417,6 +433,230 @@ def sample_copy_paths(
     return paths
 
 
+@lru_cache(maxsize=32)
+def reference_node_weights(n: int) -> Tuple[float, ...]:
+    """Per-node aggregate contact rates on the paper's reference graph.
+
+    The security Monte Carlo is contact-graph independent, but the
+    targeted and stake-weighted adversaries need a notion of how
+    "important" each node is. This derives it the same way the delivery
+    experiments would see it: the row sums of the rate matrix of the
+    reference ``random_contact_graph`` for size ``n`` (seeded by ``n``,
+    so the weights are a deterministic property of the network size).
+    """
+    from repro.contacts.random_graph import random_contact_graph
+
+    graph = random_contact_graph(
+        n, DEFAULT_CONFIG.mean_intercontact_range, rng=np.random.default_rng(n)
+    )
+    return tuple(float(v) for v in np.asarray(graph.rates).sum(axis=1))
+
+
+def _resolve_compromise_model(
+    compromise_model: "str | CompromiseModel", n: int
+) -> CompromiseModel:
+    """Coerce a registry name or instance into a model for ``n`` nodes.
+
+    Named targeted/stake models get their weights from
+    :func:`reference_node_weights`; instances are checked for a matching
+    population size. The model's own ``rate`` is a default only — every
+    sweep variant overrides it per grid point.
+    """
+    if isinstance(compromise_model, str):
+        needs_weights = compromise_model in (
+            TargetedCompromise.name,
+            StakeWeightedCompromise.name,
+        )
+        return make_compromise_model(
+            compromise_model,
+            n,
+            rate=0.0,
+            weights=reference_node_weights(n) if needs_weights else None,
+        )
+    if not isinstance(compromise_model, CompromiseModel):
+        raise TypeError(
+            "compromise_model must be a registry name or a CompromiseModel, "
+            f"got {type(compromise_model).__name__}"
+        )
+    if compromise_model.n != n:
+        raise ValueError(
+            f"compromise model covers n={compromise_model.n} nodes, "
+            f"the Monte Carlo runs over n={n}"
+        )
+    return compromise_model
+
+
+def _mask_row_nodes(mask_row: np.ndarray) -> set:
+    """One trial's compromised mask row as a set of node ids."""
+    return {int(v) for v in np.flatnonzero(mask_row)}
+
+
+def _scalar_variant_scores(
+    block: SecurityTrialBlock,
+    model: CompromiseModel,
+    variant: SecuritySweepVariant,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Score one variant row-by-row through the per-trial objects.
+
+    The scalar counterpart of
+    :meth:`~repro.adversary.kernel.SecurityBatchKernel.score_variant`: the
+    same block, the same compromise mask, but each trial walked through
+    :class:`~repro.adversary.tracer.PathTracer` and
+    :func:`~repro.adversary.observer.observed_path_anonymity` — the
+    reference semantics the kernel must reproduce bit-for-bit.
+    """
+    eta = variant.onion_routers + 1
+    mask = model.mask_from_keys(
+        block.compromise_keys, rate=variant.compromise_rate
+    )
+    traceable = np.empty(block.trials)
+    anonymity = np.empty(block.trials)
+    for trial in range(block.trials):
+        compromised = _mask_row_nodes(mask[trial])
+        paths = block.copy_paths(trial, variant.onion_routers, variant.copies)
+        tracer = PathTracer(compromised)
+        traceable[trial] = tracer.traceable_rate(paths[0])
+        anonymity[trial] = observed_path_anonymity(
+            paths, compromised, n=block.n, eta=eta, group_size=block.group_size
+        )
+    return traceable, anonymity
+
+
+def _legacy_security_montecarlo(
+    n: int,
+    group_size: int,
+    variants: Sequence[SecuritySweepVariant],
+    model: CompromiseModel,
+    trials: int,
+    generator: np.random.Generator,
+    overlapping: bool,
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Fully per-trial Monte Carlo for batch-incapable compromise models.
+
+    A model that only implements ``sample()`` cannot feed the shared key
+    column, so each variant runs the original draw-per-trial loop. The
+    model's own rate is the only one it can realise — mismatched variant
+    rates fail loudly instead of silently sampling the wrong adversary.
+    """
+    for variant in variants:
+        if variant.compromise_rate != model.rate:
+            raise ValueError(
+                f"compromise model {type(model).__name__} is not "
+                f"batch-capable and is pinned to rate={model.rate}; sweep "
+                f"variant {variant.label!r} asks for "
+                f"rate={variant.compromise_rate}"
+            )
+    scored: List[Tuple[np.ndarray, np.ndarray]] = []
+    for variant in variants:
+        eta = variant.onion_routers + 1
+        directory = (
+            None
+            if overlapping
+            else OnionGroupDirectory(n, group_size, rng=generator)
+        )
+        traceable = np.empty(trials)
+        anonymity = np.empty(trials)
+        for trial in range(trials):
+            source, destination = sample_endpoints(n, generator)
+            if overlapping:
+                route = select_overlapping_route(
+                    n,
+                    source,
+                    destination,
+                    variant.onion_routers,
+                    group_size,
+                    generator,
+                )
+            else:
+                route = directory.select_route(
+                    source, destination, variant.onion_routers, rng=generator
+                )
+            compromised = model.sample(rng=generator)
+            paths = sample_copy_paths(route, variant.copies, generator)
+            tracer = PathTracer(compromised)
+            traceable[trial] = tracer.traceable_rate(paths[0])
+            anonymity[trial] = observed_path_anonymity(
+                paths, compromised, n=n, eta=eta, group_size=group_size
+            )
+        scored.append((traceable, anonymity))
+    return scored
+
+
+def security_sweep_montecarlo(
+    n: int,
+    group_size: int,
+    variants: Sequence[SecuritySweepVariant],
+    trials: int,
+    rng: RandomSource = None,
+    overlapping: bool = False,
+    kernel: Optional[bool] = None,
+    compromise_model: "str | CompromiseModel" = "uniform",
+) -> Tuple[float, ...]:
+    """Fused Monte Carlo over a ``(c, K, L)`` security grid.
+
+    Samples *one* :class:`~repro.adversary.kernel.SecurityTrialBlock` at
+    the grid's widest point and scores every variant against it — the
+    security counterpart of the delivery layer's fused sweeps: the block
+    is drawn once instead of once per grid point, and between-variant
+    comparisons share endpoints, routes, copy assignments, and compromise
+    keys (common random numbers).
+
+    Returns the flattened per-variant means
+    ``(traceable₀, anonymity₀, traceable₁, anonymity₁, …)`` — a fixed-width
+    tuple, so :func:`~repro.experiments.parallel.run_parallel_montecarlo`
+    chunk-merges fused sweeps exactly like plain Monte Carlo runners.
+
+    ``kernel`` follows the delivery runners' convention: ``None`` (the
+    default) and ``True`` score through
+    :class:`~repro.adversary.kernel.SecurityBatchKernel`; ``False`` walks
+    the same block through the per-trial scalar objects. Both paths
+    consume identical draws, so the estimates are equal to the last bit.
+    ``compromise_model`` selects the adversary: a registry name
+    (``uniform``, ``bernoulli``, ``targeted``, ``stake``) or a
+    :class:`~repro.adversary.compromise.CompromiseModel` instance; a
+    batch-incapable instance transparently degrades to the original
+    draw-per-trial loop.
+    """
+    variants = tuple(variants)
+    if not variants:
+        raise ValueError("a security sweep needs at least one variant")
+    check_positive_int(trials, "trials")
+    for variant in variants:
+        check_positive_int(variant.onion_routers, "onion_routers")
+        check_positive_int(variant.copies, "copies")
+        check_fraction(variant.compromise_rate, "compromise_rate")
+    generator = ensure_rng(rng)
+    model = _resolve_compromise_model(compromise_model, n)
+
+    if not getattr(model, "batch_capable", False):
+        scored = _legacy_security_montecarlo(
+            n, group_size, variants, model, trials, generator, overlapping
+        )
+    else:
+        block = sample_security_block(
+            n,
+            group_size,
+            k_max=max(v.onion_routers for v in variants),
+            l_max=max(v.copies for v in variants),
+            trials=trials,
+            rng=generator,
+            overlapping=overlapping,
+        )
+        if kernel is False:
+            scored = [
+                _scalar_variant_scores(block, model, variant)
+                for variant in variants
+            ]
+        else:
+            scored = SecurityBatchKernel(block, model).score(variants)
+
+    flat: List[float] = []
+    for traceable, anonymity in scored:
+        flat.append(float(traceable.sum() / trials))
+        flat.append(float(anonymity.sum() / trials))
+    return tuple(flat)
+
+
 def security_montecarlo(
     n: int,
     group_size: int,
@@ -426,43 +666,37 @@ def security_montecarlo(
     trials: int,
     rng: RandomSource = None,
     overlapping: bool = False,
+    kernel: Optional[bool] = None,
+    compromise_model: "str | CompromiseModel" = "uniform",
 ) -> Tuple[float, float]:
     """Monte Carlo estimates of (traceable rate, path anonymity).
 
     Mirrors the paper's security simulations: random group membership,
-    random route, random fixed-count compromised set; the traceable rate
-    scores the first copy's path with Eq. 1, the anonymity evaluates the
-    entropy ratio at the adversary's observed exposure across all copies.
+    random route, random compromised set; the traceable rate scores the
+    first copy's path with Eq. 1, the anonymity evaluates the entropy
+    ratio at the adversary's observed exposure across all copies. A
+    single-point wrapper over :func:`security_sweep_montecarlo`, so the
+    ``kernel`` and ``compromise_model`` knobs behave identically here and
+    in the fused figure sweeps.
     """
-    from repro.adversary.compromise import CompromiseModel
-    from repro.adversary.observer import observed_path_anonymity
-    from repro.adversary.tracer import PathTracer
-
-    generator = ensure_rng(rng)
-    directory = None if overlapping else OnionGroupDirectory(n, group_size, rng=generator)
-    model = CompromiseModel(n, compromise_rate)
-    eta = onion_routers + 1
-
-    traceable_sum = 0.0
-    anonymity_sum = 0.0
-    for _ in range(trials):
-        source, destination = sample_endpoints(n, generator)
-        if overlapping:
-            route = select_overlapping_route(
-                n, source, destination, onion_routers, group_size, generator
-            )
-        else:
-            route = directory.select_route(
-                source, destination, onion_routers, rng=generator
-            )
-        compromised = model.sample_fixed_count(rng=generator)
-        paths = sample_copy_paths(route, copies, generator)
-        tracer = PathTracer(compromised)
-        traceable_sum += tracer.traceable_rate(paths[0])
-        anonymity_sum += observed_path_anonymity(
-            paths, compromised, n=n, eta=eta, group_size=group_size
-        )
-    return traceable_sum / trials, anonymity_sum / trials
+    results = security_sweep_montecarlo(
+        n,
+        group_size,
+        (
+            SecuritySweepVariant(
+                label=f"K={onion_routers} L={copies} c={compromise_rate:g}",
+                onion_routers=onion_routers,
+                copies=copies,
+                compromise_rate=compromise_rate,
+            ),
+        ),
+        trials=trials,
+        rng=rng,
+        overlapping=overlapping,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    return results[0], results[1]
 
 
 # ----------------------------------------------------------------------

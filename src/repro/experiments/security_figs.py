@@ -3,19 +3,88 @@
 These metrics are independent of the contact-graph realisation (§V-A), so
 the "Simulation" series are Monte Carlo draws of routes and compromised
 sets, and the "Analysis" series are the closed-form models.
+
+Each figure's whole (compromise-rate c, onion-count K, copies L) grid runs
+as ONE fused Monte Carlo call per group size: the grid points share a
+single :class:`~repro.adversary.kernel.SecurityTrialBlock` (common random
+numbers), and the :class:`~repro.adversary.kernel.SecurityBatchKernel`
+scores every point without per-trial Python objects. ``kernel=False``
+walks the same block through the scalar per-trial objects — identical
+series, the delivery runners' opt-out convention.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Sequence, Tuple, Union
 
+from repro.adversary.compromise import CompromiseModel
+from repro.adversary.kernel import SecuritySweepVariant
 from repro.analysis.anonymity import path_anonymity, path_anonymity_multicopy
 from repro.analysis.traceable import traceable_rate_model
 from repro.experiments.config import DEFAULT_CONFIG, PaperConfig
 from repro.experiments.result import FigureResult, Series
 from repro.experiments.parallel import Workers, run_parallel_montecarlo, workers_metadata
-from repro.experiments.runners import security_montecarlo
+from repro.experiments.runners import security_sweep_montecarlo
 from repro.utils.rng import RandomSource, ensure_rng
+
+CompromiseModelSpec = Union[str, CompromiseModel]
+
+
+def compromise_model_name(compromise_model: CompromiseModelSpec) -> str:
+    """A JSON-safe label for the adversary used in figure metadata."""
+    if isinstance(compromise_model, str):
+        return compromise_model
+    return getattr(compromise_model, "name", type(compromise_model).__name__)
+
+
+def security_figure_metadata(
+    workers: Workers, compromise_model: CompromiseModelSpec
+) -> dict:
+    """Execution metadata for security figures: workers + adversary."""
+    meta = workers_metadata(workers)
+    meta["compromise_model"] = compromise_model_name(compromise_model)
+    return meta
+
+
+def fused_security_points(
+    n: int,
+    group_size: int,
+    grid: Sequence[Tuple[int, int, float]],
+    trials: int,
+    workers: Workers,
+    rng: RandomSource,
+    overlapping: bool = False,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
+) -> List[Tuple[float, float]]:
+    """(traceable, anonymity) per ``(K, L, c)`` grid point, one fused call.
+
+    All grid points of one group size share a single sampled trial block
+    (common random numbers), so e.g. the K = 3 and K = 10 curves of
+    fig. 6 differ only through the metric, not through sampling noise.
+    """
+    variants = tuple(
+        SecuritySweepVariant(
+            label=f"K={onion_routers} L={copies} c={rate:g}",
+            onion_routers=onion_routers,
+            copies=copies,
+            compromise_rate=rate,
+        )
+        for onion_routers, copies, rate in grid
+    )
+    flat = run_parallel_montecarlo(
+        security_sweep_montecarlo,
+        n=n,
+        group_size=group_size,
+        variants=variants,
+        trials=trials,
+        workers=workers,
+        rng=rng,
+        overlapping=overlapping,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    return [(flat[2 * k], flat[2 * k + 1]) for k in range(len(variants))]
 
 
 def figure_06(
@@ -24,6 +93,8 @@ def figure_06(
     trials: int = 2000,
     seed: RandomSource = 6,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 6 — traceable rate vs compromised rate for K ∈ {3, 5, 10}."""
     generator = ensure_rng(seed)
@@ -39,31 +110,34 @@ def figure_06(
                 ),
             )
         )
-    for onion_routers in onion_router_counts:
-        points = []
-        for rate in rates:
-            traceable, _ = run_parallel_montecarlo(
-                security_montecarlo,
-                n=config.n,
-                group_size=config.group_size,
-                onion_routers=onion_routers,
-                copies=1,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
-            )
-            points.append((rate, traceable))
-        series.append(
-            Series(label=f"Simulation: {onion_routers} onions", points=tuple(points))
+    grid = [
+        (onion_routers, 1, rate)
+        for onion_routers in onion_router_counts
+        for rate in rates
+    ]
+    scored = fused_security_points(
+        config.n,
+        config.group_size,
+        grid,
+        trials,
+        workers,
+        generator,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    for row, onion_routers in enumerate(onion_router_counts):
+        points = tuple(
+            (rate, scored[row * len(rates) + col][0])
+            for col, rate in enumerate(rates)
         )
+        series.append(Series(label=f"Simulation: {onion_routers} onions", points=points))
     return FigureResult(
         figure_id="Fig. 6",
         title="Traceable rate w.r.t. compromised rate",
         x_label="Compromised rate (c/n)",
         y_label="Traceable rate",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -74,6 +148,8 @@ def figure_07(
     trials: int = 2000,
     seed: RandomSource = 7,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 7 — traceable rate vs number of onion relays for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -88,29 +164,34 @@ def figure_07(
                 ),
             )
         )
-    for rate in compromise_rates:
-        points = []
-        for onion_routers in onion_router_counts:
-            traceable, _ = run_parallel_montecarlo(
-                security_montecarlo,
-                n=config.n,
-                group_size=config.group_size,
-                onion_routers=onion_routers,
-                copies=1,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
-            )
-            points.append((float(onion_routers), traceable))
-        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=tuple(points)))
+    grid = [
+        (onion_routers, 1, rate)
+        for rate in compromise_rates
+        for onion_routers in onion_router_counts
+    ]
+    scored = fused_security_points(
+        config.n,
+        config.group_size,
+        grid,
+        trials,
+        workers,
+        generator,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    for row, rate in enumerate(compromise_rates):
+        points = tuple(
+            (float(onion_routers), scored[row * len(onion_router_counts) + col][0])
+            for col, onion_routers in enumerate(onion_router_counts)
+        )
+        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=points))
     return FigureResult(
         figure_id="Fig. 7",
         title="Traceable rate w.r.t. number of onion relays",
         x_label="Number of onion relays",
         y_label="Traceable rate",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -120,6 +201,8 @@ def figure_08(
     trials: int = 2000,
     seed: RandomSource = 8,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 8 — path anonymity vs compromised rate for g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -136,29 +219,31 @@ def figure_08(
                 ),
             )
         )
+    # The trial block is sampled per group size, so the fusion unit is one
+    # g value: each series' whole rate sweep shares one block.
     for group_size in group_sizes:
-        points = []
-        for rate in rates:
-            _, anonymity = run_parallel_montecarlo(
-                security_montecarlo,
-                n=config.n,
-                group_size=group_size,
-                onion_routers=config.onion_routers,
-                copies=1,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
-            )
-            points.append((rate, anonymity))
-        series.append(Series(label=f"Simulation: g={group_size}", points=tuple(points)))
+        grid = [(config.onion_routers, 1, rate) for rate in rates]
+        scored = fused_security_points(
+            config.n,
+            group_size,
+            grid,
+            trials,
+            workers,
+            generator,
+            kernel=kernel,
+            compromise_model=compromise_model,
+        )
+        points = tuple(
+            (rate, scored[col][1]) for col, rate in enumerate(rates)
+        )
+        series.append(Series(label=f"Simulation: g={group_size}", points=points))
     return FigureResult(
         figure_id="Fig. 8",
         title="Path anonymity w.r.t. compromised rate",
         x_label="Compromised rate (c/n)",
         y_label="Path anonymity",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -169,6 +254,8 @@ def figure_09(
     trials: int = 2000,
     seed: RandomSource = 9,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 9 — path anonymity vs group size for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -184,29 +271,36 @@ def figure_09(
                 ),
             )
         )
-    for rate in compromise_rates:
-        points = []
-        for group_size in group_sizes:
-            _, anonymity = run_parallel_montecarlo(
-                security_montecarlo,
-                n=config.n,
-                group_size=group_size,
-                onion_routers=config.onion_routers,
-                copies=1,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
+    # One fused rate sweep per g (the block depends on g); transpose the
+    # per-g columns into the figure's per-rate series.
+    columns = []
+    for group_size in group_sizes:
+        grid = [(config.onion_routers, 1, rate) for rate in compromise_rates]
+        columns.append(
+            fused_security_points(
+                config.n,
+                group_size,
+                grid,
+                trials,
+                workers,
+                generator,
+                kernel=kernel,
+                compromise_model=compromise_model,
             )
-            points.append((float(group_size), anonymity))
-        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=tuple(points)))
+        )
+    for row, rate in enumerate(compromise_rates):
+        points = tuple(
+            (float(group_size), columns[col][row][1])
+            for col, group_size in enumerate(group_sizes)
+        )
+        series.append(Series(label=f"Simulation: c/n={rate:.0%}", points=points))
     return FigureResult(
         figure_id="Fig. 9",
         title="Path anonymity w.r.t. group size",
         x_label="Group size",
         y_label="Path anonymity",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -216,6 +310,8 @@ def figure_12(
     trials: int = 2000,
     seed: RandomSource = 12,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 12 — path anonymity vs compromised rate for L ∈ {1, 3, 5} (g = 5)."""
     generator = ensure_rng(seed)
@@ -239,29 +335,34 @@ def figure_12(
                 ),
             )
         )
-    for copies in copy_counts:
-        points = []
-        for rate in rates:
-            _, anonymity = run_parallel_montecarlo(
-                security_montecarlo,
-                n=multicopy_config.n,
-                group_size=g,
-                onion_routers=multicopy_config.onion_routers,
-                copies=copies,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
-            )
-            points.append((rate, anonymity))
-        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+    grid = [
+        (multicopy_config.onion_routers, copies, rate)
+        for copies in copy_counts
+        for rate in rates
+    ]
+    scored = fused_security_points(
+        multicopy_config.n,
+        g,
+        grid,
+        trials,
+        workers,
+        generator,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    for row, copies in enumerate(copy_counts):
+        points = tuple(
+            (rate, scored[row * len(rates) + col][1])
+            for col, rate in enumerate(rates)
+        )
+        series.append(Series(label=f"Simulation: L={copies}", points=points))
     return FigureResult(
         figure_id="Fig. 12",
         title="Path anonymity w.r.t. compromised rate (multi-copy, g=5)",
         x_label="Compromised rate (c/n)",
         y_label="Path anonymity",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -273,6 +374,8 @@ def figure_13(
     trials: int = 2000,
     seed: RandomSource = 13,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 13 — path anonymity vs group size for L ∈ {1, 3, 5} (c/n = 10%)."""
     generator = ensure_rng(seed)
@@ -293,27 +396,35 @@ def figure_13(
                 ),
             )
         )
-    for copies in copy_counts:
-        points = []
-        for group_size in group_sizes:
-            _, anonymity = run_parallel_montecarlo(
-                security_montecarlo,
-                n=config.n,
-                group_size=group_size,
-                onion_routers=config.onion_routers,
-                copies=copies,
-                compromise_rate=compromise_rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
+    columns = []
+    for group_size in group_sizes:
+        grid = [
+            (config.onion_routers, copies, compromise_rate)
+            for copies in copy_counts
+        ]
+        columns.append(
+            fused_security_points(
+                config.n,
+                group_size,
+                grid,
+                trials,
+                workers,
+                generator,
+                kernel=kernel,
+                compromise_model=compromise_model,
             )
-            points.append((float(group_size), anonymity))
-        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+        )
+    for row, copies in enumerate(copy_counts):
+        points = tuple(
+            (float(group_size), columns[col][row][1])
+            for col, group_size in enumerate(group_sizes)
+        )
+        series.append(Series(label=f"Simulation: L={copies}", points=points))
     return FigureResult(
         figure_id="Fig. 13",
         title="Path anonymity w.r.t. group size (multi-copy, c/n=10%)",
         x_label="Group size",
         y_label="Path anonymity",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )

@@ -21,16 +21,19 @@ from repro.experiments.parallel import (
     workers_metadata,
     Workers,
     run_parallel_fused_sweep,
-    run_parallel_montecarlo,
 )
 from repro.experiments.runners import (
     SweepVariant,
     analysis_delivery_curve,
     estimate_active_span,
     run_fused_trace_sweep,
-    security_montecarlo,
     simulated_delivery_curve,
     trace_contact_graph,
+)
+from repro.experiments.security_figs import (
+    CompromiseModelSpec,
+    fused_security_points,
+    security_figure_metadata,
 )
 from repro.utils.rng import RandomSource, ensure_rng
 
@@ -113,8 +116,14 @@ def _trace_security_figure(
     metric: str,
     overlapping: bool,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
-    """Shared body of the trace security figures (15, 16, 18, 19)."""
+    """Shared body of the trace security figures (15, 16, 18, 19).
+
+    The whole (L, c) grid runs as one fused Monte Carlo call: every copy
+    count and compromise rate shares a single sampled trial block.
+    """
     generator = ensure_rng(seed)
     eta = onion_routers + 1
     series: List[Series] = []
@@ -139,37 +148,44 @@ def _trace_security_figure(
         series.append(Series(label=label, points=points))
         if metric == "traceable":
             break  # the traceable rate is copy-count independent (§IV-D)
-    for copies in copy_counts:
-        points = []
-        for rate in compromise_rates:
-            traceable, anonymity = run_parallel_montecarlo(
-                security_montecarlo,
-                n=n,
-                group_size=group_size,
-                onion_routers=onion_routers,
-                copies=copies,
-                compromise_rate=rate,
-                trials=trials,
-                workers=workers,
-                rng=generator,
-                overlapping=overlapping,
-            )
-            points.append((rate, traceable if metric == "traceable" else anonymity))
-        if metric == "traceable":
-            series.append(
-                Series(
-                    label=f"Simulation: {onion_routers} onions", points=tuple(points)
-                )
-            )
-            break
-        series.append(Series(label=f"Simulation: L={copies}", points=tuple(points)))
+    # The traceable rate is copy-count independent, so its simulation only
+    # needs the first copy count.
+    simulated_copies = copy_counts[:1] if metric == "traceable" else copy_counts
+    grid = [
+        (onion_routers, copies, rate)
+        for copies in simulated_copies
+        for rate in compromise_rates
+    ]
+    scored = fused_security_points(
+        n,
+        group_size,
+        grid,
+        trials,
+        workers,
+        generator,
+        overlapping=overlapping,
+        kernel=kernel,
+        compromise_model=compromise_model,
+    )
+    metric_index = 0 if metric == "traceable" else 1
+    for row, copies in enumerate(simulated_copies):
+        points = tuple(
+            (rate, scored[row * len(compromise_rates) + col][metric_index])
+            for col, rate in enumerate(compromise_rates)
+        )
+        label = (
+            f"Simulation: {onion_routers} onions"
+            if metric == "traceable"
+            else f"Simulation: L={copies}"
+        )
+        series.append(Series(label=label, points=points))
     return FigureResult(
         figure_id=figure_id,
         title=title,
         x_label="Compromised rate (c/n)",
         y_label="Traceable rate" if metric == "traceable" else "Path anonymity",
         series=tuple(series),
-        metadata=workers_metadata(workers),
+        metadata=security_figure_metadata(workers, compromise_model),
     )
 
 
@@ -217,6 +233,8 @@ def figure_15(
     trials: int = 2000,
     seed: RandomSource = 15,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 15 — traceable rate vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -232,6 +250,8 @@ def figure_15(
         workers=workers,
         metric="traceable",
         overlapping=True,
+        kernel=kernel,
+        compromise_model=compromise_model,
     )
 
 
@@ -241,6 +261,8 @@ def figure_16(
     trials: int = 2000,
     seed: RandomSource = 16,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 16 — path anonymity vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -256,6 +278,8 @@ def figure_16(
         workers=workers,
         metric="anonymity",
         overlapping=True,
+        kernel=kernel,
+        compromise_model=compromise_model,
     )
 
 
@@ -314,6 +338,8 @@ def figure_18(
     trials: int = 2000,
     seed: RandomSource = 18,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 18 — traceable rate vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -329,6 +355,8 @@ def figure_18(
         workers=workers,
         metric="traceable",
         overlapping=False,
+        kernel=kernel,
+        compromise_model=compromise_model,
     )
 
 
@@ -339,6 +367,8 @@ def figure_19(
     trials: int = 2000,
     seed: RandomSource = 19,
     workers: Workers = 1,
+    kernel: "bool | None" = None,
+    compromise_model: CompromiseModelSpec = "uniform",
 ) -> FigureResult:
     """Fig. 19 — path anonymity vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -354,4 +384,6 @@ def figure_19(
         workers=workers,
         metric="anonymity",
         overlapping=False,
+        kernel=kernel,
+        compromise_model=compromise_model,
     )

@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.adversary.compromise import CompromiseModel
+from repro.adversary.compromise import (
+    COMPROMISE_MODELS,
+    BernoulliCompromise,
+    CompromiseModel,
+    StakeWeightedCompromise,
+    TargetedCompromise,
+    make_compromise_model,
+)
 from repro.adversary.observer import (
     observed_exposed_hops,
     observed_path_anonymity,
@@ -50,6 +57,98 @@ class TestCompromiseModel:
         assert model.sample_fixed_count(rng=1) != model.sample_fixed_count(rng=2)
 
 
+class TestCompromiseStrategies:
+    """The strategy family built on the shared key-column contract."""
+
+    def test_uniform_mask_count_is_exact(self):
+        model = CompromiseModel(40, 0.25)
+        keys = np.random.default_rng(0).random((16, 40))
+        mask = model.mask_from_keys(keys)
+        assert mask.shape == (16, 40)
+        assert np.all(mask.sum(axis=1) == 10)
+
+    def test_uniform_sample_matches_mask_derivation(self):
+        model = CompromiseModel(40, 0.25)
+        assert model.sample(rng=7) == model.sample(rng=7)
+        assert len(model.sample(rng=7)) == 10
+
+    def test_masks_nest_across_rates(self):
+        keys = np.random.default_rng(1).random((32, 50))
+        for model in (CompromiseModel(50, 0.1), BernoulliCompromise(50, 0.1)):
+            low = model.mask_from_keys(keys, rate=0.1)
+            high = model.mask_from_keys(keys, rate=0.4)
+            assert np.all(low <= high)
+
+    def test_bernoulli_mask_is_key_threshold(self):
+        model = BernoulliCompromise(30, 0.3)
+        keys = np.random.default_rng(2).random((8, 30))
+        assert np.array_equal(model.mask_from_keys(keys), keys < 0.3)
+
+    def test_targeted_hits_top_weights_first(self):
+        weights = list(range(20))  # node 19 best connected
+        model = TargetedCompromise(20, 0.2, weights)
+        keys = np.random.default_rng(3).random((5, 20))
+        mask = model.mask_from_keys(keys)
+        # distinct weights: deterministic, the top-4 nodes in every trial
+        assert np.all(mask[:, [19, 18, 17, 16]])
+        assert mask.sum() == 5 * 4
+
+    def test_targeted_breaks_ties_with_keys(self):
+        model = TargetedCompromise(10, 0.2, [1.0] * 10)
+        keys = np.random.default_rng(4).random((64, 10))
+        mask = model.mask_from_keys(keys)
+        assert np.all(mask.sum(axis=1) == 2)
+        # all-equal weights degenerate to the uniform model
+        uniform = CompromiseModel(10, 0.2).mask_from_keys(keys)
+        assert np.array_equal(mask, uniform)
+
+    def test_stake_weighting_prefers_large_stakes(self):
+        stakes = [1.0] * 19 + [1000.0]
+        model = StakeWeightedCompromise(20, 0.1, stakes)
+        keys = np.random.default_rng(5).random((200, 20))
+        mask = model.mask_from_keys(keys)
+        assert np.all(mask.sum(axis=1) == 2)
+        assert mask[:, 19].mean() > 0.9
+
+    def test_protected_nodes_never_masked(self):
+        keys = np.random.default_rng(6).random((32, 12))
+        models = [
+            CompromiseModel(12, 0.5, protected=[0, 11]),
+            BernoulliCompromise(12, 0.5, protected=[0, 11]),
+            TargetedCompromise(12, 0.5, list(range(12)), protected=[0, 11]),
+            StakeWeightedCompromise(12, 0.5, [1.0] * 12, protected=[0, 11]),
+        ]
+        for model in models:
+            mask = model.mask_from_keys(keys)
+            assert not mask[:, 0].any(), model.name
+            assert not mask[:, 11].any(), model.name
+
+    def test_bad_key_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            CompromiseModel(10, 0.1).mask_from_keys(np.zeros((4, 9)))
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError, match="shape"):
+            TargetedCompromise(10, 0.1, [1.0] * 9)
+        with pytest.raises(ValueError, match="finite"):
+            TargetedCompromise(10, 0.1, [np.inf] * 10)
+        with pytest.raises(ValueError, match="positive"):
+            StakeWeightedCompromise(10, 0.1, [0.0] * 10)
+
+    def test_registry_and_factory(self):
+        assert set(COMPROMISE_MODELS) == {
+            "uniform", "bernoulli", "targeted", "stake"
+        }
+        model = make_compromise_model("targeted", 10, 0.2, weights=range(10))
+        assert isinstance(model, TargetedCompromise)
+        with pytest.raises(ValueError, match="unknown compromise model"):
+            make_compromise_model("nonsense", 10, 0.2)
+        with pytest.raises(ValueError, match="requires weights"):
+            make_compromise_model("stake", 10, 0.2)
+        with pytest.raises(ValueError, match="does not take weights"):
+            make_compromise_model("uniform", 10, 0.2, weights=range(10))
+
+
 class TestPathTracer:
     def test_bits_and_rate(self):
         tracer = PathTracer({1, 2, 4})
@@ -73,6 +172,15 @@ class TestPathTracer:
     def test_mean_requires_paths(self):
         with pytest.raises(ValueError):
             PathTracer(set()).mean_traceable_rate([])
+
+    def test_mean_empty_error_names_the_context(self):
+        with pytest.raises(ValueError, match="figure 6 sessions"):
+            PathTracer(set()).mean_traceable_rate([], context="figure 6 sessions")
+
+    def test_mean_streams_generators(self):
+        tracer = PathTracer({1})
+        mean = tracer.mean_traceable_rate(p for p in ([1, 2], [3, 4]))
+        assert mean == pytest.approx((0.25 + 0.0) / 2)
 
     def test_compromised_is_frozen_copy(self):
         source = {1, 2}

@@ -53,6 +53,39 @@ class TestFigure:
         with pytest.raises(SystemExit):
             main(["figure", "99"])
 
+    def test_nonpositive_trials_rejected(self, capsys):
+        for bad in ("0", "-5", "2.5"):
+            with pytest.raises(SystemExit):
+                main(["figure", "6", "--trials", bad])
+            assert "integer" in capsys.readouterr().err
+
+    def test_compromise_model_forwarded(self, capsys):
+        assert main([
+            "figure", "6", "--trials", "50",
+            "--compromise-model", "targeted",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 6" in out
+
+    def test_compromise_model_changes_simulation(self, capsys):
+        main(["figure", "6", "--trials", "50", "--seed", "3"])
+        uniform = capsys.readouterr().out
+        main(["figure", "6", "--trials", "50", "--seed", "3",
+              "--compromise-model", "targeted"])
+        targeted = capsys.readouterr().out
+        assert uniform != targeted
+
+    def test_compromise_model_rejected_on_delivery_figure(self, capsys):
+        assert main([
+            "figure", "4", "--compromise-model", "uniform",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "--compromise-model only applies to the security" in err
+
+    def test_unknown_compromise_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "6", "--compromise-model", "nonsense"])
+
     def test_missing_command_rejected(self):
         with pytest.raises(SystemExit):
             main([])
