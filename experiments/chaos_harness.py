@@ -14,7 +14,11 @@ report. This script proves it end to end:
    recompute), a worker hangs past the chunk timeout during the resumed
    key, and the last key hits both an exception that exhausts the chunk
    degradation ladder and a kernel-rung failure the ladder absorbs.
-3. The harness asserts the per-key result digests match the reference and
+3. A shared-memory phase ships one event block through the pool-owned
+   zero-copy arena, SIGKILLs a worker mid-chunk, and asserts the requeued
+   merge equals a fuse-free shared run — and that no ``reproarena-*``
+   segment survives under ``/dev/shm`` once the pool closes.
+4. The harness asserts the per-key result digests match the reference and
    that the failure taxonomy recorded every injected class, then writes a
    JSON summary (``--output``) and exits non-zero on any mismatch.
 
@@ -49,15 +53,18 @@ if str(_REPO_ROOT / "src") not in sys.path:
 
 import numpy as np
 
+from repro.contacts.events import ExponentialContactProcess
 from repro.contacts.random_graph import random_contact_graph
 from repro.experiments.parallel import WorkerPool, run_parallel_batch
 from repro.experiments.persistence import run_checkpointed
 from repro.experiments.runners import run_random_graph_batch
+from repro.experiments.shm import leaked_arena_segments
 from repro.utils.resilience import (
     CHECKPOINT_CORRUPT,
     CHUNK_ERROR,
     CHUNK_TIMEOUT,
     KERNEL_FALLBACK,
+    SHM_LEAK,
     WORKER_CRASH,
     ExecutionReport,
     RetryPolicy,
@@ -130,14 +137,15 @@ def chaotic_batch(
     fuse_dir: str = "",
     parent_pid: int = 0,
     kernel=None,
+    events=None,
 ):
     """`run_random_graph_batch` with a pre-flight chaos fuse check.
 
     The explicit ``kernel`` parameter opts this wrapper into the chunk
     degradation ladder (a failed execution is retried with
-    ``kernel=False``); all simulation arguments pass straight through, so
-    an execution whose fuses are spent is byte-identical to the clean
-    runner.
+    ``kernel=False``); all simulation arguments pass straight through —
+    including the shared-stream protocol's ``events`` — so an execution
+    whose fuses are spent is byte-identical to the clean runner.
     """
     _trip_one_fuse(fuse_dir, parent_pid, kernel)
     extra = {} if kernel is None else {"kernel": kernel}
@@ -149,6 +157,7 @@ def chaotic_batch(
         horizon=horizon,
         sessions=sessions,
         rng=rng,
+        events=events,
         **extra,
     )
 
@@ -262,12 +271,56 @@ def main(argv=None) -> int:
             chaos = run_checkpointed(keys, compute, checkpoint, report=report)
             phases.append(("chunk error + kernel fallback", unspent_fuses(fuse_dir)))
 
+            # Phase 4: the shared-memory arena under a SIGKILLed worker.
+            # The block travels as a zero-copy descriptor through the
+            # pool-owned arena; one worker dies mid-chunk, the supervisor
+            # restarts the pool (the arena must survive the restart so the
+            # requeued chunk can reattach), and the merge must equal the
+            # fuse-free shared run chunk for chunk.
+            shared_block = ExponentialContactProcess(
+                graph, rng=np.random.default_rng(args.seed)
+            ).events_until_columnar(720.0)
+
+            def shared_run(workers, fuses):
+                return run_parallel_batch(
+                    chaotic_batch,
+                    sessions=args.sessions,
+                    workers=workers,
+                    rng=np.random.default_rng(args.seed),
+                    chunks=args.chunks,
+                    shared_events=shared_block,
+                    graph=graph,
+                    group_size=4,
+                    onion_routers=2,
+                    copies=1,
+                    horizon=720.0,
+                    fuse_dir=fuses,
+                    parent_pid=parent_pid,
+                )
+
+            shared_clean = shared_run(args.workers, "")
+            arm_fuses(fuse_dir, ("kill-2",))
+            shared_chaos = shared_run(pool, str(fuse_dir))
+            phases.append(("shared arena + kill", unspent_fuses(fuse_dir)))
+
         leftover = unspent_fuses(fuse_dir)
+        # The pool is closed: every arena segment must be gone from
+        # /dev/shm no matter how many workers were SIGKILLed.
+        leaked = leaked_arena_segments()
+        if leaked:
+            report.record(
+                SHM_LEAK,
+                "pool close",
+                attempt=1,
+                detail=", ".join(leaked),
+                resolution="leaked",
+            )
+        shm_identical = _digest(shared_clean) == _digest(shared_chaos)
 
     identical = clean == chaos
     counts = report.counts()
     expected_kinds = {
-        WORKER_CRASH: 2,        # two SIGKILLed workers
+        WORKER_CRASH: 3,        # two SIGKILLed workers + one mid-arena kill
         CHUNK_TIMEOUT: 1,       # one hung chunk past its budget
         CHUNK_ERROR: 1,         # one ladder-exhausting exception
         KERNEL_FALLBACK: 1,     # one kernel-rung failure, degraded
@@ -292,6 +345,10 @@ def main(argv=None) -> int:
         ],
         "fuses_unspent": leftover,
         "expected_minimum_counts": expected_kinds,
+        "shm": {
+            "identical": shm_identical,
+            "leaked_segments": leaked,
+        },
         "report": report.summary(),
     }
     if args.output is not None:
@@ -304,12 +361,21 @@ def main(argv=None) -> int:
     if not identical:
         print("FAIL: chaos sweep diverged from the reference run", file=sys.stderr)
         return 1
+    if not shm_identical:
+        print("FAIL: shared-arena sweep diverged after the worker kill",
+              file=sys.stderr)
+        return 1
+    if leaked:
+        print(f"FAIL: arena segments leaked past pool close: {leaked}",
+              file=sys.stderr)
+        return 1
     if missing:
         print(f"FAIL: expected failure kinds not observed: {missing} "
               f"(unspent fuses: {leftover})", file=sys.stderr)
         return 1
     print("OK: chaos sweep byte-identical to the reference run; "
-          "all injected failure classes recovered and reported")
+          "all injected failure classes recovered and reported; "
+          "no arena segment outlived the pool")
     return 0
 
 

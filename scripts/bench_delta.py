@@ -107,6 +107,17 @@ METRICS = (
      ("results", "parallel", "speedup_vs_indexed"), "x", True, True),
     ("parallel wall",
      ("results", "parallel", "wall_seconds"), "s", False, False),
+    ("shared-arena parallel events/s",
+     ("results", "parallel-kernel", "events_per_second"), "", True, False),
+    ("shared-arena parallel vs serial kernel",
+     ("results", "parallel-kernel", "speedup_vs_serial_kernel"),
+     "x", True, True),
+    ("stream events/s",
+     ("results", "stream", "events_per_second_stream"), "", True, False),
+    ("stream vs full one-shot",
+     ("results", "stream", "speedup_stream_vs_full"), "x", True, True),
+    ("stream RSS saving",
+     ("results", "stream", "rss_saving_ratio"), "x", True, False),
 )
 
 

@@ -39,6 +39,18 @@ Two further workloads exercise the rest of the kernel family:
   (``kernel=False``, byte-identical estimates) and vs the original
   draw-per-trial ``security_montecarlo`` loop, plus a fused
   figure-6-shaped (c, K) sweep pair sharing one trial block.
+* **parallel** — the zero-copy shared-memory path: one columnar window
+  registered in a :class:`SharedBlockArena`, replayed through the batch
+  kernels by a warm persistent :class:`WorkerPool` (chunk pickles carry a
+  few-hundred-byte descriptor, not the columns), timed against the serial
+  ``consume="kernel"`` run at the same seed.
+* **stream** — the streaming million-session path: ``consume="stream"``
+  drains the event source window by window under a stated
+  ``max_window_events`` ceiling (full workload: 10^6 sessions over a
+  14400-minute horizon; ``--quick`` shrinks it for CI) against the
+  one-shot kernel arm, which materialises an event window that *exceeds*
+  that ceiling. Outcomes must be digest-identical; per-arm peak RSS is
+  measured in forked children via ``resource.getrusage``.
 
 Engine rows are split into ``generation_seconds`` (producing the event
 stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
@@ -52,6 +64,8 @@ land in ``BENCH_engine.json`` at the repo root::
     python scripts/bench_engine.py --mode multicopy # multi-copy kernel pair
     python scripts/bench_engine.py --mode trace     # trace-replay kernel pair
     python scripts/bench_engine.py --mode security  # security Monte Carlo kernel
+    python scripts/bench_engine.py --mode parallel  # shared-arena worker pool
+    python scripts/bench_engine.py --mode stream    # streaming 10^6-session path
     python scripts/bench_engine.py --repeat 3       # best-of-3 walls
     python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
 
@@ -64,13 +78,20 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import hashlib
 import json
+import pickle
 import platform
 import pstats
 import os
 import sys
 import time
 from pathlib import Path
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
 
 ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
@@ -79,7 +100,12 @@ import numpy as np
 
 from repro.adversary.compromise import CompromiseModel
 from repro.adversary.kernel import SecuritySweepVariant
-from repro.contacts.events import ExponentialContactProcess, TraceReplayProcess
+from repro.contacts.events import (
+    ColumnarEventSource,
+    ExponentialContactProcess,
+    TraceReplayProcess,
+    stream_event_blocks,
+)
 from repro.contacts.random_graph import random_contact_graph
 from repro.contacts.synthetic import infocom05_like_trace
 from repro.core.onion_groups import OnionGroupDirectory
@@ -98,6 +124,28 @@ MULTICOPY_COPIES = 4
 TRACE_DEADLINE = 86400.0
 SECURITY_COMPROMISE_RATE = 0.10
 SECURITY_SWEEP_ONIONS = (3, 5, 10)
+
+#: The streaming million-session workloads. ``deadline`` is far below the
+#: horizon so the batch finishes (and the stream drain early-exits) long
+#: before the window runs out; ``max_window_events`` is the stated memory
+#: ceiling the one-shot path exceeds (``events > ceiling``) and the
+#: streaming path provably respects per window.
+STREAM_WORKLOADS = {
+    "full": dict(
+        sessions=1_000_000,
+        horizon=14400.0,
+        deadline=720.0,
+        stream_window=1440.0,
+        max_window_events=500_000,
+    ),
+    "quick": dict(
+        sessions=20_000,
+        horizon=2880.0,
+        deadline=240.0,
+        stream_window=288.0,
+        max_window_events=100_000,
+    ),
+}
 
 
 def count_events(graph, group_size, onion_routers, sessions, horizon, seed):
@@ -443,6 +491,242 @@ def security_benchmark(n, group_size, onion_routers, trials, seed, repeat):
     return rows, identity_checks, speedups
 
 
+def _signature_digest(pairs) -> str:
+    """sha256 over the canonical outcome signature (cross-process safe)."""
+    canonical = "\n".join(repr(sig) for sig in outcome_signature(pairs))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _run_forked(fn):
+    """Run ``fn()`` in a forked child; ``(result, peak_rss_kb)``.
+
+    ``ru_maxrss`` is a process-lifetime high-water mark, so measuring an
+    arm inside the parent would report the *max* across every arm run so
+    far. A forked child starts its own accounting (inheriting roughly the
+    parent's current RSS — subtract a no-op baseline child to isolate the
+    arm); the result travels back over a pipe. Falls back to running
+    inline with ``rss=None`` where ``fork`` is unavailable.
+    """
+    if resource is None or not hasattr(os, "fork"):
+        return fn(), None
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # child
+        status = 0
+        try:
+            os.close(read_fd)
+            out = fn()
+            rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            with os.fdopen(write_fd, "wb") as sink:
+                sink.write(pickle.dumps((out, rss)))
+        except BaseException:
+            status = 1
+        finally:
+            os._exit(status)
+    os.close(write_fd)
+    with os.fdopen(read_fd, "rb") as source:
+        payload = source.read()
+    _pid, status = os.waitpid(pid, 0)
+    if status != 0 or not payload:
+        raise RuntimeError("forked benchmark arm failed")
+    return pickle.loads(payload)
+
+
+def parallel_benchmark(
+    graph, group_size, onion_routers, copies, horizon, sessions, workers,
+    seed, repeat,
+):
+    """Zero-copy shared-arena parallel batch vs the serial kernel path.
+
+    One columnar window is generated in the parent and registered in the
+    pool-owned shared-memory arena; every worker chunk reattaches it and
+    replays it through the batch kernels. The serial arm runs the same
+    seed through ``consume="kernel"`` — the strongest serial baseline, so
+    ``speedup_vs_serial_kernel`` measures what parallelism adds on top of
+    the kernels, not on top of a strawman. The merge must be byte-
+    identical across worker counts (the default chunk layout is a pure
+    function of the session count). Returns ``(rows, identity_checks)``.
+    """
+    events = count_events(
+        graph, group_size, onion_routers, sessions, horizon, seed
+    )
+
+    def serial():
+        return run_random_graph_batch(
+            graph,
+            group_size,
+            onion_routers,
+            copies=copies,
+            horizon=horizon,
+            sessions=sessions,
+            rng=np.random.default_rng(seed),
+            consume="kernel",
+        )
+
+    serial_wall, serial_pairs = _best_wall(serial, repeat)
+
+    block = ExponentialContactProcess(
+        graph, rng=np.random.default_rng(seed)
+    ).events_until_columnar(horizon)
+
+    def chunked(workers_arg):
+        return run_parallel_batch(
+            run_random_graph_batch,
+            sessions=sessions,
+            workers=workers_arg,
+            rng=np.random.default_rng(seed),
+            shared_events=block,
+            graph=graph,
+            group_size=group_size,
+            onion_routers=onion_routers,
+            copies=copies,
+            horizon=horizon,
+        )
+
+    with WorkerPool(workers) as pool:
+        pool.warm()
+        wall, pairs = _best_wall(lambda: chunked(pool), repeat)
+        descriptor_bytes = len(pickle.dumps(pool.share_block(block)))
+        effective = pool.processes
+    invariant = outcome_signature(chunked(2)) == outcome_signature(pairs)
+
+    row = {
+        "wall_seconds": round(wall, 4),
+        "serial_kernel_wall_seconds": round(serial_wall, 4),
+        "workers_requested": workers,
+        "workers_effective": effective,
+        "events": events,
+        "events_per_second": round(events / wall, 1),
+        "delivered": sum(1 for _, o in pairs if o.delivered),
+        "delivered_serial": sum(1 for _, o in serial_pairs if o.delivered),
+        "descriptor_bytes": descriptor_bytes,
+        "block_npz_bytes": len(block.to_bytes()),
+        "speedup_vs_serial_kernel": round(serial_wall / wall, 2),
+    }
+    if (os.cpu_count() or 1) == 1:
+        row["warning"] = (
+            "cpu_count=1: the worker processes share one core, so "
+            "speedup_vs_serial_kernel measures dispatch overhead, not "
+            "concurrency, on this machine"
+        )
+    return {"parallel-kernel": row}, {"parallel_worker_invariance": invariant}
+
+
+def stream_benchmark(graph, group_size, onion_routers, seed, quick):
+    """The streaming million-session path vs one-shot kernel consumption.
+
+    Both arms run the same seeded workload with ``deadline`` far below the
+    horizon. The ``full`` arm (``consume="kernel"``) materialises the
+    entire event window before dispatching — its live event set exceeds
+    the stated ceiling. The ``stream`` arm drains the source window by
+    window under ``max_window_events``, never holding more than the
+    ceiling, and exits as soon as every session is delivered or expired.
+    Outcomes must be byte-identical (compared by digest — a million
+    signatures never leave the forked child). Peak RSS per arm comes from
+    forked children (see :func:`_run_forked`). Returns
+    ``(row, identity_checks)``.
+    """
+    params = STREAM_WORKLOADS["quick" if quick else "full"]
+    sessions = params["sessions"]
+    horizon = params["horizon"]
+    deadline = params["deadline"]
+    window = params["stream_window"]
+    ceiling = params["max_window_events"]
+
+    def arm(consume, **knobs):
+        def run():
+            start = time.perf_counter()
+            pairs = run_random_graph_batch(
+                graph,
+                group_size,
+                onion_routers,
+                copies=1,
+                horizon=horizon,
+                sessions=sessions,
+                rng=np.random.default_rng(seed),
+                deadline=deadline,
+                consume=consume,
+                **knobs,
+            )
+            wall = time.perf_counter() - start
+            return {
+                "wall": wall,
+                "delivered": sum(1 for _, o in pairs if o.delivered),
+                "digest": _signature_digest(pairs),
+            }
+
+        return run
+
+    def census():
+        # Replay the batch's RNG prefix, then measure the stream: total
+        # events, and the window census of a full ceiling-bounded drain.
+        generator = np.random.default_rng(seed)
+        directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+        process = ExponentialContactProcess(graph, rng=generator)
+        for _ in range(sessions):
+            src, dst = sample_endpoints(graph.n, generator)
+            directory.select_route(src, dst, onion_routers, rng=generator)
+        block = process.events_until_columnar(horizon)
+        lens = [
+            len(w)
+            for w in stream_event_blocks(
+                ColumnarEventSource(block),
+                horizon,
+                window=window,
+                max_window_events=ceiling,
+            )
+        ]
+        return {
+            "events": len(block),
+            "windows_full_drain": len(lens),
+            "peak_window_events": max(lens) if lens else 0,
+        }
+
+    _none, baseline_rss = _run_forked(lambda: None)
+    counts, _rss = _run_forked(census)
+    full, full_rss = _run_forked(arm("kernel"))
+    stream, stream_rss = _run_forked(
+        arm("stream", stream_window=window, max_window_events=ceiling)
+    )
+
+    events = counts["events"]
+    row = {
+        "sessions": sessions,
+        "horizon": horizon,
+        "deadline": deadline,
+        "stream_window": window,
+        "ceiling_events": ceiling,
+        "events": events,
+        "windows_full_drain": counts["windows_full_drain"],
+        "peak_window_events": counts["peak_window_events"],
+        "full_window_exceeds_ceiling": events > ceiling,
+        "full_wall_seconds": round(full["wall"], 4),
+        "stream_wall_seconds": round(stream["wall"], 4),
+        "events_per_second_full": round(events / full["wall"], 1),
+        "events_per_second_stream": round(events / stream["wall"], 1),
+        "sessions_per_second_stream": round(sessions / stream["wall"], 1),
+        "delivered": stream["delivered"],
+        "speedup_stream_vs_full": round(full["wall"] / stream["wall"], 2),
+        "note": (
+            "both arms share the seed and deadline << horizon; the stream "
+            "arm stops draining once every session is delivered or "
+            "expired and never holds more than ceiling_events events at "
+            "once, so events_per_second_stream is a throughput proxy over "
+            "the full stream length, tracked for trend only"
+        ),
+    }
+    if baseline_rss is not None:
+        row["baseline_rss_kb"] = baseline_rss
+        row["peak_rss_full_kb"] = full_rss
+        row["peak_rss_stream_kb"] = stream_rss
+        delta_full = max(full_rss - baseline_rss, 0)
+        delta_stream = max(stream_rss - baseline_rss, 0)
+        row["rss_delta_full_kb"] = delta_full
+        row["rss_delta_stream_kb"] = delta_stream
+        row["rss_saving_ratio"] = round(delta_full / max(delta_stream, 1), 2)
+    return row, {"stream": full["digest"] == stream["digest"]}
+
+
 def run_benchmark(
     sessions: int,
     n: int,
@@ -456,6 +740,7 @@ def run_benchmark(
     profile_path: Path | None = None,
     mode: str = "all",
     security_trials: int = 2000,
+    quick: bool = False,
 ) -> dict:
     graph_rng = np.random.default_rng(seed)
     graph = random_contact_graph(
@@ -641,6 +926,25 @@ def run_benchmark(
                 "machine"
             )
 
+    if mode in ("all", "parallel"):
+        rows, parallel_checks = parallel_benchmark(
+            graph, group_size, onion_routers, copies, horizon, sessions,
+            workers, seed, repeat,
+        )
+        results.update(rows)
+        identity_checks.update(parallel_checks)
+        speedups["speedup_parallel_vs_serial_kernel"] = rows[
+            "parallel-kernel"
+        ]["speedup_vs_serial_kernel"]
+
+    if mode in ("all", "stream"):
+        row, stream_checks = stream_benchmark(
+            graph, group_size, onion_routers, seed, quick
+        )
+        results["stream"] = row
+        identity_checks.update(stream_checks)
+        speedups["speedup_stream_vs_full"] = row["speedup_stream_vs_full"]
+
     report = {
         "workload": {
             "sessions": sessions,
@@ -687,13 +991,20 @@ def main(argv=None) -> int:
         help="small CI-smoke workload instead of the 1000-session reference",
     )
     parser.add_argument(
-        "--mode", choices=("all", "kernel", "multicopy", "trace", "security"),
+        "--mode",
+        choices=(
+            "all", "kernel", "multicopy", "trace", "security", "parallel",
+            "stream",
+        ),
         default="all",
-        help="'all' runs every strategy plus the multicopy, trace, and "
-        "security workloads; 'kernel', 'multicopy', and 'trace' each time "
-        "only their columnar/kernel pair, and 'security' times the "
-        "security Monte Carlo kernel against its scalar baselines "
-        "(the CI smokes for the kernel gates)",
+        help="'all' runs every strategy plus the multicopy, trace, "
+        "security, parallel, and stream workloads; 'kernel', 'multicopy', "
+        "and 'trace' each time only their columnar/kernel pair, 'security' "
+        "times the security Monte Carlo kernel against its scalar "
+        "baselines, 'parallel' times the shared-arena pool against the "
+        "serial kernel path, and 'stream' drains the streaming workload "
+        "(million sessions, or the quick variant with --quick) under its "
+        "memory ceiling against the one-shot kernel path",
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
@@ -731,6 +1042,7 @@ def main(argv=None) -> int:
         profile_path=args.profile,
         mode=args.mode,
         security_trials=security_trials,
+        quick=args.quick,
     )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -807,6 +1119,41 @@ def main(argv=None) -> int:
             if summary_path:
                 with open(summary_path, "a", encoding="utf-8") as handle:
                     handle.write(f"> ⚠ engine bench: {warning}\n")
+    shared = results.get("parallel-kernel")
+    if shared is not None:
+        print(
+            f"parallel-kernel: {shared['wall_seconds']:8.3f}s "
+            f"({shared['workers_effective']} workers, "
+            f"{shared['events_per_second']:>9.1f} events/s, "
+            f"descriptor {shared['descriptor_bytes']} B vs "
+            f"{shared['block_npz_bytes']} B serialised)  "
+            f"speedup vs serial kernel "
+            f"{shared['speedup_vs_serial_kernel']:.2f}x"
+        )
+        warning = shared.get("warning")
+        if warning:
+            print(f"WARNING: {warning}", file=sys.stderr)
+            summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+            if summary_path:
+                with open(summary_path, "a", encoding="utf-8") as handle:
+                    handle.write(f"> ⚠ engine bench: {warning}\n")
+    stream = results.get("stream")
+    if stream is not None:
+        print(
+            f"stream:    {stream['stream_wall_seconds']:8.3f}s vs full "
+            f"{stream['full_wall_seconds']:.3f}s "
+            f"({stream['sessions']} sessions, {stream['events']} events, "
+            f"{stream['windows_full_drain']} windows, "
+            f"peak window {stream['peak_window_events']} <= ceiling "
+            f"{stream['ceiling_events']}; full one-shot window exceeds "
+            f"ceiling: {stream['full_window_exceeds_ceiling']})"
+        )
+        if stream.get("peak_rss_stream_kb") is not None:
+            print(
+                f"stream RSS: full {stream['rss_delta_full_kb']} kB vs "
+                f"stream {stream['rss_delta_stream_kb']} kB above baseline "
+                f"(saving {stream['rss_saving_ratio']:.2f}x)"
+            )
     if "speedup_columnar_vs_indexed" in report:
         print(
             f"columnar vs indexed: "

@@ -29,7 +29,11 @@ import numpy as np
 
 from repro.contacts.graph import ContactGraph
 from repro.utils.rng import RandomSource, ensure_rng
-from repro.utils.validation import check_non_negative
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -470,3 +474,54 @@ class TraceReplayProcess:
             a=self._a[start:stop],
             b=self._b[start:stop],
         )
+
+
+def stream_event_blocks(
+    source,
+    horizon: float,
+    *,
+    window: float,
+    max_window_events: Optional[int] = None,
+) -> Iterator[EventBlock]:
+    """Yield a source's ``[0, horizon)`` window as successive event blocks.
+
+    Calls ``source.events_until_columnar`` with horizons ``window, 2 *
+    window, …, horizon``; windowed columnar calls are bit-identical to a
+    single call at ``horizon`` (the producer contract proven in
+    tests/test_contacts_columnar.py), so the concatenation of the yielded
+    blocks equals the one-shot block — but only one window is ever
+    materialized at a time. Empty windows are skipped.
+
+    ``max_window_events`` is a hard per-block ceiling: a window that
+    produced more events than the ceiling is yielded as ceiling-sized
+    slices (views, no copies), and the production span is shrunk so later
+    windows aim at half the ceiling. Transient overshoot is therefore
+    confined to the window that triggered the adaptation; every *yielded*
+    block respects the ceiling unconditionally.
+    """
+    check_positive(horizon, "horizon")
+    check_positive(window, "window")
+    if max_window_events is not None:
+        check_positive_int(max_window_events, "max_window_events")
+    span = float(window)
+    floor = span * 1e-6
+    now = 0.0
+    while now < horizon:
+        now = min(now + span, horizon)
+        block = source.events_until_columnar(now)
+        count = len(block)
+        if count == 0:
+            continue
+        if max_window_events is not None and count > max_window_events:
+            for start in range(0, count, max_window_events):
+                stop = start + max_window_events
+                yield EventBlock(
+                    times=block.times[start:stop],
+                    a=block.a[start:stop],
+                    b=block.b[start:stop],
+                )
+            # Aim the next window at half the ceiling so ordinary rate
+            # fluctuation stays under it without re-slicing every block.
+            span = max(span * max_window_events / (2.0 * count), floor)
+        else:
+            yield block

@@ -8,24 +8,32 @@ a ``concurrent.futures`` worker pool, and merges the results in submission
 order so the outcome is deterministic for a fixed master seed.
 
 Seeding: each chunk receives an independent child of the master
-:class:`numpy.random.SeedSequence` via ``SeedSequence.spawn()``, so chunk
-streams never collide and re-running with the same master seed and worker
-count reproduces the batch exactly. ``workers=1`` bypasses the pool and the
-spawning entirely — it calls the serial runner with the caller's generator,
-keeping historical seed-exact behaviour.
+:class:`numpy.random.SeedSequence` via ``SeedSequence.spawn()``. The
+default chunk layout is a pure function of the workload size
+(:func:`default_chunk_count`), *not* of the worker count, so for a fixed
+master seed the merged result is byte-identical across every requested
+worker count ≥ 2 and every effective process count — chunk streams never
+collide, and a machine upgrade cannot silently change a figure.
+``workers=1`` bypasses the pool and the spawning entirely — it calls the
+serial runner with the caller's generator, keeping historical seed-exact
+behaviour (and is therefore the one layout that differs: see
+``run_parallel_batch``).
 
 Two amortisation mechanisms make the parallel path profitable:
 
 * :class:`WorkerPool` — one persistent process pool reused across every
   ``parallel_map`` call of a figure's sweep, instead of paying interpreter
-  spawn + import per call. The *requested* worker count fixes the chunk
-  layout and per-chunk seeds; the pool sizes its actual processes to the
+  spawn + import per call. The *requested* worker count only caps the
+  effective process count; the pool sizes its actual processes to the
   machine (and degrades to inline execution on a single-CPU host), so the
   merged results are identical everywhere.
 * ``shared_events`` — the contact-event stream is generated (or loaded)
-  once, serialised as a columnar npz payload, and replayed by every chunk
-  through :class:`~repro.contacts.events.ColumnarEventSource`, instead of
-  each chunk re-sampling the full O(n²) per-pair event machinery.
+  once, registered in a :class:`~repro.experiments.shm.SharedBlockArena`,
+  and reattached zero-copy by every chunk through
+  :class:`~repro.contacts.events.ColumnarEventSource`: only a tiny
+  ``(shm_name, dtype, shape, offset)`` descriptor travels through the
+  task pickle, warm workers cache the mapping per segment name, and the
+  owner unlinks the segments on completion, crash, and interrupt alike.
 
 Supervision: passing a :class:`~repro.utils.resilience.RetryPolicy`
 (directly or on the pool) upgrades ``parallel_map`` to a *supervised*
@@ -54,6 +62,11 @@ from typing import Any, Callable, List, NamedTuple, Sequence, Tuple, Union
 import numpy as np
 
 from repro.contacts.events import ColumnarEventSource, EventBlock
+from repro.experiments.shm import (
+    BlockDescriptor,
+    SharedBlockArena,
+    attach_block,
+)
 from repro.utils.resilience import (
     CHUNK_ERROR,
     CHUNK_TIMEOUT,
@@ -65,6 +78,21 @@ from repro.utils.resilience import (
 )
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
+
+
+#: Default number of chunks a parallel run splits into. Fixed (instead of
+#: the requested worker count) so the chunk layout — and therefore the
+#: spawned per-chunk seed streams — is a pure function of the workload:
+#: ``workers=2`` and ``workers=16`` merge byte-identical results. 32
+#: chunks keep pools busy up to 32 effective processes and smooth load
+#: imbalance; ask for more via ``chunks=`` on wider machines.
+DEFAULT_CHUNK_COUNT = 32
+
+
+def default_chunk_count(total: int) -> int:
+    """Worker-count-independent default chunk count for ``total`` items."""
+    check_positive_int(total, "total")
+    return min(total, DEFAULT_CHUNK_COUNT)
 
 
 def chunk_sizes(total: int, chunks: int) -> List[int]:
@@ -162,6 +190,7 @@ class WorkerPool:
         self._workers = workers
         self._processes = min(workers, cap)
         self._executor: concurrent.futures.ProcessPoolExecutor | None = None
+        self._arena: SharedBlockArena | None = None
         self.policy = policy
         if report is None and policy is not None:
             report = ExecutionReport()
@@ -169,13 +198,33 @@ class WorkerPool:
 
     @property
     def workers(self) -> int:
-        """Requested parallelism: determines chunk layout and seeds."""
+        """Requested parallelism; caps the effective process count."""
         return self._workers
 
     @property
     def processes(self) -> int:
         """Effective pool size; ``1`` means tasks run inline."""
         return self._processes
+
+    @property
+    def arena(self) -> SharedBlockArena | None:
+        """The pool-owned shared-memory arena, if any block was shared."""
+        return self._arena
+
+    def share_block(self, block) -> BlockDescriptor:
+        """Register ``block`` in the pool-owned arena; returns a descriptor.
+
+        The arena lives as long as the pool: registration is idempotent
+        per block object, so every sweep point of a figure that reuses
+        one window allocates a single segment, warm workers keep their
+        mapping across sweep points, and :meth:`close` unlinks
+        everything. ``terminate`` (the supervisor's crash-restart
+        primitive) deliberately leaves the arena alone — requeued chunks
+        reattach in the rebuilt workers.
+        """
+        if self._arena is None:
+            self._arena = SharedBlockArena()
+        return self._arena.register(block)
 
     def _ensure_executor(self) -> concurrent.futures.ProcessPoolExecutor:
         if self._executor is None:
@@ -193,10 +242,17 @@ class WorkerPool:
                 future.result()
 
     def close(self) -> None:
-        """Shut the pool down; it cannot be reused afterwards."""
+        """Shut the pool down; it cannot be reused afterwards.
+
+        Unlinks the pool-owned shared-memory arena after the workers are
+        gone, so no ``/dev/shm`` segment outlives the pool.
+        """
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        if self._arena is not None:
+            self._arena.unlink()
+            self._arena = None
 
     def terminate(self) -> None:
         """Kill the worker processes without waiting for running chunks.
@@ -667,20 +723,47 @@ def _run_batch_chunk(
     )
 
 
+def _materialize_shared_block(payload):
+    """The worker-side block behind a shared payload.
+
+    A :class:`~repro.experiments.shm.BlockDescriptor` reattaches
+    zero-copy (cached per segment name, so warm workers pay one ``mmap``
+    per sweep); legacy npz bytes still deserialise, keeping pre-arena
+    callers of the chunk functions working.
+    """
+    if isinstance(payload, BlockDescriptor):
+        return attach_block(payload)
+    return EventBlock.from_bytes(payload)
+
+
+def _share_block(workers: "Workers", block) -> Tuple[BlockDescriptor, SharedBlockArena | None]:
+    """Register ``block`` for shipping; ``(descriptor, arena-to-unlink)``.
+
+    A :class:`WorkerPool` owns its arena (unlinked at ``close()``, shared
+    across sweep points); ``int`` workers get a per-call arena the caller
+    must unlink in a ``finally`` — the :class:`KeyboardInterrupt` /
+    crash-safety contract.
+    """
+    if isinstance(workers, WorkerPool):
+        return workers.share_block(block), None
+    arena = SharedBlockArena()
+    return arena.register(block), arena
+
+
 def _run_shared_batch_chunk(
     batch_fn: Callable[..., list],
     sessions: int,
     seed_seq: np.random.SeedSequence,
-    payload: bytes,
+    payload,
     kwargs: dict,
 ) -> _ChunkPayload:
     """Batch chunk replaying a shared columnar event stream.
 
-    The parent serialises the :class:`EventBlock` once; every chunk gets the
-    same payload bytes and replays them through a fresh cursor (rebuilt per
+    The parent registers the :class:`EventBlock` once; every chunk
+    reattaches it and replays it through a fresh cursor (rebuilt per
     ladder rung, since a partially consumed cursor must never be reused).
     """
-    block = EventBlock.from_bytes(payload)
+    block = _materialize_shared_block(payload)
     return _run_chunk_with_ladder(
         batch_fn,
         getattr(batch_fn, "__name__", "batch"),
@@ -736,16 +819,23 @@ def run_parallel_batch(
     workers:
         Requested parallelism: an ``int`` or a persistent
         :class:`WorkerPool`. ``1`` calls ``batch_fn`` directly with ``rng``
-        (seed-exact with the serial path).
+        (seed-exact with the serial path — which is why ``workers=1`` is
+        the one configuration whose outcomes differ from the chunked
+        runs: the serial path consumes the caller's generator itself,
+        while chunks draw from ``SeedSequence.spawn`` children; both are
+        equally valid samples of the same distribution).
     rng:
         Master seed source; chunk streams are spawned from it.
     chunks:
-        Number of chunks (defaults to the requested workers); more chunks
-        smooth load imbalance at the cost of more per-chunk setup.
+        Number of chunks. Defaults to :func:`default_chunk_count`, a pure
+        function of ``sessions`` — so the merged outcome is byte-identical
+        for every ``workers ≥ 2``; more chunks smooth load imbalance at
+        the cost of more per-chunk setup.
     shared_events:
         Optional pre-generated :class:`EventBlock` shipped to every chunk
-        (``batch_fn`` must accept an ``events=`` keyword). Without it each
-        chunk regenerates its own event stream from the chunk seed.
+        (``batch_fn`` must accept an ``events=`` keyword) through a
+        shared-memory arena — chunks reattach it zero-copy. Without it
+        each chunk regenerates its own event stream from the chunk seed.
     kernel:
         When not ``None``, forwarded to ``batch_fn`` as its ``kernel=``
         knob (struct-of-arrays sweep for eligible sessions in every
@@ -760,8 +850,10 @@ def run_parallel_batch(
         into the report.
 
     Results are concatenated in chunk order, so the merged list is
-    deterministic for a fixed master seed and requested worker count,
-    regardless of the effective pool size or completion order.
+    deterministic for a fixed master seed and — because the default chunk
+    layout depends only on ``sessions`` — identical for every requested
+    worker count ≥ 2, regardless of the effective pool size or completion
+    order.
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
@@ -771,8 +863,11 @@ def run_parallel_batch(
         if shared_events is not None:
             kwargs = dict(kwargs, events=shared_events)
         return batch_fn(sessions=sessions, rng=rng, **kwargs)
-    sizes = chunk_sizes(sessions, chunks if chunks is not None else requested)
+    sizes = chunk_sizes(
+        sessions, chunks if chunks is not None else default_chunk_count(sessions)
+    )
     seeds = spawn_chunk_seeds(rng, len(sizes))
+    own_arena: SharedBlockArena | None = None
     if shared_events is None:
         tasks = [
             (batch_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
@@ -784,16 +879,22 @@ def run_parallel_batch(
                 f"shared_events must be an EventBlock, got "
                 f"{type(shared_events).__name__}"
             )
-        payload = shared_events.to_bytes()
+        payload, own_arena = _share_block(workers, shared_events)
         tasks = [
             (batch_fn, size, seed, payload, kwargs)
             for size, seed in zip(sizes, seeds)
         ]
         chunk_fn = _run_shared_batch_chunk
-    merged: list = []
-    for part in parallel_map(chunk_fn, tasks, workers, policy=policy, report=report):
-        merged.extend(_unwrap_chunk(part, report))
-    return merged
+    try:
+        merged: list = []
+        for part in parallel_map(
+            chunk_fn, tasks, workers, policy=policy, report=report
+        ):
+            merged.extend(_unwrap_chunk(part, report))
+        return merged
+    finally:
+        if own_arena is not None:
+            own_arena.unlink()
 
 
 def _run_fused_sweep_chunk(
@@ -819,11 +920,11 @@ def _run_shared_fused_sweep_chunk(
     sweep_fn: Callable[..., list],
     sessions_per_variant: int,
     seed_seq: np.random.SeedSequence,
-    payload: bytes,
+    payload,
     kwargs: dict,
 ) -> _ChunkPayload:
     """Fused-sweep chunk replaying a shared columnar event stream."""
-    block = EventBlock.from_bytes(payload)
+    block = _materialize_shared_block(payload)
     return _run_chunk_with_ladder(
         sweep_fn,
         getattr(sweep_fn, "__name__", "sweep"),
@@ -860,7 +961,9 @@ def run_parallel_fused_sweep(
     runs its share of the per-variant sessions for *every* variant (so the
     shared-window fusion happens inside every chunk), and the per-variant
     lists are concatenated across chunks in chunk order — deterministic
-    for a fixed master seed and requested worker count, following the
+    for a fixed master seed and identical for every requested worker
+    count ≥ 2 (the chunk layout is a pure function of
+    ``sessions_per_variant``), following the
     :func:`run_parallel_batch` conventions for ``rng``, ``chunks``,
     ``shared_events`` (graph sweeps only — trace sweeps replay the trace
     themselves), ``kernel``, and ``policy``/``report``.
@@ -876,8 +979,12 @@ def run_parallel_fused_sweep(
         return sweep_fn(
             sessions_per_variant=sessions_per_variant, rng=rng, **kwargs
         )
-    sizes = chunk_sizes(sessions_per_variant, chunks if chunks is not None else requested)
+    sizes = chunk_sizes(
+        sessions_per_variant,
+        chunks if chunks is not None else default_chunk_count(sessions_per_variant),
+    )
     seeds = spawn_chunk_seeds(rng, len(sizes))
+    own_arena: SharedBlockArena | None = None
     if shared_events is None:
         tasks = [
             (sweep_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)
@@ -889,23 +996,29 @@ def run_parallel_fused_sweep(
                 f"shared_events must be an EventBlock, got "
                 f"{type(shared_events).__name__}"
             )
-        payload = shared_events.to_bytes()
+        payload, own_arena = _share_block(workers, shared_events)
         tasks = [
             (sweep_fn, size, seed, payload, kwargs)
             for size, seed in zip(sizes, seeds)
         ]
         chunk_fn = _run_shared_fused_sweep_chunk
-    merged: list = [[] for _ in variants]
-    for raw in parallel_map(chunk_fn, tasks, workers, policy=policy, report=report):
-        part = _unwrap_chunk(raw, report)
-        if len(part) != len(merged):
-            raise ValueError(
-                f"fused sweep chunk returned {len(part)} variant lists "
-                f"(expected {len(merged)})"
-            )
-        for variant_results, chunk_results in zip(merged, part):
-            variant_results.extend(chunk_results)
-    return merged
+    try:
+        merged: list = [[] for _ in variants]
+        for raw in parallel_map(
+            chunk_fn, tasks, workers, policy=policy, report=report
+        ):
+            part = _unwrap_chunk(raw, report)
+            if len(part) != len(merged):
+                raise ValueError(
+                    f"fused sweep chunk returned {len(part)} variant lists "
+                    f"(expected {len(merged)})"
+                )
+            for variant_results, chunk_results in zip(merged, part):
+                variant_results.extend(chunk_results)
+        return merged
+    finally:
+        if own_arena is not None:
+            own_arena.unlink()
 
 
 def _run_montecarlo_chunk(
@@ -925,12 +1038,43 @@ def _run_montecarlo_chunk(
     )
 
 
+def _run_shared_montecarlo_chunk(
+    mc_fn: Callable[..., Tuple[float, ...]],
+    trials: int,
+    offset: int,
+    seed_seq: np.random.SeedSequence,
+    payload,
+    kwargs: dict,
+) -> _ChunkPayload:
+    """Monte Carlo chunk scoring a row slice of one shared trial block.
+
+    Trials are independent rows, so chunk ``k`` scores
+    ``block[offset : offset + trials]`` — views into the shared segment,
+    no copies — and the trial-weighted merge reproduces the full-block
+    estimate.
+    """
+    block = _materialize_shared_block(payload)
+    chunk_block = block.slice_trials(offset, offset + trials)
+    return _run_chunk_with_ladder(
+        mc_fn,
+        getattr(mc_fn, "__name__", "montecarlo"),
+        kwargs,
+        lambda rung_kwargs: mc_fn(
+            trials=trials,
+            rng=np.random.default_rng(seed_seq),
+            block=chunk_block,
+            **rung_kwargs,
+        ),
+    )
+
+
 def run_parallel_montecarlo(
     mc_fn: Callable[..., Tuple[float, ...]],
     trials: int,
     workers: Workers,
     rng: RandomSource = None,
     chunks: int | None = None,
+    shared_block=None,
     kernel: bool | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
@@ -945,24 +1089,63 @@ def run_parallel_montecarlo(
     for any chunking. Malformed chunk results (empty, or width-mismatched)
     raise :class:`ValueError` instead of crashing the merge.
 
+    ``shared_block`` ships one pre-sampled
+    :class:`~repro.adversary.kernel.SecurityTrialBlock` (``trials`` rows)
+    through the shared-memory arena; each chunk scores its own row slice
+    (``mc_fn`` must accept a ``block=`` keyword, e.g.
+    :func:`~repro.experiments.runners.security_sweep_montecarlo`), so the
+    sampling cost is paid once and the workers only score.
+
     ``kernel`` follows the :func:`run_parallel_batch` convention: ``None``
     omits the keyword, anything else is forwarded to ``mc_fn``.
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
     policy, report = _resolve_supervision(workers, policy, report)
+    if shared_block is not None:
+        from repro.adversary.kernel import SecurityTrialBlock
+
+        if not isinstance(shared_block, SecurityTrialBlock):
+            raise TypeError(
+                f"shared_block must be a SecurityTrialBlock, got "
+                f"{type(shared_block).__name__}"
+            )
+        if shared_block.trials != trials:
+            raise ValueError(
+                f"shared_block holds {shared_block.trials} trials but the "
+                f"run asked for {trials}"
+            )
     requested = worker_count(workers)
     if requested == 1:
+        if shared_block is not None:
+            kwargs = dict(kwargs, block=shared_block)
         return mc_fn(trials=trials, rng=rng, **kwargs)
-    sizes = chunk_sizes(trials, chunks if chunks is not None else requested)
+    sizes = chunk_sizes(
+        trials, chunks if chunks is not None else default_chunk_count(trials)
+    )
     seeds = spawn_chunk_seeds(rng, len(sizes))
-    tasks = [(mc_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)]
-    results = [
-        _unwrap_chunk(part, report)
-        for part in parallel_map(
-            _run_montecarlo_chunk, tasks, workers, policy=policy, report=report
-        )
-    ]
+    own_arena: SharedBlockArena | None = None
+    if shared_block is None:
+        tasks = [(mc_fn, size, seed, kwargs) for size, seed in zip(sizes, seeds)]
+        chunk_fn: Callable[..., Any] = _run_montecarlo_chunk
+    else:
+        payload, own_arena = _share_block(workers, shared_block)
+        offsets = np.concatenate(([0], np.cumsum(sizes)))[:-1]
+        tasks = [
+            (mc_fn, size, int(offset), seed, payload, kwargs)
+            for size, offset, seed in zip(sizes, offsets, seeds)
+        ]
+        chunk_fn = _run_shared_montecarlo_chunk
+    try:
+        results = [
+            _unwrap_chunk(part, report)
+            for part in parallel_map(
+                chunk_fn, tasks, workers, policy=policy, report=report
+            )
+        ]
+    finally:
+        if own_arena is not None:
+            own_arena.unlink()
     width = None
     for index, values in enumerate(results):
         if width is None:

@@ -170,6 +170,9 @@ def run_random_graph_batch(
     events=None,
     consume: str = "auto",
     kernel: Optional[bool] = None,
+    deadline: Optional[float] = None,
+    stream_window: Optional[float] = None,
+    max_window_events: Optional[int] = None,
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -194,6 +197,14 @@ def run_random_graph_batch(
     struct-of-arrays kernels and everything else falls back to the
     columnar object loop, with byte-identical outcomes. Pass
     ``kernel=False`` (or an explicit ``consume``) to opt out.
+
+    ``deadline`` (default: ``horizon``) sets each message's deadline
+    independently of the simulated window — the streaming million-session
+    benchmarks use ``deadline << horizon`` so the batch finishes (and the
+    stream loop exits early) long before the horizon. ``stream_window``
+    and ``max_window_events`` are the ``consume="stream"`` knobs (window
+    span and per-window event ceiling); they are forwarded to the engine
+    and only bite under the streaming consume mode.
     """
     consume = _resolve_consume(consume, kernel)
     generator = ensure_rng(rng)
@@ -207,7 +218,11 @@ def run_random_graph_batch(
         horizon=horizon,
         dispatch=dispatch,
         consume=consume,
+        stream_window=stream_window,
+        max_window_events=max_window_events,
+        stream_kernels=kernel is not False,
     )
+    message_deadline = horizon if deadline is None else deadline
     pairs: List[RouteOutcome] = []
     live: List[ProtocolSession] = []
     for _ in range(sessions):
@@ -216,7 +231,10 @@ def run_random_graph_batch(
             source, destination, onion_routers, rng=generator
         )
         message = Message(
-            source=source, destination=destination, created_at=0.0, deadline=horizon
+            source=source,
+            destination=destination,
+            created_at=0.0,
+            deadline=message_deadline,
         )
         session = _make_session(message, route, copies, spray_policy)
         engine.add_session(session)
@@ -236,6 +254,8 @@ def run_fused_graph_sweep(
     events=None,
     consume: str = "auto",
     kernel: Optional[bool] = None,
+    stream_window: Optional[float] = None,
+    max_window_events: Optional[int] = None,
 ) -> List[List[RouteOutcome]]:
     """Simulate every grid point of a sweep over one shared event stream.
 
@@ -268,7 +288,13 @@ def run_fused_graph_sweep(
             else:
                 source = as_event_source(events)
             engine = SimulationEngine(
-                source, horizon=horizon, dispatch=dispatch, consume=consume
+                source,
+                horizon=horizon,
+                dispatch=dispatch,
+                consume=consume,
+                stream_window=stream_window,
+                max_window_events=max_window_events,
+                stream_kernels=kernel is not False,
             )
         pairs: List[RouteOutcome] = []
         for _ in range(sessions_per_variant):
@@ -591,6 +617,7 @@ def security_sweep_montecarlo(
     overlapping: bool = False,
     kernel: Optional[bool] = None,
     compromise_model: "str | CompromiseModel" = "uniform",
+    block: Optional[SecurityTrialBlock] = None,
 ) -> Tuple[float, ...]:
     """Fused Monte Carlo over a ``(c, K, L)`` security grid.
 
@@ -616,6 +643,13 @@ def security_sweep_montecarlo(
     :class:`~repro.adversary.compromise.CompromiseModel` instance; a
     batch-incapable instance transparently degrades to the original
     draw-per-trial loop.
+
+    ``block`` supplies a pre-sampled (or zero-copy shared-memory attached)
+    :class:`~repro.adversary.kernel.SecurityTrialBlock` instead of drawing
+    one here — the parallel shared-block protocol slices one parent block
+    across worker chunks. The block must cover the grid (matching ``n``,
+    ``group_size``, ``overlapping``, ``trials``, and wide enough
+    ``k_max`` / ``l_max``) and requires a batch-capable compromise model.
     """
     variants = tuple(variants)
     if not variants:
@@ -628,20 +662,46 @@ def security_sweep_montecarlo(
     generator = ensure_rng(rng)
     model = _resolve_compromise_model(compromise_model, n)
 
+    if block is not None:
+        if not getattr(model, "batch_capable", False):
+            raise ValueError(
+                f"a pre-sampled block requires a batch-capable compromise "
+                f"model; {type(model).__name__} only implements sample()"
+            )
+        k_max = max(v.onion_routers for v in variants)
+        l_max = max(v.copies for v in variants)
+        if (
+            block.n != n
+            or block.group_size != group_size
+            or block.overlapping != overlapping
+            or block.trials != trials
+            or block.k_max < k_max
+            or block.l_max < l_max
+        ):
+            raise ValueError(
+                f"pre-sampled block (n={block.n}, g={block.group_size}, "
+                f"overlapping={block.overlapping}, trials={block.trials}, "
+                f"k_max={block.k_max}, l_max={block.l_max}) does not cover "
+                f"the sweep (n={n}, g={group_size}, "
+                f"overlapping={overlapping}, trials={trials}, "
+                f"k_max={k_max}, l_max={l_max})"
+            )
+
     if not getattr(model, "batch_capable", False):
         scored = _legacy_security_montecarlo(
             n, group_size, variants, model, trials, generator, overlapping
         )
     else:
-        block = sample_security_block(
-            n,
-            group_size,
-            k_max=max(v.onion_routers for v in variants),
-            l_max=max(v.copies for v in variants),
-            trials=trials,
-            rng=generator,
-            overlapping=overlapping,
-        )
+        if block is None:
+            block = sample_security_block(
+                n,
+                group_size,
+                k_max=max(v.onion_routers for v in variants),
+                l_max=max(v.copies for v in variants),
+                trials=trials,
+                rng=generator,
+                overlapping=overlapping,
+            )
         if kernel is False:
             scored = [
                 _scalar_variant_scores(block, model, variant)
@@ -668,6 +728,7 @@ def security_montecarlo(
     overlapping: bool = False,
     kernel: Optional[bool] = None,
     compromise_model: "str | CompromiseModel" = "uniform",
+    block: Optional[SecurityTrialBlock] = None,
 ) -> Tuple[float, float]:
     """Monte Carlo estimates of (traceable rate, path anonymity).
 
@@ -695,6 +756,7 @@ def security_montecarlo(
         overlapping=overlapping,
         kernel=kernel,
         compromise_model=compromise_model,
+        block=block,
     )
     return results[0], results[1]
 
@@ -796,6 +858,8 @@ def run_trace_batch(
     dispatch: str = "indexed",
     consume: str = "auto",
     kernel: Optional[bool] = None,
+    stream_window: Optional[float] = None,
+    max_window_events: Optional[int] = None,
 ) -> List[RouteOutcome]:
     """Simulate onion routing sessions over a replayed trace.
 
@@ -825,6 +889,9 @@ def run_trace_batch(
         horizon=trace.end + 1.0,
         dispatch=dispatch,
         consume=consume,
+        stream_window=stream_window,
+        max_window_events=max_window_events,
+        stream_kernels=kernel is not False,
     )
     pairs = _place_trace_sessions(
         engine,
@@ -854,6 +921,8 @@ def run_fused_trace_sweep(
     dispatch: str = "indexed",
     consume: str = "auto",
     kernel: Optional[bool] = None,
+    stream_window: Optional[float] = None,
+    max_window_events: Optional[int] = None,
 ) -> List[List[RouteOutcome]]:
     """Simulate every grid point of a trace sweep over one replay.
 
@@ -880,6 +949,9 @@ def run_fused_trace_sweep(
         horizon=trace.end + 1.0,
         dispatch=dispatch,
         consume=consume,
+        stream_window=stream_window,
+        max_window_events=max_window_events,
+        stream_kernels=kernel is not False,
     )
     results: List[List[RouteOutcome]] = []
     for variant in variants:

@@ -106,11 +106,17 @@ class SimulationEngine:
         :class:`~repro.sim.kernel.MultiCopyBatchKernel` for multi-copy)
         and runs the rest through the columnar object loop (degrading all
         the way to the iterator loop when the source has no block
-        support). Outcomes are identical
+        support); ``"stream"`` is windowed ``"kernel"`` — the source is
+        consumed as successive ``stream_window``-sized columnar windows
+        (each at most ``max_window_events`` long) instead of one
+        horizon-wide block, so the full event set is never resident; the
+        kernels and the object loop both advance window by window.
+        Outcomes are identical
         across all modes — the columnar loop dispatches the exact same
-        events to the exact same sessions in the same order, and the
+        events to the exact same sessions in the same order, the
         kernel dispatches exactly the state-changing subset of them
-        through the same scalar session hook.
+        through the same scalar session hook, and windowed kernel/object
+        passes compose byte-identically with one-shot passes.
 
     One bookkeeping caveat: under ``consume="kernel"`` with every session
     kernel-eligible, :attr:`events_processed` counts the whole consumed
@@ -126,6 +132,9 @@ class SimulationEngine:
         on_error: str = "quarantine",
         dispatch: str = "indexed",
         consume: str = "auto",
+        stream_window: Optional[float] = None,
+        max_window_events: Optional[int] = None,
+        stream_kernels: bool = True,
     ):
         check_positive(horizon, "horizon")
         if on_error not in ("quarantine", "raise"):
@@ -141,10 +150,10 @@ class SimulationEngine:
                 f"dispatch must be 'indexed', 'broadcast', or 'kernel', "
                 f"got {dispatch!r}"
             )
-        if consume not in ("auto", "iterator", "columnar", "kernel"):
+        if consume not in ("auto", "iterator", "columnar", "kernel", "stream"):
             raise ValueError(
-                f"consume must be 'auto', 'iterator', 'columnar', or "
-                f"'kernel', got {consume!r}"
+                f"consume must be 'auto', 'iterator', 'columnar', "
+                f"'kernel', or 'stream', got {consume!r}"
             )
         if consume == "columnar" and not hasattr(events, "events_until_columnar"):
             raise ValueError(
@@ -152,11 +161,25 @@ class SimulationEngine:
                 "events_until_columnar (got "
                 f"{type(events).__name__})"
             )
+        if stream_window is not None:
+            check_positive(stream_window, "stream_window")
+        if max_window_events is not None and (
+            not isinstance(max_window_events, int) or max_window_events <= 0
+        ):
+            raise ValueError(
+                f"max_window_events must be a positive int, "
+                f"got {max_window_events!r}"
+            )
         self._events = events
         self._horizon = horizon
         self._on_error = on_error
         self._dispatch = dispatch
         self._consume = consume
+        self._stream_window = stream_window
+        self._max_window_events = max_window_events
+        self._stream_kernels = stream_kernels
+        self._stream_windows = 0
+        self._stream_peak_window = 0
         self._sessions: List[ProtocolSession] = []
         self._events_processed = 0
         self._quarantined: List[Tuple[ProtocolSession, Exception]] = []
@@ -176,8 +199,16 @@ class SimulationEngine:
 
     @property
     def consume(self) -> str:
-        """Consumption mode: ``auto``, ``iterator``, ``columnar``, or ``kernel``."""
+        """Consumption mode: ``auto``, ``iterator``, ``columnar``,
+        ``kernel``, or ``stream``."""
         return self._consume
+
+    @property
+    def stream_stats(self) -> Tuple[int, int]:
+        """``(windows consumed, peak window event count)`` of the last
+        ``consume="stream"`` run — the memory-ceiling observability hook;
+        ``(0, 0)`` for every other mode."""
+        return self._stream_windows, self._stream_peak_window
 
     @property
     def events_processed(self) -> int:
@@ -265,6 +296,8 @@ class SimulationEngine:
             self._run_broadcast()
         elif self._consume == "kernel":
             self._run_kernel()  # counts per-path internally
+        elif self._consume == "stream":
+            self._run_stream()  # counts per-path internally
         elif self._consume == "iterator" or (
             self._consume == "auto"
             and not hasattr(self._events, "events_until_columnar")
@@ -493,6 +526,102 @@ class SimulationEngine:
             # loop's per-event counter never ran, so account for the block.
             self._events_processed += len(block)
 
+    def _run_stream(self) -> None:
+        """Windowed kernel consumption under a bounded memory footprint.
+
+        The kernel split of :meth:`_run_kernel` is applied once, then the
+        source is drained window by window through
+        :func:`~repro.contacts.events.stream_event_blocks`: each kernel's
+        ``run`` is invoked per window (kernels compose across
+        chronologically split streams — unfinished sessions stay parked),
+        and the object-loop remainder advances through the *persistent*
+        dispatch state via :meth:`_dispatch_columnar_window`. Only one
+        window is resident at a time, capped at ``max_window_events``
+        events when set. Outcomes are byte-identical with every other
+        consume mode; the run stops early once every session is done.
+
+        Failure semantics differ from one-shot kernel mode in one way: a
+        kernel (or window-production) error past the first window cannot
+        degrade to a slower loop, because earlier windows were already
+        consumed and dispatched — the error propagates, and chunk-level
+        supervisors rebuild from the chunk seed with ``kernel=False``
+        (the degradation ladder's next rung, which streams through the
+        object loop alone).
+        """
+        from repro.contacts.events import stream_event_blocks
+        from repro.sim.kernel import KERNEL_CLASSES, kernel_class_for
+
+        if not hasattr(self._events, "events_until_columnar"):
+            self._count_mode("iterator", self._live_session_count())
+            self._run_indexed()
+            return
+        groups = {kernel_cls: [] for kernel_cls in KERNEL_CLASSES}
+        rest = []
+        for order, session in enumerate(self._sessions):
+            kernel_cls = None
+            if (
+                self._stream_kernels
+                and id(session) not in self._quarantined_ids
+                and not session.done
+            ):
+                kernel_cls = kernel_class_for(session)
+            if kernel_cls is not None:
+                groups[kernel_cls].append((order, session))
+            else:
+                rest.append((order, session))
+        kernels = []
+        for kernel_cls in KERNEL_CLASSES:
+            eligible = groups[kernel_cls]
+            if not eligible:
+                continue
+            kernels.append(kernel_cls([session for _, session in eligible]))
+            self._count_mode(kernel_cls.mode, len(eligible))
+        rest.sort(key=lambda pair: pair[0])
+        index, always, wakeups, live = self._build_dispatch_state(rest)
+        self._count_mode("columnar", live)
+        if not kernels and live == 0:
+            return
+        window = self._stream_window
+        if window is None:
+            # With a ceiling but no window hint, start narrow and let the
+            # generator's adaptation find the rate; otherwise a modest
+            # fixed split keeps per-window overhead amortised.
+            window = self._horizon / (256.0 if self._max_window_events else 16.0)
+        on_session_error = None
+        if self._on_error == "quarantine":
+            on_session_error = self._quarantine
+        self._stream_windows = 0
+        self._stream_peak_window = 0
+        for block in stream_event_blocks(
+            self._events,
+            self._horizon,
+            window=window,
+            max_window_events=self._max_window_events,
+        ):
+            self._stream_windows += 1
+            if len(block) > self._stream_peak_window:
+                self._stream_peak_window = len(block)
+            for kernel in kernels:
+                try:
+                    kernel.run(block, on_session_error=on_session_error)
+                except Exception as error:
+                    error.add_note(
+                        f"{type(kernel).__name__} failed in stream window "
+                        f"{self._stream_windows}; a partially consumed "
+                        "stream cannot fall back byte-identically — rerun "
+                        "the batch (or chunk) with kernel=False or "
+                        "consume='kernel'"
+                    )
+                    raise
+            if live:
+                live = self._dispatch_columnar_window(
+                    block, index, always, wakeups, live
+                )
+            else:
+                self._events_processed += len(block)
+            if live == 0 and all(kernel.pending == 0 for kernel in kernels):
+                return
+
     def _run_indexed_columnar(self, block=None, ordered_sessions=None) -> None:
         """Indexed dispatch fed by one columnar window instead of a stream.
 
@@ -531,6 +660,18 @@ class SimulationEngine:
         )
         if live == 0:
             return
+        self._dispatch_columnar_window(block, index, always, wakeups, live)
+
+    def _dispatch_columnar_window(
+        self, block, index, always, wakeups, live
+    ) -> int:
+        """Dispatch one columnar window against prebuilt index state.
+
+        Returns the remaining live-session count so streaming callers can
+        feed successive windows through the *same* dispatch state — the
+        index, broadcast list, and wakeup heap persist across windows
+        exactly as they would persist across the events of one big block.
+        """
         times = block.times.tolist()
         nodes_a = block.a.tolist()
         nodes_b = block.b.tolist()
@@ -607,7 +748,8 @@ class SimulationEngine:
                 elif record in due and new_poll != math.inf:
                     heapq.heappush(wakeups, (new_poll, record.order, record))
             if live == 0:
-                return
+                return 0
+        return live
 
     def _place(
         self,

@@ -184,6 +184,8 @@ class BatchKernel:
             )
         self._sessions: List[SingleCopySession] = list(sessions)
         self._dispatches = 0
+        self._table: _TargetTable | None = None
+        self._alive: List[int] | None = None
 
     @staticmethod
     def supports(session: ProtocolSession) -> bool:
@@ -209,6 +211,17 @@ class BatchKernel:
         """State-changing events dispatched so far (forwards + expiries)."""
         return self._dispatches
 
+    @property
+    def pending(self) -> int:
+        """Sessions neither done nor dropped by ``on_session_error``.
+
+        Streaming callers poll this between windows: once every kernel
+        reports zero pending, later windows cannot change any outcome.
+        """
+        if self._alive is None:
+            return sum(1 for session in self._sessions if not session.done)
+        return len(self._alive)
+
     # ------------------------------------------------------------------
     # the sweep
     # ------------------------------------------------------------------
@@ -228,9 +241,21 @@ class BatchKernel:
         never interact, so the others are unaffected — the same containment
         the engine's quarantine gives the object loops). Without the
         callback session exceptions propagate and abort the sweep.
+
+        ``run`` composes across successive windows: per-session state is
+        rebuilt from the sessions themselves at every call and unfinished
+        sessions are left parked, so calling it once per window of a
+        chronologically split stream produces byte-identical outcomes to
+        one call over the concatenated block. The target table is built
+        once per kernel and sessions that finish (or error) are dropped
+        from later sweeps, so a long stream does not rescan them.
         """
         sessions = self._sessions
         n_events = len(block)
+        if self._alive is None:
+            self._alive = [
+                s for s, session in enumerate(sessions) if not session.done
+            ]
         if not sessions or n_events == 0:
             return 0
 
@@ -241,10 +266,14 @@ class BatchKernel:
         expiry = np.empty(n_sessions, dtype=np.int64)
         hop_slot = np.empty(n_sessions, dtype=np.int64)
 
-        table = _TargetTable(sessions)
+        if self._table is None:
+            self._table = _TargetTable(sessions)
+        table = self._table
         base = table.base
         max_node = table.max_node
-        for s, session in enumerate(sessions):
+        dropped: set = set()
+        for s in self._alive:
+            session = sessions[s]
             if session.done:
                 continue
             active[s] = True
@@ -303,6 +332,7 @@ class BatchKernel:
                         raise
                     on_session_error(session, error)
                     active[s] = False
+                    dropped.add(s)
                     continue
                 dispatched += 1
                 if session.done:
@@ -318,6 +348,11 @@ class BatchKernel:
                 cursor[s] = k + 1
             act = np.nonzero(active)[0]
 
+        self._alive = [
+            s
+            for s in self._alive
+            if s not in dropped and not sessions[s].done
+        ]
         self._dispatches += dispatched
         return dispatched
 
@@ -353,6 +388,8 @@ class MultiCopyBatchKernel:
             )
         self._sessions: List[MultiCopySession] = list(sessions)
         self._dispatches = 0
+        self._table: _TargetTable | None = None
+        self._alive: List[int] | None = None
 
     @staticmethod
     def supports(session: ProtocolSession) -> bool:
@@ -374,6 +411,13 @@ class MultiCopyBatchKernel:
         plus the rare overlapping-group no-ops)."""
         return self._dispatches
 
+    @property
+    def pending(self) -> int:
+        """Sessions neither done nor dropped by ``on_session_error``."""
+        if self._alive is None:
+            return sum(1 for session in self._sessions if not session.done)
+        return len(self._alive)
+
     # ------------------------------------------------------------------
     # the sweep
     # ------------------------------------------------------------------
@@ -384,10 +428,16 @@ class MultiCopyBatchKernel:
         Same contract as :meth:`BatchKernel.run`, including the
         ``on_session_error`` containment: after the call every surviving
         session is byte-identical to what the columnar object loop would
-        have produced over the same block.
+        have produced over the same block, and repeated calls over a
+        chronologically split stream compose exactly like
+        :meth:`BatchKernel.run` does.
         """
         sessions = self._sessions
         n_events = len(block)
+        if self._alive is None:
+            self._alive = [
+                s for s, session in enumerate(sessions) if not session.done
+            ]
         if not sessions or n_events == 0:
             return 0
 
@@ -398,10 +448,14 @@ class MultiCopyBatchKernel:
         # Per-session copy mirror: [(holder, hop slot), ...] per live copy.
         mirrors: List[List[Tuple[int, int]]] = [[] for _ in range(n_sessions)]
 
-        table = _TargetTable(sessions)
+        if self._table is None:
+            self._table = _TargetTable(sessions)
+        table = self._table
         base = table.base
         max_node = table.max_node
-        for s, session in enumerate(sessions):
+        dropped: set = set()
+        for s in self._alive:
+            session = sessions[s]
             if session.done:
                 continue
             active[s] = True
@@ -480,6 +534,7 @@ class MultiCopyBatchKernel:
                         raise
                     on_session_error(session, error)
                     active[s] = False
+                    dropped.add(s)
                     continue
                 dispatched += 1
                 if session.done:
@@ -494,6 +549,11 @@ class MultiCopyBatchKernel:
                     ]
             act = np.nonzero(active)[0]
 
+        self._alive = [
+            s
+            for s in self._alive
+            if s not in dropped and not sessions[s].done
+        ]
         self._dispatches += dispatched
         return dispatched
 

@@ -43,6 +43,7 @@ __all__ = [
     "CHUNK_ERROR",
     "KERNEL_FALLBACK",
     "CHECKPOINT_CORRUPT",
+    "SHM_LEAK",
     "FAILURE_KINDS",
     "ChunkTimeout",
     "WorkerCrash",
@@ -57,6 +58,7 @@ WORKER_CRASH = "WorkerCrash"
 CHUNK_ERROR = "ChunkError"
 KERNEL_FALLBACK = "KernelFallback"
 CHECKPOINT_CORRUPT = "CheckpointCorrupt"
+SHM_LEAK = "SharedMemoryLeak"
 
 #: Every kind an :class:`ResilienceEvent` may carry, in reporting order.
 FAILURE_KINDS = (
@@ -65,6 +67,7 @@ FAILURE_KINDS = (
     CHUNK_ERROR,
     KERNEL_FALLBACK,
     CHECKPOINT_CORRUPT,
+    SHM_LEAK,
 )
 
 

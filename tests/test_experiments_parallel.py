@@ -12,6 +12,7 @@ from repro.contacts.events import (
 from repro.experiments.parallel import (
     WorkerPool,
     chunk_sizes,
+    default_chunk_count,
     parallel_map,
     run_parallel_batch,
     run_parallel_montecarlo,
@@ -242,7 +243,9 @@ class TestMontecarloValidation:
 
     def test_width_mismatch_raises_value_error(self):
         with pytest.raises(ValueError):
-            run_parallel_montecarlo(_widening_mc, trials=9, workers=2, rng=1)
+            run_parallel_montecarlo(
+                _widening_mc, trials=9, workers=2, rng=1, chunks=2
+            )
 
 
 def _shared_signature(pairs):
@@ -274,7 +277,7 @@ class TestSharedStreamParallel:
             copies=1,
             horizon=240.0,
         )
-        sizes = chunk_sizes(24, 4)
+        sizes = chunk_sizes(24, default_chunk_count(24))
         seeds = spawn_chunk_seeds(np.random.default_rng(17), len(sizes))
         replayed = []
         for size, seed in zip(sizes, seeds):
