@@ -118,6 +118,13 @@ METRICS = (
      ("results", "stream", "speedup_stream_vs_full"), "x", True, True),
     ("stream RSS saving",
      ("results", "stream", "rss_saving_ratio"), "x", True, False),
+    # The compiled-backend ratio is gated only when both runs timed a
+    # compiled arm; a numpy-only environment simply omits the key and the
+    # rows degrade to report-only/new.
+    ("compiled backend vs numpy (single-copy kernel)",
+     ("speedup_backend_vs_numpy",), "x", True, True),
+    ("backend-numpy events/s",
+     ("results", "backend-numpy", "events_per_second"), "", True, False),
 )
 
 

@@ -51,6 +51,11 @@ Two further workloads exercise the rest of the kernel family:
   one-shot kernel arm, which materialises an event window that *exceeds*
   that ceiling. Outcomes must be digest-identical; per-arm peak RSS is
   measured in forked children via ``resource.getrusage``.
+* **backend** — the numpy kernel backend vs the preferred compiled
+  backend (``numba`` when installed, else the embedded-C ``cc``
+  backend) sweeping the single-copy reference workload through
+  :class:`BatchKernel` over one pre-produced columnar window. JIT/compile
+  warm-up runs before the timer; outcome digests must match across arms.
 
 Engine rows are split into ``generation_seconds`` (producing the event
 stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
@@ -66,8 +71,11 @@ land in ``BENCH_engine.json`` at the repo root::
     python scripts/bench_engine.py --mode security  # security Monte Carlo kernel
     python scripts/bench_engine.py --mode parallel  # shared-arena worker pool
     python scripts/bench_engine.py --mode stream    # streaming 10^6-session path
+    python scripts/bench_engine.py --mode backend   # numpy vs compiled backend
     python scripts/bench_engine.py --repeat 3       # best-of-3 walls
     python scripts/bench_engine.py --profile prof.out   # cProfile columnar run
+                                                        # (the kernel sweep
+                                                        # under --mode backend)
 
 CI archives the JSON as a build artifact and ``scripts/bench_delta.py``
 diffs a fresh run against the committed file (report-only) so the numbers
@@ -124,6 +132,16 @@ MULTICOPY_COPIES = 4
 TRACE_DEADLINE = 86400.0
 SECURITY_COMPROMISE_RATE = 0.10
 SECURITY_SWEEP_ONIONS = (3, 5, 10)
+
+#: The backend-mode reference workload. Route depth is pinned to the
+#: paper's deepest Fig. 5 sweep point (K = 10) and the batch doubled so
+#: the sweep is dominated by the per-hop race/trajectory computation the
+#: backends actually implement — at the shallow K = 3 default, shared
+#: batch setup (target table, event index) and outcome construction
+#: drown out the backend difference and the comparison measures mostly
+#: common code.
+BACKEND_ONION_ROUTERS = 10
+BACKEND_SESSIONS = 2000
 
 #: The streaming million-session workloads. ``deadline`` is far below the
 #: horizon so the batch finishes (and the stream drain early-exits) long
@@ -497,6 +515,133 @@ def _signature_digest(pairs) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def backend_benchmark(
+    graph, group_size, onion_routers, horizon, sessions, seed, repeat,
+    profile_path=None,
+):
+    """Numpy vs compiled kernel backend on the single-copy reference sweep.
+
+    The workload replays the exact RNG order of ``run_random_graph_batch``
+    (directory, process pre-draws, per-session endpoint/route draws), then
+    pre-produces the columnar window once — so both arms time *only* the
+    :class:`~repro.sim.kernel.BatchKernel` sweep over identical inputs.
+    ``run_benchmark`` pins this mode to its own reference workload
+    (``BACKEND_ONION_ROUTERS``/``BACKEND_SESSIONS``): deep K = 10 routes
+    keep the sweep dominated by the backend's race computation rather
+    than by the batch setup both arms share.
+    The compiled arm is whatever
+    :func:`~repro.sim.backend.preferred_compiled_backend` resolves to
+    (``numba`` when installed, else the embedded-C ``cc`` backend); its
+    JIT/compile cost is paid by an explicit ``warmup()`` plus one
+    throwaway run *before* the timer starts. Outcome digests must match
+    across arms. Returns ``(rows, identity_checks, speedups)``.
+    """
+    from repro.core.single_copy import SingleCopySession
+    from repro.sim.backend import preferred_compiled_backend, resolve_backend
+    from repro.sim.kernel import BatchKernel
+    from repro.sim.message import Message
+
+    generator = np.random.default_rng(seed)
+    directory = OnionGroupDirectory(graph.n, group_size, rng=generator)
+    process = ExponentialContactProcess(graph, rng=generator)
+    specs = []
+    for _ in range(sessions):
+        src, dst = sample_endpoints(graph.n, generator)
+        route = directory.select_route(src, dst, onion_routers, rng=generator)
+        specs.append((src, dst, route))
+    block = process.events_until_columnar(horizon)
+
+    def fresh_sessions():
+        return [
+            SingleCopySession(Message(src, dst, 0.0, horizon), route)
+            for src, dst, route in specs
+        ]
+
+    def run_arm(backend_name):
+        resolve_backend(backend_name).warmup()  # JIT/compile outside the timer
+        BatchKernel(fresh_sessions(), backend=backend_name).run(block)
+        best = None
+        digest = None
+        stats = None
+        delivered = None
+        for attempt in range(repeat):
+            batch = fresh_sessions()
+            kernel = BatchKernel(batch, backend=backend_name)
+            start = time.perf_counter()
+            kernel.run(block)
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+            if attempt == 0:
+                pairs = [(None, session.outcome()) for session in batch]
+                digest = _signature_digest(pairs)
+                stats = dict(kernel.stats)
+                delivered = sum(1 for _, o in pairs if o.delivered)
+        return best, digest, stats, delivered
+
+    arms = [("numpy", "backend-numpy")]
+    compiled = preferred_compiled_backend()
+    if compiled is not None:
+        arms.append((compiled, f"backend-{compiled}"))
+
+    rows = {}
+    walls = {}
+    digests = {}
+    for backend_name, row_name in arms:
+        wall, digest, stats, delivered = run_arm(backend_name)
+        walls[row_name] = wall
+        digests[row_name] = digest
+        rows[row_name] = {
+            "wall_seconds": round(wall, 4),
+            "backend": stats["backend"],
+            "requested_backend": backend_name,
+            "events": len(block),
+            "events_per_second": round(len(block) / wall, 1),
+            "sessions": sessions,
+            "delivered": delivered,
+            "rounds": stats["rounds"],
+            "scalar_dispatches": stats["scalar_dispatches"],
+            "backend_seconds": round(stats["backend_seconds"], 4),
+            "kernel_dispatch_seconds": round(stats["dispatch_seconds"], 4),
+            "active_peak": stats["active_peak"],
+            "active_total": stats["active_total"],
+            "outcome_digest": digest,
+        }
+    identity_checks = {}
+    speedups = {}
+    if compiled is not None:
+        compiled_row = f"backend-{compiled}"
+        identity_checks["backend"] = (
+            digests["backend-numpy"] == digests[compiled_row]
+        )
+        speedups["speedup_backend_vs_numpy"] = round(
+            walls["backend-numpy"] / max(walls[compiled_row], 1e-9), 2
+        )
+        rows[compiled_row]["speedup_vs_numpy"] = speedups[
+            "speedup_backend_vs_numpy"
+        ]
+    else:
+        rows["backend-numpy"]["note"] = (
+            "no compiled backend available in this environment (numba not "
+            "installed, no C compiler found); only the numpy arm was timed"
+        )
+
+    if profile_path is not None:
+        timed_backend = compiled if compiled is not None else "numpy"
+        batch = fresh_sessions()
+        kernel = BatchKernel(batch, backend=timed_backend)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        kernel.run(block)
+        profiler.disable()
+        profiler.dump_stats(profile_path)
+        stats = pstats.Stats(profiler).sort_stats("tottime")
+        stats.print_stats(12)
+        print(f"profile ({timed_backend} backend kernel run): {profile_path}")
+
+    return rows, identity_checks, speedups
+
+
 def _run_forked(fn):
     """Run ``fn()`` in a forked child; ``(result, peak_rss_kb)``.
 
@@ -843,7 +988,22 @@ def run_benchmark(
         identity_checks.update(security_checks)
         speedups.update(security_speedups)
 
-    if profile_path is not None:
+    if mode in ("all", "backend"):
+        rows, backend_checks, backend_speedups = backend_benchmark(
+            graph,
+            group_size,
+            BACKEND_ONION_ROUTERS,
+            horizon,
+            BACKEND_SESSIONS,
+            seed,
+            repeat,
+            profile_path=profile_path if mode == "backend" else None,
+        )
+        results.update(rows)
+        identity_checks.update(backend_checks)
+        speedups.update(backend_speedups)
+
+    if profile_path is not None and mode != "backend":
         profiler = cProfile.Profile()
         profiler.enable()
         run_random_graph_batch(
@@ -994,17 +1154,21 @@ def main(argv=None) -> int:
         "--mode",
         choices=(
             "all", "kernel", "multicopy", "trace", "security", "parallel",
-            "stream",
+            "stream", "backend",
         ),
         default="all",
         help="'all' runs every strategy plus the multicopy, trace, "
-        "security, parallel, and stream workloads; 'kernel', 'multicopy', "
+        "security, parallel, stream, and backend workloads; 'kernel', "
+        "'multicopy', "
         "and 'trace' each time only their columnar/kernel pair, 'security' "
         "times the security Monte Carlo kernel against its scalar "
         "baselines, 'parallel' times the shared-arena pool against the "
-        "serial kernel path, and 'stream' drains the streaming workload "
+        "serial kernel path, 'stream' drains the streaming workload "
         "(million sessions, or the quick variant with --quick) under its "
-        "memory ceiling against the one-shot kernel path",
+        "memory ceiling against the one-shot kernel path, and 'backend' "
+        "times the numpy kernel backend against the preferred compiled "
+        "backend (numba or cc) on the single-copy reference sweep with "
+        "JIT warm-up excluded and outcome digests checked",
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--workers", type=int, default=4)
@@ -1097,6 +1261,15 @@ def main(argv=None) -> int:
             f"({row['grid_points']} grid points, "
             f"{row['grid_scores_per_second']:>9.1f} scores/s)"
         )
+    for name, row in sorted(results.items()):
+        if not name.startswith("backend-"):
+            continue
+        print(
+            f"{name + ':':<22} {row['wall_seconds']:8.3f}s "
+            f"(backend {row['backend']}, {row['rounds']} rounds, "
+            f"{row['scalar_dispatches']} scalar dispatches, "
+            f"{row['events_per_second']:>9.1f} events/s)"
+        )
     parallel = results.get("parallel")
     if parallel is not None:
         print(
@@ -1182,6 +1355,10 @@ def main(argv=None) -> int:
         (
             "security fused sweep kernel vs scalar",
             "speedup_security_sweep_kernel_vs_scalar",
+        ),
+        (
+            "compiled backend vs numpy (single-copy kernel)",
+            "speedup_backend_vs_numpy",
         ),
     ):
         if key in report:

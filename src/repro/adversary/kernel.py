@@ -347,27 +347,14 @@ def _run_length_square_sums(bits: np.ndarray) -> np.ndarray:
     Rows are padded with one trailing zero and flattened so runs never
     cross row boundaries; run starts/ends fall out of one diff, and the
     per-row totals come from the same searchsorted + reduceat idiom the
-    delivery kernels use to group per-hop candidates by session.
+    delivery kernels use to group per-hop candidates by session. This is
+    the numpy reference; :class:`SecurityBatchKernel` routes the pass
+    through the selected :mod:`repro.sim.backend` backend, whose numpy
+    implementation is this exact code.
     """
-    trials, eta = bits.shape
-    padded = np.zeros((trials, eta + 1), dtype=np.int8)
-    padded[:, :eta] = bits
-    flat = padded.ravel()
-    edges = np.diff(flat, prepend=np.int8(0))
-    starts = np.flatnonzero(edges == 1)
-    ends = np.flatnonzero(edges == -1)
-    sums = np.zeros(trials, dtype=np.int64)
-    if len(starts) == 0:
-        return sums
-    squares = (ends - starts) ** 2
-    # Row boundaries in the flattened run list: runs are emitted in row
-    # order, so each row's runs are the contiguous slice between
-    # consecutive searchsorted cut points.
-    cuts = np.searchsorted(starts, np.arange(trials) * (eta + 1))
-    counts = np.diff(cuts, append=len(squares))
-    occupied = counts > 0
-    sums[occupied] = np.add.reduceat(squares, cuts[occupied])
-    return sums
+    from repro.sim.backend import _numpy_run_length_square_sums
+
+    return _numpy_run_length_square_sums(bits)
 
 
 class SecurityBatchKernel:
@@ -377,17 +364,55 @@ class SecurityBatchKernel:
     against it. All per-variant work is array arithmetic: the compromise
     mask is re-derived from the shared key column at the variant's rate,
     hop-sender bits come from one fancy-indexed gather, Eq. 1 from the
-    run-length reduceat, and the entropy ratio from the
+    run-length pass (on the selected :mod:`repro.sim.backend` backend —
+    numpy's reduceat by default, a compiled single pass under numba/cc;
+    identical int64 sums either way), and the entropy ratio from the
     :func:`anonymity_lookup` table.
     """
 
-    def __init__(self, block: SecurityTrialBlock, model: CompromiseModel):
+    def __init__(
+        self,
+        block: SecurityTrialBlock,
+        model: CompromiseModel,
+        backend=None,
+    ):
+        from repro.sim.backend import resolve_backend
+
         if model.n != block.n:
             raise ValueError(
                 f"model covers n={model.n} nodes but the block holds n={block.n}"
             )
         self.block = block
         self.model = model
+        self._backend = resolve_backend(backend)
+        self._backend_fallbacks: List[str] = []
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend scoring the run-length pass."""
+        return self._backend.name
+
+    @property
+    def backend_fallbacks(self) -> Tuple[str, ...]:
+        """Mid-scoring backend degradations taken so far (usually empty)."""
+        return tuple(self._backend_fallbacks)
+
+    def _run_lengths(self, bits: np.ndarray) -> np.ndarray:
+        from repro.sim.backend import resolve_backend
+
+        try:
+            return self._backend.run_length_square_sums(bits)
+        except Exception as error:
+            if self._backend.name == "numpy":
+                raise
+            # The op is pure — recompute on numpy, note the degradation.
+            self._backend_fallbacks.append(
+                f"run_length_square_sums failed on backend "
+                f"{self._backend.name!r}; recomputed with numpy: "
+                f"{type(error).__name__}: {error}"
+            )
+            self._backend = resolve_backend("numpy")
+            return self._backend.run_length_square_sums(bits)
 
     def score_variant(
         self, variant: SecuritySweepVariant
@@ -414,7 +439,7 @@ class SecurityBatchKernel:
         senders[:, 0] = block.sources
         senders[:, 1:] = block.copy_members[:, :onion_routers, 0]
         bits = mask[rows[:, None], senders]
-        traceable = _run_length_square_sums(bits) / float(eta**2)
+        traceable = self._run_lengths(bits) / float(eta**2)
 
         # Exposure across copies (Eq. 20's Y'): position 0 is the source on
         # every copy's path; position k is exposed when any copy's carrier

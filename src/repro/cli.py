@@ -72,6 +72,9 @@ _MC_FIGS = {6, 7, 8, 9, 12, 13, 15, 16, 18, 19}
 # Figures whose batches run through the parallel layer; e1/e2 drive one
 # shared engine inline and stay serial.
 _PARALLEL_FIGS = (_SIM_FIGS | _MC_FIGS) - {"e1", "e2"}
+# Figures whose runners thread a kernel-backend selection down to the
+# struct-of-arrays kernels (delivery, security, and trace figures).
+_BACKEND_FIGS = {4, 5, 6, 7, 8, 9, 10, 12, 13, 14, 15, 16, 17, 18, 19}
 
 
 def _figure_key(value: str) -> FigureKey:
@@ -149,6 +152,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers", type=_positive_int, default=1,
         help="worker processes for the simulation/Monte Carlo batches "
         "(default 1: serial, seed-exact with historical runs)",
+    )
+    figure.add_argument(
+        "--kernel-backend",
+        choices=("numpy", "numba", "cc"),
+        default=None,
+        help="kernel compute backend (default: $REPRO_KERNEL_BACKEND or "
+        "numpy; compiled backends degrade to numpy when unavailable, "
+        "outcomes are byte-identical either way)",
     )
     figure.add_argument("--markdown", action="store_true")
     figure.add_argument(
@@ -278,6 +289,29 @@ def _run_figure(args: argparse.Namespace) -> int:
             )
             return 2
         kwargs["compromise_model"] = args.compromise_model
+    if args.kernel_backend is not None:
+        if args.number not in _BACKEND_FIGS:
+            print(
+                f"error: --kernel-backend only applies to the kernel-swept "
+                f"figures ({', '.join(str(k) for k in sorted(_BACKEND_FIGS))})",
+                file=sys.stderr,
+            )
+            return 2
+        kwargs["backend"] = args.kernel_backend
+    else:
+        # Fail fast on a bad $REPRO_KERNEL_BACKEND instead of surfacing a
+        # traceback from deep inside the sweep at resolve time.
+        import os
+
+        from repro.sim.backend import ENV_VAR, check_backend_name
+
+        env_backend = os.environ.get(ENV_VAR)
+        if env_backend:
+            try:
+                check_backend_name(env_backend)
+            except ValueError as exc:
+                print(f"error: ${ENV_VAR}: {exc}", file=sys.stderr)
+                return 2
     if args.sessions is not None and args.number in _SIM_FIGS:
         if args.number in (4, 5, 10, 11):
             kwargs["sessions_per_graph"] = args.sessions

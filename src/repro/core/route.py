@@ -34,6 +34,11 @@ class OnionRoute:
         for members in self.groups:
             if not members:
                 raise ValueError("onion groups must be non-empty")
+        # Per-hop target tuples, final (destination) hop included — the
+        # forwarding hot paths call next_group_members once per hop, so the
+        # lookup is precomputed instead of re-deriving eta and allocating
+        # the destination singleton on every call.
+        object.__setattr__(self, "_hop_targets", self.groups + ((self.destination,),))
 
     @property
     def onion_routers(self) -> int:
@@ -57,8 +62,7 @@ class OnionRoute:
         For hops ``1..K`` these are the members of ``R_hop``; hop ``K+1``
         targets the destination alone.
         """
-        if not (1 <= hop <= self.eta):
-            raise ValueError(f"hop must be in 1..{self.eta}, got {hop}")
-        if hop <= self.onion_routers:
-            return self.groups[hop - 1]
-        return (self.destination,)
+        targets = self._hop_targets
+        if not (1 <= hop <= len(targets)):
+            raise ValueError(f"hop must be in 1..{len(targets)}, got {hop}")
+        return targets[hop - 1]

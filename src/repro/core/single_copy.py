@@ -243,6 +243,84 @@ class SingleCopySession(ProtocolSession):
             return
         self._forward_to(peer, time)
 
+    def apply_transitions(
+        self, times, nodes_a, nodes_b, start: int, count: int
+    ) -> int:
+        """Apply ``count`` precomputed state-changing contacts in one call.
+
+        Batch counterpart of :meth:`on_contact_scalar` for the compiled
+        kernel backends: the kernel's race search has already established
+        that ``times[start:start+count]`` (with ``nodes_a``/``nodes_b``,
+        plain Python scalars) are exactly this session's state-changing
+        events, in order, so the per-event no-op filtering is skipped and
+        the per-hop work collapses to the transition bookkeeping itself.
+        Every contact is still validated against the session's own
+        acceptance predicate — the holder must be an endpoint and the peer
+        a member of the current target group — so a backend that mispredicts
+        the race raises ``RuntimeError`` here instead of silently corrupting
+        the outcome. Final state and outcome are field-for-field identical
+        to dispatching the same events through :meth:`on_contact_scalar`.
+
+        Only valid for kernel-eligible sessions (fault-free, recovery-free;
+        see :meth:`~repro.sim.kernel.BatchKernel.supports`). Returns the
+        number of transitions applied.
+        """
+        route = self._route
+        outcome = self._outcome
+        path = outcome.paths[0]
+        transfers = outcome.transfers
+        holder = self._holder
+        hop = self._next_hop
+        eta = route.eta
+        expires = self._expires_at
+        applied = 0
+        forwards = 0
+        for j in range(start, start + count):
+            time = times[j]
+            if time > expires:
+                # TTL expiry — discarded at forwarding time.
+                self.state_version += 1
+                self._expired = True
+                outcome.expired_copies = 1
+                outcome.status = "expired"
+                applied += 1
+                break
+            a = nodes_a[j]
+            b = nodes_b[j]
+            if a == holder:
+                peer = b
+            elif b == holder:
+                peer = a
+            else:
+                raise RuntimeError(
+                    "apply_transitions: holder is not an endpoint of the "
+                    "dispatched contact (kernel race diverged)"
+                )
+            if peer not in route.next_group_members(hop):
+                raise RuntimeError(
+                    "apply_transitions: peer is not a member of the current "
+                    "target group (kernel race diverged)"
+                )
+            self.state_version += 1
+            outcome.transmissions += 1
+            transfers.append((time, holder, peer))
+            applied += 1
+            forwards += 1
+            if hop == eta:
+                outcome.delivered = True
+                outcome.delivery_time = time
+                outcome.status = "delivered"
+                break
+            path.append(peer)
+            holder = peer
+            hop += 1
+        if forwards:
+            self._holder = holder
+            self._next_hop = hop
+            self._targets = set(route.next_group_members(hop))
+            self._watched_dirty = True
+        return applied
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -33,6 +33,7 @@ def delivery_sweep_series(
     rng: RandomSource,
     workers: Workers = 1,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> List[Tuple[Series, Series]]:
     """(Analysis, Simulation) series pairs for a fused parameter sweep.
 
@@ -49,6 +50,9 @@ def delivery_sweep_series(
     ``kernel`` follows the runner convention: the default ``None`` lets
     eligible fault-free single-copy *and* multi-copy batches run through
     the struct-of-arrays kernels, with byte-identical outcomes either way.
+    ``backend`` names the kernel compute backend (``"numpy"``, ``"numba"``,
+    ``"cc"``; see :mod:`repro.sim.backend`) — outcomes are byte-identical
+    across backends, only the sweep speed changes.
     """
     generator = ensure_rng(rng)
     deadlines = config.deadlines
@@ -78,6 +82,7 @@ def delivery_sweep_series(
             rng=graph_rng,
             shared_events=shared,
             kernel=kernel,
+            backend=backend,
             graph=graph,
             horizon=config.max_deadline,
         )
@@ -114,6 +119,7 @@ def delivery_variant_series(
     label: str,
     workers: Workers = 1,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[Series, Series]:
     """One (Analysis, Simulation) series pair for a single variant.
 
@@ -134,6 +140,7 @@ def delivery_variant_series(
         rng=rng,
         workers=workers,
         kernel=kernel,
+        backend=backend,
     )[0]
 
 
@@ -147,6 +154,7 @@ def _sweep_figure(
     seed: RandomSource,
     workers: Workers,
     kernel: Optional[bool],
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Shared body of the fused delivery-rate figures."""
     pairs = delivery_sweep_series(
@@ -157,6 +165,7 @@ def _sweep_figure(
         rng=ensure_rng(seed),
         workers=workers,
         kernel=kernel,
+        backend=backend,
     )
     analysis = [a for a, _ in pairs]
     simulation = [s for _, s in pairs]
@@ -178,6 +187,7 @@ def figure_04(
     seed: RandomSource = 4,
     workers: Workers = 1,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 4 — delivery rate vs deadline for group sizes g ∈ {1, 5, 10}.
 
@@ -203,6 +213,7 @@ def figure_04(
         seed,
         workers,
         kernel,
+        backend,
     )
 
 
@@ -214,6 +225,7 @@ def figure_05(
     seed: RandomSource = 5,
     workers: Workers = 1,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 5 — delivery rate vs deadline for K ∈ {3, 5, 10} onion routers.
 
@@ -238,6 +250,7 @@ def figure_05(
         seed,
         workers,
         kernel,
+        backend,
     )
 
 
@@ -249,6 +262,7 @@ def figure_10(
     seed: RandomSource = 10,
     workers: Workers = 1,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 10 — delivery rate vs deadline for L ∈ {1, 3, 5} copies (g = 5).
 
@@ -278,4 +292,5 @@ def figure_10(
         seed,
         workers,
         kernel,
+        backend,
     )

@@ -801,6 +801,7 @@ def run_parallel_batch(
     chunks: int | None = None,
     shared_events: EventBlock | None = None,
     kernel: bool | None = None,
+    backend: str | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     **kwargs: Any,
@@ -841,6 +842,12 @@ def run_parallel_batch(
         knob (struct-of-arrays sweep for eligible sessions in every
         chunk). ``None`` omits the keyword, keeping compatibility with
         batch functions that predate it.
+    backend:
+        When not ``None``, forwarded to ``batch_fn`` as its ``backend=``
+        kernel-backend name (see :mod:`repro.sim.backend`). Backends are
+        addressed by *name* so the knob pickles cleanly into worker
+        processes — each worker resolves (and JIT-warms or dlopens) its
+        own backend instance.
     policy / report:
         Optional :class:`~repro.utils.resilience.RetryPolicy` and
         :class:`~repro.utils.resilience.ExecutionReport` for supervised
@@ -857,6 +864,8 @@ def run_parallel_batch(
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    if backend is not None:
+        kwargs = dict(kwargs, backend=backend)
     policy, report = _resolve_supervision(workers, policy, report)
     requested = worker_count(workers)
     if requested == 1:
@@ -947,6 +956,7 @@ def run_parallel_fused_sweep(
     chunks: int | None = None,
     shared_events: EventBlock | None = None,
     kernel: bool | None = None,
+    backend: str | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     **kwargs: Any,
@@ -966,10 +976,12 @@ def run_parallel_fused_sweep(
     ``sessions_per_variant``), following the
     :func:`run_parallel_batch` conventions for ``rng``, ``chunks``,
     ``shared_events`` (graph sweeps only — trace sweeps replay the trace
-    themselves), ``kernel``, and ``policy``/``report``.
+    themselves), ``kernel``, ``backend``, and ``policy``/``report``.
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    if backend is not None:
+        kwargs = dict(kwargs, backend=backend)
     policy, report = _resolve_supervision(workers, policy, report)
     kwargs = dict(kwargs, variants=list(variants))
     requested = worker_count(workers)
@@ -1076,6 +1088,7 @@ def run_parallel_montecarlo(
     chunks: int | None = None,
     shared_block=None,
     kernel: bool | None = None,
+    backend: str | None = None,
     policy: RetryPolicy | None = None,
     report: ExecutionReport | None = None,
     **kwargs: Any,
@@ -1096,11 +1109,14 @@ def run_parallel_montecarlo(
     :func:`~repro.experiments.runners.security_sweep_montecarlo`), so the
     sampling cost is paid once and the workers only score.
 
-    ``kernel`` follows the :func:`run_parallel_batch` convention: ``None``
-    omits the keyword, anything else is forwarded to ``mc_fn``.
+    ``kernel`` and ``backend`` follow the :func:`run_parallel_batch`
+    convention: ``None`` omits the keyword, anything else is forwarded to
+    ``mc_fn`` (backends travel by name so they pickle into workers).
     """
     if kernel is not None:
         kwargs = dict(kwargs, kernel=kernel)
+    if backend is not None:
+        kwargs = dict(kwargs, backend=backend)
     policy, report = _resolve_supervision(workers, policy, report)
     if shared_block is not None:
         from repro.adversary.kernel import SecurityTrialBlock

@@ -173,6 +173,7 @@ def run_random_graph_batch(
     deadline: Optional[float] = None,
     stream_window: Optional[float] = None,
     max_window_events: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[RouteOutcome]:
     """Simulate ``sessions`` onion-routing sessions over one event stream.
 
@@ -205,6 +206,10 @@ def run_random_graph_batch(
     and ``max_window_events`` are the ``consume="stream"`` knobs (window
     span and per-window event ceiling); they are forwarded to the engine
     and only bite under the streaming consume mode.
+
+    ``backend`` selects the kernel compute backend (``"numpy"``,
+    ``"numba"``, ``"cc"``; see :mod:`repro.sim.backend`) and is forwarded
+    to the engine. Outcomes are byte-identical across backends.
     """
     consume = _resolve_consume(consume, kernel)
     generator = ensure_rng(rng)
@@ -221,6 +226,7 @@ def run_random_graph_batch(
         stream_window=stream_window,
         max_window_events=max_window_events,
         stream_kernels=kernel is not False,
+        backend=backend,
     )
     message_deadline = horizon if deadline is None else deadline
     pairs: List[RouteOutcome] = []
@@ -256,6 +262,7 @@ def run_fused_graph_sweep(
     kernel: Optional[bool] = None,
     stream_window: Optional[float] = None,
     max_window_events: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[List[RouteOutcome]]:
     """Simulate every grid point of a sweep over one shared event stream.
 
@@ -295,6 +302,7 @@ def run_fused_graph_sweep(
                 stream_window=stream_window,
                 max_window_events=max_window_events,
                 stream_kernels=kernel is not False,
+                backend=backend,
             )
         pairs: List[RouteOutcome] = []
         for _ in range(sessions_per_variant):
@@ -332,6 +340,7 @@ def run_faulty_graph_batch(
     dispatch: str = "indexed",
     events=None,
     kernel: Optional[bool] = None,
+    backend: Optional[str] = None,
 ) -> List[RouteOutcome]:
     """:func:`run_random_graph_batch` under injected faults.
 
@@ -372,6 +381,7 @@ def run_faulty_graph_batch(
         horizon=horizon,
         dispatch=dispatch,
         consume=_resolve_consume("auto", kernel),
+        backend=backend,
     )
     pairs: List[RouteOutcome] = []
     for _ in range(sessions):
@@ -618,6 +628,7 @@ def security_sweep_montecarlo(
     kernel: Optional[bool] = None,
     compromise_model: "str | CompromiseModel" = "uniform",
     block: Optional[SecurityTrialBlock] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[float, ...]:
     """Fused Monte Carlo over a ``(c, K, L)`` security grid.
 
@@ -708,7 +719,9 @@ def security_sweep_montecarlo(
                 for variant in variants
             ]
         else:
-            scored = SecurityBatchKernel(block, model).score(variants)
+            scored = SecurityBatchKernel(block, model, backend=backend).score(
+                variants
+            )
 
     flat: List[float] = []
     for traceable, anonymity in scored:
@@ -729,6 +742,7 @@ def security_montecarlo(
     kernel: Optional[bool] = None,
     compromise_model: "str | CompromiseModel" = "uniform",
     block: Optional[SecurityTrialBlock] = None,
+    backend: Optional[str] = None,
 ) -> Tuple[float, float]:
     """Monte Carlo estimates of (traceable rate, path anonymity).
 
@@ -757,6 +771,7 @@ def security_montecarlo(
         kernel=kernel,
         compromise_model=compromise_model,
         block=block,
+        backend=backend,
     )
     return results[0], results[1]
 
@@ -860,6 +875,7 @@ def run_trace_batch(
     kernel: Optional[bool] = None,
     stream_window: Optional[float] = None,
     max_window_events: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[RouteOutcome]:
     """Simulate onion routing sessions over a replayed trace.
 
@@ -892,6 +908,7 @@ def run_trace_batch(
         stream_window=stream_window,
         max_window_events=max_window_events,
         stream_kernels=kernel is not False,
+        backend=backend,
     )
     pairs = _place_trace_sessions(
         engine,
@@ -923,6 +940,7 @@ def run_fused_trace_sweep(
     kernel: Optional[bool] = None,
     stream_window: Optional[float] = None,
     max_window_events: Optional[int] = None,
+    backend: Optional[str] = None,
 ) -> List[List[RouteOutcome]]:
     """Simulate every grid point of a trace sweep over one replay.
 
@@ -952,6 +970,7 @@ def run_fused_trace_sweep(
         stream_window=stream_window,
         max_window_events=max_window_events,
         stream_kernels=kernel is not False,
+        backend=backend,
     )
     results: List[List[RouteOutcome]] = []
     for variant in variants:

@@ -56,6 +56,7 @@ def fused_security_points(
     overlapping: bool = False,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> List[Tuple[float, float]]:
     """(traceable, anonymity) per ``(K, L, c)`` grid point, one fused call.
 
@@ -83,6 +84,7 @@ def fused_security_points(
         overlapping=overlapping,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
     return [(flat[2 * k], flat[2 * k + 1]) for k in range(len(variants))]
 
@@ -95,6 +97,7 @@ def figure_06(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 6 — traceable rate vs compromised rate for K ∈ {3, 5, 10}."""
     generator = ensure_rng(seed)
@@ -124,6 +127,7 @@ def figure_06(
         generator,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
     for row, onion_routers in enumerate(onion_router_counts):
         points = tuple(
@@ -150,6 +154,7 @@ def figure_07(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 7 — traceable rate vs number of onion relays for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -178,6 +183,7 @@ def figure_07(
         generator,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
     for row, rate in enumerate(compromise_rates):
         points = tuple(
@@ -203,6 +209,7 @@ def figure_08(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 8 — path anonymity vs compromised rate for g ∈ {1, 5, 10}."""
     generator = ensure_rng(seed)
@@ -232,6 +239,7 @@ def figure_08(
             generator,
             kernel=kernel,
             compromise_model=compromise_model,
+            backend=backend,
         )
         points = tuple(
             (rate, scored[col][1]) for col, rate in enumerate(rates)
@@ -256,6 +264,7 @@ def figure_09(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 9 — path anonymity vs group size for c/n ∈ {10, 20, 30}%."""
     generator = ensure_rng(seed)
@@ -286,6 +295,7 @@ def figure_09(
                 generator,
                 kernel=kernel,
                 compromise_model=compromise_model,
+                backend=backend,
             )
         )
     for row, rate in enumerate(compromise_rates):
@@ -312,6 +322,7 @@ def figure_12(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 12 — path anonymity vs compromised rate for L ∈ {1, 3, 5} (g = 5)."""
     generator = ensure_rng(seed)
@@ -349,6 +360,7 @@ def figure_12(
         generator,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
     for row, copies in enumerate(copy_counts):
         points = tuple(
@@ -376,6 +388,7 @@ def figure_13(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 13 — path anonymity vs group size for L ∈ {1, 3, 5} (c/n = 10%)."""
     generator = ensure_rng(seed)
@@ -412,6 +425,7 @@ def figure_13(
                 generator,
                 kernel=kernel,
                 compromise_model=compromise_model,
+                backend=backend,
             )
         )
     for row, copies in enumerate(copy_counts):

@@ -54,6 +54,7 @@ def _trace_delivery_sweep(
     overlapping: bool,
     labels: Sequence[str],
     workers: Workers = 1,
+    backend: Optional[str] = None,
 ) -> List[List[Series]]:
     """(Analysis, Simulation) series per L, fused over one trace replay.
 
@@ -79,6 +80,7 @@ def _trace_delivery_sweep(
         sessions_per_variant=sessions,
         workers=workers,
         rng=generator,
+        backend=backend,
         trace=normalized,
         deadline=max(deadlines),
         overlapping=overlapping,
@@ -118,6 +120,7 @@ def _trace_security_figure(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Shared body of the trace security figures (15, 16, 18, 19).
 
@@ -166,6 +169,7 @@ def _trace_security_figure(
         overlapping=overlapping,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
     metric_index = 0 if metric == "traceable" else 1
     for row, copies in enumerate(simulated_copies):
@@ -200,6 +204,7 @@ def figure_14(
     sessions: int = 50,
     seed: RandomSource = 14,
     workers: Workers = 1,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 14 — delivery rate vs deadline (s) on the Cambridge-like trace."""
     generator = ensure_rng(seed)
@@ -216,6 +221,7 @@ def figure_14(
         overlapping=True,
         labels=("L=1",),
         workers=workers,
+        backend=backend,
     )[0]
     return FigureResult(
         figure_id="Fig. 14",
@@ -235,6 +241,7 @@ def figure_15(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 15 — traceable rate vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -252,6 +259,7 @@ def figure_15(
         overlapping=True,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
 
 
@@ -263,6 +271,7 @@ def figure_16(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 16 — path anonymity vs compromised rate (Cambridge-like trace)."""
     return _trace_security_figure(
@@ -280,6 +289,7 @@ def figure_16(
         overlapping=True,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
 
 
@@ -295,6 +305,7 @@ def figure_17(
     sessions: int = 50,
     seed: RandomSource = 17,
     workers: Workers = 1,
+    backend: Optional[str] = None,
 ) -> FigureResult:
     """Fig. 17 — delivery rate vs deadline (log s) on the Infocom-like trace.
 
@@ -318,6 +329,7 @@ def figure_17(
         overlapping=False,
         labels=tuple(f"L={copies}" for copies in copy_counts),
         workers=workers,
+        backend=backend,
     )
     analysis_half = [pair[0] for pair in pairs]
     simulation_half = [pair[1] for pair in pairs]
@@ -340,6 +352,7 @@ def figure_18(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 18 — traceable rate vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -357,6 +370,7 @@ def figure_18(
         overlapping=False,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )
 
 
@@ -369,6 +383,7 @@ def figure_19(
     workers: Workers = 1,
     kernel: "bool | None" = None,
     compromise_model: CompromiseModelSpec = "uniform",
+    backend: "str | None" = None,
 ) -> FigureResult:
     """Fig. 19 — path anonymity vs compromised rate (Infocom-like trace)."""
     return _trace_security_figure(
@@ -386,4 +401,5 @@ def figure_19(
         overlapping=False,
         kernel=kernel,
         compromise_model=compromise_model,
+        backend=backend,
     )

@@ -118,6 +118,16 @@ class SimulationEngine:
         through the same scalar session hook, and windowed kernel/object
         passes compose byte-identically with one-shot passes.
 
+    backend:
+        Kernel-backend selection for the struct-of-arrays sweeps: a
+        :mod:`repro.sim.backend` registry name (``"numpy"``, ``"numba"``,
+        ``"cc"``), an already-resolved backend instance, or None to
+        honour ``REPRO_KERNEL_BACKEND`` (default numpy). Unknown names
+        raise at construction; a known-but-unavailable backend degrades
+        to numpy with a KERNEL_FALLBACK resilience event. Outcomes are
+        byte-identical across backends; :attr:`kernel_stats` exposes the
+        per-kernel phase timings either way.
+
     One bookkeeping caveat: under ``consume="kernel"`` with every session
     kernel-eligible, :attr:`events_processed` counts the whole consumed
     window (the kernel proves most events are no-ops without dispatching
@@ -135,6 +145,7 @@ class SimulationEngine:
         stream_window: Optional[float] = None,
         max_window_events: Optional[int] = None,
         stream_kernels: bool = True,
+        backend=None,
     ):
         check_positive(horizon, "horizon")
         if on_error not in ("quarantine", "raise"):
@@ -170,6 +181,12 @@ class SimulationEngine:
                 f"max_window_events must be a positive int, "
                 f"got {max_window_events!r}"
             )
+        if backend is not None:
+            from repro.sim.backend import check_backend_name
+
+            check_backend_name(backend)  # typos fail at construction time
+        self._backend = backend
+        self._backend_obj = None
         self._events = events
         self._horizon = horizon
         self._on_error = on_error
@@ -186,6 +203,7 @@ class SimulationEngine:
         self._quarantined_ids: set = set()
         self._dispatch_mode_counts: Dict[str, int] = {}
         self._fallbacks: List[ResilienceEvent] = []
+        self._kernel_stats: List[Dict] = []
 
     @property
     def horizon(self) -> float:
@@ -242,6 +260,52 @@ class SimulationEngine:
         costs wall time, never correctness.
         """
         return tuple(self._fallbacks)
+
+    @property
+    def kernel_stats(self) -> Tuple[Dict, ...]:
+        """Per-kernel profiling stats collected by the last kernel run.
+
+        One dict per kernel instance the engine drove (see
+        ``BatchKernel.stats``): backend name, ``rounds``,
+        ``scalar_dispatches``, ``backend_seconds``, ``dispatch_seconds``,
+        and per-round active-set peak/total — the raw material for
+        ``bench_engine --mode backend``.
+        """
+        return tuple(dict(stats) for stats in self._kernel_stats)
+
+    def _resolve_backend(self):
+        """Resolve the requested kernel backend once per engine.
+
+        A known-but-unavailable backend (numba not installed, no C
+        compiler) degrades to numpy and records a
+        :data:`~repro.utils.resilience.KERNEL_FALLBACK` event, mirroring
+        the consume-ladder rungs: selection never changes outcomes.
+        """
+        if self._backend_obj is None:
+            from repro.sim.backend import resolve_backend
+
+            self._backend_obj = resolve_backend(
+                self._backend,
+                on_fallback=lambda requested, error: self._record_fallback(
+                    f"backend={requested}",
+                    error,
+                    "requested kernel backend unavailable; degraded to numpy",
+                ),
+            )
+        return self._backend_obj
+
+    def _harvest_kernel(self, kernel) -> None:
+        """Collect a kernel's stats and surface its backend degradations."""
+        self._kernel_stats.append(dict(kernel.stats))
+        for note in kernel.backend_fallbacks:
+            self._fallbacks.append(
+                ResilienceEvent(
+                    kind=KERNEL_FALLBACK,
+                    where=type(kernel).__name__,
+                    detail=note,
+                    resolution="degraded",
+                )
+            )
 
     def _count_mode(self, mode: str, count: int) -> None:
         if count:
@@ -481,13 +545,17 @@ class SimulationEngine:
         on_session_error = None
         if self._on_error == "quarantine":
             on_session_error = self._quarantine
+        backend = self._resolve_backend()
+        self._kernel_stats = []
         for kernel_cls in KERNEL_CLASSES:
             eligible = groups[kernel_cls]
             if not eligible:
                 continue
             kernel = None
             try:
-                kernel = kernel_cls([session for _, session in eligible])
+                kernel = kernel_cls(
+                    [session for _, session in eligible], backend=backend
+                )
                 kernel.run(block, on_session_error=on_session_error)
             except Exception as error:
                 if kernel is not None and kernel.dispatches:
@@ -511,6 +579,7 @@ class SimulationEngine:
                 )
                 rest.extend(eligible)
                 continue
+            self._harvest_kernel(kernel)
             self._count_mode(kernel_cls.mode, len(eligible))
         rest.sort(key=lambda pair: pair[0])
         live_rest = [
@@ -569,12 +638,18 @@ class SimulationEngine:
                 groups[kernel_cls].append((order, session))
             else:
                 rest.append((order, session))
+        backend = self._resolve_backend()
+        self._kernel_stats = []
         kernels = []
         for kernel_cls in KERNEL_CLASSES:
             eligible = groups[kernel_cls]
             if not eligible:
                 continue
-            kernels.append(kernel_cls([session for _, session in eligible]))
+            kernels.append(
+                kernel_cls(
+                    [session for _, session in eligible], backend=backend
+                )
+            )
             self._count_mode(kernel_cls.mode, len(eligible))
         rest.sort(key=lambda pair: pair[0])
         index, always, wakeups, live = self._build_dispatch_state(rest)
@@ -592,35 +667,41 @@ class SimulationEngine:
             on_session_error = self._quarantine
         self._stream_windows = 0
         self._stream_peak_window = 0
-        for block in stream_event_blocks(
-            self._events,
-            self._horizon,
-            window=window,
-            max_window_events=self._max_window_events,
-        ):
-            self._stream_windows += 1
-            if len(block) > self._stream_peak_window:
-                self._stream_peak_window = len(block)
-            for kernel in kernels:
-                try:
-                    kernel.run(block, on_session_error=on_session_error)
-                except Exception as error:
-                    error.add_note(
-                        f"{type(kernel).__name__} failed in stream window "
-                        f"{self._stream_windows}; a partially consumed "
-                        "stream cannot fall back byte-identically — rerun "
-                        "the batch (or chunk) with kernel=False or "
-                        "consume='kernel'"
+        try:
+            for block in stream_event_blocks(
+                self._events,
+                self._horizon,
+                window=window,
+                max_window_events=self._max_window_events,
+            ):
+                self._stream_windows += 1
+                if len(block) > self._stream_peak_window:
+                    self._stream_peak_window = len(block)
+                for kernel in kernels:
+                    try:
+                        kernel.run(block, on_session_error=on_session_error)
+                    except Exception as error:
+                        error.add_note(
+                            f"{type(kernel).__name__} failed in stream window "
+                            f"{self._stream_windows}; a partially consumed "
+                            "stream cannot fall back byte-identically — rerun "
+                            "the batch (or chunk) with kernel=False or "
+                            "consume='kernel'"
+                        )
+                        raise
+                if live:
+                    live = self._dispatch_columnar_window(
+                        block, index, always, wakeups, live
                     )
-                    raise
-            if live:
-                live = self._dispatch_columnar_window(
-                    block, index, always, wakeups, live
-                )
-            else:
-                self._events_processed += len(block)
-            if live == 0 and all(kernel.pending == 0 for kernel in kernels):
-                return
+                else:
+                    self._events_processed += len(block)
+                if live == 0 and all(
+                    kernel.pending == 0 for kernel in kernels
+                ):
+                    return
+        finally:
+            for kernel in kernels:
+                self._harvest_kernel(kernel)
 
     def _run_indexed_columnar(self, block=None, ordered_sessions=None) -> None:
         """Indexed dispatch fed by one columnar window instead of a stream.

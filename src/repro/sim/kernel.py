@@ -49,10 +49,41 @@ Both kernels work with any chronological block — synthetic
 :class:`~repro.contacts.events.ExponentialContactProcess` windows and
 CRAWDAD :class:`~repro.contacts.events.TraceReplayProcess` replays alike;
 eligibility never depends on the event source.
+
+Backend seam
+------------
+
+The race searches run on a pluggable :mod:`repro.sim.backend` backend
+(``backend=`` on either kernel: a registered name, a resolved
+:class:`~repro.sim.backend.KernelBackend`, or None for the
+``REPRO_KERNEL_BACKEND``/numpy default). The numpy backend keeps the
+original vectorized per-round sweep. Compiled backends (numba, cc)
+replace the single-copy round loop wholesale: one call computes every
+session's *entire* trajectory of state-changing event indices, which the
+kernel applies through
+:meth:`~repro.core.single_copy.SingleCopySession.apply_transitions` — one
+batched session call per trajectory instead of one Python dispatch per
+hop, with the session's own acceptance predicate re-checking every
+applied contact (a mispredicted race raises instead of corrupting
+state). Same transitions, same order, byte-identical outcomes. The
+multi-copy kernel keeps its round structure (ticket hand-offs depend on
+session-side spray arithmetic) and routes the per-round race through the
+backend op. A compiled backend that raises mid-sweep degrades to numpy
+*before* any un-dispatched state is lost (ops are pure), records the
+degradation on :attr:`backend_fallbacks`, and the sweep continues
+byte-identically.
+
+Each kernel keeps a ``stats`` dict for the profiling harness: backend
+name, ``rounds``, ``scalar_dispatches``, ``backend_seconds`` (time in
+backend ops), ``dispatch_seconds`` (time replaying events through
+sessions), and the per-round active-set peak/total.
 """
 
 from __future__ import annotations
 
+import logging
+from itertools import chain
+from time import perf_counter
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -60,9 +91,12 @@ import numpy as np
 from repro.contacts.events import EventBlock
 from repro.core.multi_copy import MultiCopySession
 from repro.core.single_copy import SingleCopySession
+from repro.sim.backend import resolve_backend
 from repro.sim.protocol import ProtocolSession
 
 __all__ = ["BatchKernel", "MultiCopyBatchKernel", "KERNEL_CLASSES", "kernel_class_for"]
+
+logger = logging.getLogger(__name__)
 
 
 class _EventIndex:
@@ -100,49 +134,57 @@ class _EventIndex:
         Pairs with no such event map to ``n_events`` (a sentinel that
         always loses the subsequent minimum reductions).
         """
-        q_lo = np.minimum(q_holder, q_target)
-        q_hi = np.maximum(q_holder, q_target)
-        pair_key = q_lo * self.n_nodes + q_hi
-        q_comp = pair_key * self.stride + q_cursor
-        sorted_comp = self.sorted_comp
-        comp_len = len(sorted_comp)
-        pos = np.searchsorted(sorted_comp, q_comp, side="left")
-        candidate = np.full(len(q_comp), self.n_events, dtype=np.int64)
-        clipped = np.minimum(pos, comp_len - 1)
-        found_comp = sorted_comp[clipped]
-        in_pair = (pos < comp_len) & (found_comp // self.stride == pair_key)
-        candidate[in_pair] = found_comp[in_pair] % self.stride
-        return candidate
+        from repro.sim.backend import _numpy_first_events
+
+        return _numpy_first_events(
+            self.sorted_comp,
+            self.stride,
+            self.n_nodes,
+            self.n_events,
+            q_holder,
+            q_target,
+            q_cursor,
+        )
 
 
 class _TargetTable:
     """Flattened per-session × hop target-group membership table.
 
     Session ``s``'s hop ``h`` (1-based) targets live at
-    ``targets[start[base[s] + h - 1] : stop[base[s] + h - 1]]``.
+    ``targets[start[base[s] + h - 1] : stop[base[s] + h - 1]]``; its final
+    (delivery) hop slot is ``last[s]``.
     """
 
     def __init__(self, sessions: Sequence[ProtocolSession]):
-        flat_targets: List[int] = []
-        hop_start: List[int] = []
-        hop_stop: List[int] = []
-        self.base = np.empty(len(sessions), dtype=np.int64)
-        max_node = 0
-        for s, session in enumerate(sessions):
-            self.base[s] = len(hop_start)
-            route = session.route
-            for hop in range(1, route.eta + 1):
-                members = route.next_group_members(hop)
-                hop_start.append(len(flat_targets))
-                flat_targets.extend(members)
-                hop_stop.append(len(flat_targets))
-                biggest = max(members)
-                if biggest > max_node:
-                    max_node = biggest
-        self.targets = np.asarray(flat_targets, dtype=np.int64)
-        self.start = np.asarray(hop_start, dtype=np.int64)
-        self.stop = np.asarray(hop_stop, dtype=np.int64)
-        self.max_node = max_node
+        # Flattening runs once per kernel but over every (session, hop,
+        # member) triple, so it is built from whole-route tuples and
+        # cumulative sums instead of per-hop Python bookkeeping.
+        per_session: List[Tuple[Tuple[int, ...], ...]] = [
+            session.route._hop_targets for session in sessions
+        ]
+        hops_flat: List[Tuple[int, ...]] = []
+        for hop_targets in per_session:
+            hops_flat.extend(hop_targets)
+        etas = np.fromiter(
+            (len(h) for h in per_session), dtype=np.int64, count=len(per_session)
+        )
+        self.base = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(etas)[:-1])
+        ) if len(sessions) else np.empty(0, dtype=np.int64)
+        self.last = self.base + etas - 1
+        sizes = np.fromiter(
+            (len(members) for members in hops_flat),
+            dtype=np.int64,
+            count=len(hops_flat),
+        )
+        self.stop = np.cumsum(sizes)
+        self.start = self.stop - sizes
+        self.targets = np.fromiter(
+            chain.from_iterable(hops_flat),
+            dtype=np.int64,
+            count=int(self.stop[-1]) if len(hops_flat) else 0,
+        )
+        self.max_node = int(self.targets.max()) if self.targets.size else 0
 
 
 def _window_bounds(
@@ -152,14 +194,89 @@ def _window_bounds(
 
     Events before creation are no-ops; expiry fires at the first event
     strictly past the deadline (``on_contact_scalar``'s
-    ``time < created_at`` / ``time > expires_at`` branches).
+    ``time < created_at`` / ``time > expires_at`` branches). The scalar
+    reference for :func:`_window_bounds_batch`, which both kernels use.
     """
     cursor = int(np.searchsorted(times, session.created_at, "left"))
     expiry = int(np.searchsorted(times, session.expires_at, "right"))
     return cursor, expiry
 
 
-class BatchKernel:
+def _window_bounds_batch(
+    times: np.ndarray, created: np.ndarray, expires: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(cursor, expiry) index arrays for a whole batch of sessions.
+
+    Two batched :func:`numpy.searchsorted` calls replace the per-session
+    Python loop over :func:`_window_bounds` — same semantics, element for
+    element.
+    """
+    cursor = np.searchsorted(times, created, side="left")
+    expiry = np.searchsorted(times, expires, side="right")
+    return (
+        cursor.astype(np.int64, copy=False),
+        expiry.astype(np.int64, copy=False),
+    )
+
+
+_DIVERGENCE_MESSAGE = (
+    "dispatched a state-changing event the session did not accept; the "
+    "session state diverged from the kernel's race model"
+)
+
+
+class _KernelBackendMixin:
+    """Backend resolution, per-phase stats, and mid-sweep degradation
+    shared by both batch kernels."""
+
+    def _init_backend(self, backend) -> None:
+        self._backend = resolve_backend(backend)
+        self._backend_fallbacks: List[str] = []
+        self.stats = {
+            "backend": self._backend.name,
+            "rounds": 0,
+            "scalar_dispatches": 0,
+            "backend_seconds": 0.0,
+            "dispatch_seconds": 0.0,
+            "active_peak": 0,
+            "active_total": 0,
+        }
+
+    @property
+    def backend(self) -> str:
+        """Name of the backend currently running the race searches."""
+        return self._backend.name
+
+    @property
+    def backend_fallbacks(self) -> Tuple[str, ...]:
+        """Mid-sweep backend degradations taken so far (usually empty).
+
+        Engine callers convert these into
+        :data:`~repro.utils.resilience.KERNEL_FALLBACK` resilience
+        events; a degradation never changes outcomes, only wall time —
+        backend ops are pure, so the numpy recomputation sees identical
+        inputs.
+        """
+        return tuple(self._backend_fallbacks)
+
+    def _degrade_backend(self, where: str, error: Exception) -> None:
+        note = (
+            f"{where} failed on backend {self._backend.name!r}; "
+            f"recomputed with numpy: {type(error).__name__}: {error}"
+        )
+        self._backend_fallbacks.append(note)
+        logger.warning("%s — %s", type(self).__name__, note)
+        self._backend = resolve_backend("numpy")
+        self.stats["backend"] = self._backend.name
+
+    def _note_round(self, n_active: int) -> None:
+        self.stats["rounds"] += 1
+        self.stats["active_total"] += n_active
+        if n_active > self.stats["active_peak"]:
+            self.stats["active_peak"] = n_active
+
+
+class BatchKernel(_KernelBackendMixin):
     """Simulate a batch of eligible single-copy sessions over one block.
 
     Eligibility (:meth:`supports`) is deliberately narrow: exactly
@@ -175,7 +292,7 @@ class BatchKernel:
 
     mode = "kernel-single"
 
-    def __init__(self, sessions: Sequence[SingleCopySession]):
+    def __init__(self, sessions: Sequence[SingleCopySession], backend=None):
         ineligible = [type(s).__name__ for s in sessions if not self.supports(s)]
         if ineligible:
             raise ValueError(
@@ -185,7 +302,11 @@ class BatchKernel:
         self._sessions: List[SingleCopySession] = list(sessions)
         self._dispatches = 0
         self._table: _TargetTable | None = None
-        self._alive: List[int] | None = None
+        self._alive: List[int] = [
+            s for s, session in enumerate(self._sessions) if not session.done
+        ]
+        self._pending = len(self._alive)
+        self._init_backend(backend)
 
     @staticmethod
     def supports(session: ProtocolSession) -> bool:
@@ -215,12 +336,11 @@ class BatchKernel:
     def pending(self) -> int:
         """Sessions neither done nor dropped by ``on_session_error``.
 
-        Streaming callers poll this between windows: once every kernel
-        reports zero pending, later windows cannot change any outcome.
+        Streaming callers poll this between windows; the count is
+        maintained incrementally (O(1) here), so the per-window
+        early-exit check never rescans the session list.
         """
-        if self._alive is None:
-            return sum(1 for session in self._sessions if not session.done)
-        return len(self._alive)
+        return self._pending
 
     # ------------------------------------------------------------------
     # the sweep
@@ -252,10 +372,6 @@ class BatchKernel:
         """
         sessions = self._sessions
         n_events = len(block)
-        if self._alive is None:
-            self._alive = [
-                s for s, session in enumerate(sessions) if not session.done
-            ]
         if not sessions or n_events == 0:
             return 0
 
@@ -272,48 +388,93 @@ class BatchKernel:
         base = table.base
         max_node = table.max_node
         dropped: set = set()
+        live: List[int] = []
+        created: List[float] = []
+        expires: List[float] = []
         for s in self._alive:
             session = sessions[s]
             if session.done:
                 continue
+            live.append(s)
             active[s] = True
             holder[s] = session.holder
             if session.holder > max_node:
                 max_node = session.holder
             hop_slot[s] = base[s] + session.next_hop - 1
-            cursor[s], expiry[s] = _window_bounds(block.times, session)
+            created.append(session.created_at)
+            expires.append(session.expires_at)
+        if live:
+            live_idx = np.asarray(live, dtype=np.int64)
+            cursor[live_idx], expiry[live_idx] = _window_bounds_batch(
+                block.times,
+                np.asarray(created, dtype=np.float64),
+                np.asarray(expires, dtype=np.float64),
+            )
 
         index = _EventIndex(block, min_nodes=max_node + 1)
-        times = index.times
-        events_a = index.events_a
-        events_b = index.events_b
-        starts_arr = table.start
-        stops_arr = table.stop
-        targets_arr = table.targets
 
         dispatched = 0
         act = np.nonzero(active)[0]
-        while act.size:
-            slots = hop_slot[act]
-            counts = stops_arr[slots] - starts_arr[slots]
-            total = int(counts.sum())
-            # Ragged gather of every active session's current target group.
-            group_ends = np.cumsum(counts)
-            group_starts = group_ends - counts
-            flat_idx = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(group_starts, counts)
-                + np.repeat(starts_arr[slots], counts)
-            )
-            q_target = targets_arr[flat_idx]
-            q_holder = np.repeat(holder[act], counts)
-            q_cursor = np.repeat(cursor[act], counts)
-            candidate = index.first_events(q_holder, q_target, q_cursor)
+        if act.size:
+            if self._backend.compiled:
+                dispatched = self._sweep_compiled(
+                    index, table, act, holder, hop_slot, cursor, expiry,
+                    dropped, on_session_error,
+                )
+                if dispatched is None:
+                    # Compiled op failed before any dispatch; backend is
+                    # now numpy — rerun the window through the round loop.
+                    dispatched = self._sweep_rounds(
+                        index, table, act, active, holder, hop_slot,
+                        cursor, expiry, dropped, on_session_error,
+                    )
+            else:
+                dispatched = self._sweep_rounds(
+                    index, table, act, active, holder, hop_slot,
+                    cursor, expiry, dropped, on_session_error,
+                )
 
-            # The anycast race: first meeting with any group member wins,
-            # unless the TTL runs out first.
-            fire = np.minimum.reduceat(candidate, group_starts)
-            next_idx = np.minimum(fire, expiry[act])
+        self._alive = [
+            s
+            for s in self._alive
+            if s not in dropped and not sessions[s].done
+        ]
+        self._pending = len(self._alive)
+        self._dispatches += dispatched
+        return dispatched
+
+    def _sweep_rounds(
+        self, index, table, act, active, holder, hop_slot, cursor, expiry,
+        dropped, on_session_error,
+    ) -> int:
+        """The vectorized per-round sweep (numpy backend control flow)."""
+        sessions = self._sessions
+        stats = self.stats
+        n_events = index.n_events
+        times = index.times
+        events_a = index.events_a
+        events_b = index.events_b
+        base = table.base
+
+        dispatched = 0
+        while act.size:
+            self._note_round(int(act.size))
+            started = perf_counter()
+            next_idx = self._backend.single_next_events(
+                index.sorted_comp,
+                index.stride,
+                index.n_nodes,
+                n_events,
+                table.start,
+                table.stop,
+                table.targets,
+                act,
+                holder,
+                hop_slot,
+                cursor,
+                expiry,
+            )
+            stats["backend_seconds"] += perf_counter() - started
 
             # Sessions with no state-changing event left in the window stay
             # pending — exactly what the object loop leaves behind.
@@ -321,6 +482,7 @@ class BatchKernel:
             active[finished] = False
 
             firing = next_idx < n_events
+            started = perf_counter()
             for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
                 session = sessions[s]
                 try:
@@ -335,29 +497,117 @@ class BatchKernel:
                     dropped.add(s)
                     continue
                 dispatched += 1
+                stats["scalar_dispatches"] += 1
                 if session.done:
                     active[s] = False
                     continue
                 if session.holder == holder[s]:  # pragma: no cover - guard
                     raise RuntimeError(
-                        "BatchKernel dispatched a no-op event; the session "
-                        "state diverged from the kernel's race model"
+                        f"BatchKernel {_DIVERGENCE_MESSAGE}"
                     )
                 holder[s] = session.holder
                 hop_slot[s] = base[s] + session.next_hop - 1
                 cursor[s] = k + 1
+            stats["dispatch_seconds"] += perf_counter() - started
             act = np.nonzero(active)[0]
+        return dispatched
 
-        self._alive = [
-            s
-            for s in self._alive
-            if s not in dropped and not sessions[s].done
-        ]
-        self._dispatches += dispatched
+    def _sweep_compiled(
+        self, index, table, act, holder, hop_slot, cursor, expiry,
+        dropped, on_session_error,
+    ):
+        """Whole-trajectory sweep on a compiled backend.
+
+        One backend call computes every active session's full sequence of
+        state-changing event indices; the loop below applies each
+        trajectory through
+        :meth:`~repro.core.single_copy.SingleCopySession.apply_transitions`
+        — the batched counterpart of ``on_contact_scalar`` that performs
+        the same transitions in the same order but costs one Python call
+        per *session* instead of one per *hop*. The session re-validates
+        every applied contact against its own acceptance predicate, so any
+        divergence between the compiled race and the session's transition
+        model raises instead of silently corrupting outcomes. Returns None
+        when the backend op itself failed (nothing dispatched; the caller
+        reruns on numpy).
+        """
+        sessions = self._sessions
+        stats = self.stats
+        n_events = index.n_events
+        started = perf_counter()
+        try:
+            traj, lens, dones = self._backend.single_trajectories(
+                index.sorted_comp,
+                index.stride,
+                index.n_nodes,
+                n_events,
+                table.start,
+                table.stop,
+                table.targets,
+                index.events_a,
+                index.events_b,
+                act,
+                holder,
+                hop_slot,
+                table.last,
+                cursor,
+                expiry,
+            )
+        except Exception as error:
+            self._degrade_backend("single_trajectories", error)
+            return None
+        stats["backend_seconds"] += perf_counter() - started
+        self._note_round(int(act.size))
+
+        dispatched = 0
+        started = perf_counter()
+        # One vectorized gather converts every trajectory's firing events to
+        # Python scalars up front (times and endpoints, flattened in session
+        # order); converting numpy scalars one hop at a time inside the
+        # apply loop would otherwise dominate the replay.
+        counts = lens.astype(np.int64, copy=False)
+        width = traj.shape[1] if traj.ndim == 2 else 0
+        mask = np.arange(width, dtype=np.int64)[None, :] < counts[:, None]
+        flat = traj[mask] if width else np.empty(0, dtype=np.int64)
+        t_all = index.times[flat].tolist()
+        a_all = index.events_a[flat].tolist()
+        b_all = index.events_b[flat].tolist()
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(counts))
+        ).tolist()
+        lens_list = counts.tolist()
+        dones_list = dones.tolist()
+        for i, s in enumerate(act.tolist()):
+            session = sessions[s]
+            count = lens_list[i]
+            applied = 0
+            if count:
+                try:
+                    applied = session.apply_transitions(
+                        t_all, a_all, b_all, offsets[i], count
+                    )
+                except RuntimeError:
+                    # Divergence guard — the session refused a dispatched
+                    # contact; never contained, always a kernel/backend bug.
+                    raise
+                except Exception as error:
+                    if on_session_error is None:
+                        raise
+                    on_session_error(session, error)
+                    dropped.add(s)
+                    continue
+            dispatched += applied
+            stats["scalar_dispatches"] += applied
+            if applied != count or session.done != bool(dones_list[i]):
+                raise RuntimeError(  # pragma: no cover - guard
+                    f"BatchKernel [{self._backend.name}] "
+                    f"{_DIVERGENCE_MESSAGE}"
+                )
+        stats["dispatch_seconds"] += perf_counter() - started
         return dispatched
 
 
-class MultiCopyBatchKernel:
+class MultiCopyBatchKernel(_KernelBackendMixin):
     """Simulate a batch of eligible multi-copy sessions over one block.
 
     Eligibility mirrors :class:`BatchKernel`: exactly
@@ -379,7 +629,7 @@ class MultiCopyBatchKernel:
 
     mode = "kernel-multicopy"
 
-    def __init__(self, sessions: Sequence[MultiCopySession]):
+    def __init__(self, sessions: Sequence[MultiCopySession], backend=None):
         ineligible = [type(s).__name__ for s in sessions if not self.supports(s)]
         if ineligible:
             raise ValueError(
@@ -389,7 +639,11 @@ class MultiCopyBatchKernel:
         self._sessions: List[MultiCopySession] = list(sessions)
         self._dispatches = 0
         self._table: _TargetTable | None = None
-        self._alive: List[int] | None = None
+        self._alive: List[int] = [
+            s for s, session in enumerate(self._sessions) if not session.done
+        ]
+        self._pending = len(self._alive)
+        self._init_backend(backend)
 
     @staticmethod
     def supports(session: ProtocolSession) -> bool:
@@ -413,14 +667,61 @@ class MultiCopyBatchKernel:
 
     @property
     def pending(self) -> int:
-        """Sessions neither done nor dropped by ``on_session_error``."""
-        if self._alive is None:
-            return sum(1 for session in self._sessions if not session.done)
-        return len(self._alive)
+        """Sessions neither done nor dropped by ``on_session_error``.
+
+        Maintained incrementally, so streaming early-exit polls are O(1).
+        """
+        return self._pending
 
     # ------------------------------------------------------------------
     # the sweep
     # ------------------------------------------------------------------
+
+    def _race_round(
+        self, index, table, rows, c_holder, c_slot, act_cursor, act_expiry
+    ) -> np.ndarray:
+        """One per-session race over the flattened live copies.
+
+        Runs on the selected backend; a compiled backend that raises is
+        degraded to numpy and the round recomputed — the op is pure, so
+        the retry sees identical inputs and the sweep stays byte-exact.
+        """
+        started = perf_counter()
+        try:
+            next_idx = self._backend.multi_next_events(
+                index.sorted_comp,
+                index.stride,
+                index.n_nodes,
+                index.n_events,
+                table.start,
+                table.stop,
+                table.targets,
+                rows,
+                c_holder,
+                c_slot,
+                act_cursor,
+                act_expiry,
+            )
+        except Exception as error:
+            if self._backend.name == "numpy":
+                raise
+            self._degrade_backend("multi_next_events", error)
+            next_idx = self._backend.multi_next_events(
+                index.sorted_comp,
+                index.stride,
+                index.n_nodes,
+                index.n_events,
+                table.start,
+                table.stop,
+                table.targets,
+                rows,
+                c_holder,
+                c_slot,
+                act_cursor,
+                act_expiry,
+            )
+        self.stats["backend_seconds"] += perf_counter() - started
+        return next_idx
 
     def run(self, block: EventBlock, on_session_error=None) -> int:
         """Advance every session across ``block``; returns the dispatch count.
@@ -434,10 +735,6 @@ class MultiCopyBatchKernel:
         """
         sessions = self._sessions
         n_events = len(block)
-        if self._alive is None:
-            self._alive = [
-                s for s, session in enumerate(sessions) if not session.done
-            ]
         if not sessions or n_events == 0:
             return 0
 
@@ -454,10 +751,14 @@ class MultiCopyBatchKernel:
         base = table.base
         max_node = table.max_node
         dropped: set = set()
+        live: List[int] = []
+        created: List[float] = []
+        expires: List[float] = []
         for s in self._alive:
             session = sessions[s]
             if session.done:
                 continue
+            live.append(s)
             active[s] = True
             offset = int(base[s])
             mirror = [
@@ -468,19 +769,26 @@ class MultiCopyBatchKernel:
             for holder_, _slot in mirror:
                 if holder_ > max_node:
                     max_node = holder_
-            cursor[s], expiry[s] = _window_bounds(block.times, session)
+            created.append(session.created_at)
+            expires.append(session.expires_at)
+        if live:
+            live_idx = np.asarray(live, dtype=np.int64)
+            cursor[live_idx], expiry[live_idx] = _window_bounds_batch(
+                block.times,
+                np.asarray(created, dtype=np.float64),
+                np.asarray(expires, dtype=np.float64),
+            )
 
         index = _EventIndex(block, min_nodes=max_node + 1)
         times = index.times
         events_a = index.events_a
         events_b = index.events_b
-        starts_arr = table.start
-        stops_arr = table.stop
-        targets_arr = table.targets
+        stats = self.stats
 
         dispatched = 0
         act = np.nonzero(active)[0]
         while act.size:
+            self._note_round(int(act.size))
             # Flatten every active session's live copies. An active session
             # always has at least one live copy (all-terminated ⇒ done).
             c_row: List[int] = []  # position of the copy's session in act
@@ -491,37 +799,21 @@ class MultiCopyBatchKernel:
                     c_row.append(row)
                     c_holder.append(holder_)
                     c_slot.append(slot_)
-            slots = np.asarray(c_slot, dtype=np.int64)
-            counts = stops_arr[slots] - starts_arr[slots]
-            total = int(counts.sum())
-            group_ends = np.cumsum(counts)
-            group_starts = group_ends - counts
-            flat_idx = (
-                np.arange(total, dtype=np.int64)
-                - np.repeat(group_starts, counts)
-                + np.repeat(starts_arr[slots], counts)
+            next_idx = self._race_round(
+                index,
+                table,
+                np.asarray(c_row, dtype=np.int64),
+                np.asarray(c_holder, dtype=np.int64),
+                np.asarray(c_slot, dtype=np.int64),
+                cursor[act],
+                expiry[act],
             )
-            q_target = targets_arr[flat_idx]
-            q_holder = np.repeat(np.asarray(c_holder, dtype=np.int64), counts)
-            rows = np.asarray(c_row, dtype=np.int64)
-            q_cursor = np.repeat(cursor[act][rows], counts)
-            candidate = index.first_events(q_holder, q_target, q_cursor)
-
-            # Per-session race across *all* copies: reduce at the first
-            # flattened member of each session's first copy. ``rows`` is
-            # sorted (copies were appended in act order), so the session
-            # boundaries are where a new row value first appears.
-            session_first_copy = np.searchsorted(
-                rows, np.arange(len(act), dtype=np.int64), side="left"
-            )
-            session_starts = group_starts[session_first_copy]
-            fire = np.minimum.reduceat(candidate, session_starts)
-            next_idx = np.minimum(fire, expiry[act])
 
             finished = act[next_idx == n_events]
             active[finished] = False
 
             firing = next_idx < n_events
+            started = perf_counter()
             for s, k in zip(act[firing].tolist(), next_idx[firing].tolist()):
                 session = sessions[s]
                 version = session.state_version
@@ -537,6 +829,7 @@ class MultiCopyBatchKernel:
                     dropped.add(s)
                     continue
                 dispatched += 1
+                stats["scalar_dispatches"] += 1
                 if session.done:
                     active[s] = False
                     continue
@@ -547,6 +840,7 @@ class MultiCopyBatchKernel:
                         (holder_, offset + next_hop - 1)
                         for holder_, next_hop in session.copy_states()
                     ]
+            stats["dispatch_seconds"] += perf_counter() - started
             act = np.nonzero(active)[0]
 
         self._alive = [
@@ -554,6 +848,7 @@ class MultiCopyBatchKernel:
             for s in self._alive
             if s not in dropped and not sessions[s].done
         ]
+        self._pending = len(self._alive)
         self._dispatches += dispatched
         return dispatched
 
