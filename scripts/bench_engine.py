@@ -38,7 +38,12 @@ Two further workloads exercise the rest of the kernel family:
   :class:`SecurityBatchKernel` vs the block-scalar opt-out
   (``kernel=False``, byte-identical estimates) and vs the original
   draw-per-trial ``security_montecarlo`` loop, plus a fused
-  figure-6-shaped (c, K) sweep pair sharing one trial block.
+  figure-6-shaped (c, K) sweep pair sharing one trial block. A second
+  set of arms (``security-backend-<name>``) then re-scores the same
+  fused grid per kernel backend — numpy vs the preferred compiled
+  backend (and cupy when a GPU is present) — through the fused
+  ``smallest_k_mask`` + ``security_scores`` ops, with JIT/GPU warm-up
+  outside the timer and result digests required to match bit-for-bit.
 * **parallel** — the zero-copy shared-memory path: one columnar window
   registered in a :class:`SharedBlockArena`, replayed through the batch
   kernels by a warm persistent :class:`WorkerPool` (chunk pickles carry a
@@ -54,8 +59,11 @@ Two further workloads exercise the rest of the kernel family:
 * **backend** — the numpy kernel backend vs the preferred compiled
   backend (``numba`` when installed, else the embedded-C ``cc``
   backend) sweeping the single-copy reference workload through
-  :class:`BatchKernel` over one pre-produced columnar window. JIT/compile
-  warm-up runs before the timer; outcome digests must match across arms.
+  :class:`BatchKernel` over one pre-produced columnar window. The
+  ``warmup()`` call covers *every* compiled op — delivery trajectories
+  and the security family alike — so first-call JIT compilation can
+  never pollute a timed arm of any mode; outcome digests must match
+  across arms.
 
 Engine rows are split into ``generation_seconds`` (producing the event
 stream) and ``dispatch_seconds`` (everything else: sessions, dispatch,
@@ -506,6 +514,131 @@ def security_benchmark(n, group_size, onion_routers, trials, seed, repeat):
             2,
         ),
     }
+    return rows, identity_checks, speedups
+
+
+def security_backend_benchmark(n, group_size, trials, seed, repeat):
+    """Per-backend arms of the fused security sweep: numpy vs compiled/GPU.
+
+    One shared :class:`SecurityTrialBlock` (the figure-6-shaped grid's
+    widest point) is scored through :class:`SecurityBatchKernel` once per
+    backend — ``numpy`` (reference), the preferred compiled backend
+    (``numba``/``cc``), and ``cupy`` when a GPU is actually present — so
+    the arms time exactly the fused ``smallest_k_mask`` +
+    ``security_scores`` op chain over identical inputs. Each arm's
+    JIT/compile/device warm-up is paid by ``warmup()`` plus one throwaway
+    scoring pass *before* the timer; the per-arm result digest (sha256
+    over the concatenated traceable/anonymity arrays) must match the
+    numpy reference bit-for-bit. Returns
+    ``(rows, identity_checks, speedups)``.
+    """
+    from repro.adversary.kernel import (
+        SecurityBatchKernel,
+        sample_security_block,
+    )
+    from repro.sim.backend import (
+        BACKENDS,
+        preferred_compiled_backend,
+        resolve_backend,
+    )
+
+    # The figure-6 grid shape: every onion-router count the paper sweeps
+    # (K = 1 … 10) crossed with the config's compromise rates, scored
+    # against one shared block sampled at the widest K.
+    grid = tuple(
+        SecuritySweepVariant(
+            label=f"K={k} c={rate:g}",
+            onion_routers=k,
+            copies=1,
+            compromise_rate=rate,
+        )
+        for k in range(1, 11)
+        for rate in DEFAULT_CONFIG.compromise_rates
+    )
+    block = sample_security_block(
+        n,
+        group_size,
+        k_max=max(v.onion_routers for v in grid),
+        l_max=1,
+        trials=trials,
+        rng=np.random.default_rng(seed),
+    )
+    model = CompromiseModel(n, SECURITY_COMPROMISE_RATE)
+
+    def digest_of(scored):
+        digest = hashlib.sha256()
+        for traceable, anonymity in scored:
+            digest.update(np.ascontiguousarray(traceable).tobytes())
+            digest.update(np.ascontiguousarray(anonymity).tobytes())
+        return digest.hexdigest()
+
+    arm_names = ["numpy"]
+    compiled = preferred_compiled_backend()
+    if compiled is not None and compiled not in arm_names:
+        arm_names.append(compiled)
+    if BACKENDS["cupy"].available() and "cupy" not in arm_names:
+        arm_names.append("cupy")
+
+    rows = {}
+    walls = {}
+    digests = {}
+    for name in arm_names:
+        # JIT/compile/device warm-up and one throwaway pass outside the
+        # timer, so the arms measure steady-state scoring only.
+        resolve_backend(name).warmup()
+        SecurityBatchKernel(block, model, backend=name).score(grid)
+        best = None
+        stats = None
+        digest = None
+        for attempt in range(repeat):
+            kernel = SecurityBatchKernel(block, model, backend=name)
+            start = time.perf_counter()
+            scored = kernel.score(grid)
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+            if attempt == 0:
+                digest = digest_of(scored)
+                stats = dict(kernel.stats)
+        row_name = f"security-backend-{name}"
+        walls[row_name] = best
+        digests[row_name] = digest
+        rows[row_name] = {
+            "wall_seconds": round(best, 4),
+            "backend": stats["backend"],
+            "requested_backend": name,
+            "trials": trials,
+            "grid_points": len(grid),
+            "grid_scores_per_second": round(len(grid) * trials / best, 1),
+            "backend_seconds": round(stats["backend_seconds"], 4),
+            "anonymity_lookup_hits": stats["anonymity_lookup_hits"],
+            "anonymity_lookup_misses": stats["anonymity_lookup_misses"],
+            "mask_cache_hits": stats["mask_cache_hits"],
+            "mask_cache_misses": stats["mask_cache_misses"],
+            "result_digest": digest,
+        }
+
+    identity_checks = {
+        "security_backend": all(
+            digest == digests["security-backend-numpy"]
+            for digest in digests.values()
+        )
+    }
+    speedups = {}
+    if compiled is not None:
+        compiled_row = f"security-backend-{compiled}"
+        speedups["speedup_security_backend_vs_numpy"] = round(
+            walls["security-backend-numpy"] / max(walls[compiled_row], 1e-9),
+            2,
+        )
+        rows[compiled_row]["speedup_vs_numpy"] = speedups[
+            "speedup_security_backend_vs_numpy"
+        ]
+    else:
+        rows["security-backend-numpy"]["note"] = (
+            "no compiled backend available in this environment (numba not "
+            "installed, no C compiler found); only the numpy arm was timed"
+        )
     return rows, identity_checks, speedups
 
 
@@ -987,6 +1120,12 @@ def run_benchmark(
         results.update(rows)
         identity_checks.update(security_checks)
         speedups.update(security_speedups)
+        rows, backend_checks, backend_speedups = security_backend_benchmark(
+            n, group_size, security_trials, seed, repeat
+        )
+        results.update(rows)
+        identity_checks.update(backend_checks)
+        speedups.update(backend_speedups)
 
     if mode in ("all", "backend"):
         rows, backend_checks, backend_speedups = backend_benchmark(
@@ -1270,6 +1409,14 @@ def main(argv=None) -> int:
             f"{row['scalar_dispatches']} scalar dispatches, "
             f"{row['events_per_second']:>9.1f} events/s)"
         )
+    for name, row in sorted(results.items()):
+        if not name.startswith("security-backend-"):
+            continue
+        print(
+            f"{name + ':':<26} {row['wall_seconds']:8.3f}s "
+            f"(backend {row['backend']}, {row['grid_points']} grid points, "
+            f"{row['grid_scores_per_second']:>9.1f} scores/s)"
+        )
     parallel = results.get("parallel")
     if parallel is not None:
         print(
@@ -1359,6 +1506,10 @@ def main(argv=None) -> int:
         (
             "compiled backend vs numpy (single-copy kernel)",
             "speedup_backend_vs_numpy",
+        ),
+        (
+            "compiled backend vs numpy (security fused sweep)",
+            "speedup_security_backend_vs_numpy",
         ),
     ):
         if key in report:

@@ -23,11 +23,31 @@ the *same* keys — nested compromised sets across rates, i.e. common
 random numbers for between-rate comparisons. ``sample`` draws one key row
 and applies the same derivation, so the scalar and batched samplers agree
 trial-for-trial when fed the same keys.
+
+Every fixed-count strategy reduces to one primitive: build a per-trial
+*selection priority* column (:meth:`CompromiseModel.selection_priority`)
+and compromise each row's ``count`` smallest entries. That smallest-``k``
+selection is the hot loop of batched mask construction, so
+:meth:`mask_from_keys` accepts a ``smallest_k`` callable — the security
+kernel passes its compiled backend's
+:meth:`~repro.sim.backend.KernelBackend.smallest_k_mask` op; the default
+is the in-module numpy reference. All implementations select by the same
+rule (priority ≤ the row's ``count``-th order statistic), so the masks
+are byte-identical regardless of who computes them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Set, Type
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Optional,
+    Sequence,
+    Set,
+    Type,
+)
 
 import numpy as np
 
@@ -164,18 +184,37 @@ class CompromiseModel:
         np.less_equal(priority, kth, out=mask)
         return mask
 
+    def selection_priority(self, keys: np.ndarray) -> np.ndarray:
+        """Per-trial priority column: each row's ``count`` smallest entries
+        are compromised.
+
+        The uniform model's priority is the key itself (protected nodes
+        pushed to ``+inf``): the smallest-keyed eligible nodes form a
+        uniformly random fixed-count subset. Fixed-count subclasses
+        override *this* — not :meth:`mask_from_keys` — so the compiled
+        smallest-``k`` selection covers every strategy.
+        """
+        return self._masked_keys(keys)
+
     def mask_from_keys(
-        self, keys: np.ndarray, rate: Optional[float] = None
+        self,
+        keys: np.ndarray,
+        rate: Optional[float] = None,
+        smallest_k: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
     ) -> np.ndarray:
         """Derive a ``(trials, n)`` compromise mask from uniform key columns.
 
         ``keys`` are i.i.d. ``U[0, 1)`` draws, one per (trial, node); the
         uniform model compromises each trial's ``round(rate · n)``
         smallest-keyed eligible nodes — a uniformly random fixed-count
-        subset, *nested* across rates for the same keys.
+        subset, *nested* across rates for the same keys. ``smallest_k``
+        substitutes a compiled selection op (the kernel-backend seam);
+        the default is the numpy reference, and every implementation is
+        byte-identical by the order-statistic selection rule.
         """
         rate = self._rate if rate is None else check_fraction(rate, "rate")
-        return self._smallest_k_mask(self._masked_keys(keys), self._count(rate))
+        select = self._smallest_k_mask if smallest_k is None else smallest_k
+        return select(self.selection_priority(keys), self._count(rate))
 
     def sample(self, rng: RandomSource = None) -> Set[int]:
         """One compromised set, via the same derivation as the batch mask."""
@@ -195,9 +234,16 @@ class BernoulliCompromise(CompromiseModel):
     name = "bernoulli"
 
     def mask_from_keys(
-        self, keys: np.ndarray, rate: Optional[float] = None
+        self,
+        keys: np.ndarray,
+        rate: Optional[float] = None,
+        smallest_k: Optional[Callable[[np.ndarray, int], np.ndarray]] = None,
     ) -> np.ndarray:
-        """Mask where each eligible node's key lies below ``rate``."""
+        """Mask where each eligible node's key lies below ``rate``.
+
+        A threshold comparison, not a smallest-``k`` selection —
+        ``smallest_k`` is accepted for interface uniformity and unused.
+        """
         rate = self._rate if rate is None else check_fraction(rate, "rate")
         return self._masked_keys(keys) < rate
 
@@ -232,33 +278,23 @@ class TargetedCompromise(CompromiseModel):
             raise ValueError("weights must be finite")
         self._weights = weights
         self._weights.setflags(write=False)
+        # Dense rank of -weight (0 = heaviest). The composite priority
+        # ``rank + key`` sorts identically to lexsort((key, -weight)):
+        # ranks are whole numbers and keys live in [0, 1), so a lighter
+        # node can never outrank a heavier one, and equal-weight nodes
+        # tie-break by key — uniformly at random, exactly as before.
+        levels = np.unique(-weights)
+        self._weight_rank = np.searchsorted(levels, -weights).astype(float)
 
     @property
     def weights(self) -> np.ndarray:
         """Per-node targeting weights (higher = compromised earlier)."""
         return self._weights
 
-    def mask_from_keys(
-        self, keys: np.ndarray, rate: Optional[float] = None
-    ) -> np.ndarray:
-        """Mask of each trial's top-weight eligible nodes (keys break ties)."""
-        rate = self._rate if rate is None else check_fraction(rate, "rate")
-        masked = self._masked_keys(keys)
-        count = self._count(rate)
-        mask = np.zeros(masked.shape, dtype=bool)
-        if count <= 0:
-            return mask
-        # Sort by (-weight, key): np.lexsort's last key is primary.
-        # Protected nodes get a +inf primary key so they land at the tail
-        # of every ordering, past any real weight.
-        weight_key = -np.broadcast_to(self._weights, masked.shape).copy()
-        protected_cols = sorted(self._protected)
-        if protected_cols:
-            weight_key[:, protected_cols] = np.inf
-        order = np.lexsort((masked, weight_key), axis=1)
-        rows = np.arange(masked.shape[0])[:, None]
-        mask[rows, order[:, :count]] = True
-        return mask
+    def selection_priority(self, keys: np.ndarray) -> np.ndarray:
+        """Composite ``weight-rank + key`` priority: heaviest nodes first,
+        keys breaking ties, protected nodes at ``+inf``."""
+        return self._weight_rank + self._masked_keys(keys)
 
 
 class StakeWeightedCompromise(CompromiseModel):
@@ -299,18 +335,15 @@ class StakeWeightedCompromise(CompromiseModel):
         """Per-node stakes (selection probability ∝ stake)."""
         return self._stakes
 
-    def mask_from_keys(
-        self, keys: np.ndarray, rate: Optional[float] = None
-    ) -> np.ndarray:
-        """Mask of each trial's ``count`` earliest ``Exp(stake)`` arrivals."""
-        rate = self._rate if rate is None else check_fraction(rate, "rate")
+    def selection_priority(self, keys: np.ndarray) -> np.ndarray:
+        """Each trial's ``Exp(stake)`` arrival times (earliest win)."""
         masked = self._masked_keys(keys)
         # -log(1-u)/stake ~ Exp(stake); u in [0, 1) keeps the log finite,
         # and the protected +inf keys map to +inf arrival times.
         with np.errstate(invalid="ignore"):
             priority = -np.log1p(-masked) / self._stakes
         priority[np.isnan(priority)] = np.inf
-        return self._smallest_k_mask(priority, self._count(rate))
+        return priority
 
 
 #: Registry of the built-in strategies, keyed by their CLI names.

@@ -23,11 +23,15 @@ The kernel splits a Monte Carlo run into two phases:
   key column — common random numbers across the whole grid.
 * **scoring** — :class:`SecurityBatchKernel` turns the block plus one
   :class:`SecuritySweepVariant` into per-trial traceable rates and
-  anonymity values without touching a Python object per trial: the
-  run-length sum of squares behind Eq. 1 is computed with the same
-  flattened searchsorted/reduceat idiom the delivery kernels use for
-  anycast races, and the entropy ratio is a table lookup (the observed
-  exposure only takes ``η + 1`` integer values, so
+  anonymity values without touching a Python object per trial. Each
+  grid point is two :mod:`repro.sim.backend` ops — ``smallest_k_mask``
+  (the compromise-set selection behind every fixed-count strategy) and
+  the fused ``security_scores`` pass (Eq. 1 run-length square sums and
+  Eq. 20 exposure counts in one sweep over the trial rows) — so the
+  whole scoring chain runs compiled under the numba/cc backends and on
+  the GPU under cupy, byte-identical to the numpy reference. The
+  entropy ratio is a table lookup (the observed exposure only takes
+  ``η + 1`` integer values, so
   :func:`~repro.analysis.anonymity.path_anonymity_exact` is evaluated
   once per value, not once per trial).
 
@@ -41,25 +45,32 @@ equality, mirroring the delivery kernels' byte-identity contract.
 
 from __future__ import annotations
 
+import logging
+import os
+import time
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.adversary.compromise import CompromiseModel
 from repro.analysis.anonymity import path_anonymity_exact
+from repro.utils.resilience import KERNEL_FALLBACK, ResilienceEvent
 from repro.core.onion_groups import OnionGroupDirectory
 from repro.utils.rng import RandomSource, ensure_rng
 from repro.utils.validation import check_positive_int
 
 __all__ = [
+    "ANONYMITY_CACHE_SIZE",
     "SecuritySweepVariant",
     "SecurityTrialBlock",
     "SecurityBatchKernel",
     "sample_security_block",
     "anonymity_lookup",
 ]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -319,7 +330,15 @@ def sample_security_block(
     )
 
 
-@lru_cache(maxsize=256)
+#: Bound on :func:`anonymity_lookup`'s memoization: at most this many
+#: distinct ``(n, η, group_size)`` tables stay cached (LRU evicted
+#: beyond it), so fused sweeps over arbitrarily many grid shapes can
+#: never grow the cache without limit. Each table holds ``η + 1``
+#: floats, so the worst case stays a few hundred tiny arrays.
+ANONYMITY_CACHE_SIZE = 256
+
+
+@lru_cache(maxsize=ANONYMITY_CACHE_SIZE)
 def anonymity_lookup(n: int, eta: int, group_size: int) -> np.ndarray:
     """``D(φ')`` for every possible observed exposure ``0 … η``.
 
@@ -328,6 +347,8 @@ def anonymity_lookup(n: int, eta: int, group_size: int) -> np.ndarray:
     *integer* exposure count, so a full Monte Carlo run only ever needs
     these ``η + 1`` values — the kernel replaces per-trial ``lgamma``
     calls with one indexed gather from this table.
+    :class:`SecurityBatchKernel` reports its hit/miss traffic against
+    this cache in :attr:`~SecurityBatchKernel.stats`.
     """
     table = np.array(
         [
@@ -361,14 +382,40 @@ class SecurityBatchKernel:
     """Vectorized scorer of one :class:`SecurityTrialBlock`.
 
     Holds the block plus the compromise model and evaluates sweep variants
-    against it. All per-variant work is array arithmetic: the compromise
-    mask is re-derived from the shared key column at the variant's rate,
-    hop-sender bits come from one fancy-indexed gather, Eq. 1 from the
-    run-length pass (on the selected :mod:`repro.sim.backend` backend —
-    numpy's reduceat by default, a compiled single pass under numba/cc;
-    identical int64 sums either way), and the entropy ratio from the
-    :func:`anonymity_lookup` table.
+    against it, routing each variant's hot passes through the selected
+    :mod:`repro.sim.backend` backend as *two* fused ops:
+
+    * :meth:`~repro.sim.backend.KernelBackend.smallest_k_mask` — the
+      compromise mask, re-derived from the shared key column at the
+      variant's rate via the model's
+      :meth:`~repro.adversary.compromise.CompromiseModel.selection_priority`
+      (the Bernoulli model's threshold comparison skips the op);
+    * :meth:`~repro.sim.backend.KernelBackend.security_scores` — one pass
+      per ``(c, K, L)`` grid point computing Eq. 1's run-length square
+      sums *and* Eq. 20's exposure counts together, replacing the chained
+      gather / run-length / any-reduce numpy passes.
+
+    The entropy ratio is then a table gather from :func:`anonymity_lookup`.
+    Every backend computes identical integers, so results are byte-
+    identical to the numpy reference; a backend that fails mid-run (or
+    can't resolve at all) degrades to numpy with a recorded
+    :data:`~repro.utils.resilience.KERNEL_FALLBACK` note, never an error.
+    :attr:`stats` profiles the run (backend seconds, variants scored,
+    anonymity-table and mask-cache hit/miss traffic) for ``bench_engine``
+    and the engine's ``kernel_stats`` surface.
+
+    The kernel holds one block and one model, so a variant's compromise
+    mask is a pure function of its rate — a fused ``(c, K, L)`` grid that
+    revisits each rate once per route shape re-derives the mask only on
+    the first visit (:attr:`MASK_CACHE_SIZE` bounds the memory, evicting
+    oldest-first).
     """
+
+    #: Cap on per-rate compromise masks kept across :meth:`score_variant`
+    #: calls. Each entry is a ``(trials, n)`` boolean array, so the worst
+    #: case stays a few MB at the reference workload while any realistic
+    #: rate grid fits entirely.
+    MASK_CACHE_SIZE = 32
 
     def __init__(
         self,
@@ -376,7 +423,7 @@ class SecurityBatchKernel:
         model: CompromiseModel,
         backend=None,
     ):
-        from repro.sim.backend import resolve_backend
+        from repro.sim.backend import ENV_VAR, KernelBackend, resolve_backend
 
         if model.n != block.n:
             raise ValueError(
@@ -384,35 +431,89 @@ class SecurityBatchKernel:
             )
         self.block = block
         self.model = model
-        self._backend = resolve_backend(backend)
         self._backend_fallbacks: List[str] = []
+        if isinstance(backend, KernelBackend):
+            requested = backend.name
+        elif backend is None:
+            requested = os.environ.get(ENV_VAR) or "numpy"
+        else:
+            requested = backend
+        self._backend = resolve_backend(
+            backend,
+            on_fallback=lambda name, error: self._backend_fallbacks.append(
+                f"requested kernel backend {name!r} unavailable; degraded "
+                f"to numpy: {type(error).__name__}: {error}"
+            ),
+        )
+        self._mask_cache: Dict[float, np.ndarray] = {}
+        self.stats: Dict = {
+            "backend": self._backend.name,
+            "requested_backend": requested,
+            "trials": block.trials,
+            "variants_scored": 0,
+            "backend_seconds": 0.0,
+            "anonymity_lookup_hits": 0,
+            "anonymity_lookup_misses": 0,
+            "mask_cache_hits": 0,
+            "mask_cache_misses": 0,
+        }
 
     @property
     def backend(self) -> str:
-        """Name of the backend scoring the run-length pass."""
+        """Name of the backend scoring the security passes."""
         return self._backend.name
 
     @property
     def backend_fallbacks(self) -> Tuple[str, ...]:
-        """Mid-scoring backend degradations taken so far (usually empty)."""
+        """Backend degradations taken so far (usually empty): a resolve-
+        time miss (requested backend unavailable) or a mid-scoring op
+        failure recomputed on numpy. Pure notes — degradations never
+        change outcomes, only wall time."""
         return tuple(self._backend_fallbacks)
 
-    def _run_lengths(self, bits: np.ndarray) -> np.ndarray:
+    @property
+    def fallback_events(self) -> Tuple[ResilienceEvent, ...]:
+        """:attr:`backend_fallbacks` as resilience events, ready for the
+        engine/runner resilience logs."""
+        return tuple(
+            ResilienceEvent(
+                kind=KERNEL_FALLBACK,
+                where=type(self).__name__,
+                detail=note,
+                resolution="degraded",
+            )
+            for note in self._backend_fallbacks
+        )
+
+    def _op(self, name: str, *args):
+        """One backend op call: timed, and degraded to numpy mid-run when
+        a compiled implementation fails (ops are pure, so the numpy
+        recomputation sees identical inputs and outcomes are unchanged).
+        """
         from repro.sim.backend import resolve_backend
 
+        start = time.perf_counter()
         try:
-            return self._backend.run_length_square_sums(bits)
+            return getattr(self._backend, name)(*args)
         except Exception as error:
             if self._backend.name == "numpy":
                 raise
-            # The op is pure — recompute on numpy, note the degradation.
-            self._backend_fallbacks.append(
-                f"run_length_square_sums failed on backend "
-                f"{self._backend.name!r}; recomputed with numpy: "
-                f"{type(error).__name__}: {error}"
+            note = (
+                f"{name} failed on backend {self._backend.name!r}; "
+                f"recomputed with numpy: {type(error).__name__}: {error}"
             )
+            self._backend_fallbacks.append(note)
+            logger.warning("%s — %s", type(self).__name__, note)
             self._backend = resolve_backend("numpy")
-            return self._backend.run_length_square_sums(bits)
+            self.stats["backend"] = self._backend.name
+            return getattr(self._backend, name)(*args)
+        finally:
+            self.stats["backend_seconds"] += time.perf_counter() - start
+
+    def _run_lengths(self, bits: np.ndarray) -> np.ndarray:
+        """Eq. 1 run-length pass on the active backend (kept as a public
+        seam for tests and the raw traceable-rate path)."""
+        return self._op("run_length_square_sums", bits)
 
     def score_variant(
         self, variant: SecuritySweepVariant
@@ -427,28 +528,44 @@ class SecurityBatchKernel:
                 f"was sampled at k_max={block.k_max}, l_max={block.l_max}"
             )
         eta = onion_routers + 1
-        trials = block.trials
-        rows = np.arange(trials)
 
-        mask = self.model.mask_from_keys(
-            block.compromise_keys, rate=variant.compromise_rate
+        rate = variant.compromise_rate
+        mask = self._mask_cache.get(rate)
+        if mask is None:
+            self.stats["mask_cache_misses"] += 1
+            mask = self.model.mask_from_keys(
+                block.compromise_keys,
+                rate=rate,
+                smallest_k=lambda priority, count: self._op(
+                    "smallest_k_mask", priority, count
+                ),
+            )
+            if len(self._mask_cache) >= self.MASK_CACHE_SIZE:
+                self._mask_cache.pop(next(iter(self._mask_cache)))
+            self._mask_cache[rate] = mask
+        else:
+            self.stats["mask_cache_hits"] += 1
+        # One fused pass per grid point: Eq. 1 run-length square sums over
+        # copy 0's hop-sender bits (source first) and the Eq. 20 exposure
+        # count across all copies (position 0 is the source on every
+        # copy's path; position k is exposed when any copy's carrier there
+        # is compromised).
+        sums, exposed = self._op(
+            "security_scores",
+            mask,
+            block.sources,
+            block.copy_members,
+            onion_routers,
+            copies,
         )
-
-        # Copy 0's hop senders: the source, then its member at each hop.
-        senders = np.empty((trials, eta), dtype=np.int64)
-        senders[:, 0] = block.sources
-        senders[:, 1:] = block.copy_members[:, :onion_routers, 0]
-        bits = mask[rows[:, None], senders]
-        traceable = self._run_lengths(bits) / float(eta**2)
-
-        # Exposure across copies (Eq. 20's Y'): position 0 is the source on
-        # every copy's path; position k is exposed when any copy's carrier
-        # there is compromised.
-        carriers = block.copy_members[:, :onion_routers, :copies]
-        exposed_positions = mask[rows[:, None, None], carriers].any(axis=2)
-        exposed = exposed_positions.sum(axis=1) + mask[rows, block.sources]
-        anonymity = anonymity_lookup(block.n, eta, block.group_size)[exposed]
-        return traceable, anonymity
+        traceable = sums / float(eta**2)
+        before = anonymity_lookup.cache_info()
+        table = anonymity_lookup(block.n, eta, block.group_size)
+        after = anonymity_lookup.cache_info()
+        self.stats["anonymity_lookup_hits"] += after.hits - before.hits
+        self.stats["anonymity_lookup_misses"] += after.misses - before.misses
+        self.stats["variants_scored"] += 1
+        return traceable, table[exposed]
 
     def score(
         self, variants: Sequence[SecuritySweepVariant]

@@ -10,6 +10,7 @@ Subcommands::
     onion-dtn simulate --protocol multi ... # quick protocol simulation
     onion-dtn simulate --availability 0.8 --drop-prob 0.5 ...  # with faults
     onion-dtn trace stats FILE              # inspect a haggle-format trace
+    onion-dtn backends                      # kernel backends + availability
 """
 
 from __future__ import annotations
@@ -155,11 +156,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     figure.add_argument(
         "--kernel-backend",
-        choices=("numpy", "numba", "cc"),
+        choices=("numpy", "numba", "cc", "cupy"),
         default=None,
         help="kernel compute backend (default: $REPRO_KERNEL_BACKEND or "
-        "numpy; compiled backends degrade to numpy when unavailable, "
-        "outcomes are byte-identical either way)",
+        "numpy; compiled/GPU backends degrade to numpy when unavailable, "
+        "outcomes are byte-identical either way; see `onion-dtn backends`)",
     )
     figure.add_argument("--markdown", action="store_true")
     figure.add_argument(
@@ -243,6 +244,12 @@ def _build_parser() -> argparse.ArgumentParser:
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     stats = trace_sub.add_parser("stats", help="summarise a haggle-format file")
     stats.add_argument("path")
+
+    subparsers.add_parser(
+        "backends",
+        help="list the registered kernel backends, their availability, "
+        "and the degradation reason for each unavailable one",
+    )
 
     return parser
 
@@ -552,6 +559,49 @@ def _run_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_backends(args: argparse.Namespace) -> int:
+    """List kernel backends: availability, role, and degradation reasons.
+
+    Always exits 0 — an unavailable backend is an expected state (it
+    degrades to numpy at resolve time), not an error. The output is the
+    introspection counterpart of ``--kernel-backend``: each row names a
+    valid selection and what selecting it would actually run.
+    """
+    import os
+
+    from repro.sim.backend import (
+        BACKENDS,
+        ENV_VAR,
+        preferred_compiled_backend,
+    )
+
+    env_backend = os.environ.get(ENV_VAR)
+    preferred = preferred_compiled_backend()
+    print("kernel backends (select with --kernel-backend or "
+          f"${ENV_VAR}):")
+    for name, cls in BACKENDS.items():
+        if cls.available():
+            status = "available"
+            marks = []
+            if name == "numpy":
+                marks.append("default")
+            if name == preferred:
+                marks.append("preferred compiled")
+            if marks:
+                status += f" ({', '.join(marks)})"
+        else:
+            reason = cls.unavailable_reason() or "unavailable"
+            status = f"unavailable — degrades to numpy: {reason}"
+        kind = "compiled" if cls.compiled else (
+            "gpu" if name == "cupy" else "reference"
+        )
+        print(f"  {name:<6} [{kind:>9}] {status}")
+    if env_backend:
+        print(f"${ENV_VAR}={env_backend} is set"
+              + ("" if env_backend in BACKENDS else " (unknown name!)"))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -570,6 +620,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_simulate(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "backends":
+        return _run_backends(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,10 +1,13 @@
 """Pluggable compiled backends for the kernel inner loops.
 
 The struct-of-arrays kernels (:mod:`repro.sim.kernel`,
-:mod:`repro.adversary.kernel`) spend their time in three inner loops: the
-single-copy anycast-race search, the multi-copy flattened per-copy race,
-and the run-length scoring pass behind Eq. 1. This module puts those
-loops behind a small registry of interchangeable backends:
+:mod:`repro.adversary.kernel`) spend their time in a handful of inner
+loops: the single-copy anycast-race search, the multi-copy flattened
+per-copy race, and the security Monte Carlo's scoring passes — the
+smallest-``k`` compromise-mask selection, the fused per-trial run-length
++ exposure sweep, and the raw run-length scoring behind Eq. 1. This
+module puts those loops behind a small registry of interchangeable
+backends:
 
 ``numpy`` (default)
     The vectorized searchsorted/reduceat implementation that has always
@@ -19,6 +22,16 @@ loops behind a small registry of interchangeable backends:
     by the system C compiler into a content-addressed cached shared
     library and driven through :mod:`ctypes`. Zero extra Python
     dependencies; available wherever ``cc``/``gcc`` is on ``PATH``.
+``cupy``
+    A GPU (CUDA) backend for the security Monte Carlo's embarrassingly
+    parallel trial blocks: the security ops ship trial rows to the
+    device in bounded chunks and compute there with CuPy's numpy-
+    compatible array operations; the sequential delivery-trajectory ops
+    delegate to numpy (a per-session event walk does not map onto the
+    GPU). Requires the ``cupy`` package *and* a visible CUDA device —
+    anything less degrades to numpy exactly like the other compiled
+    backends, so GPU-less machines and CI exercise the seam without
+    skipping logic.
 
 Backends are *selected by name* — through the ``backend=`` knob threaded
 from the CLI/figure runners down to the kernels, or ambiently through the
@@ -59,6 +72,7 @@ __all__ = [
     "NumpyBackend",
     "NumbaBackend",
     "CcBackend",
+    "CupyBackend",
     "available_backends",
     "check_backend_name",
     "preferred_compiled_backend",
@@ -122,6 +136,55 @@ def _numpy_run_length_square_sums(bits: np.ndarray) -> np.ndarray:
     occupied = counts > 0
     sums[occupied] = np.add.reduceat(squares, cuts[occupied])
     return sums
+
+
+def _numpy_smallest_k_mask(priority: np.ndarray, count: int) -> np.ndarray:
+    """Boolean mask selecting each row's ``count`` smallest priorities.
+
+    The selection rule every backend implements identically: a cell is
+    selected iff its priority is ≤ the row's ``count``-th order statistic.
+    The kth order statistic is algorithm-independent, so a quickselect (C,
+    numba) and ``np.partition`` agree exactly; continuous priorities make
+    exact ties measure-zero, and a tie would merely over-select one node
+    in one trial — identically on every backend.
+    """
+    mask = np.zeros(priority.shape, dtype=bool)
+    if count <= 0:
+        return mask
+    kth = np.partition(priority, count - 1, axis=1)[:, count - 1 : count]
+    np.less_equal(priority, kth, out=mask)
+    return mask
+
+
+def _numpy_security_scores(
+    mask: np.ndarray,
+    sources: np.ndarray,
+    copy_members: np.ndarray,
+    onion_routers: int,
+    copies: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Fused per-trial security scoring: Eq. 1 run-length sums + exposure.
+
+    ``mask`` is the ``(trials, n)`` compromise mask, ``copy_members`` the
+    block's full ``(trials, k_max, l_max)`` member array — the variant
+    reads the leading ``onion_routers`` hop columns and ``copies`` copy
+    columns. Returns ``(sums, exposed)``: per trial, the sum of squared
+    1-run lengths over copy 0's hop-sender bits (source first), and the
+    adversary's observed exposure count across all copies (Eq. 20's Y').
+    Both are small exact integers, so every backend agrees bit-for-bit.
+    """
+    trials = len(sources)
+    rows = np.arange(trials)
+    eta = onion_routers + 1
+    senders = np.empty((trials, eta), dtype=np.int64)
+    senders[:, 0] = sources
+    senders[:, 1:] = copy_members[:, :onion_routers, 0]
+    bits = mask[rows[:, None], senders]
+    sums = _numpy_run_length_square_sums(bits)
+    carriers = copy_members[:, :onion_routers, :copies]
+    exposed_positions = mask[rows[:, None, None], carriers].any(axis=2)
+    exposed = exposed_positions.sum(axis=1) + mask[rows, sources]
+    return sums, exposed.astype(np.int64)
 
 
 # ----------------------------------------------------------------------
@@ -247,6 +310,96 @@ def _run_length_loop(bits, out):  # pragma: no cover - numba JIT only
         out[t] = total
 
 
+def _smallest_k_mask_loop(
+    priority, count, scratch, mask
+):  # pragma: no cover - numba JIT only
+    trials, n = priority.shape
+    k = count - 1
+    for t in range(trials):
+        for j in range(n):
+            scratch[j] = priority[t, j]
+        # Quickselect with a branchless Lomuto partition (median-of-3
+        # pivot, insertion sort below 8 elements) — the same algorithm as
+        # the C backend; random priorities mispredict every comparison of
+        # a Hoare loop.  The kth order statistic is algorithm-independent,
+        # and the masking rule (priority <= kth) is shared with the numpy
+        # reference, so backends agree exactly.
+        lo = 0
+        hi = n  # half-open [lo, hi)
+        kth = scratch[k]
+        while True:
+            if hi - lo <= 8:
+                for i in range(lo + 1, hi):
+                    x = scratch[i]
+                    j = i - 1
+                    while j >= lo and scratch[j] > x:
+                        scratch[j + 1] = scratch[j]
+                        j -= 1
+                    scratch[j + 1] = x
+                kth = scratch[k]
+                break
+            mid = lo + (hi - lo) // 2
+            a = scratch[lo]
+            b = scratch[mid]
+            c = scratch[hi - 1]
+            if a < b:
+                pivot = b if b < c else (c if a < c else a)
+            else:
+                pivot = a if a < c else (c if b < c else b)
+            # branchless Lomuto: [lo, l) < pivot, [l, r) >= pivot
+            l = lo
+            for r in range(lo, hi):
+                x = scratch[r]
+                scratch[r] = scratch[l]
+                scratch[l] = x
+                l += np.int64(x < pivot)
+            if k < l:
+                hi = l
+            elif l == lo:
+                # pivot is the range minimum: peel its equals off the front
+                m = lo
+                for r in range(lo, hi):
+                    x = scratch[r]
+                    scratch[r] = scratch[m]
+                    scratch[m] = x
+                    m += np.int64(x <= pivot)
+                if k < m:
+                    kth = pivot
+                    break
+                lo = m
+            else:
+                lo = l
+        for j in range(n):
+            if priority[t, j] <= kth:
+                mask[t, j] = 1
+
+
+def _security_scores_loop(
+    mask, sources, copy_members, onion_routers, copies, sums, exposed
+):  # pragma: no cover - numba JIT only
+    trials = sources.shape[0]
+    for t in range(trials):
+        run = np.int64(0)
+        total = np.int64(0)
+        exp_count = np.int64(0)
+        if mask[t, sources[t]]:
+            run = np.int64(1)
+            exp_count += 1
+        for k in range(onion_routers):
+            if mask[t, copy_members[t, k, 0]]:
+                run += 1
+            else:
+                total += run * run
+                run = np.int64(0)
+            for c in range(copies):
+                if mask[t, copy_members[t, k, c]]:
+                    exp_count += 1
+                    break
+        total += run * run
+        sums[t] = total
+        exposed[t] = exp_count
+
+
 _C_SOURCE = r"""
 #include <stdint.h>
 
@@ -348,6 +501,99 @@ void run_length_square_sums(
         }
         total += run * run;
         out[t] = total;
+    }
+}
+
+/* kth order statistic of v[0..n) by quickselect with a branchless
+ * Lomuto partition (median-of-3 pivot, insertion sort below 8
+ * elements).  Random priorities mispredict every comparison of a
+ * classic Hoare loop; the unconditional-swap partition sidesteps that
+ * and runs ~4x faster.  The order statistic is algorithm-independent,
+ * so the result matches np.partition exactly. */
+static double kth_order_statistic(double *v, int64_t n, int64_t k)
+{
+    int64_t lo = 0, hi = n;  /* half-open [lo, hi) */
+    while (hi - lo > 8) {
+        int64_t mid = lo + (hi - lo) / 2;
+        double a = v[lo], b = v[mid], c = v[hi - 1], pivot;
+        if (a < b) {
+            if (b < c) pivot = b; else if (a < c) pivot = c; else pivot = a;
+        } else {
+            if (a < c) pivot = a; else if (b < c) pivot = c; else pivot = b;
+        }
+        /* branchless Lomuto: [lo, l) < pivot, [l, r) >= pivot */
+        int64_t l = lo;
+        for (int64_t r = lo; r < hi; r++) {
+            double t = v[r];
+            v[r] = v[l];
+            v[l] = t;
+            l += (t < pivot);
+        }
+        if (k < l) { hi = l; }
+        else if (l == lo) {
+            /* pivot is the range minimum: peel its equals off the front */
+            int64_t m = lo;
+            for (int64_t r = lo; r < hi; r++) {
+                double t = v[r];
+                v[r] = v[m];
+                v[m] = t;
+                m += (t <= pivot);
+            }
+            if (k < m) return pivot;
+            lo = m;
+        }
+        else { lo = l; }
+    }
+    for (int64_t i = lo + 1; i < hi; i++) {
+        double x = v[i];
+        int64_t j = i - 1;
+        while (j >= lo && v[j] > x) { v[j + 1] = v[j]; j--; }
+        v[j + 1] = x;
+    }
+    return v[k];
+}
+
+/* Per-row smallest-count selection: mask cells whose priority is <= the
+ * row's (count-1)th order statistic on a scratch copy of the row. */
+void smallest_k_mask(
+    const double *priority, int64_t trials, int64_t n, int64_t count,
+    double *scratch, int8_t *mask)
+{
+    int64_t k = count - 1;
+    for (int64_t t = 0; t < trials; t++) {
+        const double *row = priority + t * n;
+        for (int64_t j = 0; j < n; j++) scratch[j] = row[j];
+        double kth = kth_order_statistic(scratch, n, k);
+        int8_t *mrow = mask + t * n;
+        for (int64_t j = 0; j < n; j++)
+            mrow[j] = (row[j] <= kth);
+    }
+}
+
+/* Fused per-trial security scoring: Eq. 1 run-length square sums over
+ * copy 0's hop-sender bits (source first) plus the adversary's exposure
+ * count across all copies (Eq. 20), in one pass over the trial block. */
+void security_scores(
+    const int8_t *mask, const int64_t *sources, const int64_t *cm,
+    int64_t trials, int64_t n, int64_t k_max, int64_t l_max,
+    int64_t onion_routers, int64_t copies,
+    int64_t *sums, int64_t *exposed)
+{
+    for (int64_t t = 0; t < trials; t++) {
+        const int8_t *row = mask + t * n;
+        const int64_t *members = cm + t * k_max * l_max;
+        int64_t run = 0, total = 0, exp_count = 0;
+        if (row[sources[t]]) { run = 1; exp_count = 1; }
+        for (int64_t k = 0; k < onion_routers; k++) {
+            if (row[members[k * l_max]]) { run++; }
+            else { total += run * run; run = 0; }
+            for (int64_t c = 0; c < copies; c++) {
+                if (row[members[k * l_max + c]]) { exp_count++; break; }
+            }
+        }
+        total += run * run;
+        sums[t] = total;
+        exposed[t] = exp_count;
     }
 }
 """
@@ -473,6 +719,30 @@ class KernelBackend:
         """Per-row sum of squared 1-run lengths (Eq. 1 numerator)."""
         raise NotImplementedError
 
+    def smallest_k_mask(
+        self, priority: np.ndarray, count: int
+    ) -> np.ndarray:  # pragma: no cover - interface
+        """Boolean ``(trials, n)`` mask of each row's ``count`` smallest
+        priorities (cells ≤ the row's ``count``-th order statistic); all
+        False when ``count <= 0``. The compromise-set selection behind
+        every batched compromise model."""
+        raise NotImplementedError
+
+    def security_scores(
+        self,
+        mask: np.ndarray,
+        sources: np.ndarray,
+        copy_members: np.ndarray,
+        onion_routers: int,
+        copies: int,
+    ) -> Tuple[np.ndarray, np.ndarray]:  # pragma: no cover - interface
+        """Fused per-trial security scoring for one ``(K, L)`` variant:
+        ``(sums, exposed)`` int64 vectors — Eq. 1 run-length square sums
+        over copy 0's hop-sender bits (source first) and the adversary's
+        exposure count across all ``copies`` (Eq. 20's observed-path
+        input) — in one pass over the trial block."""
+        raise NotImplementedError
+
 
 class NumpyBackend(KernelBackend):
     """The always-available vectorized reference implementation."""
@@ -561,6 +831,14 @@ class NumpyBackend(KernelBackend):
     def run_length_square_sums(self, bits):
         return _numpy_run_length_square_sums(bits)
 
+    def smallest_k_mask(self, priority, count):
+        return _numpy_smallest_k_mask(priority, count)
+
+    def security_scores(self, mask, sources, copy_members, onion_routers, copies):
+        return _numpy_security_scores(
+            mask, sources, copy_members, onion_routers, copies
+        )
+
 
 class NumbaBackend(KernelBackend):
     """``@njit(cache=True)`` compilations of the scalar loops.
@@ -598,6 +876,8 @@ class NumbaBackend(KernelBackend):
                 ),
                 "multi_next_events": njit(cache=True)(_multi_next_events_loop),
                 "run_length_square_sums": njit(cache=True)(_run_length_loop),
+                "smallest_k_mask": njit(cache=True)(_smallest_k_mask_loop),
+                "security_scores": njit(cache=True)(_security_scores_loop),
             }
         self._funcs = NumbaBackend._jitted
 
@@ -689,6 +969,33 @@ class NumbaBackend(KernelBackend):
         self._funcs["run_length_square_sums"](rows, out)
         return out
 
+    def smallest_k_mask(self, priority, count):
+        priority = np.ascontiguousarray(priority, dtype=np.float64)
+        trials, n = priority.shape
+        mask = np.zeros((trials, n), dtype=np.int8)
+        if count > 0:
+            scratch = np.empty(n, dtype=np.float64)
+            self._funcs["smallest_k_mask"](
+                priority, np.int64(count), scratch, mask
+            )
+        return mask.view(np.bool_)
+
+    def security_scores(self, mask, sources, copy_members, onion_routers, copies):
+        bits = np.ascontiguousarray(mask, dtype=np.int8)
+        trials = len(sources)
+        sums = np.empty(trials, dtype=np.int64)
+        exposed = np.empty(trials, dtype=np.int64)
+        self._funcs["security_scores"](
+            bits,
+            _i64(sources),
+            _i64(copy_members),
+            np.int64(onion_routers),
+            np.int64(copies),
+            sums,
+            exposed,
+        )
+        return sums, exposed
+
 
 class CcBackend(KernelBackend):
     """The scalar loops compiled by the system C compiler via ctypes.
@@ -760,6 +1067,11 @@ class CcBackend(KernelBackend):
         lib.multi_next_events.restype = None
         lib.run_length_square_sums.argtypes = [B, I, I, P]
         lib.run_length_square_sums.restype = None
+        D = ctypes.POINTER(ctypes.c_double)
+        lib.smallest_k_mask.argtypes = [D, I, I, I, D, B]
+        lib.smallest_k_mask.restype = None
+        lib.security_scores.argtypes = [B, P, P, I, I, I, I, I, I, P, P]
+        lib.security_scores.restype = None
         cls._lib = lib
         return lib
 
@@ -856,6 +1168,201 @@ class CcBackend(KernelBackend):
         )
         return out
 
+    def smallest_k_mask(self, priority, count):
+        priority = np.ascontiguousarray(priority, dtype=np.float64)
+        trials, n = priority.shape
+        mask = np.zeros((trials, n), dtype=np.int8)
+        if count > 0:
+            scratch = np.empty(n, dtype=np.float64)
+            D = ctypes.POINTER(ctypes.c_double)
+            self._clib.smallest_k_mask(
+                priority.ctypes.data_as(D),
+                trials,
+                n,
+                count,
+                scratch.ctypes.data_as(D),
+                mask.ctypes.data_as(ctypes.POINTER(ctypes.c_int8)),
+            )
+        return mask.view(np.bool_)
+
+    def security_scores(self, mask, sources, copy_members, onion_routers, copies):
+        bits = np.ascontiguousarray(mask, dtype=np.int8)
+        sources = _i64(sources)
+        members = _i64(copy_members)
+        trials, n = bits.shape
+        k_max, l_max = members.shape[1], members.shape[2]
+        sums = np.empty(trials, dtype=np.int64)
+        exposed = np.empty(trials, dtype=np.int64)
+        self._clib.security_scores(
+            bits.ctypes.data_as(ctypes.POINTER(ctypes.c_int8)),
+            self._ptr(sources),
+            self._ptr(members),
+            trials,
+            n,
+            k_max,
+            l_max,
+            onion_routers,
+            copies,
+            self._ptr(sums),
+            self._ptr(exposed),
+        )
+        return sums, exposed
+
+
+class CupyBackend(KernelBackend):
+    """GPU (CUDA) backend for the security Monte Carlo's trial blocks.
+
+    The security ops ship trial rows to the device in bounded chunks
+    (:data:`CHUNK_TRIALS` rows per transfer, so host↔device staging stays
+    a fixed-size buffer no matter the trial count) and compute there with
+    CuPy's numpy-compatible array API. The sequential delivery-trajectory
+    ops delegate to the numpy singleton — a per-session event walk does
+    not map onto the GPU — and ``compiled`` stays False so the delivery
+    kernels keep their vectorized per-round path. Requires the ``cupy``
+    package *and* a visible CUDA device; anything less degrades to numpy
+    through :func:`resolve_backend` like every other compiled backend.
+    """
+
+    name = "cupy"
+    compiled = False
+    _cupy = None
+
+    #: Trial rows shipped to the device per transfer.
+    CHUNK_TRIALS = 65536
+
+    @classmethod
+    def _module(cls):
+        if cls._cupy is None:
+            import cupy
+
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                raise RuntimeError("no visible CUDA device")
+            cls._cupy = cupy
+        return cls._cupy
+
+    @classmethod
+    def available(cls) -> bool:
+        if cls._cupy is not None:
+            return True
+        try:
+            cls._module()
+        except Exception:
+            return False
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> Optional[str]:
+        if cls._cupy is not None:
+            return None
+        try:
+            import cupy
+        except Exception:
+            return (
+                "the 'cupy' package is not installed "
+                "(pip install cupy-cuda12x for your CUDA version)"
+            )
+        try:
+            if cupy.cuda.runtime.getDeviceCount() < 1:
+                return "cupy is installed but no CUDA device is visible"
+        except Exception as error:
+            return f"cupy is installed but the CUDA runtime failed: {error}"
+        return None
+
+    def __init__(self):
+        self._cp = self._module()
+        self._numpy = _instantiate("numpy")
+
+    def warmup(self) -> None:
+        # Touch each security op once: first-call device allocation and
+        # kernel compilation happen here, not inside a benchmark timer.
+        self.smallest_k_mask(np.array([[0.5, 0.25, 0.75]]), 2)
+        self.security_scores(
+            np.array([[True, False]]),
+            np.zeros(1, dtype=np.int64),
+            np.zeros((1, 1, 1), dtype=np.int64),
+            1,
+            1,
+        )
+        self.run_length_square_sums(np.array([[1, 0, 1]], dtype=np.int8))
+
+    # -- delivery ops: CPU delegation ----------------------------------
+
+    def single_next_events(self, *args):
+        return self._numpy.single_next_events(*args)
+
+    def multi_next_events(self, *args):
+        return self._numpy.multi_next_events(*args)
+
+    # -- security ops: chunked device execution ------------------------
+
+    def run_length_square_sums(self, bits):
+        cp = self._cp
+        rows = np.ascontiguousarray(bits, dtype=np.int8)
+        trials, eta = rows.shape
+        out = np.empty(trials, dtype=np.int64)
+        for start in range(0, trials, self.CHUNK_TRIALS):
+            stop = min(start + self.CHUNK_TRIALS, trials)
+            chunk = cp.asarray(rows[start:stop]).astype(cp.int64)
+            run = cp.zeros(stop - start, dtype=cp.int64)
+            total = cp.zeros(stop - start, dtype=cp.int64)
+            # cupy has no ufunc.reduceat; eta is tiny (K+1), so an O(eta)
+            # column sweep with the run/total recurrence is exact and
+            # cheap: a closed run contributes run², an open one extends.
+            for k in range(eta):
+                col = chunk[:, k]
+                total += (1 - col) * run * run
+                run = (run + 1) * col
+            total += run * run
+            out[start:stop] = cp.asnumpy(total)
+        return out
+
+    def smallest_k_mask(self, priority, count):
+        cp = self._cp
+        priority = np.ascontiguousarray(priority, dtype=np.float64)
+        trials, n = priority.shape
+        mask = np.zeros((trials, n), dtype=bool)
+        if count <= 0:
+            return mask
+        for start in range(0, trials, self.CHUNK_TRIALS):
+            stop = min(start + self.CHUNK_TRIALS, trials)
+            chunk = cp.asarray(priority[start:stop])
+            kth = cp.partition(chunk, count - 1, axis=1)[:, count - 1 : count]
+            mask[start:stop] = cp.asnumpy(chunk <= kth)
+        return mask
+
+    def security_scores(self, mask, sources, copy_members, onion_routers, copies):
+        cp = self._cp
+        trials = len(sources)
+        sums = np.empty(trials, dtype=np.int64)
+        exposed = np.empty(trials, dtype=np.int64)
+        src_all = _i64(sources)
+        members_all = np.ascontiguousarray(
+            copy_members[:, :onion_routers, :copies], dtype=np.int64
+        )
+        bits_all = np.ascontiguousarray(mask, dtype=np.int8)
+        for start in range(0, trials, self.CHUNK_TRIALS):
+            stop = min(start + self.CHUNK_TRIALS, trials)
+            m = cp.asarray(bits_all[start:stop])
+            src = cp.asarray(src_all[start:stop])
+            members = cp.asarray(members_all[start:stop])
+            rows = cp.arange(stop - start)
+            src_bit = m[rows, src].astype(cp.int64)
+            hop_bits = m[rows[:, None], members[:, :, 0]].astype(cp.int64)
+            run = src_bit  # bit 0 of the sender chain is the source
+            total = cp.zeros(stop - start, dtype=cp.int64)
+            for k in range(onion_routers):
+                col = hop_bits[:, k]
+                total += (1 - col) * run * run
+                run = (run + 1) * col
+            total += run * run
+            exposed_chunk = (
+                m[rows[:, None, None], members].any(axis=2).sum(axis=1)
+                + src_bit
+            )
+            sums[start:stop] = cp.asnumpy(total)
+            exposed[start:stop] = cp.asnumpy(exposed_chunk.astype(cp.int64))
+        return sums, exposed
+
 
 def _warmup_compiled(backend: KernelBackend) -> None:
     """Run every compiled op once on a one-event toy problem.
@@ -899,6 +1406,18 @@ def _warmup_compiled(backend: KernelBackend) -> None:
         np.ones(1, dtype=np.int64),  # act_expiry
     )
     backend.run_length_square_sums(np.array([[1, 0, 1]], dtype=np.int8))
+    # Security ops: a two-trial, three-node toy block so first-call JIT
+    # compilation never lands inside a timed security arm.
+    backend.smallest_k_mask(
+        np.array([[0.5, 0.25, 0.75], [0.9, 0.1, 0.4]]), 2
+    )
+    backend.security_scores(
+        np.array([[True, False, True], [False, True, False]]),
+        np.zeros(2, dtype=np.int64),
+        np.ones((2, 2, 2), dtype=np.int64),
+        2,
+        2,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -911,6 +1430,7 @@ BACKENDS: Dict[str, type] = {
     "numpy": NumpyBackend,
     "numba": NumbaBackend,
     "cc": CcBackend,
+    "cupy": CupyBackend,
 }
 
 _instances: Dict[str, KernelBackend] = {}
@@ -929,6 +1449,7 @@ def _reset_backend_caches() -> None:
     _instances.clear()
     NumbaBackend._jitted = None
     CcBackend._lib = None
+    CupyBackend._cupy = None
 
 
 def available_backends() -> Tuple[str, ...]:
@@ -939,8 +1460,13 @@ def available_backends() -> Tuple[str, ...]:
 
 
 def preferred_compiled_backend() -> Optional[str]:
-    """The best available compiled backend name (numba first), or None."""
-    for name in ("numba", "cc"):
+    """The best available compiled backend name (numba first), or None.
+
+    ``cupy`` ranks last: it accelerates only the security ops (its
+    delivery ops delegate to numpy), so a CPU-compiled backend that
+    covers the whole op surface wins when both are present.
+    """
+    for name in ("numba", "cc", "cupy"):
         if BACKENDS[name].available():
             return name
     return None

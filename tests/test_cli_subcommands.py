@@ -170,3 +170,34 @@ class TestFigureKeys:
     def test_unknown_figure_rejected(self, capsys):
         with pytest.raises(SystemExit):
             main(["figure", "zz"])
+
+
+class TestBackends:
+    def test_lists_every_registered_backend(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("numpy", "numba", "cc", "cupy"):
+            assert name in out
+        # numpy is the always-available reference and the default.
+        assert "(default)" in out
+
+    def test_unavailable_backends_name_their_degradation(self, capsys, monkeypatch):
+        # Poison numba so at least one backend is unavailable in every
+        # environment, then check the degradation reason is printed.
+        import sys
+
+        monkeypatch.setitem(sys.modules, "numba", None)
+        from repro.sim.backend import _reset_backend_caches
+
+        _reset_backend_caches()
+        try:
+            assert main(["backends"]) == 0
+            out = capsys.readouterr().out
+            assert "degrades to numpy" in out
+        finally:
+            _reset_backend_caches()
+
+    def test_env_override_reported(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert main(["backends"]) == 0
+        assert "REPRO_KERNEL_BACKEND" in capsys.readouterr().out

@@ -42,6 +42,7 @@ from repro.sim.backend import (
     BACKENDS,
     ENV_VAR,
     CcBackend,
+    CupyBackend,
     KernelBackend,
     NumbaBackend,
     NumpyBackend,
@@ -139,11 +140,16 @@ class TestRegistry:
         assert resolve_backend(None).name == "numpy"
 
     def test_preferred_compiled_backend_ranking(self):
+        # numba > cc > cupy: the GPU backend ranks last because its
+        # delivery ops delegate to numpy — it only accelerates the
+        # security ops.
         preferred = preferred_compiled_backend()
         if NumbaBackend.available():
             assert preferred == "numba"
         elif CcBackend.available():
             assert preferred == "cc"
+        elif CupyBackend.available():
+            assert preferred == "cupy"
         else:
             assert preferred is None
 
@@ -466,3 +472,13 @@ class TestKernelBookkeeping:
         backend = KernelBackend()
         with pytest.raises(NotImplementedError):
             backend.run_length_square_sums(np.zeros((1, 1), dtype=np.int8))
+        with pytest.raises(NotImplementedError):
+            backend.smallest_k_mask(np.zeros((1, 1)), 1)
+        with pytest.raises(NotImplementedError):
+            backend.security_scores(
+                np.zeros((1, 1), dtype=bool),
+                np.zeros(1, dtype=np.int64),
+                np.zeros((1, 1, 1), dtype=np.int64),
+                1,
+                1,
+            )
